@@ -1,0 +1,148 @@
+package cache
+
+// Stats summarizes cache effectiveness (the metric plotted in Fig 4c).
+type Stats struct {
+	// Hits counts Get calls served from either level.
+	Hits int64
+	// Misses counts Get calls that found nothing.
+	Misses int64
+	// LRUHits counts hits served by the recency level.
+	LRUHits int64
+	// LFUHits counts hits served by the frequency level.
+	LFUHits int64
+	// Demotions counts entries moved from the LRU into the LFU.
+	Demotions int64
+	// Evictions counts entries that left the combined cache entirely.
+	Evictions int64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 when nothing was looked up.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Combined is the paper's two-level eviction policy (Appendix D): a recency
+// level (LRU) in front of a frequency level (LFU). Whenever a parameter is
+// visited it enters the LRU; entries evicted from the LRU are demoted into
+// the LFU; entries evicted from the LFU are handed to the eviction callback
+// so the MEM-PS can flush them to the SSD-PS before releasing their memory.
+// Working parameters of in-flight batches are pinned in the LRU.
+//
+// Combined is not safe for concurrent use.
+type Combined[V any] struct {
+	lru   *LRU[V]
+	lfu   *LFU[V]
+	stats Stats
+	// visitCount tracks per-key access counts while a key lives in the LRU so
+	// its frequency is preserved when it is demoted.
+	visitCount map[uint64]int64
+}
+
+// NewCombined builds a combined cache with the given per-level capacities.
+// onEvict receives entries that leave the cache entirely; it may be nil.
+func NewCombined[V any](lruCapacity, lfuCapacity int, onEvict EvictFunc[V]) *Combined[V] {
+	c := &Combined[V]{visitCount: make(map[uint64]int64)}
+	c.lfu = NewLFU[V](lfuCapacity, func(key uint64, value V) {
+		c.stats.Evictions++
+		if onEvict != nil {
+			onEvict(key, value)
+		}
+	})
+	c.lru = NewLRU[V](lruCapacity, func(key uint64, value V) {
+		// Demote to the LFU, carrying over the observed access count.
+		c.stats.Demotions++
+		freq := c.visitCount[key]
+		delete(c.visitCount, key)
+		c.lfu.PutWithFreq(key, value, freq)
+	})
+	return c
+}
+
+// Len returns the total number of entries across both levels.
+func (c *Combined[V]) Len() int { return c.lru.Len() + c.lfu.Len() }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Combined[V]) Stats() Stats { return c.stats }
+
+// ResetStats clears the statistics counters (cache contents are unaffected).
+func (c *Combined[V]) ResetStats() { c.stats = Stats{} }
+
+// Get looks the key up in both levels. A hit in the LFU promotes the entry
+// back into the LRU (it is recently used again).
+func (c *Combined[V]) Get(key uint64) (V, bool) {
+	if v, ok := c.lru.Get(key); ok {
+		c.stats.Hits++
+		c.stats.LRUHits++
+		c.visitCount[key]++
+		return v, true
+	}
+	if v, ok := c.lfu.Get(key); ok {
+		c.stats.Hits++
+		c.stats.LFUHits++
+		// Promote back into the recency level.
+		freq := c.lfu.Freq(key)
+		c.lfu.Remove(key)
+		c.visitCount[key] = freq
+		c.lru.Put(key, v)
+		return v, true
+	}
+	c.stats.Misses++
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether either level holds the key, without promoting it.
+func (c *Combined[V]) Contains(key uint64) bool {
+	return c.lru.Contains(key) || c.lfu.Contains(key)
+}
+
+// Put inserts the key into the recency level.
+func (c *Combined[V]) Put(key uint64, value V) {
+	if c.lfu.Contains(key) {
+		c.lfu.Remove(key)
+	}
+	c.visitCount[key]++
+	c.lru.Put(key, value)
+}
+
+// Remove deletes the key from whichever level holds it, without invoking the
+// eviction callback.
+func (c *Combined[V]) Remove(key uint64) (V, bool) {
+	delete(c.visitCount, key)
+	if v, ok := c.lru.Remove(key); ok {
+		return v, true
+	}
+	return c.lfu.Remove(key)
+}
+
+// Pin marks a key in the LRU as unevictable until Unpin. It reports whether
+// the key was found in the LRU (keys in the LFU cannot be pinned; Get them
+// first to promote them).
+func (c *Combined[V]) Pin(key uint64) bool { return c.lru.Pin(key) }
+
+// Unpin releases a pin set by Pin.
+func (c *Combined[V]) Unpin(key uint64) bool { return c.lru.Unpin(key) }
+
+// Flush evicts every entry from both levels through the eviction callback.
+// It is used at shutdown to persist all cached parameters.
+func (c *Combined[V]) Flush(onEach func(key uint64, value V)) {
+	c.lru.Range(func(k uint64, v V) bool {
+		if onEach != nil {
+			onEach(k, v)
+		}
+		return true
+	})
+	c.lfu.Range(func(k uint64, v V) bool {
+		if onEach != nil {
+			onEach(k, v)
+		}
+		return true
+	})
+	c.lru = NewLRU[V](c.lru.Capacity(), c.lru.onEvict)
+	c.lfu = NewLFU[V](c.lfu.Capacity(), c.lfu.onEvict)
+	c.visitCount = make(map[uint64]int64)
+}

@@ -1,0 +1,148 @@
+package cache
+
+import "container/heap"
+
+type lfuEntry[V any] struct {
+	key   uint64
+	value V
+	freq  int64
+	seq   int64 // tie-break: older entries evict first
+	index int   // heap index
+}
+
+type lfuHeap[V any] []*lfuEntry[V]
+
+func (h lfuHeap[V]) Len() int { return len(h) }
+func (h lfuHeap[V]) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].seq < h[j].seq
+}
+func (h lfuHeap[V]) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *lfuHeap[V]) Push(x any) {
+	e := x.(*lfuEntry[V])
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *lfuHeap[V]) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// LFU is a least-frequently-used cache keyed by uint64, with FIFO tie
+// breaking among equally frequent entries. It is not safe for concurrent use.
+type LFU[V any] struct {
+	capacity int
+	onEvict  EvictFunc[V]
+	items    map[uint64]*lfuEntry[V]
+	heap     lfuHeap[V]
+	seq      int64
+}
+
+// NewLFU creates an LFU cache holding at most capacity entries. onEvict may
+// be nil. A capacity <= 0 is treated as 1.
+func NewLFU[V any](capacity int, onEvict EvictFunc[V]) *LFU[V] {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &LFU[V]{
+		capacity: capacity,
+		onEvict:  onEvict,
+		items:    make(map[uint64]*lfuEntry[V]),
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *LFU[V]) Len() int { return len(c.items) }
+
+// Capacity returns the configured capacity.
+func (c *LFU[V]) Capacity() int { return c.capacity }
+
+// Get returns the value for key and increments its frequency.
+func (c *LFU[V]) Get(key uint64) (V, bool) {
+	if e, ok := c.items[key]; ok {
+		e.freq++
+		heap.Fix(&c.heap, e.index)
+		return e.value, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether key is cached without touching its frequency.
+func (c *LFU[V]) Contains(key uint64) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
+// Put inserts or updates key. New entries start with the given initial
+// frequency of 1; use PutWithFreq to preserve a frequency carried over from
+// another cache level. If the cache overflows, the least frequently used
+// entry is evicted.
+func (c *LFU[V]) Put(key uint64, value V) {
+	c.PutWithFreq(key, value, 1)
+}
+
+// PutWithFreq inserts or updates key with an explicit frequency. The combined
+// policy uses this to demote LRU entries without losing their access counts.
+func (c *LFU[V]) PutWithFreq(key uint64, value V, freq int64) {
+	if freq < 1 {
+		freq = 1
+	}
+	if e, ok := c.items[key]; ok {
+		e.value = value
+		e.freq += freq
+		heap.Fix(&c.heap, e.index)
+		return
+	}
+	c.seq++
+	e := &lfuEntry[V]{key: key, value: value, freq: freq, seq: c.seq}
+	c.items[key] = e
+	heap.Push(&c.heap, e)
+	for len(c.items) > c.capacity {
+		victim := heap.Pop(&c.heap).(*lfuEntry[V])
+		delete(c.items, victim.key)
+		if c.onEvict != nil {
+			c.onEvict(victim.key, victim.value)
+		}
+	}
+}
+
+// Remove deletes key without invoking the eviction callback. It returns the
+// removed value, if any.
+func (c *LFU[V]) Remove(key uint64) (V, bool) {
+	e, ok := c.items[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	heap.Remove(&c.heap, e.index)
+	delete(c.items, key)
+	return e.value, true
+}
+
+// Freq returns the current frequency of key (0 if absent).
+func (c *LFU[V]) Freq(key uint64) int64 {
+	if e, ok := c.items[key]; ok {
+		return e.freq
+	}
+	return 0
+}
+
+// Range calls fn for every cached entry until fn returns false.
+func (c *LFU[V]) Range(fn func(key uint64, value V) bool) {
+	for k, e := range c.items {
+		if !fn(k, e.value) {
+			return
+		}
+	}
+}

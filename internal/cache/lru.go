@@ -1,0 +1,192 @@
+// Package cache implements the in-memory parameter caching policies used by
+// the MEM-PS (Section 5, Appendix D): an LRU cache, an LFU cache, and the
+// paper's combined policy in which entries evicted from the LRU are demoted
+// into the LFU and entries evicted from the LFU are handed to the caller
+// (which flushes them to the SSD-PS before releasing the memory).
+//
+// Working parameters of the in-flight batches are pinned and are never
+// evicted until their batch completes, preserving the pipeline's data
+// integrity guarantee.
+package cache
+
+import "container/list"
+
+// EvictFunc is called with every entry that leaves a cache through eviction
+// (not through Remove).
+type EvictFunc[V any] func(key uint64, value V)
+
+type lruEntry[V any] struct {
+	key    uint64
+	value  V
+	pinned bool
+}
+
+// LRU is a least-recently-used cache keyed by uint64. It is not safe for
+// concurrent use; the MEM-PS serializes access behind its own lock.
+type LRU[V any] struct {
+	capacity int
+	onEvict  EvictFunc[V]
+	ll       *list.List
+	items    map[uint64]*list.Element
+	pinned   int
+}
+
+// NewLRU creates an LRU cache holding at most capacity entries. onEvict may
+// be nil. A capacity <= 0 is treated as 1.
+func NewLRU[V any](capacity int, onEvict EvictFunc[V]) *LRU[V] {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &LRU[V]{
+		capacity: capacity,
+		onEvict:  onEvict,
+		ll:       list.New(),
+		items:    make(map[uint64]*list.Element),
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *LRU[V]) Len() int { return c.ll.Len() }
+
+// Capacity returns the configured capacity.
+func (c *LRU[V]) Capacity() int { return c.capacity }
+
+// PinnedLen returns the number of pinned entries.
+func (c *LRU[V]) PinnedLen() int { return c.pinned }
+
+// Get returns the value for key and marks it most recently used.
+func (c *LRU[V]) Get(key uint64) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*lruEntry[V]).value, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Peek returns the value without updating recency.
+func (c *LRU[V]) Peek(key uint64) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		return el.Value.(*lruEntry[V]).value, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether key is cached, without updating recency.
+func (c *LRU[V]) Contains(key uint64) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
+// Put inserts or updates key and marks it most recently used. If the cache
+// exceeds its capacity, the least recently used unpinned entry is evicted.
+// Pinned entries are never evicted, so the cache may temporarily exceed its
+// capacity while many entries are pinned.
+func (c *LRU[V]) Put(key uint64, value V) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry[V]).value = value
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&lruEntry[V]{key: key, value: value})
+	c.items[key] = el
+	c.evictOverflow()
+}
+
+// evictOverflow evicts unpinned LRU entries while over capacity.
+func (c *LRU[V]) evictOverflow() {
+	for c.ll.Len() > c.capacity {
+		victim := c.oldestUnpinned()
+		if victim == nil {
+			return // everything pinned; allow overflow
+		}
+		c.removeElement(victim, true)
+	}
+}
+
+// oldestUnpinned returns the least recently used unpinned element, never the
+// most recently used one: a freshly inserted entry must not be the victim of
+// its own insertion when everything older is pinned.
+func (c *LRU[V]) oldestUnpinned() *list.Element {
+	front := c.ll.Front()
+	for el := c.ll.Back(); el != nil && el != front; el = el.Prev() {
+		if !el.Value.(*lruEntry[V]).pinned {
+			return el
+		}
+	}
+	return nil
+}
+
+func (c *LRU[V]) removeElement(el *list.Element, evict bool) {
+	ent := el.Value.(*lruEntry[V])
+	c.ll.Remove(el)
+	delete(c.items, ent.key)
+	if ent.pinned {
+		c.pinned--
+	}
+	if evict && c.onEvict != nil {
+		c.onEvict(ent.key, ent.value)
+	}
+}
+
+// Remove deletes key without invoking the eviction callback. It returns the
+// removed value, if any.
+func (c *LRU[V]) Remove(key uint64) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		v := el.Value.(*lruEntry[V]).value
+		c.removeElement(el, false)
+		return v, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Pin marks key as unevictable. It reports whether the key was present.
+func (c *LRU[V]) Pin(key uint64) bool {
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	ent := el.Value.(*lruEntry[V])
+	if !ent.pinned {
+		ent.pinned = true
+		c.pinned++
+	}
+	return true
+}
+
+// Unpin clears the pin on key and evicts overflow that the pin was holding
+// back. It reports whether the key was present.
+func (c *LRU[V]) Unpin(key uint64) bool {
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	ent := el.Value.(*lruEntry[V])
+	if ent.pinned {
+		ent.pinned = false
+		c.pinned--
+	}
+	c.evictOverflow()
+	return true
+}
+
+// Keys returns the cached keys from most to least recently used.
+func (c *LRU[V]) Keys() []uint64 {
+	out := make([]uint64, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*lruEntry[V]).key)
+	}
+	return out
+}
+
+// Range calls fn for every cached entry until fn returns false.
+func (c *LRU[V]) Range(fn func(key uint64, value V) bool) {
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		ent := el.Value.(*lruEntry[V])
+		if !fn(ent.key, ent.value) {
+			return
+		}
+	}
+}

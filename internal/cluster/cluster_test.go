@@ -1,0 +1,255 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"hps/internal/embedding"
+	"hps/internal/keys"
+)
+
+func TestTopologyValidate(t *testing.T) {
+	if err := (Topology{Nodes: 4, GPUsPerNode: 8}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Topology{Nodes: 0, GPUsPerNode: 8}).Validate(); err == nil {
+		t.Fatal("zero nodes should fail")
+	}
+	if err := (Topology{Nodes: 1, GPUsPerNode: 0}).Validate(); err == nil {
+		t.Fatal("zero GPUs should fail")
+	}
+	if (Topology{Nodes: 4, GPUsPerNode: 8}).TotalGPUs() != 32 {
+		t.Fatal("TotalGPUs wrong")
+	}
+}
+
+func TestTopologySharding(t *testing.T) {
+	topo := Topology{Nodes: 4, GPUsPerNode: 8}
+	ks := make([]keys.Key, 1000)
+	for i := range ks {
+		ks[i] = keys.Key(keys.Mix64(uint64(i)))
+	}
+	byNode := topo.SplitByNode(ks)
+	if len(byNode) != 4 {
+		t.Fatal("SplitByNode length")
+	}
+	total := 0
+	for node, part := range byNode {
+		total += len(part)
+		for _, k := range part {
+			if topo.NodeOf(k) != node {
+				t.Fatal("key assigned to wrong node")
+			}
+		}
+	}
+	if total != len(ks) {
+		t.Fatal("SplitByNode lost keys")
+	}
+	byGPU := topo.SplitByGPU(ks)
+	if len(byGPU) != 8 {
+		t.Fatal("SplitByGPU length")
+	}
+	total = 0
+	for g, part := range byGPU {
+		total += len(part)
+		for _, k := range part {
+			if topo.GPUOf(k) != g {
+				t.Fatal("key assigned to wrong GPU")
+			}
+		}
+	}
+	if total != len(ks) {
+		t.Fatal("SplitByGPU lost keys")
+	}
+}
+
+func TestTopologyShardingProperty(t *testing.T) {
+	topo := Topology{Nodes: 3, GPUsPerNode: 4}
+	f := func(raw uint64) bool {
+		k := keys.Key(raw)
+		n := topo.NodeOf(k)
+		g := topo.GPUOf(k)
+		return n >= 0 && n < 3 && g >= 0 && g < 4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mapHandler is a PullHandler backed by a plain map for tests.
+type mapHandler struct {
+	mu   sync.Mutex
+	dim  int
+	vals map[keys.Key]*embedding.Value
+	err  error
+}
+
+func newMapHandler(dim int) *mapHandler {
+	return &mapHandler{dim: dim, vals: make(map[keys.Key]*embedding.Value)}
+}
+
+func (h *mapHandler) HandlePull(ks []keys.Key) (PullResult, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.err != nil {
+		return nil, h.err
+	}
+	out := make(PullResult, len(ks))
+	for _, k := range ks {
+		v, ok := h.vals[k]
+		if !ok {
+			v = embedding.NewValue(h.dim)
+			v.Weights[0] = float32(k)
+			h.vals[k] = v
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+func TestLocalTransport(t *testing.T) {
+	tr := NewLocalTransport(4)
+	h0 := newMapHandler(4)
+	h1 := newMapHandler(4)
+	tr.Register(0, h0)
+	tr.Register(1, h1)
+	if len(tr.Nodes()) != 2 {
+		t.Fatal("Nodes wrong")
+	}
+	res, bytes, err := tr.Pull(1, []keys.Key{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[10].Weights[0] != 10 {
+		t.Fatalf("pull result = %v", res)
+	}
+	if bytes != PayloadBytes(2, res, 4) || bytes <= 0 {
+		t.Fatalf("payload bytes = %d", bytes)
+	}
+	if _, _, err := tr.Pull(9, []keys.Key{1}); err == nil {
+		t.Fatal("pull from unregistered node should fail")
+	}
+	h1.err = errors.New("backend broken")
+	if _, _, err := tr.Pull(1, []keys.Key{1}); err == nil {
+		t.Fatal("handler error should propagate")
+	}
+}
+
+func TestPayloadBytes(t *testing.T) {
+	res := PullResult{1: embedding.NewValue(4), 2: embedding.NewValue(4)}
+	got := PayloadBytes(3, res, 4)
+	want := int64(3*8 + 2*(8+embedding.EncodedSize(4)))
+	if got != want {
+		t.Fatalf("PayloadBytes = %d, want %d", got, want)
+	}
+}
+
+func TestTCPTransportRoundTrip(t *testing.T) {
+	h := newMapHandler(4)
+	srv, err := ServeTCP("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	tr := NewTCPTransport(map[int]string{1: srv.Addr()}, 4)
+	defer tr.Close()
+
+	res, bytes, err := tr.Pull(1, []keys.Key{7, 8, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("pull returned %d values", len(res))
+	}
+	if res[7].Weights[0] != 7 {
+		t.Fatal("value payload corrupted over TCP")
+	}
+	if bytes <= 0 {
+		t.Fatal("payload bytes should be positive")
+	}
+	// Second pull reuses the connection.
+	if _, _, err := tr.Pull(1, []keys.Key{100}); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown node fails.
+	if _, _, err := tr.Pull(42, []keys.Key{1}); err == nil {
+		t.Fatal("unknown node should fail")
+	}
+}
+
+func TestTCPTransportConcurrentPulls(t *testing.T) {
+	h := newMapHandler(2)
+	srv, err := ServeTCP("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tr := NewTCPTransport(map[int]string{0: srv.Addr()}, 2)
+	defer tr.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				k := keys.Key(seed*100 + i)
+				res, _, err := tr.Pull(0, []keys.Key{k})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res[k].Weights[0] != float32(k) {
+					errs <- errors.New("wrong value")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPServerHandlerError(t *testing.T) {
+	h := newMapHandler(2)
+	h.err = errors.New("storage offline")
+	srv, err := ServeTCP("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tr := NewTCPTransport(map[int]string{0: srv.Addr()}, 2)
+	defer tr.Close()
+	if _, _, err := tr.Pull(0, []keys.Key{1}); err == nil {
+		t.Fatal("handler error should surface at the client")
+	}
+}
+
+func TestTCPServerCloseIdempotent(t *testing.T) {
+	srv, err := ServeTCP("127.0.0.1:0", newMapHandler(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal("double close should be fine")
+	}
+}
+
+func TestServeTCPValidation(t *testing.T) {
+	if _, err := ServeTCP("127.0.0.1:0", nil); err == nil {
+		t.Fatal("nil handler should fail")
+	}
+	if _, err := ServeTCP("999.999.999.999:99999", newMapHandler(2)); err == nil {
+		t.Fatal("bad address should fail")
+	}
+}

@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"hps/internal/keys"
+)
+
+// LocalTransport connects the nodes of an in-process cluster: every node
+// registers its PullHandler and every node can pull from every other node.
+// It is safe for concurrent use.
+type LocalTransport struct {
+	mu       sync.RWMutex
+	handlers map[int]PullHandler
+	dim      int
+}
+
+// NewLocalTransport creates a transport for parameters of the given embedding
+// dimension (used for payload-size accounting).
+func NewLocalTransport(dim int) *LocalTransport {
+	return &LocalTransport{handlers: make(map[int]PullHandler), dim: dim}
+}
+
+// Register installs the handler serving pulls for nodeID, replacing any
+// previous handler.
+func (t *LocalTransport) Register(nodeID int, h PullHandler) {
+	t.mu.Lock()
+	t.handlers[nodeID] = h
+	t.mu.Unlock()
+}
+
+// Nodes returns the ids of all registered nodes.
+func (t *LocalTransport) Nodes() []int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]int, 0, len(t.handlers))
+	for id := range t.handlers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Pull implements Transport.
+func (t *LocalTransport) Pull(nodeID int, ks []keys.Key) (PullResult, int64, error) {
+	t.mu.RLock()
+	h, ok := t.handlers[nodeID]
+	t.mu.RUnlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("cluster: no handler registered for node %d", nodeID)
+	}
+	res, err := h.HandlePull(ks)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cluster: pull from node %d: %w", nodeID, err)
+	}
+	return res, PayloadBytes(len(ks), res, t.dim), nil
+}

@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"hps/internal/embedding"
+	"hps/internal/keys"
+)
+
+// pullRequest is the wire format of a parameter pull.
+type pullRequest struct {
+	Keys []keys.Key
+}
+
+// pullResponse is the wire format of a pull reply.
+type pullResponse struct {
+	Keys   []keys.Key
+	Values []*embedding.Value
+	Err    string
+}
+
+// TCPServer serves parameter pulls for one node over TCP. The paper's nodes
+// exchange MEM-PS parameters over the data-center network; this server plays
+// that role when the simulated nodes run as separate processes.
+type TCPServer struct {
+	ln      net.Listener
+	handler PullHandler
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ServeTCP starts serving pulls on addr (e.g. "127.0.0.1:0") using handler.
+func ServeTCP(addr string, handler PullHandler) (*TCPServer, error) {
+	if handler == nil {
+		return nil, errors.New("cluster: nil pull handler")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %s: %w", addr, err)
+	}
+	s := &TCPServer{ln: ln, handler: handler}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the address the server is listening on.
+func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and waits for in-flight connections to finish.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *TCPServer) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if s.isClosed() {
+				return
+			}
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req pullRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		var resp pullResponse
+		result, err := s.handler.HandlePull(req.Keys)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Keys = make([]keys.Key, 0, len(result))
+			resp.Values = make([]*embedding.Value, 0, len(result))
+			for k, v := range result {
+				resp.Keys = append(resp.Keys, k)
+				resp.Values = append(resp.Values, v)
+			}
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// TCPTransport pulls parameters from remote nodes over TCP, holding one
+// persistent connection per peer. It is safe for concurrent use.
+type TCPTransport struct {
+	dim   int
+	mu    sync.Mutex
+	addrs map[int]string
+	conns map[int]*tcpConn
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// NewTCPTransport creates a transport that reaches node i at addrs[i].
+func NewTCPTransport(addrs map[int]string, dim int) *TCPTransport {
+	copied := make(map[int]string, len(addrs))
+	for k, v := range addrs {
+		copied[k] = v
+	}
+	return &TCPTransport{dim: dim, addrs: copied, conns: make(map[int]*tcpConn)}
+}
+
+func (t *TCPTransport) conn(nodeID int) (*tcpConn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.conns[nodeID]; ok {
+		return c, nil
+	}
+	addr, ok := t.addrs[nodeID]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown node %d", nodeID)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial node %d (%s): %w", nodeID, addr, err)
+	}
+	c := &tcpConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	t.conns[nodeID] = c
+	return c, nil
+}
+
+// Pull implements Transport.
+func (t *TCPTransport) Pull(nodeID int, ks []keys.Key) (PullResult, int64, error) {
+	c, err := t.conn(nodeID)
+	if err != nil {
+		return nil, 0, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(&pullRequest{Keys: ks}); err != nil {
+		t.dropConn(nodeID)
+		return nil, 0, fmt.Errorf("cluster: send pull to node %d: %w", nodeID, err)
+	}
+	var resp pullResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		t.dropConn(nodeID)
+		return nil, 0, fmt.Errorf("cluster: receive pull from node %d: %w", nodeID, err)
+	}
+	if resp.Err != "" {
+		return nil, 0, fmt.Errorf("cluster: node %d: %s", nodeID, resp.Err)
+	}
+	result := make(PullResult, len(resp.Keys))
+	for i, k := range resp.Keys {
+		if i < len(resp.Values) {
+			result[k] = resp.Values[i]
+		}
+	}
+	return result, PayloadBytes(len(ks), result, t.dim), nil
+}
+
+func (t *TCPTransport) dropConn(nodeID int) {
+	t.mu.Lock()
+	if c, ok := t.conns[nodeID]; ok {
+		c.conn.Close()
+		delete(t.conns, nodeID)
+	}
+	t.mu.Unlock()
+}
+
+// Close closes every open connection.
+func (t *TCPTransport) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for id, c := range t.conns {
+		c.conn.Close()
+		delete(t.conns, id)
+	}
+}

@@ -1,0 +1,87 @@
+// Package cluster defines the multi-node topology of the distributed
+// hierarchical parameter server and the transports nodes use to pull
+// parameters from each other's MEM-PS (Section 5, "Prepare parameters").
+//
+// Parameters are sharded across nodes with the modulo policy, and within a
+// node across GPUs with the same policy (Section 4.1, Appendix C.1). The
+// in-process transport wires several simulated nodes together inside one
+// process; the TCP transport runs the same protocol across real processes.
+package cluster
+
+import (
+	"fmt"
+
+	"hps/internal/embedding"
+	"hps/internal/keys"
+)
+
+// Topology describes the shape of the training cluster.
+type Topology struct {
+	// Nodes is the number of computing nodes.
+	Nodes int
+	// GPUsPerNode is the number of GPUs in each node.
+	GPUsPerNode int
+}
+
+// Validate returns an error if the topology is degenerate.
+func (t Topology) Validate() error {
+	if t.Nodes < 1 {
+		return fmt.Errorf("cluster: need at least one node, have %d", t.Nodes)
+	}
+	if t.GPUsPerNode < 1 {
+		return fmt.Errorf("cluster: need at least one GPU per node, have %d", t.GPUsPerNode)
+	}
+	return nil
+}
+
+// TotalGPUs returns the total number of GPUs in the cluster.
+func (t Topology) TotalGPUs() int { return t.Nodes * t.GPUsPerNode }
+
+// NodeOf returns the node that owns the parameter shard containing k.
+func (t Topology) NodeOf(k keys.Key) int { return k.Shard(t.Nodes) }
+
+// GPUOf returns the GPU (within its node) that stores k in the HBM-PS
+// partition of the current batch.
+func (t Topology) GPUOf(k keys.Key) int { return k.HashShard(t.GPUsPerNode) }
+
+// SplitByNode partitions ks by owning node. The result has t.Nodes entries.
+func (t Topology) SplitByNode(ks []keys.Key) [][]keys.Key {
+	return keys.PartitionByShard(ks, t.Nodes)
+}
+
+// SplitByGPU partitions ks by owning GPU within a node.
+func (t Topology) SplitByGPU(ks []keys.Key) [][]keys.Key {
+	out := make([][]keys.Key, t.GPUsPerNode)
+	for _, k := range ks {
+		g := t.GPUOf(k)
+		out[g] = append(out[g], k)
+	}
+	return out
+}
+
+// PullResult is the payload returned by a parameter pull: the requested keys
+// that exist on the serving node, with their current values.
+type PullResult map[keys.Key]*embedding.Value
+
+// PullHandler serves parameter pulls for one node (implemented by the
+// MEM-PS). Handlers must be safe for concurrent use.
+type PullHandler interface {
+	// HandlePull returns the values of the requested keys that this node
+	// owns, creating them if they do not exist yet (a parameter referenced
+	// for the first time).
+	HandlePull(ks []keys.Key) (PullResult, error)
+}
+
+// Transport lets a node pull parameters from a remote node's MEM-PS.
+type Transport interface {
+	// Pull requests the given keys from the node with id nodeID and returns
+	// their values along with the number of payload bytes that crossed the
+	// network (for time accounting by the caller).
+	Pull(nodeID int, ks []keys.Key) (PullResult, int64, error)
+}
+
+// PayloadBytes returns the serialized size of a pull exchange: 8 bytes per
+// requested key plus the encoded size of every returned value (with its key).
+func PayloadBytes(requested int, result PullResult, dim int) int64 {
+	return int64(requested)*8 + int64(len(result))*int64(8+embedding.EncodedSize(dim))
+}

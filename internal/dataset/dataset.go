@@ -1,0 +1,232 @@
+// Package dataset generates synthetic click-through-rate training data with
+// the statistical profile of the paper's production workloads.
+//
+// The paper trains on Baidu's user click history logs, which are not
+// available. The generator substitutes them with a stream that preserves the
+// properties the system's behaviour depends on:
+//
+//   - each example has a fixed number of non-zero sparse features
+//     (Table 3's "#Non-zeros" column),
+//   - feature popularity is heavily skewed (a Zipf distribution), which is
+//     what makes the MEM-PS cache effective (Fig 4c) and gives batches the
+//     working-set sizes the hierarchy is designed around,
+//   - labels come from a planted teacher model, so trained models have a
+//     measurable AUC that improves with training (Fig 3b, Tables 1–2).
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hps/internal/keys"
+)
+
+// Example is a single training example: a multi-hot sparse feature vector and
+// a binary click label.
+type Example struct {
+	// Features are the non-zero sparse feature keys.
+	Features []keys.Key
+	// Label is 1 for a click and 0 otherwise.
+	Label float32
+}
+
+// Batch is a set of examples streamed together (the paper uses batches of
+// roughly 4x10^6 examples; scaled configurations use smaller batches).
+type Batch struct {
+	// Index is the sequence number of the batch within its stream.
+	Index int
+	// Examples are the batch's training examples.
+	Examples []Example
+}
+
+// Len returns the number of examples in the batch.
+func (b *Batch) Len() int { return len(b.Examples) }
+
+// ByteSize estimates the serialized size of the batch as streamed from HDFS:
+// 8 bytes per feature key plus 4 bytes of label per example.
+func (b *Batch) ByteSize() int64 {
+	var n int64
+	for i := range b.Examples {
+		n += int64(len(b.Examples[i].Features))*8 + 4
+	}
+	return n
+}
+
+// Keys returns the deduplicated, sorted union of feature keys referenced by
+// the batch — the "working parameters" of Algorithm 1.
+func (b *Batch) Keys() []keys.Key {
+	var out []keys.Key
+	for i := range b.Examples {
+		out = append(out, b.Examples[i].Features...)
+	}
+	return keys.Dedup(out)
+}
+
+// Shard splits the batch into n mini-batches of near-equal size, preserving
+// example order (Algorithm 1 line 5). Every returned mini-batch is non-nil;
+// trailing mini-batches may be empty when len(Examples) < n.
+func (b *Batch) Shard(n int) []*Batch {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]*Batch, n)
+	per := (len(b.Examples) + n - 1) / n
+	for i := 0; i < n; i++ {
+		lo := i * per
+		hi := lo + per
+		if lo > len(b.Examples) {
+			lo = len(b.Examples)
+		}
+		if hi > len(b.Examples) {
+			hi = len(b.Examples)
+		}
+		out[i] = &Batch{Index: b.Index, Examples: b.Examples[lo:hi]}
+	}
+	return out
+}
+
+// Config describes a synthetic data distribution.
+type Config struct {
+	// NumFeatures is the size of the sparse feature universe.
+	NumFeatures int64
+	// NonZerosPerExample is the number of features sampled per example.
+	NonZerosPerExample int
+	// ZipfS is the Zipf skew exponent (> 1); 1.2 when zero.
+	ZipfS float64
+	// TeacherSeed seeds the planted ground-truth model that labels examples.
+	TeacherSeed int64
+	// TeacherScale controls the signal strength of the teacher (default 2.0);
+	// higher values make the dataset more separable (higher attainable AUC).
+	TeacherScale float64
+	// NoiseStd adds Gaussian noise to the teacher logit (default 0.5).
+	NoiseStd float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumFeatures <= 0 {
+		c.NumFeatures = 1 << 20
+	}
+	if c.NonZerosPerExample <= 0 {
+		c.NonZerosPerExample = 100
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.2
+	}
+	if c.TeacherScale <= 0 {
+		c.TeacherScale = 2.0
+	}
+	if c.NoiseStd < 0 {
+		c.NoiseStd = 0
+	} else if c.NoiseStd == 0 {
+		c.NoiseStd = 0.5
+	}
+	return c
+}
+
+// Generator produces a deterministic stream of batches for one node.
+// A Generator is not safe for concurrent use; create one per node/stream.
+type Generator struct {
+	cfg   Config
+	rng   *rand.Rand
+	zipf  *rand.Zipf
+	index int
+}
+
+// NewGenerator returns a generator seeded with seed. Two generators with the
+// same configuration and seed produce identical streams.
+func NewGenerator(cfg Config, seed int64) *Generator {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.NumFeatures-1))
+	return &Generator{cfg: cfg, rng: rng, zipf: zipf}
+}
+
+// Config returns the generator's (defaulted) configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// teacherWeight returns the planted ground-truth weight for a feature. It is
+// a deterministic pseudo-random value in roughly N(0, 1), derived from the
+// key so the 10^11-parameter "true model" never has to be materialized.
+func (g *Generator) teacherWeight(k keys.Key) float64 {
+	h := keys.Mix64(uint64(k) ^ uint64(g.cfg.TeacherSeed)*0x9e3779b97f4a7c15)
+	// Map two 32-bit halves to a normal-ish value via a sum of uniforms.
+	u1 := float64(uint32(h)) / float64(1<<32)
+	u2 := float64(uint32(h>>32)) / float64(1<<32)
+	return (u1 + u2 - 1.0) * 3.46 // variance ≈ 1
+}
+
+// TeacherLogit returns the planted model's logit for a set of features. It is
+// exported so experiments can compute the Bayes-optimal AUC of a dataset.
+func (g *Generator) TeacherLogit(features []keys.Key) float64 {
+	if len(features) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, k := range features {
+		sum += g.teacherWeight(k)
+	}
+	return g.cfg.TeacherScale * sum / math.Sqrt(float64(len(features)))
+}
+
+// NextExample generates one example.
+func (g *Generator) NextExample() Example {
+	nnz := g.cfg.NonZerosPerExample
+	feats := make([]keys.Key, 0, nnz)
+	seen := make(map[keys.Key]struct{}, nnz)
+	for len(feats) < nnz {
+		raw := g.zipf.Uint64()
+		// Scatter the zipf rank across the key space so that modulo sharding
+		// stays balanced while popularity remains skewed.
+		k := keys.Key(keys.Mix64(raw) % uint64(g.cfg.NumFeatures))
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		feats = append(feats, k)
+	}
+	logit := g.TeacherLogit(feats)
+	if g.cfg.NoiseStd > 0 {
+		logit += g.rng.NormFloat64() * g.cfg.NoiseStd
+	}
+	p := 1.0 / (1.0 + math.Exp(-logit))
+	var label float32
+	if g.rng.Float64() < p {
+		label = 1
+	}
+	return Example{Features: feats, Label: label}
+}
+
+// NextBatch generates a batch of n examples.
+func (g *Generator) NextBatch(n int) *Batch {
+	if n < 0 {
+		n = 0
+	}
+	b := &Batch{Index: g.index, Examples: make([]Example, n)}
+	for i := 0; i < n; i++ {
+		b.Examples[i] = g.NextExample()
+	}
+	g.index++
+	return b
+}
+
+// ForModel builds a Config matching a model specification: the feature
+// universe equals the model's sparse parameter count and the per-example
+// non-zero count matches Table 3.
+func ForModel(sparseParams int64, nonZeros int) Config {
+	return Config{
+		NumFeatures:        sparseParams,
+		NonZerosPerExample: nonZeros,
+	}
+}
+
+// Validate returns an error when the configuration cannot generate the
+// requested examples (more distinct non-zeros than features exist).
+func (c Config) Validate() error {
+	cc := c.withDefaults()
+	if int64(cc.NonZerosPerExample) > cc.NumFeatures {
+		return fmt.Errorf("dataset: %d non-zeros per example exceeds universe of %d features",
+			cc.NonZerosPerExample, cc.NumFeatures)
+	}
+	return nil
+}

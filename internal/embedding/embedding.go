@@ -1,0 +1,202 @@
+// Package embedding defines the sparse-parameter value layout used by every
+// tier of the hierarchical parameter server.
+//
+// Each sparse feature key maps to a Value: an embedding vector, the Adagrad
+// accumulator used by the optimizer, and a show-count used by the MEM-PS
+// cache and the SSD-PS compaction heuristics. Values have a fixed on-disk
+// size for a given dimension, which is what lets the SSD-PS pack them into
+// block-aligned parameter files (Appendix E: "the values have a known fixed
+// length, the serialized bucket on SSD exactly fits in an SSD block").
+package embedding
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Value is the trainable state attached to a single sparse feature key.
+type Value struct {
+	// Weights is the embedding vector.
+	Weights []float32
+	// G2Sum is the per-element Adagrad accumulator.
+	G2Sum []float32
+	// Freq counts how many examples have referenced this feature; it informs
+	// cache retention and compaction.
+	Freq uint32
+}
+
+// NewValue returns a zero-initialized value of the given embedding dimension.
+func NewValue(dim int) *Value {
+	if dim < 0 {
+		dim = 0
+	}
+	return &Value{
+		Weights: make([]float32, dim),
+		G2Sum:   make([]float32, dim),
+	}
+}
+
+// NewRandomValue returns a value with small random initial weights, as used
+// when a feature is seen for the first time during training.
+func NewRandomValue(dim int, rng *rand.Rand) *Value {
+	v := NewValue(dim)
+	scale := float32(1.0 / math.Sqrt(float64(dim)+1))
+	for i := range v.Weights {
+		v.Weights[i] = (rng.Float32()*2 - 1) * scale
+	}
+	return v
+}
+
+// Dim returns the embedding dimension.
+func (v *Value) Dim() int { return len(v.Weights) }
+
+// Clone returns a deep copy of the value.
+func (v *Value) Clone() *Value {
+	out := &Value{
+		Weights: make([]float32, len(v.Weights)),
+		G2Sum:   make([]float32, len(v.G2Sum)),
+		Freq:    v.Freq,
+	}
+	copy(out.Weights, v.Weights)
+	copy(out.G2Sum, v.G2Sum)
+	return out
+}
+
+// Add accumulates other's weights and accumulators into v (used when merging
+// parameter updates during all-reduce synchronization).
+func (v *Value) Add(other *Value) {
+	for i := range v.Weights {
+		if i < len(other.Weights) {
+			v.Weights[i] += other.Weights[i]
+		}
+	}
+	for i := range v.G2Sum {
+		if i < len(other.G2Sum) {
+			v.G2Sum[i] += other.G2Sum[i]
+		}
+	}
+	v.Freq += other.Freq
+}
+
+// EncodedSize returns the number of bytes Encode produces for a value of the
+// given dimension: 4 bytes of dimension, 4 bytes of frequency, then two
+// float32 arrays.
+func EncodedSize(dim int) int {
+	if dim < 0 {
+		dim = 0
+	}
+	return 8 + 8*dim
+}
+
+// EncodedSizeOf returns the encoded size of v.
+func (v *Value) EncodedSizeOf() int { return EncodedSize(v.Dim()) }
+
+// Encode serializes v into buf and returns the number of bytes written.
+// buf must have at least EncodedSize(v.Dim()) bytes; Encode panics otherwise.
+func (v *Value) Encode(buf []byte) int {
+	need := v.EncodedSizeOf()
+	if len(buf) < need {
+		panic(fmt.Sprintf("embedding: Encode buffer too small: %d < %d", len(buf), need))
+	}
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(v.Dim()))
+	binary.LittleEndian.PutUint32(buf[4:8], v.Freq)
+	off := 8
+	for _, w := range v.Weights {
+		binary.LittleEndian.PutUint32(buf[off:off+4], math.Float32bits(w))
+		off += 4
+	}
+	for _, g := range v.G2Sum {
+		binary.LittleEndian.PutUint32(buf[off:off+4], math.Float32bits(g))
+		off += 4
+	}
+	return off
+}
+
+// AppendEncode appends the encoding of v to dst and returns the extended slice.
+func (v *Value) AppendEncode(dst []byte) []byte {
+	start := len(dst)
+	dst = append(dst, make([]byte, v.EncodedSizeOf())...)
+	v.Encode(dst[start:])
+	return dst
+}
+
+// Decode parses a value from buf and returns it together with the number of
+// bytes consumed. It returns an error if buf is truncated.
+func Decode(buf []byte) (*Value, int, error) {
+	if len(buf) < 8 {
+		return nil, 0, fmt.Errorf("embedding: short header: %d bytes", len(buf))
+	}
+	dim := int(binary.LittleEndian.Uint32(buf[0:4]))
+	freq := binary.LittleEndian.Uint32(buf[4:8])
+	need := EncodedSize(dim)
+	if len(buf) < need {
+		return nil, 0, fmt.Errorf("embedding: short body: have %d bytes, need %d", len(buf), need)
+	}
+	v := NewValue(dim)
+	v.Freq = freq
+	off := 8
+	for i := 0; i < dim; i++ {
+		v.Weights[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off : off+4]))
+		off += 4
+	}
+	for i := 0; i < dim; i++ {
+		v.G2Sum[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off : off+4]))
+		off += 4
+	}
+	return v, off, nil
+}
+
+// Table is a simple in-memory map from key to value. It is the building block
+// for the MEM-PS cache backing store and for test fixtures; it is not safe
+// for concurrent use.
+type Table struct {
+	Dim    int
+	values map[uint64]*Value
+}
+
+// NewTable returns an empty table for embeddings of the given dimension.
+func NewTable(dim int) *Table {
+	return &Table{Dim: dim, values: make(map[uint64]*Value)}
+}
+
+// Get returns the value for key k, or nil if absent.
+func (t *Table) Get(k uint64) *Value { return t.values[k] }
+
+// GetOrCreate returns the value for k, creating a zero value if absent.
+func (t *Table) GetOrCreate(k uint64) *Value {
+	if v, ok := t.values[k]; ok {
+		return v
+	}
+	v := NewValue(t.Dim)
+	t.values[k] = v
+	return v
+}
+
+// Put stores v under k, replacing any existing value.
+func (t *Table) Put(k uint64, v *Value) { t.values[k] = v }
+
+// Delete removes k.
+func (t *Table) Delete(k uint64) { delete(t.values, k) }
+
+// Len returns the number of stored values.
+func (t *Table) Len() int { return len(t.values) }
+
+// Keys returns all stored keys in unspecified order.
+func (t *Table) Keys() []uint64 {
+	out := make([]uint64, 0, len(t.values))
+	for k := range t.values {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Range calls fn for every (key, value) pair until fn returns false.
+func (t *Table) Range(fn func(k uint64, v *Value) bool) {
+	for k, v := range t.values {
+		if !fn(k, v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package embedding
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValue(t *testing.T) {
+	v := NewValue(8)
+	if v.Dim() != 8 || len(v.G2Sum) != 8 || v.Freq != 0 {
+		t.Fatal("NewValue wrong shape")
+	}
+	neg := NewValue(-3)
+	if neg.Dim() != 0 {
+		t.Fatal("negative dim should clamp to 0")
+	}
+}
+
+func TestNewRandomValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := NewRandomValue(16, rng)
+	nonZero := 0
+	for _, w := range v.Weights {
+		if w != 0 {
+			nonZero++
+		}
+	}
+	if nonZero == 0 {
+		t.Fatal("random value should have non-zero weights")
+	}
+	for _, g := range v.G2Sum {
+		if g != 0 {
+			t.Fatal("G2Sum should start at zero")
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := NewValue(4)
+	v.Weights[0] = 1
+	v.Freq = 3
+	c := v.Clone()
+	c.Weights[0] = 9
+	c.Freq = 7
+	if v.Weights[0] != 1 || v.Freq != 3 {
+		t.Fatal("Clone must not share state")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := NewValue(3)
+	b := NewValue(3)
+	a.Weights = []float32{1, 2, 3}
+	a.G2Sum = []float32{1, 1, 1}
+	a.Freq = 2
+	b.Weights = []float32{1, 1, 1}
+	b.G2Sum = []float32{2, 2, 2}
+	b.Freq = 5
+	a.Add(b)
+	if a.Weights[0] != 2 || a.Weights[2] != 4 {
+		t.Fatalf("Add weights = %v", a.Weights)
+	}
+	if a.G2Sum[1] != 3 {
+		t.Fatalf("Add g2sum = %v", a.G2Sum)
+	}
+	if a.Freq != 7 {
+		t.Fatalf("Add freq = %d", a.Freq)
+	}
+	// Mismatched dims must not panic.
+	short := NewValue(1)
+	a.Add(short)
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	v := NewRandomValue(8, rng)
+	v.G2Sum[3] = 0.5
+	v.Freq = 42
+	buf := make([]byte, v.EncodedSizeOf())
+	n := v.Encode(buf)
+	if n != len(buf) || n != EncodedSize(8) {
+		t.Fatalf("Encode wrote %d bytes, want %d", n, len(buf))
+	}
+	got, consumed, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed != n {
+		t.Fatalf("Decode consumed %d, want %d", consumed, n)
+	}
+	if got.Freq != 42 || got.Dim() != 8 {
+		t.Fatal("Decode header mismatch")
+	}
+	for i := range v.Weights {
+		if got.Weights[i] != v.Weights[i] || got.G2Sum[i] != v.G2Sum[i] {
+			t.Fatal("Decode payload mismatch")
+		}
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(weights []float32, freq uint32) bool {
+		if len(weights) > 64 {
+			weights = weights[:64]
+		}
+		v := NewValue(len(weights))
+		copy(v.Weights, weights)
+		v.Freq = freq
+		var buf []byte
+		buf = v.AppendEncode(buf)
+		got, n, err := Decode(buf)
+		if err != nil || n != len(buf) {
+			return false
+		}
+		if got.Freq != freq || got.Dim() != len(weights) {
+			return false
+		}
+		for i := range weights {
+			// NaN != NaN, so compare bit patterns via equality of both being NaN.
+			a, b := got.Weights[i], weights[i]
+			if a != b && !(a != a && b != b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Fatal("Decode(nil) should fail")
+	}
+	if _, _, err := Decode(make([]byte, 4)); err == nil {
+		t.Fatal("Decode(short header) should fail")
+	}
+	v := NewValue(8)
+	buf := make([]byte, v.EncodedSizeOf())
+	v.Encode(buf)
+	if _, _, err := Decode(buf[:len(buf)-1]); err == nil {
+		t.Fatal("Decode(truncated body) should fail")
+	}
+}
+
+func TestEncodePanicsOnSmallBuffer(t *testing.T) {
+	v := NewValue(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	v.Encode(make([]byte, 3))
+}
+
+func TestEncodedSize(t *testing.T) {
+	if EncodedSize(0) != 8 {
+		t.Fatalf("EncodedSize(0) = %d", EncodedSize(0))
+	}
+	if EncodedSize(8) != 8+64 {
+		t.Fatalf("EncodedSize(8) = %d", EncodedSize(8))
+	}
+	if EncodedSize(-1) != 8 {
+		t.Fatalf("EncodedSize(-1) = %d", EncodedSize(-1))
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable(4)
+	if tb.Len() != 0 {
+		t.Fatal("empty table")
+	}
+	if tb.Get(1) != nil {
+		t.Fatal("Get on empty should be nil")
+	}
+	v := tb.GetOrCreate(1)
+	if v == nil || tb.Len() != 1 {
+		t.Fatal("GetOrCreate failed")
+	}
+	v.Weights[0] = 5
+	if tb.Get(1).Weights[0] != 5 {
+		t.Fatal("table must store pointer")
+	}
+	again := tb.GetOrCreate(1)
+	if again != v {
+		t.Fatal("GetOrCreate must return existing value")
+	}
+	tb.Put(2, NewValue(4))
+	if len(tb.Keys()) != 2 {
+		t.Fatal("Keys wrong length")
+	}
+	count := 0
+	tb.Range(func(k uint64, v *Value) bool {
+		count++
+		return true
+	})
+	if count != 2 {
+		t.Fatal("Range should visit all entries")
+	}
+	count = 0
+	tb.Range(func(k uint64, v *Value) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatal("Range should stop when fn returns false")
+	}
+	tb.Delete(1)
+	if tb.Len() != 1 || tb.Get(1) != nil {
+		t.Fatal("Delete failed")
+	}
+}

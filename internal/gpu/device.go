@@ -1,0 +1,133 @@
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hps/internal/hw"
+	"hps/internal/simtime"
+)
+
+// ErrOutOfMemory is returned when an allocation exceeds the device's HBM.
+var ErrOutOfMemory = errors.New("gpu: out of HBM memory")
+
+// Device is a simulated GPU: a bounded HBM allocator, an optional parameter
+// hash table, and cost-model charging for kernels and memory traffic.
+// It is safe for concurrent use.
+type Device struct {
+	// ID is the device index within its node (0-based).
+	ID int
+	// NodeID identifies the node hosting the device.
+	NodeID int
+
+	profile hw.GPU
+	clock   *simtime.Clock
+
+	mu      sync.Mutex
+	hbmUsed int64
+	table   *HashTable
+}
+
+// NewDevice constructs a device with the given hardware profile. clock may be
+// nil to disable time accounting.
+func NewDevice(nodeID, id int, profile hw.GPU, clock *simtime.Clock) *Device {
+	return &Device{ID: id, NodeID: nodeID, profile: profile, clock: clock}
+}
+
+// Profile returns the device's hardware profile.
+func (d *Device) Profile() hw.GPU { return d.profile }
+
+// HBMBytes returns the total HBM capacity.
+func (d *Device) HBMBytes() int64 { return d.profile.HBMBytes }
+
+// HBMUsed returns the currently allocated HBM bytes.
+func (d *Device) HBMUsed() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.hbmUsed
+}
+
+// HBMFree returns the remaining HBM bytes.
+func (d *Device) HBMFree() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.profile.HBMBytes - d.hbmUsed
+}
+
+// Alloc reserves n bytes of HBM, failing with ErrOutOfMemory if the device
+// budget would be exceeded. A zero-capacity profile means "unlimited" and is
+// used by unit tests.
+func (d *Device) Alloc(n int64) error {
+	if n < 0 {
+		return fmt.Errorf("gpu: negative allocation %d", n)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.profile.HBMBytes > 0 && d.hbmUsed+n > d.profile.HBMBytes {
+		return fmt.Errorf("%w: need %d, free %d", ErrOutOfMemory, n, d.profile.HBMBytes-d.hbmUsed)
+	}
+	d.hbmUsed += n
+	return nil
+}
+
+// Free releases n bytes of HBM.
+func (d *Device) Free(n int64) {
+	if n < 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.hbmUsed -= n
+	if d.hbmUsed < 0 {
+		d.hbmUsed = 0
+	}
+}
+
+// ChargeCompute charges the modelled time of executing flops floating-point
+// operations on the device.
+func (d *Device) ChargeCompute(flops float64) {
+	d.clock.Add(simtime.ResourceGPU, d.profile.ComputeTime(flops))
+}
+
+// ChargeMemory charges the modelled time of streaming n bytes through HBM.
+func (d *Device) ChargeMemory(n int64) {
+	d.clock.Add(simtime.ResourceHBM, d.profile.MemoryTime(n))
+}
+
+// CreateHashTable allocates a fixed-capacity parameter hash table in HBM and
+// makes it the device's active table. Any previous table is destroyed first.
+func (d *Device) CreateHashTable(capacity, dim int) (*HashTable, error) {
+	d.DestroyHashTable()
+	t := NewHashTable(capacity, dim)
+	if err := d.Alloc(t.SizeBytes()); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.table = t
+	d.mu.Unlock()
+	return t, nil
+}
+
+// Table returns the device's active hash table (nil if none).
+func (d *Device) Table() *HashTable {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.table
+}
+
+// DestroyHashTable frees the active hash table's HBM, if any.
+func (d *Device) DestroyHashTable() {
+	d.mu.Lock()
+	t := d.table
+	d.table = nil
+	d.mu.Unlock()
+	if t != nil {
+		d.Free(t.SizeBytes())
+	}
+}
+
+// String implements fmt.Stringer.
+func (d *Device) String() string {
+	return fmt.Sprintf("gpu%d.%d", d.NodeID, d.ID)
+}

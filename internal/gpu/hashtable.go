@@ -1,0 +1,238 @@
+// Package gpu simulates the GPU devices that host the HBM-PS.
+//
+// A real deployment stores the working parameters in fixed-capacity
+// open-addressing hash tables in GPU HBM (the cuDF concurrent_unordered_map,
+// Section 4.1) and runs the dense network as CUDA kernels. This package
+// reproduces the structural constraints of that environment — a bounded HBM
+// byte budget per device, a fixed-capacity hash table whose capacity is set
+// at construction because dynamic allocation is not available on the device,
+// and concurrent worker access — while executing on the CPU and charging
+// modelled kernel/memory time to a simtime.Clock.
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hps/internal/embedding"
+	"hps/internal/keys"
+)
+
+// ErrTableFull is returned by Insert when the hash table has no free slot.
+var ErrTableFull = errors.New("gpu: hash table full")
+
+// ErrKeyNotFound is returned by Accumulate when the key was never inserted.
+var ErrKeyNotFound = errors.New("gpu: key not found")
+
+const tableShards = 64
+
+// HashTable is a fixed-capacity open-addressing hash table mapping parameter
+// keys to embedding values. The capacity is fixed at construction ("we fix
+// the hash table capacity when we construct the hash table", Section 4.1);
+// inserting beyond it fails with ErrTableFull. It is safe for concurrent use:
+// the table is divided into shards, each protected by its own lock, which
+// mirrors the per-bucket atomics of the GPU implementation.
+type HashTable struct {
+	dim      int
+	capacity int
+	shards   [tableShards]tableShard
+	size     atomic.Int64
+}
+
+type tableShard struct {
+	mu    sync.RWMutex
+	slots []tableSlot
+}
+
+type tableSlot struct {
+	used  bool
+	key   keys.Key
+	value *embedding.Value
+}
+
+// NewHashTable constructs a table able to hold capacity values of the given
+// embedding dimension. The table allocates a 2x slot headroom (a 0.5 load
+// factor) so that open addressing stays efficient and the random key-to-shard
+// assignment rarely overflows an individual shard; Capacity reports the
+// actual number of allocated slots.
+func NewHashTable(capacity, dim int) *HashTable {
+	if capacity < tableShards {
+		capacity = tableShards
+	}
+	perShard := (2*capacity+tableShards-1)/tableShards + 8
+	t := &HashTable{dim: dim, capacity: perShard * tableShards}
+	for i := range t.shards {
+		t.shards[i].slots = make([]tableSlot, perShard)
+	}
+	return t
+}
+
+// Capacity returns the fixed capacity of the table.
+func (t *HashTable) Capacity() int { return t.capacity }
+
+// Dim returns the embedding dimension of stored values.
+func (t *HashTable) Dim() int { return t.dim }
+
+// Len returns the number of stored values.
+func (t *HashTable) Len() int { return int(t.size.Load()) }
+
+// BytesPerEntry returns the HBM footprint charged per slot: the encoded value
+// plus the 8-byte key and a used flag padded to 8 bytes.
+func BytesPerEntry(dim int) int64 {
+	return int64(embedding.EncodedSize(dim)) + 16
+}
+
+// SizeBytes returns the HBM footprint of the whole table (all slots are
+// allocated up front, used or not).
+func (t *HashTable) SizeBytes() int64 {
+	return int64(t.capacity) * BytesPerEntry(t.dim)
+}
+
+func (t *HashTable) shardFor(k keys.Key) *tableShard {
+	// Re-mix the key's hash so the shard assignment is statistically
+	// independent of the GPU partition policy (which uses Hash() % #GPUs);
+	// otherwise a partitioned key set would map onto a correlated subset of
+	// shards and overflow them.
+	return &t.shards[keys.Mix64(k.Hash())%tableShards]
+}
+
+// probe finds the slot index of k in the shard, or the first free slot if k
+// is absent, using linear probing. Returns (index, found, hasFree).
+func (s *tableShard) probe(k keys.Key) (int, bool, bool) {
+	n := len(s.slots)
+	start := int(k.Hash()>>32) % n
+	firstFree := -1
+	for i := 0; i < n; i++ {
+		idx := (start + i) % n
+		sl := &s.slots[idx]
+		if !sl.used {
+			if firstFree < 0 {
+				firstFree = idx
+			}
+			// Open addressing without deletion tombstones: an empty slot ends
+			// the probe sequence.
+			return firstFree, false, true
+		}
+		if sl.key == k {
+			return idx, true, true
+		}
+	}
+	if firstFree >= 0 {
+		return firstFree, false, true
+	}
+	return -1, false, false
+}
+
+// Insert stores value under key, replacing any existing value. It returns
+// ErrTableFull if the key is new and its shard has no free slot.
+func (t *HashTable) Insert(k keys.Key, v *embedding.Value) error {
+	s := t.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx, found, hasFree := s.probe(k)
+	if found {
+		s.slots[idx].value = v
+		return nil
+	}
+	if !hasFree {
+		return ErrTableFull
+	}
+	s.slots[idx] = tableSlot{used: true, key: k, value: v}
+	t.size.Add(1)
+	return nil
+}
+
+// Get returns the value stored under key.
+func (t *HashTable) Get(k keys.Key) (*embedding.Value, bool) {
+	s := t.shardFor(k)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idx, found, _ := s.probe(k)
+	if !found {
+		return nil, false
+	}
+	return s.slots[idx].value, true
+}
+
+// Accumulate adds delta element-wise onto the embedding weights stored under
+// key and increments the value's reference counter — the accumulate
+// operation of Algorithm 2. It returns ErrKeyNotFound for unknown keys.
+func (t *HashTable) Accumulate(k keys.Key, delta []float32) error {
+	s := t.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx, found, _ := s.probe(k)
+	if !found {
+		return ErrKeyNotFound
+	}
+	v := s.slots[idx].value
+	for i := 0; i < len(v.Weights) && i < len(delta); i++ {
+		v.Weights[i] += delta[i]
+	}
+	v.Freq++
+	return nil
+}
+
+// Update applies fn to the value stored under key while holding the shard
+// lock (used to run the sparse optimizer in place). It returns
+// ErrKeyNotFound for unknown keys.
+func (t *HashTable) Update(k keys.Key, fn func(v *embedding.Value)) error {
+	s := t.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx, found, _ := s.probe(k)
+	if !found {
+		return ErrKeyNotFound
+	}
+	fn(s.slots[idx].value)
+	return nil
+}
+
+// Range calls fn for every stored (key, value) pair until fn returns false.
+// The table must not be mutated during Range.
+func (t *HashTable) Range(fn func(k keys.Key, v *embedding.Value) bool) {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		for j := range s.slots {
+			if s.slots[j].used {
+				if !fn(s.slots[j].key, s.slots[j].value) {
+					s.mu.RUnlock()
+					return
+				}
+			}
+		}
+		s.mu.RUnlock()
+	}
+}
+
+// Keys returns all stored keys in unspecified order.
+func (t *HashTable) Keys() []keys.Key {
+	out := make([]keys.Key, 0, t.Len())
+	t.Range(func(k keys.Key, _ *embedding.Value) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// Clear removes every entry, keeping the allocated capacity (the table is
+// reused across training batches).
+func (t *HashTable) Clear() {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for j := range s.slots {
+			s.slots[j] = tableSlot{}
+		}
+		s.mu.Unlock()
+	}
+	t.size.Store(0)
+}
+
+// String implements fmt.Stringer.
+func (t *HashTable) String() string {
+	return fmt.Sprintf("gpu.HashTable{len=%d cap=%d dim=%d}", t.Len(), t.capacity, t.dim)
+}

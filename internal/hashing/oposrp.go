@@ -1,0 +1,121 @@
+// Package hashing implements the "one permutation + one sign random
+// projection" (OP+OSRP) feature-hashing method of Section 2, which the paper
+// evaluated (in 2015) as an alternative to training the full-size CTR model.
+//
+// OP+OSRP maps a p-dimensional sparse binary feature vector to a 2k-dimensional
+// sparse binary vector:
+//
+//  1. permute the p columns once (implemented with a 2-universal hash),
+//  2. break the permuted columns uniformly into k bins,
+//  3. within each bin compute z = Σ x_i · r_i with r_i ∈ {−1,+1},
+//  4. expand sign(z) into two binary outputs per bin:
+//     [0 1] if z > 0, [1 0] if z < 0, [0 0] if z = 0.
+//
+// The output stays binary, so the same training code (LR or DNN) runs on the
+// hashed features. Tables 1 and 2 sweep k and show the accuracy loss that
+// motivated building the hierarchical parameter server instead.
+package hashing
+
+import (
+	"fmt"
+
+	"hps/internal/keys"
+)
+
+// OPOSRP is a one permutation + one sign random projection transformer.
+// It is immutable after construction and safe for concurrent use.
+type OPOSRP struct {
+	p    uint64
+	k    uint64
+	seed uint64
+	// 2-universal hash parameters for the column permutation (odd multiplier
+	// guarantees a bijection on the 64-bit ring before reduction mod p).
+	permA uint64
+	permB uint64
+}
+
+// New constructs an OP+OSRP transformer for input dimensionality p and k
+// bins. It returns an error if p or k is zero or if k > p.
+func New(p, k uint64, seed int64) (*OPOSRP, error) {
+	if p == 0 || k == 0 {
+		return nil, fmt.Errorf("hashing: p and k must be positive (p=%d k=%d)", p, k)
+	}
+	if k > p {
+		return nil, fmt.Errorf("hashing: k=%d exceeds input dimension p=%d", k, p)
+	}
+	s := uint64(seed)
+	return &OPOSRP{
+		p:     p,
+		k:     k,
+		seed:  s,
+		permA: keys.Mix64(s^0xa5a5a5a5a5a5a5a5) | 1, // odd
+		permB: keys.Mix64(s ^ 0x5a5a5a5a5a5a5a5a),
+	}, nil
+}
+
+// InputDim returns p, the dimensionality of the input feature space.
+func (h *OPOSRP) InputDim() uint64 { return h.p }
+
+// Bins returns k, the number of projection bins.
+func (h *OPOSRP) Bins() uint64 { return h.k }
+
+// OutputDim returns the dimensionality of the hashed feature space (2k).
+func (h *OPOSRP) OutputDim() uint64 { return 2 * h.k }
+
+// permute applies the fixed column permutation (step 1). Collisions after the
+// reduction mod p are possible but rare for sparse inputs, matching the
+// "standard 2U hashing" the paper prescribes.
+func (h *OPOSRP) permute(col uint64) uint64 {
+	return (h.permA*col + h.permB) % h.p
+}
+
+// bin assigns a permuted column to one of the k bins (step 2: uniform split).
+func (h *OPOSRP) bin(permuted uint64) uint64 {
+	binWidth := (h.p + h.k - 1) / h.k
+	return permuted / binWidth
+}
+
+// sign returns the ±1 projection coefficient r_i for a column (step 3).
+func (h *OPOSRP) sign(col uint64) int {
+	if keys.Mix64(col^h.seed)&1 == 1 {
+		return 1
+	}
+	return -1
+}
+
+// Transform maps the non-zero features of a sparse binary example to the
+// non-zero features of its hashed representation in [0, 2k). The output is
+// sorted and deduplicated.
+func (h *OPOSRP) Transform(features []keys.Key) []keys.Key {
+	if len(features) == 0 {
+		return nil
+	}
+	// Accumulate z per touched bin (the input is binary so each feature
+	// contributes exactly its sign).
+	z := make(map[uint64]int, len(features))
+	for _, f := range features {
+		col := uint64(f) % h.p
+		b := h.bin(h.permute(col))
+		z[b] += h.sign(col)
+	}
+	out := make([]keys.Key, 0, len(z))
+	for b, v := range z {
+		switch {
+		case v > 0:
+			out = append(out, keys.Key(2*b+1))
+		case v < 0:
+			out = append(out, keys.Key(2*b))
+			// v == 0 produces no output ([0 0]).
+		}
+	}
+	return keys.Dedup(out)
+}
+
+// TransformExampleCount reports how many non-zero hashed features an input
+// with the given bins-hit pattern can have at most: one per touched bin.
+func (h *OPOSRP) TransformExampleCount(nnz int) int {
+	if uint64(nnz) > h.k {
+		return int(h.k)
+	}
+	return nnz
+}

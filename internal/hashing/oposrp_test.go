@@ -1,0 +1,190 @@
+package hashing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hps/internal/keys"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1, 1); err == nil {
+		t.Fatal("p=0 should fail")
+	}
+	if _, err := New(10, 0, 1); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+	if _, err := New(10, 20, 1); err == nil {
+		t.Fatal("k>p should fail")
+	}
+	h, err := New(1000, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.InputDim() != 1000 || h.Bins() != 10 || h.OutputDim() != 20 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestTransformDeterministic(t *testing.T) {
+	h, _ := New(1<<20, 1<<10, 42)
+	feats := []keys.Key{5, 900, 12345, 999999}
+	a := h.Transform(feats)
+	b := h.Transform(feats)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic output")
+		}
+	}
+}
+
+func TestTransformOutputRange(t *testing.T) {
+	h, _ := New(1<<20, 256, 7)
+	f := func(raw []uint64) bool {
+		feats := make([]keys.Key, len(raw))
+		for i, r := range raw {
+			feats[i] = keys.Key(r)
+		}
+		out := h.Transform(feats)
+		if len(out) > len(feats) && len(out) > int(h.Bins()) {
+			return false
+		}
+		for _, o := range out {
+			if uint64(o) >= h.OutputDim() {
+				return false
+			}
+		}
+		// Sorted, deduplicated.
+		for i := 1; i < len(out); i++ {
+			if out[i] <= out[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformEmpty(t *testing.T) {
+	h, _ := New(100, 10, 1)
+	if out := h.Transform(nil); len(out) != 0 {
+		t.Fatal("empty input should give empty output")
+	}
+}
+
+func TestTransformAtMostOneOutputPerBin(t *testing.T) {
+	h, _ := New(1<<16, 64, 3)
+	feats := make([]keys.Key, 500)
+	for i := range feats {
+		feats[i] = keys.Key(i * 131)
+	}
+	out := h.Transform(feats)
+	if len(out) > 64 {
+		t.Fatalf("output %d exceeds bin count 64", len(out))
+	}
+	// No bin may emit both its positive and negative feature.
+	seen := make(map[uint64]bool)
+	for _, o := range out {
+		bin := uint64(o) / 2
+		if seen[bin] {
+			t.Fatalf("bin %d emitted two features", bin)
+		}
+		seen[bin] = true
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	h1, _ := New(1<<20, 1<<8, 1)
+	h2, _ := New(1<<20, 1<<8, 2)
+	feats := make([]keys.Key, 100)
+	for i := range feats {
+		feats[i] = keys.Key(i * 7919)
+	}
+	a := h1.Transform(feats)
+	b := h2.Transform(feats)
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds should produce different hashes")
+	}
+}
+
+func TestCompressionReducesDistinctFeatures(t *testing.T) {
+	// With k much smaller than the number of distinct input features, the
+	// number of distinct output features across a corpus must shrink — this
+	// is the model-size reduction of Tables 1-2.
+	h, _ := New(1<<20, 128, 5)
+	distinctIn := make(map[keys.Key]bool)
+	distinctOut := make(map[keys.Key]bool)
+	for ex := 0; ex < 200; ex++ {
+		feats := make([]keys.Key, 50)
+		for i := range feats {
+			feats[i] = keys.Key(keys.Mix64(uint64(ex*50+i)) % (1 << 20))
+			distinctIn[feats[i]] = true
+		}
+		for _, o := range h.Transform(feats) {
+			distinctOut[o] = true
+		}
+	}
+	if len(distinctOut) > 256 {
+		t.Fatalf("output features %d exceed 2k=256", len(distinctOut))
+	}
+	if len(distinctOut) >= len(distinctIn) {
+		t.Fatalf("hashing did not compress: %d -> %d", len(distinctIn), len(distinctOut))
+	}
+}
+
+func TestLargerKPreservesMoreInformation(t *testing.T) {
+	// Two distinct examples should collide into identical hashed
+	// representations more often for small k than for large k.
+	small, _ := New(1<<16, 8, 9)
+	large, _ := New(1<<16, 4096, 9)
+	collisionsSmall, collisionsLarge := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		a := []keys.Key{keys.Key(trial * 31), keys.Key(trial*31 + 7), keys.Key(trial*31 + 977)}
+		b := []keys.Key{keys.Key(trial*31 + 13), keys.Key(trial*31 + 501), keys.Key(trial*31 + 1201)}
+		if equalKeys(small.Transform(a), small.Transform(b)) {
+			collisionsSmall++
+		}
+		if equalKeys(large.Transform(a), large.Transform(b)) {
+			collisionsLarge++
+		}
+	}
+	if collisionsLarge > collisionsSmall {
+		t.Fatalf("large k produced more collisions (%d) than small k (%d)", collisionsLarge, collisionsSmall)
+	}
+}
+
+func equalKeys(a, b []keys.Key) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTransformExampleCount(t *testing.T) {
+	h, _ := New(1000, 10, 1)
+	if h.TransformExampleCount(5) != 5 {
+		t.Fatal("nnz below k should be unchanged")
+	}
+	if h.TransformExampleCount(50) != 10 {
+		t.Fatal("nnz above k should clamp to k")
+	}
+}

@@ -1,0 +1,355 @@
+// Package hbmps implements the HBM parameter server (Section 4): the top tier
+// of the hierarchy, which keeps the working parameters of the current batch
+// in a multi-GPU distributed hash table and lets GPU worker threads pull,
+// train on, and push updates to them without any CPU round trips.
+//
+// Within a node, parameters are partitioned across the GPUs by a hash
+// partition policy; a worker that needs a parameter held by another GPU
+// fetches it over NVLink (Algorithm 2's partition-and-send pattern). Across
+// nodes, updates are synchronized by the hierarchical all-reduce of
+// Appendix C.3, which the core trainer coordinates; this package exposes the
+// per-node pieces (delta collection and remote-delta application).
+package hbmps
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hps/internal/embedding"
+	"hps/internal/gpu"
+	"hps/internal/hw"
+	"hps/internal/interconnect"
+	"hps/internal/keys"
+	"hps/internal/optimizer"
+	"hps/internal/simtime"
+)
+
+// Config configures the HBM-PS of a single node.
+type Config struct {
+	// NodeID identifies the hosting node.
+	NodeID int
+	// NumGPUs is the number of GPUs in the node.
+	NumGPUs int
+	// Dim is the embedding dimension of sparse parameters.
+	Dim int
+	// GPUProfile describes each GPU.
+	GPUProfile hw.GPU
+	// NVLink describes the intra-node GPU interconnect; used for per-component
+	// statistics. When zero it defaults to the reference GPU node's NVLink.
+	NVLink hw.Link
+	// Fabric charges NVLink/PCIe time; nil disables accounting.
+	Fabric *interconnect.Fabric
+	// Clock is the node's simulated-time clock; nil disables accounting.
+	Clock *simtime.Clock
+}
+
+// Stats summarizes HBM-PS activity (the breakdown of Fig 4a).
+type Stats struct {
+	// BatchesLoaded counts LoadWorkingSet calls.
+	BatchesLoaded int64
+	// ParamsLoaded counts parameters inserted across all batches.
+	ParamsLoaded int64
+	// PullTime is the cumulative modelled time of HBM-PS pulls.
+	PullTime time.Duration
+	// PushTime is the cumulative modelled time of HBM-PS pushes.
+	PushTime time.Duration
+	// LoadTime is the cumulative modelled time of CPU->GPU working-set loads.
+	LoadTime time.Duration
+	// RemotePulls / LocalPulls count parameter fetches by location.
+	LocalPulls, RemotePulls int64
+}
+
+// HBMPS is the HBM parameter server of one node. It is safe for concurrent
+// use by the node's GPU worker goroutines.
+type HBMPS struct {
+	cfg     Config
+	devices []*gpu.Device
+
+	mu       sync.Mutex
+	loaded   bool
+	original map[keys.Key]*embedding.Value
+	stats    Stats
+}
+
+// New constructs the HBM-PS for one node, creating its simulated GPU devices.
+func New(cfg Config) (*HBMPS, error) {
+	if cfg.NumGPUs < 1 {
+		return nil, fmt.Errorf("hbmps: need at least one GPU, have %d", cfg.NumGPUs)
+	}
+	if cfg.Dim <= 0 {
+		return nil, fmt.Errorf("hbmps: invalid embedding dim %d", cfg.Dim)
+	}
+	if cfg.NVLink.BandwidthBytesPerSec == 0 {
+		cfg.NVLink = hw.DefaultGPUNode().NVLink
+	}
+	h := &HBMPS{cfg: cfg}
+	for i := 0; i < cfg.NumGPUs; i++ {
+		h.devices = append(h.devices, gpu.NewDevice(cfg.NodeID, i, cfg.GPUProfile, cfg.Clock))
+	}
+	return h, nil
+}
+
+// NumGPUs returns the number of GPUs managed by this HBM-PS.
+func (h *HBMPS) NumGPUs() int { return len(h.devices) }
+
+// Devices returns the simulated GPU devices (for HBM usage inspection).
+func (h *HBMPS) Devices() []*gpu.Device { return h.devices }
+
+// gpuOf returns the GPU that owns key k under the hash partition policy of
+// Section 4.1 / Appendix C.1.
+func (h *HBMPS) gpuOf(k keys.Key) int { return k.HashShard(len(h.devices)) }
+
+// LoadWorkingSet partitions the working parameters across the node's GPUs in
+// a non-overlapping fashion and inserts them into each GPU's hash table
+// (Algorithm 1 lines 6-10). The values are copied; the caller keeps ownership
+// of its map. Loading charges PCIe transfer and HBM insertion time, and fails
+// if any GPU's HBM cannot hold its partition.
+func (h *HBMPS) LoadWorkingSet(values map[keys.Key]*embedding.Value) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.loaded {
+		return errors.New("hbmps: working set already loaded; call Release first")
+	}
+
+	// Partition keys across GPUs.
+	parts := make([][]keys.Key, len(h.devices))
+	for k := range values {
+		g := h.gpuOf(k)
+		parts[g] = append(parts[g], k)
+	}
+
+	loadStart := h.cfg.Clock.Total(simtime.ResourcePCIe) + h.cfg.Clock.Total(simtime.ResourceHBM)
+
+	// Create per-GPU tables sized to their partitions and insert.
+	for g, dev := range h.devices {
+		capacity := len(parts[g])
+		if capacity == 0 {
+			capacity = 1
+		}
+		table, err := dev.CreateHashTable(capacity, h.cfg.Dim)
+		if err != nil {
+			// Roll back tables created so far.
+			for _, d := range h.devices {
+				d.DestroyHashTable()
+			}
+			return fmt.Errorf("hbmps: gpu %d cannot hold its partition of %d parameters: %w", g, capacity, err)
+		}
+		var bytes int64
+		for _, k := range parts[g] {
+			v := values[k].Clone()
+			if err := table.Insert(k, v); err != nil {
+				for _, d := range h.devices {
+					d.DestroyHashTable()
+				}
+				return fmt.Errorf("hbmps: insert into gpu %d: %w", g, err)
+			}
+			bytes += int64(embedding.EncodedSize(h.cfg.Dim)) + 8
+		}
+		// The partition travels CPU -> GPU over PCIe and is written to HBM.
+		if h.cfg.Fabric != nil {
+			h.cfg.Fabric.PCIe(bytes)
+		}
+		dev.ChargeMemory(bytes)
+	}
+
+	// Snapshot originals for delta computation at batch completion.
+	h.original = make(map[keys.Key]*embedding.Value, len(values))
+	for k, v := range values {
+		h.original[k] = v.Clone()
+	}
+	h.loaded = true
+	h.stats.BatchesLoaded++
+	h.stats.ParamsLoaded += int64(len(values))
+	h.stats.LoadTime += h.cfg.Clock.Total(simtime.ResourcePCIe) + h.cfg.Clock.Total(simtime.ResourceHBM) - loadStart
+	return nil
+}
+
+// Loaded reports whether a working set is currently resident.
+func (h *HBMPS) Loaded() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.loaded
+}
+
+// Pull returns the current values of the requested keys for a worker running
+// on gpuID (Algorithm 1 line 12). Keys owned by other GPUs are fetched over
+// NVLink; the returned values are copies the worker may read freely.
+func (h *HBMPS) Pull(gpuID int, ks []keys.Key) (map[keys.Key]*embedding.Value, error) {
+	if gpuID < 0 || gpuID >= len(h.devices) {
+		return nil, fmt.Errorf("hbmps: invalid gpu id %d", gpuID)
+	}
+	out := make(map[keys.Key]*embedding.Value, len(ks))
+	var localBytes, remoteBytes int64
+	var localCount, remoteCount int64
+	valueBytes := int64(embedding.EncodedSize(h.cfg.Dim))
+	for _, k := range ks {
+		owner := h.gpuOf(k)
+		table := h.devices[owner].Table()
+		if table == nil {
+			return nil, fmt.Errorf("hbmps: gpu %d has no working set loaded", owner)
+		}
+		v, ok := table.Get(k)
+		if !ok {
+			return nil, fmt.Errorf("hbmps: key %d not in the working set", k)
+		}
+		out[k] = v.Clone()
+		if owner == gpuID {
+			localBytes += valueBytes
+			localCount++
+		} else {
+			remoteBytes += valueBytes
+			remoteCount++
+		}
+	}
+	// Local reads stream through HBM; remote reads cross NVLink.
+	h.devices[gpuID].ChargeMemory(localBytes)
+	if h.cfg.Fabric != nil && remoteBytes > 0 {
+		h.cfg.Fabric.NVLink(remoteBytes)
+	}
+	h.mu.Lock()
+	h.stats.LocalPulls += localCount
+	h.stats.RemotePulls += remoteCount
+	h.stats.PullTime += h.cfg.GPUProfile.MemoryTime(localBytes)
+	if remoteBytes > 0 {
+		h.stats.PullTime += nvlinkTime(h.cfg, remoteBytes)
+	}
+	h.mu.Unlock()
+	return out, nil
+}
+
+// nvlinkTime mirrors what the fabric charges for an NVLink hop, for
+// per-component statistics without double charging the clock.
+func nvlinkTime(cfg Config, bytes int64) time.Duration {
+	return cfg.NVLink.TransferTime(bytes)
+}
+
+// Push applies per-parameter gradients produced by a worker on gpuID
+// (Algorithm 1 line 14, Algorithm 2). Gradients for parameters owned by other
+// GPUs are sent over NVLink; every owning GPU applies the sparse optimizer to
+// its entry under its own lock (the analogue of the GPU atomic update).
+func (h *HBMPS) Push(gpuID int, grads map[keys.Key][]float32, opt optimizer.Sparse) error {
+	if gpuID < 0 || gpuID >= len(h.devices) {
+		return fmt.Errorf("hbmps: invalid gpu id %d", gpuID)
+	}
+	if opt == nil {
+		return errors.New("hbmps: nil sparse optimizer")
+	}
+	var localBytes, remoteBytes int64
+	valueBytes := int64(4 * h.cfg.Dim)
+	for k, grad := range grads {
+		owner := h.gpuOf(k)
+		table := h.devices[owner].Table()
+		if table == nil {
+			return fmt.Errorf("hbmps: gpu %d has no working set loaded", owner)
+		}
+		err := table.Update(k, func(v *embedding.Value) {
+			opt.ApplySparse(v.Weights, v.G2Sum, grad)
+			v.Freq++
+		})
+		if err != nil {
+			return fmt.Errorf("hbmps: push key %d: %w", k, err)
+		}
+		if owner == gpuID {
+			localBytes += valueBytes
+		} else {
+			remoteBytes += valueBytes
+		}
+	}
+	h.devices[gpuID].ChargeMemory(localBytes)
+	if h.cfg.Fabric != nil && remoteBytes > 0 {
+		h.cfg.Fabric.NVLink(remoteBytes)
+	}
+	h.mu.Lock()
+	h.stats.PushTime += h.cfg.GPUProfile.MemoryTime(localBytes)
+	if remoteBytes > 0 {
+		h.stats.PushTime += nvlinkTime(h.cfg, remoteBytes)
+	}
+	h.mu.Unlock()
+	return nil
+}
+
+// CollectUpdates returns, for every parameter of the working set, the delta
+// between its current value in the GPU hash tables and its value when the
+// working set was loaded (Algorithm 1 line 16). The deltas are what the
+// inter-node synchronization exchanges and what the MEM-PS applies to the
+// authoritative copies.
+func (h *HBMPS) CollectUpdates() map[keys.Key]*embedding.Value {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[keys.Key]*embedding.Value, len(h.original))
+	for k, orig := range h.original {
+		table := h.devices[h.gpuOf(k)].Table()
+		if table == nil {
+			continue
+		}
+		cur, ok := table.Get(k)
+		if !ok {
+			continue
+		}
+		delta := embedding.NewValue(h.cfg.Dim)
+		changed := false
+		for i := range delta.Weights {
+			delta.Weights[i] = cur.Weights[i] - orig.Weights[i]
+			if delta.Weights[i] != 0 {
+				changed = true
+			}
+			delta.G2Sum[i] = cur.G2Sum[i] - orig.G2Sum[i]
+			if delta.G2Sum[i] != 0 {
+				changed = true
+			}
+		}
+		delta.Freq = cur.Freq - orig.Freq
+		if changed || delta.Freq != 0 {
+			out[k] = delta
+		}
+	}
+	return out
+}
+
+// ApplyRemoteDeltas merges deltas received from other nodes into the local
+// GPU hash tables for the parameters this node also holds in its working set
+// — the effect of the inter-node all-reduce on shared parameters.
+func (h *HBMPS) ApplyRemoteDeltas(deltas map[keys.Key]*embedding.Value) {
+	for k, delta := range deltas {
+		table := h.devices[h.gpuOf(k)].Table()
+		if table == nil {
+			continue
+		}
+		_ = table.Update(k, func(v *embedding.Value) {
+			v.Add(delta)
+		})
+	}
+}
+
+// Release destroys the per-GPU hash tables and clears the working-set
+// snapshot, freeing the HBM for the next batch.
+func (h *HBMPS) Release() {
+	h.mu.Lock()
+	h.original = nil
+	h.loaded = false
+	h.mu.Unlock()
+	for _, d := range h.devices {
+		d.DestroyHashTable()
+	}
+}
+
+// WorkingSetSize returns the number of parameters currently resident across
+// all GPUs.
+func (h *HBMPS) WorkingSetSize() int {
+	total := 0
+	for _, d := range h.devices {
+		if t := d.Table(); t != nil {
+			total += t.Len()
+		}
+	}
+	return total
+}
+
+// Stats returns cumulative HBM-PS statistics.
+func (h *HBMPS) Stats() Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}

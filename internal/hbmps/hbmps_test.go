@@ -1,0 +1,332 @@
+package hbmps
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"hps/internal/embedding"
+	"hps/internal/gpu"
+	"hps/internal/hw"
+	"hps/internal/interconnect"
+	"hps/internal/keys"
+	"hps/internal/optimizer"
+	"hps/internal/simtime"
+)
+
+func testConfig(numGPUs int) Config {
+	profile := hw.DefaultGPUNode()
+	clock := simtime.NewClock()
+	return Config{
+		NodeID:     0,
+		NumGPUs:    numGPUs,
+		Dim:        4,
+		GPUProfile: profile.GPU,
+		NVLink:     profile.NVLink,
+		Fabric:     interconnect.NewFabric(profile, clock),
+		Clock:      clock,
+	}
+}
+
+func workingSet(n int) map[keys.Key]*embedding.Value {
+	out := make(map[keys.Key]*embedding.Value, n)
+	for i := 0; i < n; i++ {
+		v := embedding.NewValue(4)
+		v.Weights[0] = float32(i)
+		out[keys.Key(i)] = v
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{NumGPUs: 0, Dim: 4}); err == nil {
+		t.Fatal("zero GPUs should fail")
+	}
+	if _, err := New(Config{NumGPUs: 2, Dim: 0}); err == nil {
+		t.Fatal("zero dim should fail")
+	}
+	h, err := New(testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumGPUs() != 4 || len(h.Devices()) != 4 {
+		t.Fatal("device count wrong")
+	}
+}
+
+func TestLoadPartitionsAcrossGPUs(t *testing.T) {
+	h, _ := New(testConfig(4))
+	ws := workingSet(200)
+	if err := h.LoadWorkingSet(ws); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Loaded() {
+		t.Fatal("Loaded should be true")
+	}
+	if h.WorkingSetSize() != 200 {
+		t.Fatalf("working set size = %d", h.WorkingSetSize())
+	}
+	// Non-overlapping partition: each GPU holds a strict subset and the
+	// union covers everything.
+	countWithParams := 0
+	for _, dev := range h.Devices() {
+		n := dev.Table().Len()
+		if n > 0 {
+			countWithParams++
+		}
+		if n == 200 {
+			t.Fatal("one GPU holds everything; partitioning broken")
+		}
+	}
+	if countWithParams < 2 {
+		t.Fatal("parameters should spread across GPUs")
+	}
+	// Double load must fail until Release.
+	if err := h.LoadWorkingSet(ws); err == nil {
+		t.Fatal("second load without release should fail")
+	}
+	h.Release()
+	if h.Loaded() || h.WorkingSetSize() != 0 {
+		t.Fatal("release failed")
+	}
+	if err := h.LoadWorkingSet(ws); err != nil {
+		t.Fatal(err)
+	}
+	if h.Stats().BatchesLoaded != 2 || h.Stats().ParamsLoaded != 400 {
+		t.Fatalf("stats = %+v", h.Stats())
+	}
+}
+
+func TestLoadCopiesValues(t *testing.T) {
+	h, _ := New(testConfig(2))
+	ws := workingSet(10)
+	if err := h.LoadWorkingSet(ws); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the caller's map must not affect the GPU copies.
+	ws[0].Weights[0] = 999
+	got, err := h.Pull(0, []keys.Key{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Weights[0] == 999 {
+		t.Fatal("LoadWorkingSet must copy values")
+	}
+}
+
+func TestLoadFailsWhenHBMTooSmall(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.GPUProfile.HBMBytes = 64 // absurdly small
+	h, _ := New(cfg)
+	err := h.LoadWorkingSet(workingSet(1000))
+	if err == nil {
+		t.Fatal("expected out-of-HBM failure")
+	}
+	if !strings.Contains(err.Error(), "cannot hold") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// All tables must be rolled back.
+	for _, dev := range h.Devices() {
+		if dev.Table() != nil || dev.HBMUsed() != 0 {
+			t.Fatal("failed load must roll back allocations")
+		}
+	}
+}
+
+func TestPullLocalAndRemote(t *testing.T) {
+	h, _ := New(testConfig(4))
+	if err := h.LoadWorkingSet(workingSet(100)); err != nil {
+		t.Fatal(err)
+	}
+	var ks []keys.Key
+	for i := 0; i < 100; i++ {
+		ks = append(ks, keys.Key(i))
+	}
+	got, err := h.Pull(0, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("pulled %d values", len(got))
+	}
+	for i := 0; i < 100; i++ {
+		if got[keys.Key(i)].Weights[0] != float32(i) {
+			t.Fatalf("value %d corrupted", i)
+		}
+	}
+	st := h.Stats()
+	if st.LocalPulls == 0 || st.RemotePulls == 0 {
+		t.Fatalf("expected both local and remote pulls, got %+v", st)
+	}
+	if st.PullTime <= 0 {
+		t.Fatal("pull time should be accounted")
+	}
+	// Invalid GPU id and missing key.
+	if _, err := h.Pull(99, ks); err == nil {
+		t.Fatal("invalid gpu id should fail")
+	}
+	if _, err := h.Pull(0, []keys.Key{10_000}); err == nil {
+		t.Fatal("missing key should fail")
+	}
+}
+
+func TestPullReturnsCopies(t *testing.T) {
+	h, _ := New(testConfig(2))
+	h.LoadWorkingSet(workingSet(4))
+	got, _ := h.Pull(0, []keys.Key{1})
+	got[1].Weights[0] = 777
+	again, _ := h.Pull(0, []keys.Key{1})
+	if again[1].Weights[0] == 777 {
+		t.Fatal("Pull must return copies")
+	}
+}
+
+func TestPushAppliesOptimizer(t *testing.T) {
+	h, _ := New(testConfig(2))
+	h.LoadWorkingSet(workingSet(10))
+	before, _ := h.Pull(0, []keys.Key{3})
+	grads := map[keys.Key][]float32{3: {1, 0, 0, 0}}
+	if err := h.Push(0, grads, optimizer.SGD{LR: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := h.Pull(0, []keys.Key{3})
+	want := before[3].Weights[0] - 0.5
+	if after[3].Weights[0] != want {
+		t.Fatalf("push result = %v, want %v", after[3].Weights[0], want)
+	}
+	if after[3].Freq != before[3].Freq+1 {
+		t.Fatal("push should increment freq")
+	}
+	if h.Stats().PushTime <= 0 {
+		t.Fatal("push time should be accounted")
+	}
+	// Error cases.
+	if err := h.Push(99, grads, optimizer.SGD{LR: 1}); err == nil {
+		t.Fatal("invalid gpu id should fail")
+	}
+	if err := h.Push(0, grads, nil); err == nil {
+		t.Fatal("nil optimizer should fail")
+	}
+	if err := h.Push(0, map[keys.Key][]float32{999: {1, 1, 1, 1}}, optimizer.SGD{LR: 1}); err == nil {
+		t.Fatal("missing key should fail")
+	}
+}
+
+func TestPushConcurrentWorkers(t *testing.T) {
+	h, _ := New(testConfig(4))
+	h.LoadWorkingSet(workingSet(50))
+	var wg sync.WaitGroup
+	const workers = 8
+	const steps = 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(gpuID int) {
+			defer wg.Done()
+			for i := 0; i < steps; i++ {
+				grads := map[keys.Key][]float32{keys.Key(i % 50): {1, 0, 0, 0}}
+				if err := h.Push(gpuID%4, grads, optimizer.SGD{LR: 1}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Total weight change across all keys must equal -(workers*steps) for SGD
+	// with lr=1 and gradient 1 (no lost updates).
+	updates := h.CollectUpdates()
+	var total float32
+	for _, d := range updates {
+		total += d.Weights[0]
+	}
+	if total != -float32(workers*steps) {
+		t.Fatalf("lost updates: total delta = %v, want %v", total, -float32(workers*steps))
+	}
+}
+
+func TestCollectUpdatesOnlyChanged(t *testing.T) {
+	h, _ := New(testConfig(2))
+	h.LoadWorkingSet(workingSet(20))
+	h.Push(0, map[keys.Key][]float32{5: {2, 0, 0, 0}}, optimizer.SGD{LR: 1})
+	updates := h.CollectUpdates()
+	if len(updates) != 1 {
+		t.Fatalf("expected 1 changed parameter, got %d", len(updates))
+	}
+	d, ok := updates[5]
+	if !ok {
+		t.Fatal("missing delta for key 5")
+	}
+	if d.Weights[0] != -2 {
+		t.Fatalf("delta = %v, want -2", d.Weights[0])
+	}
+	if d.Freq != 1 {
+		t.Fatalf("freq delta = %d", d.Freq)
+	}
+}
+
+func TestApplyRemoteDeltas(t *testing.T) {
+	h, _ := New(testConfig(2))
+	h.LoadWorkingSet(workingSet(10))
+	delta := embedding.NewValue(4)
+	delta.Weights[0] = 3
+	delta.Freq = 2
+	h.ApplyRemoteDeltas(map[keys.Key]*embedding.Value{
+		2:   delta,
+		999: delta, // not in the working set: ignored
+	})
+	got, _ := h.Pull(0, []keys.Key{2})
+	if got[2].Weights[0] != 2+3 {
+		t.Fatalf("remote delta not applied: %v", got[2].Weights[0])
+	}
+	// The applied delta becomes part of this node's observed update too
+	// (matching what a real all-reduce leaves in HBM).
+	updates := h.CollectUpdates()
+	if updates[2] == nil || updates[2].Weights[0] != 3 {
+		t.Fatal("remote delta should appear in collected updates")
+	}
+}
+
+func TestHBMChargesClock(t *testing.T) {
+	cfg := testConfig(2)
+	h, _ := New(cfg)
+	h.LoadWorkingSet(workingSet(100))
+	if cfg.Clock.Total(simtime.ResourcePCIe) <= 0 {
+		t.Fatal("loading should charge PCIe time")
+	}
+	if cfg.Clock.Total(simtime.ResourceHBM) <= 0 {
+		t.Fatal("loading should charge HBM time")
+	}
+	var ks []keys.Key
+	for i := 0; i < 100; i++ {
+		ks = append(ks, keys.Key(i))
+	}
+	h.Pull(0, ks)
+	if cfg.Clock.Total(simtime.ResourceNVLink) <= 0 {
+		t.Fatal("remote pulls should charge NVLink time")
+	}
+}
+
+func TestDevicesShareNodeID(t *testing.T) {
+	cfg := testConfig(3)
+	cfg.NodeID = 7
+	h, _ := New(cfg)
+	for i, d := range h.Devices() {
+		if d.NodeID != 7 || d.ID != i {
+			t.Fatalf("device %d identity wrong: %+v", i, d)
+		}
+	}
+}
+
+func TestBytesPerEntryConsistency(t *testing.T) {
+	// The HBM accounting for a loaded working set must match the hash table's
+	// own size computation (no silent divergence between the two).
+	h, _ := New(testConfig(1))
+	if err := h.LoadWorkingSet(workingSet(64)); err != nil {
+		t.Fatal(err)
+	}
+	dev := h.Devices()[0]
+	if dev.HBMUsed() != dev.Table().SizeBytes() {
+		t.Fatalf("HBM used %d != table size %d", dev.HBMUsed(), dev.Table().SizeBytes())
+	}
+	_ = gpu.BytesPerEntry(4)
+}

@@ -1,0 +1,95 @@
+// Package hdfs simulates the distributed file system from which training
+// batches are streamed into each node's main memory (Algorithm 1 line 2,
+// "batch <- get_batch_from_HDFS()").
+//
+// The stream wraps a dataset.Generator and charges the modelled streaming
+// time of every batch to a simtime.Clock, so that the "Read examples" stage
+// of Fig 3(c) — which the paper identifies as the bottleneck for the smaller
+// models A and B — is reproduced faithfully by the pipeline.
+package hdfs
+
+import (
+	"errors"
+	"sync"
+
+	"hps/internal/dataset"
+	"hps/internal/hw"
+	"hps/internal/simtime"
+)
+
+// ErrClosed is returned by NextBatch after Close has been called.
+var ErrClosed = errors.New("hdfs: stream closed")
+
+// Stream delivers training batches for a single node.
+// It is safe for concurrent use.
+type Stream struct {
+	mu        sync.Mutex
+	gen       *dataset.Generator
+	profile   hw.HDFS
+	clock     *simtime.Clock
+	batchSize int
+	maxBatch  int
+	delivered int
+	closed    bool
+}
+
+// Config configures a Stream.
+type Config struct {
+	// BatchSize is the number of examples per batch.
+	BatchSize int
+	// MaxBatches limits the stream length; 0 means unlimited.
+	MaxBatches int
+	// Profile is the HDFS hardware model used for time accounting.
+	Profile hw.HDFS
+	// Clock receives the modelled streaming time; nil disables accounting.
+	Clock *simtime.Clock
+}
+
+// NewStream returns a stream over the given generator.
+func NewStream(gen *dataset.Generator, cfg Config) *Stream {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 1024
+	}
+	return &Stream{
+		gen:       gen,
+		profile:   cfg.Profile,
+		clock:     cfg.Clock,
+		batchSize: cfg.BatchSize,
+		maxBatch:  cfg.MaxBatches,
+	}
+}
+
+// NextBatch returns the next training batch, charging its modelled streaming
+// time to the clock. It returns (nil, nil) when the stream is exhausted and
+// ErrClosed after Close.
+func (s *Stream) NextBatch() (*dataset.Batch, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if s.maxBatch > 0 && s.delivered >= s.maxBatch {
+		return nil, nil
+	}
+	b := s.gen.NextBatch(s.batchSize)
+	s.delivered++
+	s.clock.Add(simtime.ResourceHDFS, s.profile.ReadTime(b.ByteSize()))
+	return b, nil
+}
+
+// Delivered returns how many batches have been handed out.
+func (s *Stream) Delivered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.delivered
+}
+
+// BatchSize returns the configured examples-per-batch.
+func (s *Stream) BatchSize() int { return s.batchSize }
+
+// Close marks the stream closed; subsequent NextBatch calls fail.
+func (s *Stream) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}

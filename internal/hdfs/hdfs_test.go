@@ -1,0 +1,111 @@
+package hdfs
+
+import (
+	"testing"
+	"time"
+
+	"hps/internal/dataset"
+	"hps/internal/hw"
+	"hps/internal/simtime"
+)
+
+func newTestStream(t *testing.T, cfg Config) *Stream {
+	t.Helper()
+	gen := dataset.NewGenerator(dataset.Config{NumFeatures: 1000, NonZerosPerExample: 10}, 1)
+	return NewStream(gen, cfg)
+}
+
+func TestStreamDeliversBatches(t *testing.T) {
+	s := newTestStream(t, Config{BatchSize: 32})
+	b, err := s.NextBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 32 {
+		t.Fatalf("batch size = %d", b.Len())
+	}
+	if s.Delivered() != 1 {
+		t.Fatal("delivered count wrong")
+	}
+	if s.BatchSize() != 32 {
+		t.Fatal("BatchSize accessor wrong")
+	}
+}
+
+func TestStreamDefaultBatchSize(t *testing.T) {
+	s := newTestStream(t, Config{})
+	if s.BatchSize() != 1024 {
+		t.Fatalf("default batch size = %d", s.BatchSize())
+	}
+}
+
+func TestStreamMaxBatches(t *testing.T) {
+	s := newTestStream(t, Config{BatchSize: 4, MaxBatches: 2})
+	for i := 0; i < 2; i++ {
+		b, err := s.NextBatch()
+		if err != nil || b == nil {
+			t.Fatalf("batch %d: %v %v", i, b, err)
+		}
+	}
+	b, err := s.NextBatch()
+	if err != nil || b != nil {
+		t.Fatal("exhausted stream should return (nil, nil)")
+	}
+	if s.Delivered() != 2 {
+		t.Fatal("delivered count should stop at max")
+	}
+}
+
+func TestStreamChargesClock(t *testing.T) {
+	clock := simtime.NewClock()
+	profile := hw.HDFS{StreamBandwidthBytesPerSec: 1000, OpenLatency: time.Millisecond}
+	s := newTestStream(t, Config{BatchSize: 8, Profile: profile, Clock: clock})
+	b, err := s.NextBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := profile.ReadTime(b.ByteSize())
+	if got := clock.Total(simtime.ResourceHDFS); got != want {
+		t.Fatalf("charged %v, want %v", got, want)
+	}
+}
+
+func TestStreamNilClockSafe(t *testing.T) {
+	s := newTestStream(t, Config{BatchSize: 8, Profile: hw.DefaultGPUNode().HDFS})
+	if _, err := s.NextBatch(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamClose(t *testing.T) {
+	s := newTestStream(t, Config{BatchSize: 8})
+	s.Close()
+	if _, err := s.NextBatch(); err != ErrClosed {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+func TestStreamConcurrentReaders(t *testing.T) {
+	s := newTestStream(t, Config{BatchSize: 16, MaxBatches: 64})
+	done := make(chan int, 4)
+	for w := 0; w < 4; w++ {
+		go func() {
+			n := 0
+			for {
+				b, err := s.NextBatch()
+				if err != nil || b == nil {
+					break
+				}
+				n++
+			}
+			done <- n
+		}()
+	}
+	total := 0
+	for i := 0; i < 4; i++ {
+		total += <-done
+	}
+	if total != 64 {
+		t.Fatalf("total batches consumed = %d, want 64", total)
+	}
+}

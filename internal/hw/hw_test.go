@@ -1,0 +1,170 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLinkTransferTime(t *testing.T) {
+	l := Link{Name: "test", BandwidthBytesPerSec: 1000, Latency: time.Millisecond}
+	got := l.TransferTime(1000)
+	want := time.Millisecond + time.Second
+	if got != want {
+		t.Fatalf("TransferTime = %v, want %v", got, want)
+	}
+	if got := l.TransferTime(0); got != time.Millisecond {
+		t.Fatalf("zero bytes should cost only latency, got %v", got)
+	}
+	if got := l.TransferTime(-5); got != time.Millisecond {
+		t.Fatalf("negative bytes should cost only latency, got %v", got)
+	}
+}
+
+func TestLinkZeroBandwidth(t *testing.T) {
+	l := Link{Latency: time.Millisecond}
+	if got := l.TransferTime(1 << 30); got != time.Millisecond {
+		t.Fatalf("zero-bandwidth link should return latency, got %v", got)
+	}
+}
+
+func TestGPUComputeTime(t *testing.T) {
+	g := GPU{FLOPS: 1e9, KernelLaunch: time.Microsecond}
+	got := g.ComputeTime(1e9)
+	want := time.Microsecond + time.Second
+	if got != want {
+		t.Fatalf("ComputeTime = %v, want %v", got, want)
+	}
+	if got := g.ComputeTime(-1); got != time.Microsecond {
+		t.Fatalf("negative flops = %v", got)
+	}
+	var zero GPU
+	if got := zero.ComputeTime(1e9); got != 0 {
+		t.Fatalf("zero gpu compute = %v", got)
+	}
+}
+
+func TestGPUMemoryTime(t *testing.T) {
+	g := GPU{HBMBandwidthBytesPerSec: 1e9, KernelLaunch: time.Microsecond}
+	got := g.MemoryTime(1e9)
+	want := time.Microsecond + time.Second
+	if got != want {
+		t.Fatalf("MemoryTime = %v, want %v", got, want)
+	}
+}
+
+func TestCPUComputeTime(t *testing.T) {
+	c := CPU{Cores: 4, FLOPS: 2e9}
+	if got := c.ComputeTime(1e9); got != 500*time.Millisecond {
+		t.Fatalf("cpu compute = %v", got)
+	}
+	var zero CPU
+	if got := zero.ComputeTime(1e9); got != 0 {
+		t.Fatalf("zero cpu compute = %v", got)
+	}
+}
+
+func TestSSDBlockRounding(t *testing.T) {
+	s := SSD{
+		ReadBandwidthBytesPerSec:  4096,
+		WriteBandwidthBytesPerSec: 4096,
+		BlockBytes:                4096,
+	}
+	// 1 byte still costs a full block: 1 second at 4096 B/s.
+	if got := s.ReadTime(1); got != time.Second {
+		t.Fatalf("ReadTime(1) = %v, want 1s", got)
+	}
+	if got := s.WriteTime(4097); got != 2*time.Second {
+		t.Fatalf("WriteTime(4097) = %v, want 2s", got)
+	}
+	if got := s.ReadTime(0); got != 0 {
+		t.Fatalf("ReadTime(0) = %v, want 0", got)
+	}
+}
+
+func TestSSDRoundUpProperty(t *testing.T) {
+	s := SSD{BlockBytes: 4096}
+	f := func(n uint32) bool {
+		eff := s.roundUpToBlock(int64(n))
+		if n == 0 {
+			return eff == 0
+		}
+		return eff >= int64(n) && eff%4096 == 0 && eff-int64(n) < 4096
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHDFSReadTime(t *testing.T) {
+	h := HDFS{StreamBandwidthBytesPerSec: 100, OpenLatency: time.Millisecond}
+	if got := h.ReadTime(100); got != time.Millisecond+time.Second {
+		t.Fatalf("hdfs read = %v", got)
+	}
+	if got := h.ReadTime(-1); got != time.Millisecond {
+		t.Fatalf("hdfs read negative = %v", got)
+	}
+}
+
+func TestDefaultProfilesSane(t *testing.T) {
+	p := DefaultGPUNode()
+	if p.GPUsPerNode != 8 {
+		t.Fatalf("GPUsPerNode = %d, want 8 (paper Section 7)", p.GPUsPerNode)
+	}
+	if p.GPU.HBMBytes != 32<<30 {
+		t.Fatalf("HBM = %d, want 32 GiB", p.GPU.HBMBytes)
+	}
+	if p.NVLink.BandwidthBytesPerSec <= p.PCIe.BandwidthBytesPerSec {
+		t.Fatal("NVLink must be faster than PCIe")
+	}
+	if p.RDMA.BandwidthBytesPerSec <= 0 || p.Ethernet.BandwidthBytesPerSec <= 0 {
+		t.Fatal("network links must have positive bandwidth")
+	}
+	if p.SSD.CapacityBytes < p.MainMemoryBytes {
+		t.Fatal("SSD must be larger than main memory for the hierarchy to make sense")
+	}
+	if p.MainMemoryBytes < p.GPU.HBMBytes*int64(p.GPUsPerNode) {
+		t.Fatal("main memory must exceed total HBM")
+	}
+
+	m := DefaultMPINode()
+	if m.GPUsPerNode != 0 {
+		t.Fatal("MPI node must not have GPUs")
+	}
+	if m.CPU.FLOPS != p.CPU.FLOPS {
+		t.Fatal("MPI node CPU should match GPU node CPU (paper: similar specs)")
+	}
+}
+
+func TestScaledGPUNode(t *testing.T) {
+	base := DefaultGPUNode()
+	s := ScaledGPUNode(1024)
+	if s.GPU.HBMBytes != base.GPU.HBMBytes/1024 {
+		t.Fatalf("scaled HBM = %d", s.GPU.HBMBytes)
+	}
+	if s.MainMemoryBytes != base.MainMemoryBytes/1024 {
+		t.Fatalf("scaled memory = %d", s.MainMemoryBytes)
+	}
+	if s.SSD.CapacityBytes != base.SSD.CapacityBytes/1024 {
+		t.Fatalf("scaled ssd = %d", s.SSD.CapacityBytes)
+	}
+	// Bandwidths are not scaled.
+	if s.NVLink.BandwidthBytesPerSec != base.NVLink.BandwidthBytesPerSec {
+		t.Fatal("bandwidth should not scale")
+	}
+	// factor <= 1 is the identity.
+	id := ScaledGPUNode(0)
+	if id.GPU.HBMBytes != base.GPU.HBMBytes {
+		t.Fatal("factor 0 should be identity")
+	}
+}
+
+func TestCapacityRatioPreserved(t *testing.T) {
+	base := DefaultGPUNode()
+	s := ScaledGPUNode(256)
+	baseRatio := float64(base.MainMemoryBytes) / float64(base.GPU.HBMBytes)
+	scaledRatio := float64(s.MainMemoryBytes) / float64(s.GPU.HBMBytes)
+	if baseRatio != scaledRatio {
+		t.Fatalf("memory:HBM ratio changed: %v vs %v", baseRatio, scaledRatio)
+	}
+}

@@ -1,0 +1,199 @@
+// Package interconnect models the communication fabric of the cluster —
+// NVLink between GPUs of a node, PCIe between CPUs and GPUs, RDMA (RoCE)
+// between GPUs of different nodes, and Ethernet between CPUs — and
+// implements the hierarchical all-reduce used to synchronize parameters
+// across all GPUs after every mini-batch (Section 4.2, Appendix C.3).
+//
+// Data actually moves between in-process buffers (the simulated GPUs share an
+// address space); the fabric's job is to charge the modelled transfer time of
+// each hop to the right resource so the time-distribution figures come out
+// with the paper's shape.
+package interconnect
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hps/internal/hw"
+	"hps/internal/simtime"
+)
+
+// Fabric charges transfer times for the four link types of a node.
+// It is safe for concurrent use (the underlying clock is).
+type Fabric struct {
+	nvlink   hw.Link
+	pcie     hw.Link
+	rdma     hw.Link
+	ethernet hw.Link
+	clock    *simtime.Clock
+}
+
+// NewFabric builds a fabric from a node profile. clock may be nil.
+func NewFabric(p hw.NodeProfile, clock *simtime.Clock) *Fabric {
+	return &Fabric{
+		nvlink:   p.NVLink,
+		pcie:     p.PCIe,
+		rdma:     p.RDMA,
+		ethernet: p.Ethernet,
+		clock:    clock,
+	}
+}
+
+// NVLink charges an intra-node GPU-to-GPU transfer of n bytes and returns the
+// modelled duration.
+func (f *Fabric) NVLink(n int64) time.Duration {
+	d := f.nvlink.TransferTime(n)
+	f.clock.Add(simtime.ResourceNVLink, d)
+	return d
+}
+
+// PCIe charges a CPU<->GPU transfer of n bytes.
+func (f *Fabric) PCIe(n int64) time.Duration {
+	d := f.pcie.TransferTime(n)
+	f.clock.Add(simtime.ResourcePCIe, d)
+	return d
+}
+
+// RDMA charges an inter-node GPU<->GPU transfer of n bytes. The baseline
+// (non-RDMA) path would additionally cross PCIe and CPU memory on both ends
+// (Appendix C.2); use RDMABaseline to model that for ablations.
+func (f *Fabric) RDMA(n int64) time.Duration {
+	d := f.rdma.TransferTime(n)
+	f.clock.Add(simtime.ResourceRDMA, d)
+	return d
+}
+
+// RDMABaseline charges the non-RDMA inter-node GPU transfer of Appendix C.2:
+// GPU->CPU over PCIe, CPU->CPU over Ethernet, CPU->GPU over PCIe.
+func (f *Fabric) RDMABaseline(n int64) time.Duration {
+	d := f.pcie.TransferTime(n) + f.ethernet.TransferTime(n) + f.pcie.TransferTime(n)
+	f.clock.Add(simtime.ResourcePCIe, f.pcie.TransferTime(n)*2)
+	f.clock.Add(simtime.ResourceNetwork, f.ethernet.TransferTime(n))
+	return d
+}
+
+// Ethernet charges an inter-node CPU transfer of n bytes (MEM-PS remote
+// pulls, MPI parameter traffic).
+func (f *Fabric) Ethernet(n int64) time.Duration {
+	d := f.ethernet.TransferTime(n)
+	f.clock.Add(simtime.ResourceNetwork, d)
+	return d
+}
+
+// AllReducePlan describes the communication rounds of the hierarchical
+// all-reduce of Appendix C.3 for a cluster of nodes x gpusPerNode GPUs.
+type AllReducePlan struct {
+	// InterNodeSteps is the number of sequential pairwise inter-node exchange
+	// rounds (log2 of the node count, rounded up).
+	InterNodeSteps int
+	// IntraNodeSteps is the number of sequential intra-node tree rounds
+	// (log2 of the GPUs per node, rounded up).
+	IntraNodeSteps int
+}
+
+// PlanAllReduce returns the round structure for the given cluster shape.
+func PlanAllReduce(nodes, gpusPerNode int) AllReducePlan {
+	return AllReducePlan{
+		InterNodeSteps: ceilLog2(nodes),
+		IntraNodeSteps: ceilLog2(gpusPerNode),
+	}
+}
+
+func ceilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}
+
+// HierarchicalAllReduceTime returns the modelled wall-clock time of
+// synchronizing bytesPerGPU of parameter updates across the whole cluster:
+// the inter-node rounds run over RDMA and the intra-node rounds over NVLink,
+// with every pair exchanging concurrently within a round ("most of the
+// communications are paralleled").
+func HierarchicalAllReduceTime(bytesPerGPU int64, nodes, gpusPerNode int, rdma, nvlink hw.Link) time.Duration {
+	if bytesPerGPU < 0 {
+		bytesPerGPU = 0
+	}
+	plan := PlanAllReduce(nodes, gpusPerNode)
+	var total time.Duration
+	for i := 0; i < plan.InterNodeSteps; i++ {
+		total += rdma.TransferTime(bytesPerGPU)
+	}
+	for i := 0; i < plan.IntraNodeSteps; i++ {
+		total += nvlink.TransferTime(bytesPerGPU)
+	}
+	return total
+}
+
+// NaiveAllToAllTime returns the modelled time of the flat alternative in
+// which every GPU sends its updates to every other GPU directly — the
+// ablation baseline for the hierarchical scheme. Each GPU must serialize
+// (nodes*gpusPerNode - 1) sends of bytesPerGPU, the inter-node ones over RDMA
+// and the intra-node ones over NVLink.
+func NaiveAllToAllTime(bytesPerGPU int64, nodes, gpusPerNode int, rdma, nvlink hw.Link) time.Duration {
+	if bytesPerGPU < 0 {
+		bytesPerGPU = 0
+	}
+	if nodes < 1 {
+		nodes = 1
+	}
+	if gpusPerNode < 1 {
+		gpusPerNode = 1
+	}
+	var total time.Duration
+	// Sends to GPUs on other nodes.
+	remote := (nodes - 1) * gpusPerNode
+	for i := 0; i < remote; i++ {
+		total += rdma.TransferTime(bytesPerGPU)
+	}
+	// Sends to sibling GPUs on the same node.
+	for i := 0; i < gpusPerNode-1; i++ {
+		total += nvlink.TransferTime(bytesPerGPU)
+	}
+	return total
+}
+
+// AllReduceSum element-wise sums the buffers (one per participant) and
+// writes the result back into every buffer — the data movement performed by
+// the parameter synchronization. All buffers must have identical length.
+func AllReduceSum(buffers [][]float32) error {
+	if len(buffers) == 0 {
+		return nil
+	}
+	n := len(buffers[0])
+	for i, b := range buffers {
+		if len(b) != n {
+			return fmt.Errorf("interconnect: buffer %d has length %d, want %d", i, len(b), n)
+		}
+	}
+	sum := make([]float32, n)
+	for _, b := range buffers {
+		for i, v := range b {
+			sum[i] += v
+		}
+	}
+	for _, b := range buffers {
+		copy(b, sum)
+	}
+	return nil
+}
+
+// AllReduceMean is AllReduceSum followed by dividing every element by the
+// number of participants (used for dense gradient averaging).
+func AllReduceMean(buffers [][]float32) error {
+	if err := AllReduceSum(buffers); err != nil {
+		return err
+	}
+	if len(buffers) == 0 {
+		return nil
+	}
+	inv := 1 / float32(len(buffers))
+	for _, b := range buffers {
+		for i := range b {
+			b[i] *= inv
+		}
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package interconnect
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hps/internal/hw"
+	"hps/internal/simtime"
+)
+
+func testProfile() hw.NodeProfile {
+	p := hw.DefaultGPUNode()
+	return p
+}
+
+func TestFabricCharging(t *testing.T) {
+	clock := simtime.NewClock()
+	f := NewFabric(testProfile(), clock)
+	const n = 1 << 20
+	if d := f.NVLink(n); d <= 0 {
+		t.Fatal("nvlink duration must be positive")
+	}
+	if d := f.PCIe(n); d <= 0 {
+		t.Fatal("pcie duration must be positive")
+	}
+	if d := f.RDMA(n); d <= 0 {
+		t.Fatal("rdma duration must be positive")
+	}
+	if d := f.Ethernet(n); d <= 0 {
+		t.Fatal("ethernet duration must be positive")
+	}
+	for _, r := range []simtime.Resource{simtime.ResourceNVLink, simtime.ResourcePCIe, simtime.ResourceRDMA, simtime.ResourceNetwork} {
+		if clock.Total(r) <= 0 {
+			t.Fatalf("resource %s not charged", r)
+		}
+	}
+	// NVLink must be faster than PCIe for the same payload.
+	if f.NVLink(n) >= f.PCIe(n) {
+		t.Fatal("NVLink should be faster than PCIe")
+	}
+}
+
+func TestRDMAvsBaseline(t *testing.T) {
+	f := NewFabric(testProfile(), nil)
+	const n = 8 << 20
+	rdma := f.RDMA(n)
+	baseline := f.RDMABaseline(n)
+	if rdma >= baseline {
+		t.Fatalf("RDMA (%v) must beat the CPU-mediated baseline (%v)", rdma, baseline)
+	}
+}
+
+func TestPlanAllReduce(t *testing.T) {
+	p := PlanAllReduce(4, 8)
+	if p.InterNodeSteps != 2 || p.IntraNodeSteps != 3 {
+		t.Fatalf("plan = %+v, want 2 inter-node and 3 intra-node steps (paper example)", p)
+	}
+	p1 := PlanAllReduce(1, 1)
+	if p1.InterNodeSteps != 0 || p1.IntraNodeSteps != 0 {
+		t.Fatalf("single GPU plan = %+v", p1)
+	}
+	p3 := PlanAllReduce(3, 5)
+	if p3.InterNodeSteps != 2 || p3.IntraNodeSteps != 3 {
+		t.Fatalf("non-power-of-two plan = %+v", p3)
+	}
+}
+
+func TestHierarchicalAllReduceTimeScalesLogarithmically(t *testing.T) {
+	prof := testProfile()
+	const bytes = 4 << 20
+	t2 := HierarchicalAllReduceTime(bytes, 2, 8, prof.RDMA, prof.NVLink)
+	t4 := HierarchicalAllReduceTime(bytes, 4, 8, prof.RDMA, prof.NVLink)
+	t8 := HierarchicalAllReduceTime(bytes, 8, 8, prof.RDMA, prof.NVLink)
+	if !(t2 < t4 && t4 < t8) {
+		t.Fatalf("all-reduce time should grow with node count: %v %v %v", t2, t4, t8)
+	}
+	// Doubling the node count adds one RDMA round, so growth is additive
+	// (logarithmic in nodes), not multiplicative.
+	growth48 := t8 - t4
+	growth24 := t4 - t2
+	diff := growth48 - growth24
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > time.Millisecond {
+		t.Fatalf("growth should be roughly constant per doubling: %v vs %v", growth24, growth48)
+	}
+}
+
+func TestHierarchicalBeatsNaiveAtScale(t *testing.T) {
+	prof := testProfile()
+	const bytes = 4 << 20
+	h := HierarchicalAllReduceTime(bytes, 4, 8, prof.RDMA, prof.NVLink)
+	n := NaiveAllToAllTime(bytes, 4, 8, prof.RDMA, prof.NVLink)
+	if h >= n {
+		t.Fatalf("hierarchical (%v) should beat naive all-to-all (%v) on 4x8 GPUs", h, n)
+	}
+}
+
+func TestAllReduceTimesDegenerate(t *testing.T) {
+	prof := testProfile()
+	if HierarchicalAllReduceTime(-1, 1, 1, prof.RDMA, prof.NVLink) != 0 {
+		t.Fatal("single GPU negative bytes should cost nothing")
+	}
+	if NaiveAllToAllTime(1024, 0, 0, prof.RDMA, prof.NVLink) != 0 {
+		t.Fatal("degenerate cluster should cost nothing")
+	}
+}
+
+func TestAllReduceSum(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{10, 20, 30}
+	c := []float32{100, 200, 300}
+	if err := AllReduceSum([][]float32{a, b, c}); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{111, 222, 333}
+	for _, buf := range [][]float32{a, b, c} {
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("buffer = %v, want %v", buf, want)
+			}
+		}
+	}
+	if err := AllReduceSum(nil); err != nil {
+		t.Fatal("empty all-reduce should be a no-op")
+	}
+	if err := AllReduceSum([][]float32{{1}, {1, 2}}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestAllReduceMean(t *testing.T) {
+	a := []float32{2, 4}
+	b := []float32{4, 8}
+	if err := AllReduceMean([][]float32{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 3 || a[1] != 6 || b[0] != 3 || b[1] != 6 {
+		t.Fatalf("mean = %v %v", a, b)
+	}
+	if err := AllReduceMean(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := AllReduceMean([][]float32{{1}, {1, 2}}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestAllReduceSumProperty(t *testing.T) {
+	// After all-reduce, all buffers are identical and equal the element-wise
+	// sum of the originals.
+	f := func(vals []float32, partsRaw uint8) bool {
+		parts := int(partsRaw%4) + 1
+		if len(vals) < parts {
+			return true
+		}
+		per := len(vals) / parts
+		if per == 0 {
+			return true
+		}
+		var buffers [][]float32
+		var originals [][]float32
+		for i := 0; i < parts; i++ {
+			seg := append([]float32(nil), vals[i*per:(i+1)*per]...)
+			buffers = append(buffers, seg)
+			originals = append(originals, append([]float32(nil), seg...))
+		}
+		if err := AllReduceSum(buffers); err != nil {
+			return false
+		}
+		for j := 0; j < per; j++ {
+			var want float32
+			for i := 0; i < parts; i++ {
+				want += originals[i][j]
+			}
+			for i := 0; i < parts; i++ {
+				got := buffers[i][j]
+				if got != want && !(math.IsNaN(float64(got)) && math.IsNaN(float64(want))) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilClockFabric(t *testing.T) {
+	f := NewFabric(testProfile(), nil)
+	// Must not panic.
+	f.NVLink(1024)
+	f.PCIe(1024)
+	f.RDMA(1024)
+	f.Ethernet(1024)
+	f.RDMABaseline(1024)
+}

@@ -1,0 +1,93 @@
+// Package keys defines the sparse-parameter key type and the hashing and
+// sharding helpers shared by every tier of the hierarchical parameter server.
+//
+// A CTR model's sparse features are identified by 64-bit keys (the paper's
+// models contain up to 10^11 of them). Keys are sharded twice: once across
+// nodes (MEM-PS / SSD-PS shards, Section 5) and once across the GPUs of a
+// node (HBM-PS partitions, Section 4.1). Both use the same modulo policy.
+package keys
+
+import "sort"
+
+// Key identifies a single sparse parameter (one embedding row).
+type Key uint64
+
+// Mix64 is a SplitMix64 finalizer used to turn raw feature identifiers into
+// well-distributed keys and to derive secondary hashes. It is a bijection on
+// 64-bit integers, so distinct features never collide.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Hash returns a well-distributed 64-bit hash of the key, suitable for
+// open-addressing probe sequences.
+func (k Key) Hash() uint64 { return Mix64(uint64(k)) }
+
+// Shard maps the key to one of n shards using the modulo policy described in
+// Section 5 and Appendix C.1. Shard returns 0 when n <= 1.
+func (k Key) Shard(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(uint64(k) % uint64(n))
+}
+
+// HashShard maps the key to one of n shards using the mixed hash rather than
+// the raw key. It is used when the raw key space may itself be structured
+// (e.g. sequential feature ids), which would unbalance plain modulo.
+func (k Key) HashShard(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(k.Hash() % uint64(n))
+}
+
+// PartitionByShard splits ks into n groups by the modulo policy, preserving
+// the input order within each group. The result always has length n.
+func PartitionByShard(ks []Key, n int) [][]Key {
+	if n < 1 {
+		n = 1
+	}
+	out := make([][]Key, n)
+	for _, k := range ks {
+		s := k.Shard(n)
+		out[s] = append(out[s], k)
+	}
+	return out
+}
+
+// Dedup sorts and deduplicates ks in place, returning the shortened slice.
+// The union of referenced parameters of a batch (Algorithm 1 line 3-4) is
+// produced this way.
+func Dedup(ks []Key) []Key {
+	if len(ks) < 2 {
+		return ks
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	w := 1
+	for i := 1; i < len(ks); i++ {
+		if ks[i] != ks[i-1] {
+			ks[w] = ks[i]
+			w++
+		}
+	}
+	return ks[:w]
+}
+
+// Union merges two already-deduplicated key slices into a new sorted,
+// deduplicated slice.
+func Union(a, b []Key) []Key {
+	out := make([]Key, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return Dedup(out)
+}
+
+// Contains reports whether sorted slice ks contains k.
+func Contains(ks []Key, k Key) bool {
+	i := sort.Search(len(ks), func(i int) bool { return ks[i] >= k })
+	return i < len(ks) && ks[i] == k
+}

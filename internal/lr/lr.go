@@ -1,0 +1,90 @@
+// Package lr implements the sparse logistic-regression CTR model that served
+// as Baidu's production baseline before the DNN models ("Baseline LR" in
+// Tables 1 and 2, and the distributed LR model mentioned in Section 1.1).
+//
+// The model is a single weight per binary feature plus a bias, trained with
+// per-coordinate Adagrad on the log-loss. Weights are stored in a hash map,
+// so the number of non-zero weights grows with the number of distinct
+// features observed — the quantity reported in the "# Nonzero Weights"
+// column of Tables 1 and 2.
+package lr
+
+import (
+	"math"
+
+	"hps/internal/keys"
+	"hps/internal/tensor"
+)
+
+// Model is a sparse logistic regression model. It is not safe for concurrent
+// use.
+type Model struct {
+	// LR is the learning rate (0.05 when zero).
+	LR float32
+
+	bias     float32
+	biasG2   float32
+	weights  map[keys.Key]float32
+	g2       map[keys.Key]float32
+	examples int64
+}
+
+// New returns an empty model with the given learning rate.
+func New(learningRate float32) *Model {
+	if learningRate <= 0 {
+		learningRate = 0.05
+	}
+	return &Model{
+		LR:      learningRate,
+		weights: make(map[keys.Key]float32),
+		g2:      make(map[keys.Key]float32),
+	}
+}
+
+// Predict returns the predicted click probability for a binary feature set.
+func (m *Model) Predict(features []keys.Key) float32 {
+	logit := m.bias
+	for _, f := range features {
+		logit += m.weights[f]
+	}
+	return tensor.Sigmoid(logit)
+}
+
+// Train performs one stochastic gradient step on a single example and returns
+// the example's log-loss before the update.
+func (m *Model) Train(features []keys.Key, label float32) float64 {
+	pred := m.Predict(features)
+	loss := tensor.LogLoss(pred, label)
+	grad := pred - label
+
+	m.biasG2 += grad * grad
+	m.bias -= m.LR * grad / (float32(math.Sqrt(float64(m.biasG2))) + 1e-6)
+	for _, f := range features {
+		g2 := m.g2[f] + grad*grad
+		m.g2[f] = g2
+		m.weights[f] -= m.LR * grad / (float32(math.Sqrt(float64(g2))) + 1e-6)
+	}
+	m.examples++
+	return loss
+}
+
+// NonZeroWeights returns the number of feature weights the model stores —
+// the model-size metric of Tables 1 and 2.
+func (m *Model) NonZeroWeights() int64 {
+	var n int64
+	for _, w := range m.weights {
+		if w != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Examples returns how many training examples the model has seen.
+func (m *Model) Examples() int64 { return m.examples }
+
+// Weight returns the learned weight of a feature (0 if unseen).
+func (m *Model) Weight(f keys.Key) float32 { return m.weights[f] }
+
+// Bias returns the learned bias.
+func (m *Model) Bias() float32 { return m.bias }

@@ -1,0 +1,93 @@
+package lr
+
+import (
+	"math"
+	"testing"
+
+	"hps/internal/dataset"
+	"hps/internal/keys"
+	"hps/internal/metrics"
+)
+
+func TestNewDefaults(t *testing.T) {
+	m := New(0)
+	if m.LR != 0.05 {
+		t.Fatalf("default LR = %v", m.LR)
+	}
+	if m.NonZeroWeights() != 0 || m.Examples() != 0 {
+		t.Fatal("fresh model should be empty")
+	}
+	if p := m.Predict([]keys.Key{1, 2}); math.Abs(float64(p)-0.5) > 1e-6 {
+		t.Fatalf("untrained prediction = %v, want 0.5", p)
+	}
+}
+
+func TestTrainMovesPrediction(t *testing.T) {
+	m := New(0.5)
+	feats := []keys.Key{1, 2, 3}
+	before := m.Predict(feats)
+	for i := 0; i < 20; i++ {
+		m.Train(feats, 1)
+	}
+	after := m.Predict(feats)
+	if after <= before {
+		t.Fatalf("training toward label 1 should raise prediction: %v -> %v", before, after)
+	}
+	if m.Examples() != 20 {
+		t.Fatalf("examples = %d", m.Examples())
+	}
+	if m.NonZeroWeights() != 3 {
+		t.Fatalf("non-zero weights = %d, want 3", m.NonZeroWeights())
+	}
+	if m.Weight(1) == 0 || m.Bias() == 0 {
+		t.Fatal("weights and bias should be updated")
+	}
+}
+
+func TestTrainReturnsLoss(t *testing.T) {
+	m := New(0.1)
+	loss := m.Train([]keys.Key{7}, 1)
+	if math.Abs(loss-math.Log(2)) > 1e-6 {
+		t.Fatalf("first loss = %v, want ln(2)", loss)
+	}
+}
+
+func TestLRLearnsSyntheticCTR(t *testing.T) {
+	// Train on the synthetic CTR dataset and verify test AUC beats chance by
+	// a solid margin (the role LR plays as baseline in Tables 1-2).
+	cfg := dataset.Config{NumFeatures: 5000, NonZerosPerExample: 20}
+	train := dataset.NewGenerator(cfg, 1)
+	test := dataset.NewGenerator(cfg, 2)
+
+	m := New(0.1)
+	for i := 0; i < 8000; i++ {
+		ex := train.NextExample()
+		m.Train(ex.Features, ex.Label)
+	}
+
+	scores := make([]float64, 0, 2000)
+	labels := make([]float64, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		ex := test.NextExample()
+		scores = append(scores, float64(m.Predict(ex.Features)))
+		labels = append(labels, float64(ex.Label))
+	}
+	auc := metrics.AUC(scores, labels)
+	if auc < 0.65 {
+		t.Fatalf("LR test AUC = %v, want > 0.65", auc)
+	}
+}
+
+func TestAdagradStepShrinks(t *testing.T) {
+	m := New(1.0)
+	feats := []keys.Key{1}
+	m.Train(feats, 1)
+	w1 := m.Weight(1)
+	m.Train(feats, 1)
+	w2 := m.Weight(1)
+	step1 := math.Abs(float64(w1))
+	step2 := math.Abs(float64(w2 - w1))
+	if step2 >= step1 {
+		t.Fatalf("adagrad steps should shrink: %v then %v", step1, step2)
+	}
+}

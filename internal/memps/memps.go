@@ -1,0 +1,504 @@
+// Package memps implements the CPU main-memory parameter server (Section 5,
+// Appendix D): the middle tier of the hierarchy.
+//
+// For every training batch the MEM-PS identifies the referenced parameters,
+// pulls the locally-owned ones from its cache or its SSD-PS, pulls the
+// remotely-owned ones from the MEM-PS of their owning nodes over the network,
+// pins the working parameters in memory while the batch is in flight, applies
+// the updates collected from the HBM-PS afterwards, and evicts infrequently
+// used parameters to the SSD-PS when memory runs short. A combined LRU+LFU
+// cache keeps the frequently used parameters resident to reduce SSD I/O.
+package memps
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"hps/internal/cache"
+	"hps/internal/cluster"
+	"hps/internal/embedding"
+	"hps/internal/gpu"
+	"hps/internal/interconnect"
+	"hps/internal/keys"
+	"hps/internal/simtime"
+	"hps/internal/ssdps"
+)
+
+// Config configures a MEM-PS instance (one per node).
+type Config struct {
+	// NodeID identifies this node within the topology.
+	NodeID int
+	// Dim is the embedding dimension of sparse parameters.
+	Dim int
+	// Topology is the cluster shape; parameters are owned by node
+	// Topology.NodeOf(key).
+	Topology cluster.Topology
+	// Transport reaches the MEM-PS of other nodes; nil is allowed for a
+	// single-node deployment.
+	Transport cluster.Transport
+	// Store is the local SSD-PS shard. It must not be nil.
+	Store *ssdps.Store
+	// Fabric charges network time for remote pulls; nil disables accounting.
+	Fabric *interconnect.Fabric
+	// Clock is the node's simulated-time clock; nil disables accounting.
+	Clock *simtime.Clock
+	// MemoryBudgetBytes bounds the parameter cache size. When zero,
+	// LRUEntries/LFUEntries must be set instead.
+	MemoryBudgetBytes int64
+	// LRUEntries / LFUEntries directly set the cache level capacities,
+	// overriding MemoryBudgetBytes when non-zero.
+	LRUEntries, LFUEntries int
+	// DumpBatchSize is how many evicted parameters accumulate before they are
+	// written to the SSD-PS as new files; 0 uses the store's file size.
+	DumpBatchSize int
+	// Seed seeds the initializer for never-before-seen parameters.
+	Seed int64
+}
+
+// Stats summarizes the work a MEM-PS has done.
+type Stats struct {
+	// BatchesPrepared counts Prepare calls.
+	BatchesPrepared int64
+	// LocalKeys / RemoteKeys count working parameters by ownership.
+	LocalKeys, RemoteKeys int64
+	// CacheHits / CacheMisses count local lookups served by / missing the cache.
+	CacheHits, CacheMisses int64
+	// SSDLoads counts parameters loaded from the SSD-PS.
+	SSDLoads int64
+	// NewParams counts parameters created on first reference.
+	NewParams int64
+	// Dumped counts parameters written to the SSD-PS.
+	Dumped int64
+	// RemotePulls counts remote pull RPCs issued.
+	RemotePulls int64
+	// LocalPullTime / RemotePullTime are cumulative modelled times of the two
+	// pull paths (Fig 4b).
+	LocalPullTime, RemotePullTime time.Duration
+}
+
+// PullStats describes a single Prepare call.
+type PullStats struct {
+	// LocalKeys and RemoteKeys count the working parameters by ownership.
+	LocalKeys, RemoteKeys int
+	// CacheHits and CacheMisses count local cache outcomes.
+	CacheHits, CacheMisses int
+	// SSDHits counts local misses served by the SSD-PS.
+	SSDHits int
+	// NewParams counts local parameters created on first reference.
+	NewParams int
+	// LocalTime and RemoteTime are the modelled durations of the two pull
+	// paths; they run in parallel so the batch pays max(LocalTime, RemoteTime).
+	LocalTime, RemoteTime time.Duration
+}
+
+// WorkingSet is the prepared parameter set of one batch, ready to be
+// partitioned across the node's GPUs.
+type WorkingSet struct {
+	// Values holds a private copy of every working parameter (local and
+	// remote), keyed by parameter key.
+	Values map[keys.Key]*embedding.Value
+	// LocalKeys are the working parameters owned (and pinned) by this node.
+	LocalKeys []keys.Key
+	// RemoteKeys are the working parameters owned by other nodes.
+	RemoteKeys []keys.Key
+	// Stats describes how the working set was assembled.
+	Stats PullStats
+}
+
+// MemPS is the main-memory parameter server of one node.
+// It is safe for concurrent use.
+type MemPS struct {
+	cfg Config
+
+	mu          sync.Mutex
+	cache       *cache.Combined[*embedding.Value]
+	pendingDump map[keys.Key]*embedding.Value
+	rng         *rand.Rand
+	stats       Stats
+}
+
+// New constructs a MEM-PS. It validates the configuration.
+func New(cfg Config) (*MemPS, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("memps: nil SSD-PS store")
+	}
+	if cfg.Dim <= 0 {
+		return nil, fmt.Errorf("memps: invalid embedding dim %d", cfg.Dim)
+	}
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Topology.Nodes > 1 && cfg.Transport == nil {
+		return nil, errors.New("memps: multi-node topology requires a transport")
+	}
+	lru, lfu := cfg.LRUEntries, cfg.LFUEntries
+	if lru <= 0 || lfu <= 0 {
+		perEntry := gpu.BytesPerEntry(cfg.Dim)
+		entries := int(cfg.MemoryBudgetBytes / perEntry)
+		if entries < 16 {
+			entries = 16
+		}
+		// The LRU holds the working/pinned set; the LFU holds the hot set.
+		if lru <= 0 {
+			lru = entries / 2
+		}
+		if lfu <= 0 {
+			lfu = entries - entries/2
+		}
+	}
+	if cfg.DumpBatchSize <= 0 {
+		cfg.DumpBatchSize = 256
+	}
+	m := &MemPS{
+		cfg:         cfg,
+		pendingDump: make(map[keys.Key]*embedding.Value),
+		rng:         rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.NodeID)<<32)),
+	}
+	m.cache = cache.NewCombined[*embedding.Value](lru, lfu, func(k uint64, v *embedding.Value) {
+		// Fully evicted from memory: buffer for a batched SSD dump.
+		m.pendingDump[keys.Key(k)] = v
+	})
+	return m, nil
+}
+
+// NodeID returns this MEM-PS's node id.
+func (m *MemPS) NodeID() int { return m.cfg.NodeID }
+
+// Dim returns the embedding dimension.
+func (m *MemPS) Dim() int { return m.cfg.Dim }
+
+// ownsKey reports whether this node owns the parameter shard containing k.
+func (m *MemPS) ownsKey(k keys.Key) bool {
+	return m.cfg.Topology.NodeOf(k) == m.cfg.NodeID
+}
+
+// localLookup returns the authoritative in-memory value for a locally-owned
+// key, consulting (in order) the cache, the pending-dump buffer and the
+// SSD-PS, creating a fresh value on first reference. The caller must hold m.mu.
+func (m *MemPS) localLookup(k keys.Key, loaded map[keys.Key]*embedding.Value, st *PullStats) *embedding.Value {
+	if v, ok := m.cache.Get(uint64(k)); ok {
+		if st != nil {
+			st.CacheHits++
+		}
+		return v
+	}
+	if st != nil {
+		st.CacheMisses++
+	}
+	if v, ok := m.pendingDump[k]; ok {
+		// Not yet written to SSD; pull it back into the cache.
+		delete(m.pendingDump, k)
+		m.cache.Put(uint64(k), v)
+		return v
+	}
+	if v, ok := loaded[k]; ok {
+		if st != nil {
+			st.SSDHits++
+		}
+		m.cache.Put(uint64(k), v)
+		return v
+	}
+	v := embedding.NewRandomValue(m.cfg.Dim, m.rng)
+	if st != nil {
+		st.NewParams++
+	}
+	m.cache.Put(uint64(k), v)
+	return v
+}
+
+// Prepare assembles the working set for a batch whose referenced parameter
+// keys are given (Algorithm 1 lines 3-4). Local parameters are pinned in the
+// cache until CompleteBatch is called with the returned working set.
+func (m *MemPS) Prepare(working []keys.Key) (*WorkingSet, error) {
+	working = keys.Dedup(append([]keys.Key(nil), working...))
+	ws := &WorkingSet{Values: make(map[keys.Key]*embedding.Value, len(working))}
+
+	var local, remote []keys.Key
+	for _, k := range working {
+		if m.ownsKey(k) {
+			local = append(local, k)
+		} else {
+			remote = append(remote, k)
+		}
+	}
+	ws.LocalKeys = local
+	ws.RemoteKeys = remote
+	ws.Stats.LocalKeys = len(local)
+	ws.Stats.RemoteKeys = len(remote)
+
+	// Remote pulls go out first (they overlap the local SSD reads in the real
+	// system; here we issue them concurrently and take both durations).
+	type remoteResult struct {
+		res   cluster.PullResult
+		bytes int64
+		err   error
+	}
+	remoteByNode := m.cfg.Topology.SplitByNode(remote)
+	resultCh := make(chan remoteResult, m.cfg.Topology.Nodes)
+	inFlight := 0
+	for nodeID, ks := range remoteByNode {
+		if nodeID == m.cfg.NodeID || len(ks) == 0 {
+			continue
+		}
+		inFlight++
+		go func(nodeID int, ks []keys.Key) {
+			res, bytes, err := m.cfg.Transport.Pull(nodeID, ks)
+			resultCh <- remoteResult{res: res, bytes: bytes, err: err}
+		}(nodeID, ks)
+	}
+
+	// Local path: cache, pending dumps, SSD.
+	m.mu.Lock()
+	ssdBefore := m.cfg.Clock.Total(simtime.ResourceSSD)
+	var toLoad []keys.Key
+	for _, k := range local {
+		if !m.cache.Contains(uint64(k)) {
+			if _, pending := m.pendingDump[k]; !pending {
+				toLoad = append(toLoad, k)
+			}
+		}
+	}
+	loaded := map[keys.Key]*embedding.Value{}
+	if len(toLoad) > 0 {
+		var err error
+		loaded, err = m.cfg.Store.Load(toLoad)
+		if err != nil {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("memps: load local parameters: %w", err)
+		}
+	}
+	for _, k := range local {
+		v := m.localLookup(k, loaded, &ws.Stats)
+		m.cache.Pin(uint64(k))
+		ws.Values[k] = v.Clone()
+	}
+	ws.Stats.LocalTime = m.cfg.Clock.Total(simtime.ResourceSSD) - ssdBefore
+	m.stats.BatchesPrepared++
+	m.stats.LocalKeys += int64(len(local))
+	m.stats.RemoteKeys += int64(len(remote))
+	m.stats.CacheHits += int64(ws.Stats.CacheHits)
+	m.stats.CacheMisses += int64(ws.Stats.CacheMisses)
+	m.stats.SSDLoads += int64(ws.Stats.SSDHits)
+	m.stats.NewParams += int64(ws.Stats.NewParams)
+	m.stats.LocalPullTime += ws.Stats.LocalTime
+	m.mu.Unlock()
+
+	// Collect remote results.
+	var firstErr error
+	for i := 0; i < inFlight; i++ {
+		r := <-resultCh
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+			continue
+		}
+		var d time.Duration
+		if m.cfg.Fabric != nil {
+			d = m.cfg.Fabric.Ethernet(r.bytes)
+		}
+		ws.Stats.RemoteTime += d
+		m.mu.Lock()
+		m.stats.RemotePulls++
+		m.stats.RemotePullTime += d
+		m.mu.Unlock()
+		for k, v := range r.res {
+			ws.Values[k] = v.Clone()
+		}
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("memps: remote pull: %w", firstErr)
+	}
+	// Any remote key the owner failed to return (should not happen) gets a
+	// fresh value so training can proceed.
+	for _, k := range remote {
+		if _, ok := ws.Values[k]; !ok {
+			m.mu.Lock()
+			ws.Values[k] = embedding.NewRandomValue(m.cfg.Dim, m.rng)
+			m.mu.Unlock()
+		}
+	}
+	return ws, nil
+}
+
+// HandlePull implements cluster.PullHandler: it serves parameter pulls from
+// other nodes for the shard this node owns. Served parameters enter the cache
+// (they are now "recently used") but are not pinned.
+func (m *MemPS) HandlePull(ks []keys.Key) (cluster.PullResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var toLoad []keys.Key
+	for _, k := range ks {
+		if !m.ownsKey(k) {
+			return nil, fmt.Errorf("memps: node %d asked for key %d owned by node %d",
+				m.cfg.NodeID, k, m.cfg.Topology.NodeOf(k))
+		}
+		if !m.cache.Contains(uint64(k)) {
+			if _, pending := m.pendingDump[k]; !pending {
+				toLoad = append(toLoad, k)
+			}
+		}
+	}
+	loaded := map[keys.Key]*embedding.Value{}
+	if len(toLoad) > 0 {
+		var err error
+		loaded, err = m.cfg.Store.Load(toLoad)
+		if err != nil {
+			return nil, fmt.Errorf("memps: handle pull: %w", err)
+		}
+	}
+	out := make(cluster.PullResult, len(ks))
+	for _, k := range ks {
+		v := m.localLookup(k, loaded, nil)
+		out[k] = v.Clone()
+	}
+	return out, nil
+}
+
+// ApplyUpdates merges per-parameter deltas (weight/optimizer-state deltas and
+// reference-count increments accumulated by the HBM-PS across all GPUs and
+// nodes) into the authoritative copies of the parameters this node owns.
+// Deltas for parameters owned by other nodes are ignored — their owners apply
+// them (the synchronization already delivered the same deltas everywhere).
+func (m *MemPS) ApplyUpdates(deltas map[keys.Key]*embedding.Value) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var toLoad []keys.Key
+	for k := range deltas {
+		if !m.ownsKey(k) {
+			continue
+		}
+		if !m.cache.Contains(uint64(k)) {
+			if _, pending := m.pendingDump[k]; !pending {
+				toLoad = append(toLoad, k)
+			}
+		}
+	}
+	loaded := map[keys.Key]*embedding.Value{}
+	if len(toLoad) > 0 {
+		var err error
+		loaded, err = m.cfg.Store.Load(toLoad)
+		if err != nil {
+			return fmt.Errorf("memps: apply updates: %w", err)
+		}
+	}
+	for k, delta := range deltas {
+		if !m.ownsKey(k) {
+			continue
+		}
+		v := m.localLookup(k, loaded, nil)
+		v.Add(delta)
+	}
+	return nil
+}
+
+// CompleteBatch unpins the batch's locally-owned working parameters, flushes
+// any accumulated evictions to the SSD-PS when the dump buffer is full, and
+// triggers SSD compaction when disk usage exceeds its threshold
+// (Algorithm 1 lines 17-18).
+func (m *MemPS) CompleteBatch(ws *WorkingSet) error {
+	if ws == nil {
+		return nil
+	}
+	m.mu.Lock()
+	for _, k := range ws.LocalKeys {
+		m.cache.Unpin(uint64(k))
+	}
+	var dump map[keys.Key]*embedding.Value
+	if len(m.pendingDump) >= m.cfg.DumpBatchSize {
+		dump = m.pendingDump
+		m.pendingDump = make(map[keys.Key]*embedding.Value)
+	}
+	m.mu.Unlock()
+
+	if len(dump) > 0 {
+		if err := m.cfg.Store.Dump(dump); err != nil {
+			return fmt.Errorf("memps: dump evicted parameters: %w", err)
+		}
+		m.mu.Lock()
+		m.stats.Dumped += int64(len(dump))
+		m.mu.Unlock()
+		if _, err := m.cfg.Store.CompactIfNeeded(); err != nil {
+			return fmt.Errorf("memps: compaction: %w", err)
+		}
+	}
+	return nil
+}
+
+// Flush writes every cached parameter and every pending eviction to the
+// SSD-PS. It is called at the end of training to materialize the final model.
+func (m *MemPS) Flush() error {
+	m.mu.Lock()
+	all := make(map[keys.Key]*embedding.Value, len(m.pendingDump))
+	for k, v := range m.pendingDump {
+		all[k] = v
+	}
+	m.pendingDump = make(map[keys.Key]*embedding.Value)
+	m.cache.Flush(func(k uint64, v *embedding.Value) {
+		all[keys.Key(k)] = v
+	})
+	m.mu.Unlock()
+	if len(all) == 0 {
+		return nil
+	}
+	if err := m.cfg.Store.Dump(all); err != nil {
+		return fmt.Errorf("memps: flush: %w", err)
+	}
+	m.mu.Lock()
+	m.stats.Dumped += int64(len(all))
+	m.mu.Unlock()
+	return nil
+}
+
+// Lookup returns a copy of the current authoritative value of a locally-owned
+// key, or nil if the node does not own it or has never seen it. It is used by
+// evaluation code, not by the training path.
+func (m *MemPS) Lookup(k keys.Key) *embedding.Value {
+	if !m.ownsKey(k) {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if v, ok := m.cache.Get(uint64(k)); ok {
+		return v.Clone()
+	}
+	if v, ok := m.pendingDump[k]; ok {
+		return v.Clone()
+	}
+	m.mu.Unlock()
+	loaded, err := m.cfg.Store.Load([]keys.Key{k})
+	m.mu.Lock()
+	if err != nil {
+		return nil
+	}
+	if v, ok := loaded[k]; ok {
+		return v.Clone()
+	}
+	return nil
+}
+
+// CacheStats returns the cumulative cache statistics (Fig 4c's hit rate).
+func (m *MemPS) CacheStats() cache.Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cache.Stats()
+}
+
+// ResetCacheStats clears the cache statistics (used for per-batch hit-rate
+// reporting).
+func (m *MemPS) ResetCacheStats() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cache.ResetStats()
+}
+
+// Stats returns cumulative MEM-PS statistics.
+func (m *MemPS) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Store exposes the underlying SSD-PS (for inspection and experiments).
+func (m *MemPS) Store() *ssdps.Store { return m.cfg.Store }

@@ -1,0 +1,374 @@
+package memps
+
+import (
+	"testing"
+	"time"
+
+	"hps/internal/blockio"
+	"hps/internal/cluster"
+	"hps/internal/embedding"
+	"hps/internal/hw"
+	"hps/internal/interconnect"
+	"hps/internal/keys"
+	"hps/internal/simtime"
+	"hps/internal/ssdps"
+)
+
+func newStore(t *testing.T, dim int, clock *simtime.Clock) *ssdps.Store {
+	t.Helper()
+	ssd := hw.SSD{
+		ReadBandwidthBytesPerSec:  1 << 30,
+		WriteBandwidthBytesPerSec: 1 << 30,
+		ReadLatency:               10 * time.Microsecond,
+		WriteLatency:              10 * time.Microsecond,
+		BlockBytes:                4096,
+	}
+	dev, err := blockio.NewDevice(t.TempDir(), ssd, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ssdps.Open(dev, ssdps.Config{Dim: dim, ParamsPerFile: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func singleNode(t *testing.T, lru, lfu int) *MemPS {
+	t.Helper()
+	clock := simtime.NewClock()
+	m, err := New(Config{
+		NodeID:     0,
+		Dim:        4,
+		Topology:   cluster.Topology{Nodes: 1, GPUsPerNode: 2},
+		Store:      newStore(t, 4, clock),
+		Clock:      clock,
+		LRUEntries: lru,
+		LFUEntries: lfu,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	clock := simtime.NewClock()
+	store := newStore(t, 4, clock)
+	if _, err := New(Config{Dim: 4, Topology: cluster.Topology{Nodes: 1, GPUsPerNode: 1}}); err == nil {
+		t.Fatal("nil store should fail")
+	}
+	if _, err := New(Config{Dim: 0, Store: store, Topology: cluster.Topology{Nodes: 1, GPUsPerNode: 1}}); err == nil {
+		t.Fatal("zero dim should fail")
+	}
+	if _, err := New(Config{Dim: 4, Store: store, Topology: cluster.Topology{Nodes: 0, GPUsPerNode: 1}}); err == nil {
+		t.Fatal("bad topology should fail")
+	}
+	if _, err := New(Config{Dim: 4, Store: store, Topology: cluster.Topology{Nodes: 2, GPUsPerNode: 1}}); err == nil {
+		t.Fatal("multi-node without transport should fail")
+	}
+	// Memory budget derives cache sizes.
+	m, err := New(Config{
+		Dim: 4, Store: store,
+		Topology:          cluster.Topology{Nodes: 1, GPUsPerNode: 1},
+		MemoryBudgetBytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dim() != 4 || m.NodeID() != 0 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestPrepareCreatesAndCachesParameters(t *testing.T) {
+	m := singleNode(t, 64, 64)
+	ws, err := m.Prepare([]keys.Key{1, 2, 3, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws.Values) != 3 {
+		t.Fatalf("working set has %d values, want 3 (deduplicated)", len(ws.Values))
+	}
+	if len(ws.LocalKeys) != 3 || len(ws.RemoteKeys) != 0 {
+		t.Fatalf("local/remote split wrong: %d/%d", len(ws.LocalKeys), len(ws.RemoteKeys))
+	}
+	if ws.Stats.NewParams != 3 || ws.Stats.CacheMisses != 3 {
+		t.Fatalf("stats = %+v", ws.Stats)
+	}
+	if err := m.CompleteBatch(ws); err != nil {
+		t.Fatal(err)
+	}
+	// Second batch touching the same keys hits the cache.
+	ws2, err := m.Prepare([]keys.Key{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws2.Stats.CacheHits != 3 || ws2.Stats.NewParams != 0 {
+		t.Fatalf("second batch stats = %+v", ws2.Stats)
+	}
+	m.CompleteBatch(ws2)
+	if m.Stats().BatchesPrepared != 2 {
+		t.Fatal("batch counter wrong")
+	}
+}
+
+func TestWorkingSetValuesAreCopies(t *testing.T) {
+	m := singleNode(t, 64, 64)
+	ws, _ := m.Prepare([]keys.Key{7})
+	ws.Values[7].Weights[0] = 1e9 // mutate the copy
+	m.CompleteBatch(ws)
+	if v := m.Lookup(7); v.Weights[0] == 1e9 {
+		t.Fatal("working-set values must be copies of the authoritative parameters")
+	}
+}
+
+func TestApplyUpdates(t *testing.T) {
+	m := singleNode(t, 64, 64)
+	ws, _ := m.Prepare([]keys.Key{5})
+	before := m.Lookup(5).Weights[0]
+
+	delta := embedding.NewValue(4)
+	delta.Weights[0] = 2.5
+	delta.Freq = 3
+	if err := m.ApplyUpdates(map[keys.Key]*embedding.Value{5: delta}); err != nil {
+		t.Fatal(err)
+	}
+	m.CompleteBatch(ws)
+	after := m.Lookup(5)
+	if after.Weights[0] != before+2.5 {
+		t.Fatalf("delta not applied: %v -> %v", before, after.Weights[0])
+	}
+	if after.Freq < 3 {
+		t.Fatalf("freq not accumulated: %d", after.Freq)
+	}
+	// Updates for keys owned by other nodes are ignored, not errors.
+	if err := m.ApplyUpdates(map[keys.Key]*embedding.Value{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictionDumpAndReload(t *testing.T) {
+	clock := simtime.NewClock()
+	store := newStore(t, 4, clock)
+	m, err := New(Config{
+		NodeID:        0,
+		Dim:           4,
+		Topology:      cluster.Topology{Nodes: 1, GPUsPerNode: 1},
+		Store:         store,
+		Clock:         clock,
+		LRUEntries:    8,
+		LFUEntries:    8,
+		DumpBatchSize: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch many distinct parameters so early ones are evicted and dumped.
+	var lastWS *WorkingSet
+	for batch := 0; batch < 10; batch++ {
+		ks := make([]keys.Key, 8)
+		for i := range ks {
+			ks[i] = keys.Key(batch*8 + i)
+		}
+		ws, err := m.Prepare(ks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Give every parameter a recognizable value via an update.
+		deltas := make(map[keys.Key]*embedding.Value)
+		for _, k := range ks {
+			d := embedding.NewValue(4)
+			d.Weights[0] = float32(k) + 1000
+			deltas[k] = d
+		}
+		if err := m.ApplyUpdates(deltas); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.CompleteBatch(ws); err != nil {
+			t.Fatal(err)
+		}
+		lastWS = ws
+	}
+	_ = lastWS
+	if m.Stats().Dumped == 0 {
+		t.Fatal("expected evicted parameters to be dumped to the SSD-PS")
+	}
+	if store.Len() == 0 {
+		t.Fatal("SSD-PS should hold dumped parameters")
+	}
+	// Re-preparing an old, evicted parameter must load it from SSD with its
+	// updated value, not recreate it.
+	ws, err := m.Prepare([]keys.Key{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ws.Values[0].Weights[0]
+	if got < 999 {
+		t.Fatalf("evicted parameter lost its update: %v", got)
+	}
+	if ws.Stats.NewParams != 0 {
+		t.Fatal("old parameter must not be recreated")
+	}
+	m.CompleteBatch(ws)
+}
+
+func TestFlushPersistsEverything(t *testing.T) {
+	m := singleNode(t, 64, 64)
+	ws, _ := m.Prepare([]keys.Key{1, 2, 3})
+	deltas := map[keys.Key]*embedding.Value{}
+	for _, k := range ws.LocalKeys {
+		d := embedding.NewValue(4)
+		d.Weights[0] = 7
+		deltas[k] = d
+	}
+	m.ApplyUpdates(deltas)
+	m.CompleteBatch(ws)
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Store().Len() != 3 {
+		t.Fatalf("store has %d params after flush, want 3", m.Store().Len())
+	}
+	// Flush again (empty) is a no-op.
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Values remain reachable after flush.
+	v := m.Lookup(1)
+	if v == nil || v.Weights[0] == 0 {
+		t.Fatal("flushed value unreachable or lost")
+	}
+}
+
+func TestCacheHitRateGrowsOnSkewedStream(t *testing.T) {
+	m := singleNode(t, 256, 256)
+	hot := make([]keys.Key, 64)
+	for i := range hot {
+		hot[i] = keys.Key(i)
+	}
+	// First pass: cold cache.
+	ws, _ := m.Prepare(hot)
+	m.CompleteBatch(ws)
+	coldRate := m.CacheStats().HitRate()
+	// Repeat passes over the hot set: hit rate must climb.
+	for i := 0; i < 5; i++ {
+		ws, _ := m.Prepare(hot)
+		m.CompleteBatch(ws)
+	}
+	warmRate := m.CacheStats().HitRate()
+	if warmRate <= coldRate {
+		t.Fatalf("hit rate should grow: cold %v warm %v", coldRate, warmRate)
+	}
+	m.ResetCacheStats()
+	if m.CacheStats().Hits != 0 {
+		t.Fatal("ResetCacheStats failed")
+	}
+}
+
+func TestMultiNodeRemotePull(t *testing.T) {
+	clock0 := simtime.NewClock()
+	clock1 := simtime.NewClock()
+	topo := cluster.Topology{Nodes: 2, GPUsPerNode: 1}
+	transport := cluster.NewLocalTransport(4)
+	profile := hw.DefaultGPUNode()
+
+	m0, err := New(Config{
+		NodeID: 0, Dim: 4, Topology: topo, Transport: transport,
+		Store: newStore(t, 4, clock0), Clock: clock0,
+		Fabric:     interconnect.NewFabric(profile, clock0),
+		LRUEntries: 64, LFUEntries: 64, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := New(Config{
+		NodeID: 1, Dim: 4, Topology: topo, Transport: transport,
+		Store: newStore(t, 4, clock1), Clock: clock1,
+		Fabric:     interconnect.NewFabric(profile, clock1),
+		LRUEntries: 64, LFUEntries: 64, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	transport.Register(0, m0)
+	transport.Register(1, m1)
+
+	// Node 0 prepares a batch touching both shards (even keys -> node 0,
+	// odd keys -> node 1).
+	ws, err := m0.Prepare([]keys.Key{2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws.LocalKeys) != 2 || len(ws.RemoteKeys) != 2 {
+		t.Fatalf("split = %d local / %d remote", len(ws.LocalKeys), len(ws.RemoteKeys))
+	}
+	for _, k := range []keys.Key{2, 3, 4, 5} {
+		if _, ok := ws.Values[k]; !ok {
+			t.Fatalf("missing working value for key %d", k)
+		}
+	}
+	if ws.Stats.RemoteTime <= 0 {
+		t.Fatal("remote pull should cost network time")
+	}
+	if clock0.Total(simtime.ResourceNetwork) <= 0 {
+		t.Fatal("network time should be charged to the node clock")
+	}
+	// The remote keys now live in node 1's cache (it served them).
+	if m1.CacheStats().Misses == 0 {
+		t.Fatal("owner should have looked up the served keys")
+	}
+	m0.CompleteBatch(ws)
+
+	// Apply updates on both nodes: node 0 only owns even keys; node 1 odd.
+	deltas := map[keys.Key]*embedding.Value{}
+	for _, k := range []keys.Key{2, 3, 4, 5} {
+		d := embedding.NewValue(4)
+		d.Weights[0] = 5
+		deltas[k] = d
+	}
+	if err := m0.ApplyUpdates(deltas); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.ApplyUpdates(deltas); err != nil {
+		t.Fatal(err)
+	}
+	if m0.Lookup(3) != nil {
+		t.Fatal("node 0 must not own key 3")
+	}
+	v3 := m1.Lookup(3)
+	if v3 == nil {
+		t.Fatal("node 1 should own key 3")
+	}
+	if v3.Weights[0] == 0 {
+		t.Fatal("update to remote key should be applied at its owner")
+	}
+}
+
+func TestHandlePullRejectsForeignKeys(t *testing.T) {
+	topo := cluster.Topology{Nodes: 2, GPUsPerNode: 1}
+	transport := cluster.NewLocalTransport(4)
+	clock := simtime.NewClock()
+	m0, err := New(Config{
+		NodeID: 0, Dim: 4, Topology: topo, Transport: transport,
+		Store: newStore(t, 4, clock), Clock: clock, LRUEntries: 16, LFUEntries: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Key 1 belongs to node 1; node 0 must refuse to serve it.
+	if _, err := m0.HandlePull([]keys.Key{1}); err == nil {
+		t.Fatal("HandlePull should reject keys the node does not own")
+	}
+	if _, err := m0.HandlePull([]keys.Key{2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupUnknownKey(t *testing.T) {
+	m := singleNode(t, 16, 16)
+	if v := m.Lookup(999); v != nil {
+		t.Fatal("unknown key should return nil")
+	}
+}

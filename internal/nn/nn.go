@@ -1,0 +1,317 @@
+// Package nn implements the dense portion of the CTR prediction network of
+// Figure 1: the fully-connected layers that sit on top of the embedding
+// layer, with a sigmoid click-probability output trained by binary
+// cross-entropy.
+//
+// The sparse embedding parameters live in the hierarchical parameter server;
+// this package only sees the pooled embedding vector of an example. The
+// gradient of the loss with respect to that input vector is returned by
+// Backward so the caller can push it back into the embedding parameters
+// (with sum pooling, every referenced feature receives that same gradient).
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hps/internal/optimizer"
+	"hps/internal/tensor"
+)
+
+// Config describes the dense network architecture.
+type Config struct {
+	// InputDim is the width of the pooled embedding input.
+	InputDim int
+	// Hidden are the hidden fully-connected layer widths; each hidden layer
+	// uses a ReLU activation. The output layer is a single sigmoid unit.
+	Hidden []int
+	// Seed seeds weight initialization.
+	Seed int64
+}
+
+type layer struct {
+	w *tensor.Matrix // out x in
+	b []float32
+}
+
+// Network is a feed-forward network with ReLU hidden layers and a single
+// logistic output. It is not safe for concurrent use; each GPU worker holds
+// its own replica (the paper pins dense parameters in every GPU's HBM,
+// Appendix C.4).
+type Network struct {
+	cfg    Config
+	layers []layer
+}
+
+// New constructs a network with Xavier-initialized weights.
+func New(cfg Config) *Network {
+	if cfg.InputDim <= 0 {
+		panic(fmt.Sprintf("nn: invalid input dim %d", cfg.InputDim))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	dims := append([]int{cfg.InputDim}, cfg.Hidden...)
+	dims = append(dims, 1)
+	n := &Network{cfg: cfg}
+	for i := 1; i < len(dims); i++ {
+		l := layer{w: tensor.NewMatrix(dims[i], dims[i-1]), b: make([]float32, dims[i])}
+		l.w.FillRandom(rng)
+		n.layers = append(n.layers, l)
+	}
+	return n
+}
+
+// Config returns the network's configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// NumLayers returns the number of weight layers (hidden layers + output).
+func (n *Network) NumLayers() int { return len(n.layers) }
+
+// ParamCount returns the total number of dense parameters (weights + biases).
+func (n *Network) ParamCount() int64 {
+	var total int64
+	for _, l := range n.layers {
+		total += int64(len(l.w.Data)) + int64(len(l.b))
+	}
+	return total
+}
+
+// FLOPsPerExample estimates the floating point operations of one forward and
+// backward pass for a single example (≈ 6x the weight count: 2x forward, 4x
+// backward). The GPU and CPU cost models consume this estimate.
+func (n *Network) FLOPsPerExample() float64 {
+	var weights int64
+	for _, l := range n.layers {
+		weights += int64(len(l.w.Data))
+	}
+	return 6 * float64(weights)
+}
+
+// Activations holds the per-layer outputs of a forward pass, reused across
+// examples to avoid allocation.
+type Activations struct {
+	// values[0] is the input; values[i] is the post-activation output of
+	// layer i-1. The final entry is the pre-sigmoid logit (length 1).
+	values [][]float32
+}
+
+// NewActivations allocates activation buffers matching the network shape.
+func (n *Network) NewActivations() *Activations {
+	a := &Activations{values: make([][]float32, len(n.layers)+1)}
+	a.values[0] = make([]float32, n.cfg.InputDim)
+	for i, l := range n.layers {
+		a.values[i+1] = make([]float32, l.w.Rows)
+	}
+	return a
+}
+
+// Input returns the buffer the caller fills with the pooled embedding before
+// calling Forward.
+func (a *Activations) Input() []float32 { return a.values[0] }
+
+// Forward runs the network on the input stored in acts.Input() and returns
+// the predicted click probability.
+func (n *Network) Forward(acts *Activations) float32 {
+	for i, l := range n.layers {
+		in := acts.values[i]
+		out := acts.values[i+1]
+		tensor.MatVec(l.w, in, out)
+		tensor.Axpy(1, l.b, out)
+		if i < len(n.layers)-1 {
+			tensor.ReLU(out)
+		}
+	}
+	logit := acts.values[len(n.layers)][0]
+	return tensor.Sigmoid(logit)
+}
+
+// Gradients accumulates dense-parameter gradients over a mini-batch.
+type Gradients struct {
+	w []*tensor.Matrix
+	b [][]float32
+	// Examples counts how many examples were accumulated, for averaging.
+	Examples int
+}
+
+// NewGradients allocates a zeroed gradient accumulator matching the network.
+func (n *Network) NewGradients() *Gradients {
+	g := &Gradients{}
+	for _, l := range n.layers {
+		g.w = append(g.w, tensor.NewMatrix(l.w.Rows, l.w.Cols))
+		g.b = append(g.b, make([]float32, len(l.b)))
+	}
+	return g
+}
+
+// Zero clears the accumulator.
+func (g *Gradients) Zero() {
+	for i := range g.w {
+		g.w[i].Zero()
+		for j := range g.b[i] {
+			g.b[i][j] = 0
+		}
+	}
+	g.Examples = 0
+}
+
+// Add accumulates other into g (used to reduce gradients across workers).
+func (g *Gradients) Add(other *Gradients) {
+	for i := range g.w {
+		tensor.Axpy(1, other.w[i].Data, g.w[i].Data)
+		tensor.Axpy(1, other.b[i], g.b[i])
+	}
+	g.Examples += other.Examples
+}
+
+// Flatten appends all gradient values into a single slice (weights then bias,
+// layer by layer), used by the dense all-reduce.
+func (g *Gradients) Flatten(dst []float32) []float32 {
+	for i := range g.w {
+		dst = append(dst, g.w[i].Data...)
+		dst = append(dst, g.b[i]...)
+	}
+	return dst
+}
+
+// SetFromFlat overwrites the accumulator from a flattened representation
+// produced by Flatten. It returns an error on length mismatch.
+func (g *Gradients) SetFromFlat(flat []float32) error {
+	off := 0
+	for i := range g.w {
+		nw := len(g.w[i].Data)
+		nb := len(g.b[i])
+		if off+nw+nb > len(flat) {
+			return fmt.Errorf("nn: flat gradient too short: %d", len(flat))
+		}
+		copy(g.w[i].Data, flat[off:off+nw])
+		off += nw
+		copy(g.b[i], flat[off:off+nb])
+		off += nb
+	}
+	if off != len(flat) {
+		return fmt.Errorf("nn: flat gradient too long: %d != %d", len(flat), off)
+	}
+	return nil
+}
+
+// Backward computes gradients of the log-loss at (pred, label) for the
+// forward pass recorded in acts, accumulates dense gradients into g, and
+// returns the gradient with respect to the network input (the pooled
+// embedding). The returned slice is owned by the caller.
+func (n *Network) Backward(acts *Activations, pred, label float32, g *Gradients) []float32 {
+	// dL/dlogit for sigmoid + cross-entropy is (pred - label).
+	delta := []float32{pred - label}
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		l := n.layers[i]
+		in := acts.values[i]
+		// Accumulate weight and bias gradients.
+		tensor.OuterAccum(g.w[i], delta, in)
+		tensor.Axpy(1, delta, g.b[i])
+		// Propagate to the layer input.
+		prev := make([]float32, l.w.Cols)
+		tensor.MatTVec(l.w, delta, prev)
+		if i > 0 {
+			// The stored activation of the previous hidden layer is
+			// post-ReLU; zero gradient where the activation was clipped.
+			tensor.ReLUGrad(acts.values[i], prev)
+		}
+		delta = prev
+	}
+	g.Examples++
+	return delta
+}
+
+// DenseState holds optimizer state for every dense parameter block.
+type DenseState struct {
+	w [][]float32
+	b [][]float32
+}
+
+// NewDenseState allocates optimizer state for the network under the given
+// dense optimizer.
+func (n *Network) NewDenseState(opt optimizer.Dense) *DenseState {
+	s := &DenseState{}
+	for _, l := range n.layers {
+		s.w = append(s.w, make([]float32, opt.StateSize(len(l.w.Data))))
+		s.b = append(s.b, make([]float32, opt.StateSize(len(l.b))))
+	}
+	return s
+}
+
+// Apply updates the network parameters with the accumulated gradients,
+// averaged over g.Examples (or applied raw when g.Examples <= 1).
+func (n *Network) Apply(opt optimizer.Dense, state *DenseState, g *Gradients) {
+	scale := float32(1)
+	if g.Examples > 1 {
+		scale = 1 / float32(g.Examples)
+	}
+	for i, l := range n.layers {
+		applyBlock(opt, l.w.Data, state.w[i], g.w[i].Data, scale)
+		applyBlock(opt, l.b, state.b[i], g.b[i], scale)
+	}
+}
+
+func applyBlock(opt optimizer.Dense, w, state, grad []float32, scale float32) {
+	if scale != 1 {
+		scaled := make([]float32, len(grad))
+		copy(scaled, grad)
+		tensor.Scale(scale, scaled)
+		grad = scaled
+	}
+	opt.ApplyDense(w, state, grad)
+}
+
+// FlattenParams appends all network parameters into dst (weights then bias,
+// layer by layer). It is used to replicate dense parameters across GPUs.
+func (n *Network) FlattenParams(dst []float32) []float32 {
+	for _, l := range n.layers {
+		dst = append(dst, l.w.Data...)
+		dst = append(dst, l.b...)
+	}
+	return dst
+}
+
+// SetParams overwrites all network parameters from a flattened representation
+// produced by FlattenParams. It returns an error on length mismatch.
+func (n *Network) SetParams(flat []float32) error {
+	off := 0
+	for _, l := range n.layers {
+		nw := len(l.w.Data)
+		nb := len(l.b)
+		if off+nw+nb > len(flat) {
+			return fmt.Errorf("nn: flat params too short: %d", len(flat))
+		}
+		copy(l.w.Data, flat[off:off+nw])
+		off += nw
+		copy(l.b, flat[off:off+nb])
+		off += nb
+	}
+	if off != len(flat) {
+		return fmt.Errorf("nn: flat params too long: %d != %d", len(flat), off)
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the network (used to give each simulated GPU
+// its own dense replica).
+func (n *Network) Clone() *Network {
+	out := &Network{cfg: n.cfg}
+	for _, l := range n.layers {
+		nl := layer{w: l.w.Clone(), b: append([]float32(nil), l.b...)}
+		out.layers = append(out.layers, nl)
+	}
+	return out
+}
+
+// PoolSum sums the given embedding vectors into dst (which must have the
+// network input dimension); missing vectors are skipped. This is the
+// embedding pooling used between the sparse and dense parts of the model.
+func PoolSum(dst []float32, vecs [][]float32) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, v := range vecs {
+		for i := 0; i < len(dst) && i < len(v); i++ {
+			dst[i] += v[i]
+		}
+	}
+}

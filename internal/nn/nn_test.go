@@ -1,0 +1,317 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hps/internal/optimizer"
+	"hps/internal/tensor"
+)
+
+func testNet() *Network {
+	return New(Config{InputDim: 4, Hidden: []int{8, 4}, Seed: 1})
+}
+
+func TestNewAndParamCount(t *testing.T) {
+	n := testNet()
+	// 4*8+8 + 8*4+4 + 4*1+1 = 40 + 36 + 5 = 81
+	if got := n.ParamCount(); got != 81 {
+		t.Fatalf("ParamCount = %d, want 81", got)
+	}
+	if n.NumLayers() != 3 {
+		t.Fatalf("NumLayers = %d", n.NumLayers())
+	}
+	if n.FLOPsPerExample() <= 0 {
+		t.Fatal("FLOPs must be positive")
+	}
+	if n.Config().InputDim != 4 {
+		t.Fatal("Config accessor wrong")
+	}
+}
+
+func TestNewPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{InputDim: 0})
+}
+
+func TestForwardRange(t *testing.T) {
+	n := testNet()
+	acts := n.NewActivations()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		in := acts.Input()
+		for j := range in {
+			in[j] = rng.Float32()*2 - 1
+		}
+		p := n.Forward(acts)
+		if p <= 0 || p >= 1 || math.IsNaN(float64(p)) {
+			t.Fatalf("prediction %v out of (0,1)", p)
+		}
+	}
+}
+
+func TestForwardDeterministic(t *testing.T) {
+	n1 := New(Config{InputDim: 4, Hidden: []int{8}, Seed: 7})
+	n2 := New(Config{InputDim: 4, Hidden: []int{8}, Seed: 7})
+	a1 := n1.NewActivations()
+	a2 := n2.NewActivations()
+	in := []float32{0.1, -0.2, 0.3, 0.4}
+	copy(a1.Input(), in)
+	copy(a2.Input(), in)
+	if n1.Forward(a1) != n2.Forward(a2) {
+		t.Fatal("identical seeds must give identical predictions")
+	}
+}
+
+// numericalInputGrad estimates dLoss/dInput by central differences.
+func numericalInputGrad(n *Network, input []float32, label float32) []float32 {
+	const h = 1e-3
+	grad := make([]float32, len(input))
+	acts := n.NewActivations()
+	for i := range input {
+		orig := input[i]
+		input[i] = orig + h
+		copy(acts.Input(), input)
+		lp := tensor.LogLoss(n.Forward(acts), label)
+		input[i] = orig - h
+		copy(acts.Input(), input)
+		lm := tensor.LogLoss(n.Forward(acts), label)
+		input[i] = orig
+		grad[i] = float32((lp - lm) / (2 * h))
+	}
+	return grad
+}
+
+func TestBackwardInputGradientMatchesNumerical(t *testing.T) {
+	n := New(Config{InputDim: 5, Hidden: []int{6}, Seed: 3})
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		input := make([]float32, 5)
+		for i := range input {
+			input[i] = rng.Float32()*2 - 1
+		}
+		label := float32(trial % 2)
+		acts := n.NewActivations()
+		copy(acts.Input(), input)
+		pred := n.Forward(acts)
+		g := n.NewGradients()
+		analytic := n.Backward(acts, pred, label, g)
+		numeric := numericalInputGrad(n, input, label)
+		for i := range analytic {
+			diff := math.Abs(float64(analytic[i] - numeric[i]))
+			if diff > 2e-2 && diff > 0.05*math.Abs(float64(numeric[i])) {
+				t.Fatalf("trial %d dim %d: analytic %v vs numeric %v", trial, i, analytic[i], numeric[i])
+			}
+		}
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	// A small network trained on a fixed synthetic function must reduce loss.
+	n := New(Config{InputDim: 4, Hidden: []int{16, 8}, Seed: 5})
+	opt := optimizer.Adagrad{LR: 0.1}
+	state := n.NewDenseState(opt)
+	rng := rand.New(rand.NewSource(6))
+	sample := func() ([]float32, float32) {
+		in := make([]float32, 4)
+		for i := range in {
+			in[i] = rng.Float32()*2 - 1
+		}
+		var label float32
+		if in[0]+in[1]-in[2] > 0 {
+			label = 1
+		}
+		return in, label
+	}
+	lossOver := func(count int) float64 {
+		acts := n.NewActivations()
+		var sum float64
+		r2 := rand.New(rand.NewSource(99))
+		for i := 0; i < count; i++ {
+			in := make([]float32, 4)
+			for j := range in {
+				in[j] = r2.Float32()*2 - 1
+			}
+			var label float32
+			if in[0]+in[1]-in[2] > 0 {
+				label = 1
+			}
+			copy(acts.Input(), in)
+			sum += tensor.LogLoss(n.Forward(acts), label)
+		}
+		return sum / float64(count)
+	}
+	before := lossOver(500)
+	acts := n.NewActivations()
+	g := n.NewGradients()
+	for step := 0; step < 2000; step++ {
+		in, label := sample()
+		copy(acts.Input(), in)
+		pred := n.Forward(acts)
+		g.Zero()
+		n.Backward(acts, pred, label, g)
+		n.Apply(opt, state, g)
+	}
+	after := lossOver(500)
+	if after >= before*0.8 {
+		t.Fatalf("training did not reduce loss: before=%v after=%v", before, after)
+	}
+}
+
+func TestGradientsAddAndZero(t *testing.T) {
+	n := testNet()
+	acts := n.NewActivations()
+	for i := range acts.Input() {
+		acts.Input()[i] = 0.5
+	}
+	pred := n.Forward(acts)
+	g1 := n.NewGradients()
+	g2 := n.NewGradients()
+	n.Backward(acts, pred, 1, g1)
+	n.Backward(acts, pred, 1, g2)
+	g1.Add(g2)
+	if g1.Examples != 2 {
+		t.Fatalf("Examples = %d", g1.Examples)
+	}
+	flat := g1.Flatten(nil)
+	if int64(len(flat)) != n.ParamCount() {
+		t.Fatalf("flat gradient length %d != param count %d", len(flat), n.ParamCount())
+	}
+	g1.Zero()
+	if g1.Examples != 0 {
+		t.Fatal("Zero should reset example count")
+	}
+	for _, v := range g1.Flatten(nil) {
+		if v != 0 {
+			t.Fatal("Zero should clear gradients")
+		}
+	}
+}
+
+func TestGradientsFlattenRoundTrip(t *testing.T) {
+	n := testNet()
+	acts := n.NewActivations()
+	for i := range acts.Input() {
+		acts.Input()[i] = float32(i)
+	}
+	pred := n.Forward(acts)
+	g := n.NewGradients()
+	n.Backward(acts, pred, 0, g)
+	flat := g.Flatten(nil)
+	g2 := n.NewGradients()
+	if err := g2.SetFromFlat(flat); err != nil {
+		t.Fatal(err)
+	}
+	flat2 := g2.Flatten(nil)
+	for i := range flat {
+		if flat[i] != flat2[i] {
+			t.Fatal("flatten round trip mismatch")
+		}
+	}
+	if err := g2.SetFromFlat(flat[:3]); err == nil {
+		t.Fatal("short flat should error")
+	}
+	if err := g2.SetFromFlat(append(flat, 0)); err == nil {
+		t.Fatal("long flat should error")
+	}
+}
+
+func TestParamsFlattenRoundTrip(t *testing.T) {
+	n := testNet()
+	flat := n.FlattenParams(nil)
+	if int64(len(flat)) != n.ParamCount() {
+		t.Fatalf("flat params length %d", len(flat))
+	}
+	n2 := New(Config{InputDim: 4, Hidden: []int{8, 4}, Seed: 99})
+	if err := n2.SetParams(flat); err != nil {
+		t.Fatal(err)
+	}
+	a1 := n.NewActivations()
+	a2 := n2.NewActivations()
+	in := []float32{1, 2, 3, 4}
+	copy(a1.Input(), in)
+	copy(a2.Input(), in)
+	if n.Forward(a1) != n2.Forward(a2) {
+		t.Fatal("SetParams must make networks identical")
+	}
+	if err := n2.SetParams(flat[:5]); err == nil {
+		t.Fatal("short params should error")
+	}
+	if err := n2.SetParams(append(flat, 1)); err == nil {
+		t.Fatal("long params should error")
+	}
+}
+
+func TestClone(t *testing.T) {
+	n := testNet()
+	c := n.Clone()
+	a1 := n.NewActivations()
+	a2 := c.NewActivations()
+	in := []float32{0.5, -0.5, 1, 0}
+	copy(a1.Input(), in)
+	copy(a2.Input(), in)
+	if n.Forward(a1) != c.Forward(a2) {
+		t.Fatal("clone must predict identically")
+	}
+	// Mutating the clone must not affect the original.
+	g := c.NewGradients()
+	c.Backward(a2, c.Forward(a2), 1, g)
+	c.Apply(optimizer.SGD{LR: 1}, c.NewDenseState(optimizer.SGD{LR: 1}), g)
+	copy(a1.Input(), in)
+	copy(a2.Input(), in)
+	if n.Forward(a1) == c.Forward(a2) {
+		t.Fatal("mutating the clone should change its predictions only")
+	}
+}
+
+func TestPoolSum(t *testing.T) {
+	dst := make([]float32, 3)
+	PoolSum(dst, [][]float32{{1, 2, 3}, {1, 1, 1}})
+	if dst[0] != 2 || dst[1] != 3 || dst[2] != 4 {
+		t.Fatalf("PoolSum = %v", dst)
+	}
+	// Pooling again must overwrite, not accumulate.
+	PoolSum(dst, [][]float32{{1, 0, 0}})
+	if dst[0] != 1 || dst[1] != 0 {
+		t.Fatalf("PoolSum overwrite = %v", dst)
+	}
+	// Shorter vectors are tolerated.
+	PoolSum(dst, [][]float32{{5}})
+	if dst[0] != 5 || dst[1] != 0 {
+		t.Fatalf("PoolSum short vec = %v", dst)
+	}
+}
+
+func TestPoolSumProperty(t *testing.T) {
+	f := func(vals []float32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		dim := 4
+		var vecs [][]float32
+		for i := 0; i+dim <= len(vals) && len(vecs) < 16; i += dim {
+			vecs = append(vecs, vals[i:i+dim])
+		}
+		dst := make([]float32, dim)
+		PoolSum(dst, vecs)
+		for j := 0; j < dim; j++ {
+			var want float32
+			for _, v := range vecs {
+				want += v[j]
+			}
+			if dst[j] != want && !(dst[j] != dst[j] && want != want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

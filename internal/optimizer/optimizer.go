@@ -1,0 +1,157 @@
+// Package optimizer implements the gradient-descent update rules used for
+// both the sparse embedding parameters and the dense fully-connected
+// parameters of the CTR model.
+//
+// Optimizers operate on raw float32 slices so the same implementation serves
+// the HBM-PS (updating embedding.Value weights with their Adagrad
+// accumulators), the dense layer parameters replicated on every GPU, and the
+// MPI baseline's CPU updates.
+package optimizer
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sparse updates an embedding vector w given its gradient grad and its
+// per-element accumulator state (e.g. the Adagrad G2 sum). Implementations
+// must tolerate state being nil for stateless rules.
+type Sparse interface {
+	// Name returns the human-readable optimizer name.
+	Name() string
+	// ApplySparse updates w in place. state has the same length as w and is
+	// also updated in place when the rule is stateful.
+	ApplySparse(w, state, grad []float32)
+}
+
+// Dense updates a dense parameter block w given its gradient and an opaque
+// state block of StateSize(len(w)) float32s.
+type Dense interface {
+	// Name returns the human-readable optimizer name.
+	Name() string
+	// StateSize returns how many float32s of state a parameter block of n
+	// elements requires.
+	StateSize(n int) int
+	// ApplyDense updates w in place using grad and state.
+	ApplyDense(w, state, grad []float32)
+}
+
+// SGD is plain stochastic gradient descent: w -= lr * grad.
+type SGD struct {
+	// LR is the learning rate.
+	LR float32
+}
+
+// Name implements Sparse and Dense.
+func (s SGD) Name() string { return "sgd" }
+
+// ApplySparse implements Sparse.
+func (s SGD) ApplySparse(w, state, grad []float32) {
+	checkLens("sgd", w, grad)
+	for i, g := range grad {
+		w[i] -= s.LR * g
+	}
+}
+
+// StateSize implements Dense; SGD keeps no state.
+func (s SGD) StateSize(n int) int { return 0 }
+
+// ApplyDense implements Dense.
+func (s SGD) ApplyDense(w, state, grad []float32) {
+	s.ApplySparse(w, nil, grad)
+}
+
+// Adagrad is the per-coordinate adaptive rule used for sparse CTR embeddings:
+// state_i += g_i^2 ; w_i -= lr * g_i / (sqrt(state_i) + eps).
+type Adagrad struct {
+	// LR is the learning rate.
+	LR float32
+	// Eps avoids division by zero; 1e-6 when zero.
+	Eps float32
+	// InitialAccumulator is added to the state the first time it is used.
+	InitialAccumulator float32
+}
+
+// Name implements Sparse and Dense.
+func (a Adagrad) Name() string { return "adagrad" }
+
+func (a Adagrad) eps() float32 {
+	if a.Eps <= 0 {
+		return 1e-6
+	}
+	return a.Eps
+}
+
+// ApplySparse implements Sparse. state must have the same length as w.
+func (a Adagrad) ApplySparse(w, state, grad []float32) {
+	checkLens("adagrad", w, grad)
+	if len(state) != len(w) {
+		panic(fmt.Sprintf("optimizer: adagrad state length %d != %d", len(state), len(w)))
+	}
+	eps := a.eps()
+	for i, g := range grad {
+		if state[i] == 0 && a.InitialAccumulator > 0 {
+			state[i] = a.InitialAccumulator
+		}
+		state[i] += g * g
+		denom := float32(math.Sqrt(float64(state[i]))) + eps
+		w[i] -= a.LR * g / denom
+	}
+}
+
+// StateSize implements Dense: one accumulator per parameter.
+func (a Adagrad) StateSize(n int) int { return n }
+
+// ApplyDense implements Dense.
+func (a Adagrad) ApplyDense(w, state, grad []float32) {
+	a.ApplySparse(w, state, grad)
+}
+
+// Momentum is SGD with classical momentum: v = mu*v + grad ; w -= lr*v.
+type Momentum struct {
+	// LR is the learning rate.
+	LR float32
+	// Mu is the momentum coefficient (e.g. 0.9).
+	Mu float32
+}
+
+// Name implements Sparse and Dense.
+func (m Momentum) Name() string { return "momentum" }
+
+// ApplySparse implements Sparse. state holds the velocity.
+func (m Momentum) ApplySparse(w, state, grad []float32) {
+	checkLens("momentum", w, grad)
+	if len(state) != len(w) {
+		panic(fmt.Sprintf("optimizer: momentum state length %d != %d", len(state), len(w)))
+	}
+	for i, g := range grad {
+		state[i] = m.Mu*state[i] + g
+		w[i] -= m.LR * state[i]
+	}
+}
+
+// StateSize implements Dense: one velocity per parameter.
+func (m Momentum) StateSize(n int) int { return n }
+
+// ApplyDense implements Dense.
+func (m Momentum) ApplyDense(w, state, grad []float32) {
+	m.ApplySparse(w, state, grad)
+}
+
+func checkLens(name string, w, grad []float32) {
+	if len(w) != len(grad) {
+		panic(fmt.Sprintf("optimizer: %s gradient length %d != parameter length %d", name, len(grad), len(w)))
+	}
+}
+
+// DefaultSparse returns the sparse optimizer used throughout the system when
+// none is configured: Adagrad with the learning rate commonly used for CTR
+// embeddings.
+func DefaultSparse() Sparse {
+	return Adagrad{LR: 0.05, InitialAccumulator: 0.1}
+}
+
+// DefaultDense returns the dense optimizer used when none is configured.
+func DefaultDense() Dense {
+	return Adagrad{LR: 0.01, InitialAccumulator: 0.1}
+}

@@ -1,0 +1,154 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSGD(t *testing.T) {
+	o := SGD{LR: 0.1}
+	w := []float32{1, 2}
+	o.ApplySparse(w, nil, []float32{1, -1})
+	if math.Abs(float64(w[0]-0.9)) > 1e-6 || math.Abs(float64(w[1]-2.1)) > 1e-6 {
+		t.Fatalf("SGD result = %v", w)
+	}
+	if o.StateSize(10) != 0 {
+		t.Fatal("SGD should be stateless")
+	}
+	if o.Name() != "sgd" {
+		t.Fatal("name")
+	}
+}
+
+func TestAdagrad(t *testing.T) {
+	o := Adagrad{LR: 1.0}
+	w := []float32{0}
+	state := []float32{0}
+	o.ApplySparse(w, state, []float32{2})
+	// state = 4, step = 2/(2+eps) ≈ 1
+	if math.Abs(float64(state[0]-4)) > 1e-6 {
+		t.Fatalf("state = %v", state)
+	}
+	if math.Abs(float64(w[0]+1)) > 1e-3 {
+		t.Fatalf("w = %v", w)
+	}
+	// Second identical gradient should take a smaller step.
+	before := w[0]
+	o.ApplySparse(w, state, []float32{2})
+	step2 := float64(before - w[0])
+	if step2 >= 1.0 {
+		t.Fatalf("adagrad second step %v should shrink", step2)
+	}
+	if o.StateSize(5) != 5 {
+		t.Fatal("adagrad state size")
+	}
+}
+
+func TestAdagradInitialAccumulator(t *testing.T) {
+	o := Adagrad{LR: 1.0, InitialAccumulator: 1.0}
+	w := []float32{0}
+	state := []float32{0}
+	o.ApplySparse(w, state, []float32{1})
+	// state = 1 (init) + 1 = 2
+	if math.Abs(float64(state[0]-2)) > 1e-6 {
+		t.Fatalf("state = %v", state)
+	}
+}
+
+func TestMomentum(t *testing.T) {
+	o := Momentum{LR: 0.1, Mu: 0.9}
+	w := []float32{0}
+	state := []float32{0}
+	o.ApplySparse(w, state, []float32{1})
+	if math.Abs(float64(w[0]+0.1)) > 1e-6 {
+		t.Fatalf("first step w = %v", w)
+	}
+	o.ApplySparse(w, state, []float32{1})
+	// velocity = 0.9 + 1 = 1.9, w = -0.1 - 0.19 = -0.29
+	if math.Abs(float64(w[0]+0.29)) > 1e-5 {
+		t.Fatalf("second step w = %v", w)
+	}
+	if o.StateSize(3) != 3 {
+		t.Fatal("momentum state size")
+	}
+}
+
+func TestDenseEqualsSparse(t *testing.T) {
+	// ApplyDense and ApplySparse must be the same rule for every optimizer.
+	opts := []interface {
+		Sparse
+		Dense
+	}{SGD{LR: 0.1}, Adagrad{LR: 0.1}, Momentum{LR: 0.1, Mu: 0.5}}
+	for _, o := range opts {
+		w1 := []float32{1, -1, 0.5}
+		w2 := []float32{1, -1, 0.5}
+		s1 := make([]float32, o.StateSize(3))
+		s2 := make([]float32, o.StateSize(3))
+		g := []float32{0.3, -0.2, 0.1}
+		if o.StateSize(3) == 0 {
+			s1, s2 = nil, nil
+		}
+		o.ApplySparse(w1, s1, g)
+		o.ApplyDense(w2, s2, g)
+		for i := range w1 {
+			if w1[i] != w2[i] {
+				t.Fatalf("%s dense != sparse at %d: %v vs %v", o.Name(), i, w1[i], w2[i])
+			}
+		}
+	}
+}
+
+func TestGradientDescentDirectionProperty(t *testing.T) {
+	// For every optimizer, a positive gradient must never increase the
+	// parameter and a negative gradient must never decrease it.
+	opts := []Sparse{SGD{LR: 0.1}, Adagrad{LR: 0.1}, Momentum{LR: 0.1, Mu: 0.9}}
+	for _, o := range opts {
+		f := func(w0, g float32) bool {
+			if math.IsNaN(float64(w0)) || math.IsNaN(float64(g)) ||
+				math.IsInf(float64(w0), 0) || math.IsInf(float64(g), 0) {
+				return true
+			}
+			w := []float32{w0}
+			state := []float32{0}
+			o.ApplySparse(w, state, []float32{g})
+			if g > 0 {
+				return w[0] <= w0
+			}
+			if g < 0 {
+				return w[0] >= w0
+			}
+			return w[0] == w0
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatalf("%s: %v", o.Name(), err)
+		}
+	}
+}
+
+func TestLengthPanics(t *testing.T) {
+	cases := []func(){
+		func() { SGD{LR: 1}.ApplySparse([]float32{1}, nil, []float32{1, 2}) },
+		func() { Adagrad{LR: 1}.ApplySparse([]float32{1}, []float32{}, []float32{1}) },
+		func() { Momentum{LR: 1}.ApplySparse([]float32{1, 2}, []float32{0}, []float32{1, 2}) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	if DefaultSparse() == nil || DefaultDense() == nil {
+		t.Fatal("defaults must not be nil")
+	}
+	if DefaultSparse().Name() != "adagrad" {
+		t.Fatal("default sparse should be adagrad (CTR convention)")
+	}
+}

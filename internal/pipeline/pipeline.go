@@ -1,0 +1,223 @@
+// Package pipeline implements the 4-stage prefetch pipeline of Section 3 and
+// Appendix B.
+//
+// The training workflow has four time-consuming tasks — data transferring
+// (network), parameter partitioning (CPU), materialized parameter
+// loading/dumping (SSD) and neural network training (GPU) — that use
+// independent hardware resources. The pipeline runs one worker per stage,
+// connected by bounded prefetch queues: a worker stalls when the next stage's
+// queue is full, and the steady-state batch latency is governed by the
+// slowest stage rather than the sum of all stages.
+//
+// The pipeline is generic over the job type so the same machinery drives the
+// trainer and the ablation benchmarks.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrStopped is returned by Run when the context is cancelled before the
+// source is exhausted.
+var ErrStopped = errors.New("pipeline: stopped")
+
+// Stage is one step of the pipeline.
+type Stage[T any] struct {
+	// Name identifies the stage in statistics (e.g. "read", "pull", "train").
+	Name string
+	// QueueSize is the capacity of the stage's prefetch queue ("the capacity
+	// of the prefetch queue is pre-set according to the execution time of
+	// each stage"). Values < 1 are treated as 1.
+	QueueSize int
+	// Fn processes one job and returns the job handed to the next stage.
+	Fn func(context.Context, T) (T, error)
+}
+
+// StageStats reports what one stage did during a run.
+type StageStats struct {
+	// Name is the stage name.
+	Name string
+	// Jobs is the number of jobs the stage processed.
+	Jobs int64
+	// Busy is the cumulative wall-clock time spent inside the stage function.
+	Busy time.Duration
+	// Stalled is the cumulative wall-clock time spent blocked pushing into
+	// the next stage's full queue (backpressure).
+	Stalled time.Duration
+}
+
+// Pipeline executes a fixed sequence of stages over a stream of jobs.
+type Pipeline[T any] struct {
+	stages []Stage[T]
+
+	mu    sync.Mutex
+	stats []StageStats
+}
+
+// New constructs a pipeline from the given stages. It panics if no stages are
+// provided (a pipeline needs at least one).
+func New[T any](stages ...Stage[T]) *Pipeline[T] {
+	if len(stages) == 0 {
+		panic("pipeline: no stages")
+	}
+	p := &Pipeline[T]{stages: stages}
+	p.stats = make([]StageStats, len(stages))
+	for i, s := range stages {
+		p.stats[i].Name = s.Name
+	}
+	return p
+}
+
+// NumStages returns the number of stages.
+func (p *Pipeline[T]) NumStages() int { return len(p.stages) }
+
+// Stats returns a copy of the per-stage statistics of the most recent (or
+// in-progress) run.
+func (p *Pipeline[T]) Stats() []StageStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]StageStats(nil), p.stats...)
+}
+
+func (p *Pipeline[T]) addStat(i int, busy, stalled time.Duration) {
+	p.mu.Lock()
+	p.stats[i].Jobs++
+	p.stats[i].Busy += busy
+	p.stats[i].Stalled += stalled
+	p.mu.Unlock()
+}
+
+// Run pulls jobs from source until it reports no more jobs (ok == false),
+// passes each job through every stage in order, and hands the final result to
+// sink. Source, every stage, and sink each run on their own goroutine with
+// bounded queues between them. Run returns the first error encountered, or
+// ErrStopped if ctx is cancelled first; in either case all goroutines are
+// shut down before Run returns.
+func (p *Pipeline[T]) Run(ctx context.Context, source func(context.Context) (T, bool, error), sink func(context.Context, T) error) error {
+	if source == nil {
+		return errors.New("pipeline: nil source")
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// One error slot; the first error wins and cancels everything else.
+	var (
+		errOnce sync.Once
+		runErr  error
+	)
+	fail := func(err error) {
+		if err == nil {
+			return
+		}
+		errOnce.Do(func() {
+			runErr = err
+			cancel()
+		})
+	}
+
+	// Build the chain of channels: source -> q0 -> stage0 -> q1 -> ... -> sink.
+	queues := make([]chan T, len(p.stages)+1)
+	for i, s := range p.stages {
+		size := s.QueueSize
+		if size < 1 {
+			size = 1
+		}
+		queues[i] = make(chan T, size)
+	}
+	queues[len(p.stages)] = make(chan T, 1)
+
+	var wg sync.WaitGroup
+
+	// Source goroutine.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(queues[0])
+		for {
+			job, ok, err := source(runCtx)
+			if err != nil {
+				fail(err)
+				return
+			}
+			if !ok {
+				return
+			}
+			select {
+			case queues[0] <- job:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+
+	// Stage goroutines.
+	for i, s := range p.stages {
+		wg.Add(1)
+		go func(i int, s Stage[T]) {
+			defer wg.Done()
+			defer close(queues[i+1])
+			for job := range queues[i] {
+				start := time.Now()
+				out, err := s.Fn(runCtx, job)
+				busy := time.Since(start)
+				if err != nil {
+					fail(fmt.Errorf("pipeline stage %q: %w", s.Name, err))
+					return
+				}
+				pushStart := time.Now()
+				select {
+				case queues[i+1] <- out:
+				case <-runCtx.Done():
+					p.addStat(i, busy, time.Since(pushStart))
+					return
+				}
+				p.addStat(i, busy, time.Since(pushStart))
+			}
+		}(i, s)
+	}
+
+	// Sink goroutine.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for job := range queues[len(p.stages)] {
+			if sink == nil {
+				continue
+			}
+			if err := sink(runCtx, job); err != nil {
+				fail(fmt.Errorf("pipeline sink: %w", err))
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	if runErr != nil {
+		return runErr
+	}
+	if ctx.Err() != nil {
+		return ErrStopped
+	}
+	return nil
+}
+
+// BottleneckStage returns the name and busy time of the stage with the
+// largest cumulative busy time — the stage that bounds steady-state
+// throughput ("the overall execution time for each batch is dominated by the
+// slowest stage", Section 7.2).
+func (p *Pipeline[T]) BottleneckStage() (string, time.Duration) {
+	stats := p.Stats()
+	var name string
+	var max time.Duration
+	for _, s := range stats {
+		if s.Busy >= max {
+			max = s.Busy
+			name = s.Name
+		}
+	}
+	return name, max
+}

@@ -1,0 +1,194 @@
+// Package reference implements a plain, single-process CTR trainer: an
+// in-memory embedding table feeding the dense network, trained example by
+// example with Adagrad.
+//
+// It serves three roles in the reproduction:
+//
+//   - the "Baseline DNN" and "Hash+DNN" rows of Tables 1 and 2 (trained on
+//     raw or OP+OSRP-hashed features),
+//   - the learner inside the MPI-cluster baseline (internal/mpips), whose
+//     cost model wraps this trainer,
+//   - the accuracy oracle the hierarchical parameter server is compared
+//     against in Fig 3(b): both must converge to the same quality.
+package reference
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hps/internal/dataset"
+	"hps/internal/embedding"
+	"hps/internal/keys"
+	"hps/internal/metrics"
+	"hps/internal/nn"
+	"hps/internal/optimizer"
+	"hps/internal/tensor"
+)
+
+// Config configures a reference trainer.
+type Config struct {
+	// EmbeddingDim is the per-feature embedding width.
+	EmbeddingDim int
+	// Hidden are the dense tower layer widths.
+	Hidden []int
+	// SparseLR / DenseLR are the Adagrad learning rates (defaults 0.05 / 0.01).
+	SparseLR, DenseLR float32
+	// Seed seeds parameter initialization.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.EmbeddingDim <= 0 {
+		c.EmbeddingDim = 8
+	}
+	if len(c.Hidden) == 0 {
+		c.Hidden = []int{64, 32}
+	}
+	if c.SparseLR <= 0 {
+		c.SparseLR = 0.05
+	}
+	if c.DenseLR <= 0 {
+		c.DenseLR = 0.01
+	}
+	return c
+}
+
+// Trainer is a single-process CTR model. It is not safe for concurrent use.
+type Trainer struct {
+	cfg        Config
+	table      *embedding.Table
+	net        *nn.Network
+	denseState *nn.DenseState
+	sparseOpt  optimizer.Sparse
+	denseOpt   optimizer.Dense
+	acts       *nn.Activations
+	grads      *nn.Gradients
+	rng        *rand.Rand
+	examples   int64
+}
+
+// New constructs a trainer.
+func New(cfg Config) *Trainer {
+	cfg = cfg.withDefaults()
+	net := nn.New(nn.Config{InputDim: cfg.EmbeddingDim, Hidden: cfg.Hidden, Seed: cfg.Seed})
+	denseOpt := optimizer.Adagrad{LR: cfg.DenseLR, InitialAccumulator: 0.1}
+	t := &Trainer{
+		cfg:        cfg,
+		table:      embedding.NewTable(cfg.EmbeddingDim),
+		net:        net,
+		denseState: net.NewDenseState(denseOpt),
+		sparseOpt:  optimizer.Adagrad{LR: cfg.SparseLR, InitialAccumulator: 0.1},
+		denseOpt:   denseOpt,
+		acts:       net.NewActivations(),
+		grads:      net.NewGradients(),
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+	}
+	return t
+}
+
+// EmbeddingDim returns the embedding width.
+func (t *Trainer) EmbeddingDim() int { return t.cfg.EmbeddingDim }
+
+// Network returns the dense tower (for parameter counting).
+func (t *Trainer) Network() *nn.Network { return t.net }
+
+// Examples returns the number of training examples seen.
+func (t *Trainer) Examples() int64 { return t.examples }
+
+// EmbeddingCount returns the number of distinct sparse parameters
+// materialized so far (the "# Nonzero Weights" of Tables 1-2 counts each
+// embedding element; see NonZeroWeights).
+func (t *Trainer) EmbeddingCount() int { return t.table.Len() }
+
+// NonZeroWeights returns the number of individual non-zero model weights:
+// embedding elements plus dense parameters.
+func (t *Trainer) NonZeroWeights() int64 {
+	var nz int64
+	t.table.Range(func(_ uint64, v *embedding.Value) bool {
+		for _, w := range v.Weights {
+			if w != 0 {
+				nz++
+			}
+		}
+		return true
+	})
+	return nz + t.net.ParamCount()
+}
+
+// lookup returns (creating if needed) the embedding value for a feature.
+func (t *Trainer) lookup(k keys.Key) *embedding.Value {
+	if v := t.table.Get(uint64(k)); v != nil {
+		return v
+	}
+	v := embedding.NewRandomValue(t.cfg.EmbeddingDim, t.rng)
+	t.table.Put(uint64(k), v)
+	return v
+}
+
+// Predict returns the click probability for a feature set without training.
+func (t *Trainer) Predict(features []keys.Key) float32 {
+	vecs := make([][]float32, 0, len(features))
+	for _, k := range features {
+		if v := t.table.Get(uint64(k)); v != nil {
+			vecs = append(vecs, v.Weights)
+		}
+	}
+	nn.PoolSum(t.acts.Input(), vecs)
+	return t.net.Forward(t.acts)
+}
+
+// TrainExample performs one SGD step and returns the example's log-loss
+// before the update.
+func (t *Trainer) TrainExample(ex dataset.Example) float64 {
+	values := make([]*embedding.Value, len(ex.Features))
+	vecs := make([][]float32, len(ex.Features))
+	for i, k := range ex.Features {
+		values[i] = t.lookup(k)
+		vecs[i] = values[i].Weights
+	}
+	nn.PoolSum(t.acts.Input(), vecs)
+	pred := t.net.Forward(t.acts)
+	loss := tensor.LogLoss(pred, ex.Label)
+
+	t.grads.Zero()
+	inputGrad := t.net.Backward(t.acts, pred, ex.Label, t.grads)
+	t.net.Apply(t.denseOpt, t.denseState, t.grads)
+	// With sum pooling every referenced feature receives the input gradient.
+	for _, v := range values {
+		t.sparseOpt.ApplySparse(v.Weights, v.G2Sum, inputGrad)
+		v.Freq++
+	}
+	t.examples++
+	return loss
+}
+
+// TrainBatch trains on every example of a batch and returns the mean loss.
+func (t *Trainer) TrainBatch(b *dataset.Batch) float64 {
+	if b.Len() == 0 {
+		return 0
+	}
+	var sum float64
+	for _, ex := range b.Examples {
+		sum += t.TrainExample(ex)
+	}
+	return sum / float64(b.Len())
+}
+
+// Evaluate computes the AUC of the current model over n fresh examples drawn
+// from gen.
+func (t *Trainer) Evaluate(gen *dataset.Generator, n int) float64 {
+	scores := make([]float64, 0, n)
+	labels := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		ex := gen.NextExample()
+		scores = append(scores, float64(t.Predict(ex.Features)))
+		labels = append(labels, float64(ex.Label))
+	}
+	return metrics.AUC(scores, labels)
+}
+
+// String implements fmt.Stringer.
+func (t *Trainer) String() string {
+	return fmt.Sprintf("reference.Trainer{dim=%d embeddings=%d examples=%d}",
+		t.cfg.EmbeddingDim, t.table.Len(), t.examples)
+}

@@ -1,0 +1,95 @@
+package reference
+
+import (
+	"testing"
+
+	"hps/internal/dataset"
+	"hps/internal/keys"
+)
+
+func TestDefaults(t *testing.T) {
+	tr := New(Config{})
+	if tr.EmbeddingDim() != 8 {
+		t.Fatalf("default dim = %d", tr.EmbeddingDim())
+	}
+	if tr.Network() == nil {
+		t.Fatal("network nil")
+	}
+	if tr.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestPredictUntrained(t *testing.T) {
+	tr := New(Config{EmbeddingDim: 4, Hidden: []int{8}})
+	p := tr.Predict([]keys.Key{1, 2, 3})
+	if p <= 0 || p >= 1 {
+		t.Fatalf("prediction %v out of range", p)
+	}
+	// Unknown features are skipped, not created.
+	if tr.EmbeddingCount() != 0 {
+		t.Fatal("Predict must not create embeddings")
+	}
+}
+
+func TestTrainCreatesEmbeddings(t *testing.T) {
+	tr := New(Config{EmbeddingDim: 4, Hidden: []int{8}, Seed: 1})
+	ex := dataset.Example{Features: []keys.Key{10, 20, 30}, Label: 1}
+	loss := tr.TrainExample(ex)
+	if loss <= 0 {
+		t.Fatalf("loss = %v", loss)
+	}
+	if tr.EmbeddingCount() != 3 {
+		t.Fatalf("embedding count = %d", tr.EmbeddingCount())
+	}
+	if tr.Examples() != 1 {
+		t.Fatal("example counter")
+	}
+	if tr.NonZeroWeights() <= tr.Network().ParamCount() {
+		t.Fatal("non-zero weights should include embeddings")
+	}
+}
+
+func TestTrainingMovesPredictionTowardLabel(t *testing.T) {
+	tr := New(Config{EmbeddingDim: 4, Hidden: []int{16}, Seed: 2, SparseLR: 0.1, DenseLR: 0.05})
+	feats := []keys.Key{1, 2, 3, 4}
+	before := tr.Predict(feats)
+	for i := 0; i < 50; i++ {
+		tr.TrainExample(dataset.Example{Features: feats, Label: 1})
+	}
+	after := tr.Predict(feats)
+	if after <= before {
+		t.Fatalf("training toward 1 should raise prediction: %v -> %v", before, after)
+	}
+}
+
+func TestLearnsSyntheticCTRBeatsChance(t *testing.T) {
+	cfg := dataset.Config{NumFeatures: 3000, NonZerosPerExample: 15}
+	train := dataset.NewGenerator(cfg, 1)
+	test := dataset.NewGenerator(cfg, 2)
+	tr := New(Config{EmbeddingDim: 8, Hidden: []int{32, 16}, Seed: 3})
+	for i := 0; i < 6000; i++ {
+		tr.TrainExample(train.NextExample())
+	}
+	auc := tr.Evaluate(test, 1500)
+	if auc < 0.65 {
+		t.Fatalf("reference trainer AUC = %v, want > 0.65", auc)
+	}
+}
+
+func TestTrainBatch(t *testing.T) {
+	gen := dataset.NewGenerator(dataset.Config{NumFeatures: 500, NonZerosPerExample: 5}, 4)
+	tr := New(Config{EmbeddingDim: 4, Hidden: []int{8}, Seed: 5})
+	b := gen.NextBatch(32)
+	loss := tr.TrainBatch(b)
+	if loss <= 0 {
+		t.Fatalf("batch loss = %v", loss)
+	}
+	if tr.Examples() != 32 {
+		t.Fatal("batch training should count every example")
+	}
+	var empty dataset.Batch
+	if tr.TrainBatch(&empty) != 0 {
+		t.Fatal("empty batch loss should be 0")
+	}
+}

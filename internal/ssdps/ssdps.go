@@ -1,0 +1,429 @@
+// Package ssdps implements the SSD parameter server (Section 6, Appendix E):
+// the bottom tier of the hierarchy, holding the materialized
+// out-of-main-memory sparse parameters in files on the local SSD.
+//
+// Parameters are organized in file granularity. A parameter-to-file mapping
+// lives in main memory; loads read whole files (accepting read amplification
+// in exchange for sequential bandwidth), updates are written in batches as
+// new files (never in place), superseded copies become stale, and a
+// compaction pass merges files dominated by stale values to bound disk usage
+// at roughly 2x the live parameter size.
+package ssdps
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"hps/internal/blockio"
+	"hps/internal/embedding"
+	"hps/internal/keys"
+)
+
+// Config configures the store.
+type Config struct {
+	// Dim is the embedding dimension of stored values.
+	Dim int
+	// ParamsPerFile is how many parameters a parameter file holds; it trades
+	// SSD bandwidth utilization against read amplification (Appendix E,
+	// "we tune the file size to obtain the optimal performance").
+	ParamsPerFile int
+	// DiskUsageThresholdBytes triggers compaction when the device's live file
+	// usage exceeds it; 0 uses the device capacity (or disables the trigger
+	// when the device reports no capacity).
+	DiskUsageThresholdBytes int64
+	// StaleFractionToCompact is the minimum fraction of stale parameters a
+	// file must contain to be merged during compaction (0.5 per the paper,
+	// bounding disk usage at 1/0.5 = 2x the live size).
+	StaleFractionToCompact float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dim <= 0 {
+		c.Dim = 8
+	}
+	if c.ParamsPerFile <= 0 {
+		c.ParamsPerFile = 256
+	}
+	if c.StaleFractionToCompact <= 0 || c.StaleFractionToCompact > 1 {
+		c.StaleFractionToCompact = 0.5
+	}
+	return c
+}
+
+// Stats describes the state and activity of the store.
+type Stats struct {
+	// Files is the number of live parameter files.
+	Files int
+	// LiveParams is the number of parameters reachable through the mapping.
+	LiveParams int64
+	// StaleParams is the number of superseded parameter copies still on disk.
+	StaleParams int64
+	// Compactions counts completed compaction passes.
+	Compactions int64
+	// CompactedFiles counts files merged away by compaction.
+	CompactedFiles int64
+	// Loads and Dumps count operations.
+	Loads, Dumps int64
+	// UsageBytes is the physical disk usage of live files.
+	UsageBytes int64
+}
+
+type fileMeta struct {
+	name  string
+	total int // parameters written into the file
+	stale int // parameters superseded by newer files
+}
+
+// Store is an SSD-backed parameter store. It is safe for concurrent use.
+type Store struct {
+	cfg Config
+	dev *blockio.Device
+
+	mu      sync.Mutex
+	nextID  int64
+	mapping map[keys.Key]string    // parameter -> file name
+	files   map[string]*fileMeta   // file name -> metadata
+	stats   Stats
+}
+
+// Open creates a store on top of dev. The directory may be empty (a fresh
+// store) — recovering an existing store's mapping from disk is supported via
+// Recover.
+func Open(dev *blockio.Device, cfg Config) (*Store, error) {
+	if dev == nil {
+		return nil, errors.New("ssdps: nil device")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.DiskUsageThresholdBytes == 0 {
+		cfg.DiskUsageThresholdBytes = dev.CapacityBytes()
+	}
+	return &Store{
+		cfg:     cfg,
+		dev:     dev,
+		mapping: make(map[keys.Key]string),
+		files:   make(map[string]*fileMeta),
+	}, nil
+}
+
+// Recover rebuilds the in-memory parameter-to-file mapping by scanning every
+// parameter file on the device in creation order (later files supersede
+// earlier ones). It is used when reopening a directory written by a previous
+// run.
+func (s *Store) Recover() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := s.dev.ListFiles()
+	sort.Strings(names) // zero-padded ids sort in creation order
+	for _, name := range names {
+		data, err := s.dev.ReadFile(name)
+		if err != nil {
+			return fmt.Errorf("ssdps: recover %s: %w", name, err)
+		}
+		recs, err := decodeFile(data)
+		if err != nil {
+			return fmt.Errorf("ssdps: recover %s: %w", name, err)
+		}
+		meta := &fileMeta{name: name, total: len(recs)}
+		for _, r := range recs {
+			if prev, ok := s.mapping[r.key]; ok {
+				s.files[prev].stale++
+			}
+			s.mapping[r.key] = name
+		}
+		s.files[name] = meta
+		if id := parseFileID(name); id >= s.nextID {
+			s.nextID = id + 1
+		}
+	}
+	// Recompute stale counts consistently.
+	for _, meta := range s.files {
+		live := 0
+		for k, f := range s.mapping {
+			_ = k
+			if f == meta.name {
+				live++
+			}
+		}
+		meta.stale = meta.total - live
+	}
+	return nil
+}
+
+// Dim returns the embedding dimension of stored values.
+func (s *Store) Dim() int { return s.cfg.Dim }
+
+// Contains reports whether the store holds a value for k.
+func (s *Store) Contains(k keys.Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.mapping[k]
+	return ok
+}
+
+// Len returns the number of live parameters.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.mapping)
+}
+
+// record is one (key, value) entry in a parameter file.
+type record struct {
+	key   keys.Key
+	value *embedding.Value
+}
+
+func encodeFile(recs []record) []byte {
+	var buf []byte
+	var scratch [8]byte
+	for _, r := range recs {
+		binary.LittleEndian.PutUint64(scratch[:], uint64(r.key))
+		buf = append(buf, scratch[:]...)
+		buf = r.value.AppendEncode(buf)
+	}
+	return buf
+}
+
+func decodeFile(data []byte) ([]record, error) {
+	var out []record
+	off := 0
+	for off < len(data) {
+		if off+8 > len(data) {
+			return nil, fmt.Errorf("ssdps: truncated key at offset %d", off)
+		}
+		k := keys.Key(binary.LittleEndian.Uint64(data[off : off+8]))
+		off += 8
+		v, n, err := embedding.Decode(data[off:])
+		if err != nil {
+			return nil, fmt.Errorf("ssdps: decode value at offset %d: %w", off, err)
+		}
+		off += n
+		out = append(out, record{key: k, value: v})
+	}
+	return out, nil
+}
+
+func parseFileID(name string) int64 {
+	var id int64
+	_, err := fmt.Sscanf(name, "pf-%d.dat", &id)
+	if err != nil {
+		return -1
+	}
+	return id
+}
+
+func (s *Store) newFileName() string {
+	name := fmt.Sprintf("pf-%012d.dat", s.nextID)
+	s.nextID++
+	return name
+}
+
+// Load returns the values of the requested keys that exist in the store.
+// Whole parameter files are read; the requested parameters are decoded and
+// everything else is I/O amplification accounted by the device. Missing keys
+// are simply absent from the result.
+func (s *Store) Load(ks []keys.Key) (map[keys.Key]*embedding.Value, error) {
+	s.mu.Lock()
+	// Group requested keys by the file that holds their latest version.
+	byFile := make(map[string][]keys.Key)
+	for _, k := range ks {
+		if name, ok := s.mapping[k]; ok {
+			byFile[name] = append(byFile[name], k)
+		}
+	}
+	s.stats.Loads++
+	s.mu.Unlock()
+
+	out := make(map[keys.Key]*embedding.Value, len(ks))
+	for name, wanted := range byFile {
+		wantedBytes := int64(len(wanted)) * int64(8+embedding.EncodedSize(s.cfg.Dim))
+		data, err := s.dev.ReadPartial(name, wantedBytes)
+		if err != nil {
+			return nil, fmt.Errorf("ssdps: load: %w", err)
+		}
+		recs, err := decodeFile(data)
+		if err != nil {
+			return nil, fmt.Errorf("ssdps: load %s: %w", name, err)
+		}
+		wantedSet := make(map[keys.Key]bool, len(wanted))
+		for _, k := range wanted {
+			wantedSet[k] = true
+		}
+		for _, r := range recs {
+			if wantedSet[r.key] {
+				// Only accept the record if this file is still the mapped
+				// owner of the key (it is, we grouped by mapping), and prefer
+				// the last occurrence within the file.
+				out[r.key] = r.value
+			}
+		}
+	}
+	return out, nil
+}
+
+// Dump writes the given parameters to the store as new parameter files
+// (chunked to ParamsPerFile), updates the parameter-to-file mapping, and
+// marks superseded copies stale. Keys are written in sorted order so dumps
+// are deterministic.
+func (s *Store) Dump(vals map[keys.Key]*embedding.Value) error {
+	if len(vals) == 0 {
+		return nil
+	}
+	sorted := make([]keys.Key, 0, len(vals))
+	for k := range vals {
+		sorted = append(sorted, k)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	for start := 0; start < len(sorted); start += s.cfg.ParamsPerFile {
+		end := start + s.cfg.ParamsPerFile
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		chunk := sorted[start:end]
+		recs := make([]record, 0, len(chunk))
+		for _, k := range chunk {
+			recs = append(recs, record{key: k, value: vals[k]})
+		}
+
+		s.mu.Lock()
+		name := s.newFileName()
+		s.mu.Unlock()
+
+		if err := s.dev.WriteFile(name, encodeFile(recs)); err != nil {
+			return fmt.Errorf("ssdps: dump: %w", err)
+		}
+
+		s.mu.Lock()
+		s.files[name] = &fileMeta{name: name, total: len(recs)}
+		for _, k := range chunk {
+			if prev, ok := s.mapping[k]; ok {
+				if meta, ok := s.files[prev]; ok {
+					meta.stale++
+				}
+			}
+			s.mapping[k] = name
+		}
+		s.stats.Dumps++
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// NeedsCompaction reports whether live disk usage exceeds the configured
+// threshold.
+func (s *Store) NeedsCompaction() bool {
+	if s.cfg.DiskUsageThresholdBytes <= 0 {
+		return false
+	}
+	return s.dev.UsageBytes() > s.cfg.DiskUsageThresholdBytes
+}
+
+// CompactIfNeeded runs a compaction pass when NeedsCompaction reports true.
+// It returns whether a pass ran.
+func (s *Store) CompactIfNeeded() (bool, error) {
+	if !s.NeedsCompaction() {
+		return false, nil
+	}
+	return true, s.Compact()
+}
+
+// Compact merges every file whose stale fraction meets the configured
+// threshold: live parameters are collected and rewritten as new files, then
+// the old files are erased and the mapping updated (Appendix E).
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	victims := make([]*fileMeta, 0)
+	for _, meta := range s.files {
+		if meta.total == 0 {
+			victims = append(victims, meta)
+			continue
+		}
+		if float64(meta.stale)/float64(meta.total) >= s.cfg.StaleFractionToCompact {
+			victims = append(victims, meta)
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].name < victims[j].name })
+	victimSet := make(map[string]bool, len(victims))
+	for _, v := range victims {
+		victimSet[v.name] = true
+	}
+	s.mu.Unlock()
+
+	if len(victims) == 0 {
+		return nil
+	}
+
+	// Collect the live parameters of every victim file.
+	live := make(map[keys.Key]*embedding.Value)
+	for _, v := range victims {
+		data, err := s.dev.ReadFile(v.name)
+		if err != nil {
+			return fmt.Errorf("ssdps: compact read %s: %w", v.name, err)
+		}
+		recs, err := decodeFile(data)
+		if err != nil {
+			return fmt.Errorf("ssdps: compact decode %s: %w", v.name, err)
+		}
+		s.mu.Lock()
+		for _, r := range recs {
+			if s.mapping[r.key] == v.name {
+				live[r.key] = r.value
+			}
+		}
+		s.mu.Unlock()
+	}
+
+	// Rewrite the live parameters as fresh files (this also updates the
+	// mapping and marks the victims' remaining copies stale).
+	if err := s.Dump(live); err != nil {
+		return fmt.Errorf("ssdps: compact rewrite: %w", err)
+	}
+
+	// Erase the victims.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, v := range victims {
+		if err := s.dev.Remove(v.name); err != nil {
+			return fmt.Errorf("ssdps: compact erase %s: %w", v.name, err)
+		}
+		delete(s.files, v.name)
+		s.stats.CompactedFiles++
+	}
+	s.stats.Compactions++
+	return nil
+}
+
+// Stats returns a snapshot of the store's statistics.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Files = len(s.files)
+	st.LiveParams = int64(len(s.mapping))
+	var stale int64
+	for _, meta := range s.files {
+		stale += int64(meta.stale)
+	}
+	st.StaleParams = stale
+	st.UsageBytes = s.dev.UsageBytes()
+	return st
+}
+
+// Keys returns every live key (unsorted). Intended for inspection tools and
+// tests; the production path never enumerates the full key space.
+func (s *Store) Keys() []keys.Key {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]keys.Key, 0, len(s.mapping))
+	for k := range s.mapping {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Device returns the underlying block device (for I/O statistics).
+func (s *Store) Device() *blockio.Device { return s.dev }

@@ -1,0 +1,205 @@
+// Package tensor implements the minimal dense float32 linear algebra used by
+// the CTR prediction network: matrices, matrix-vector and matrix-matrix
+// products, element-wise activation functions and their derivatives.
+//
+// Only the operations the fully-connected layers need are provided; the goal
+// is a dependency-free, predictable substrate rather than a general BLAS.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMatrix allocates a zero matrix with the given shape. It panics if either
+// dimension is negative.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// NewMatrixFrom wraps data as a rows x cols matrix. It panics if the length
+// of data does not match the shape.
+func NewMatrixFrom(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (no copy).
+func (m *Matrix) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// FillRandom initializes the matrix with Xavier/Glorot uniform values using
+// the provided random source, suitable for fully-connected layer weights.
+func (m *Matrix) FillRandom(rng *rand.Rand) {
+	if m.Rows == 0 || m.Cols == 0 {
+		return
+	}
+	limit := float32(math.Sqrt(6.0 / float64(m.Rows+m.Cols)))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float32()*2 - 1) * limit
+	}
+}
+
+// MatVec computes out = M * x where x has length M.Cols and out has length
+// M.Rows. It panics on shape mismatch.
+func MatVec(m *Matrix, x, out []float32) {
+	if len(x) != m.Cols || len(out) != m.Rows {
+		panic(fmt.Sprintf("tensor: MatVec shape mismatch m=%dx%d x=%d out=%d", m.Rows, m.Cols, len(x), len(out)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var sum float32
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		out[i] = sum
+	}
+}
+
+// MatTVec computes out = Mᵀ * x where x has length M.Rows and out has length
+// M.Cols. It panics on shape mismatch.
+func MatTVec(m *Matrix, x, out []float32) {
+	if len(x) != m.Rows || len(out) != m.Cols {
+		panic(fmt.Sprintf("tensor: MatTVec shape mismatch m=%dx%d x=%d out=%d", m.Rows, m.Cols, len(x), len(out)))
+	}
+	for j := range out {
+		out[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += v * xi
+		}
+	}
+}
+
+// OuterAccum accumulates out += a * bᵀ (a has length out.Rows, b has length
+// out.Cols). It is used for weight-gradient accumulation.
+func OuterAccum(out *Matrix, a, b []float32) {
+	if len(a) != out.Rows || len(b) != out.Cols {
+		panic(fmt.Sprintf("tensor: OuterAccum shape mismatch out=%dx%d a=%d b=%d", out.Rows, out.Cols, len(a), len(b)))
+	}
+	for i := 0; i < out.Rows; i++ {
+		ai := a[i]
+		if ai == 0 {
+			continue
+		}
+		row := out.Row(i)
+		for j, bj := range b {
+			row[j] += ai * bj
+		}
+	}
+}
+
+// Axpy computes y += alpha * x element-wise. It panics on length mismatch.
+func Axpy(alpha float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("tensor: Axpy length mismatch %d != %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of x by alpha.
+func Scale(alpha float32, x []float32) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Dot returns the inner product of x and y. It panics on length mismatch.
+func Dot(x, y []float32) float32 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d != %d", len(x), len(y)))
+	}
+	var sum float32
+	for i, v := range x {
+		sum += v * y[i]
+	}
+	return sum
+}
+
+// Sigmoid returns 1 / (1 + exp(-x)) computed in a numerically stable way.
+func Sigmoid(x float32) float32 {
+	if x >= 0 {
+		z := float32(math.Exp(-float64(x)))
+		return 1 / (1 + z)
+	}
+	z := float32(math.Exp(float64(x)))
+	return z / (1 + z)
+}
+
+// ReLU applies max(0, x) in place.
+func ReLU(x []float32) {
+	for i, v := range x {
+		if v < 0 {
+			x[i] = 0
+		}
+	}
+}
+
+// ReLUGrad multiplies grad by the ReLU derivative evaluated at activation
+// values act (1 where act > 0, else 0), in place on grad.
+func ReLUGrad(act, grad []float32) {
+	if len(act) != len(grad) {
+		panic(fmt.Sprintf("tensor: ReLUGrad length mismatch %d != %d", len(act), len(grad)))
+	}
+	for i, a := range act {
+		if a <= 0 {
+			grad[i] = 0
+		}
+	}
+}
+
+// LogLoss returns the binary cross-entropy loss for prediction p in (0,1) and
+// label y in {0,1}, clamping p away from 0 and 1 for numerical stability.
+func LogLoss(p float32, y float32) float64 {
+	const eps = 1e-7
+	pp := float64(p)
+	if pp < eps {
+		pp = eps
+	}
+	if pp > 1-eps {
+		pp = 1 - eps
+	}
+	if y > 0.5 {
+		return -math.Log(pp)
+	}
+	return -math.Log(1 - pp)
+}

@@ -1,0 +1,229 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if m.Rows != 2 || m.Cols != 3 || len(m.Data) != 6 {
+		t.Fatal("NewMatrix shape wrong")
+	}
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatal("Set/At mismatch")
+	}
+	row := m.Row(1)
+	if len(row) != 3 || row[2] != 7 {
+		t.Fatal("Row view wrong")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) == 9 {
+		t.Fatal("Clone must not share storage")
+	}
+	m.Zero()
+	if m.At(1, 2) != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestNewMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative shape")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestNewMatrixFrom(t *testing.T) {
+	m := NewMatrixFrom(2, 2, []float32{1, 2, 3, 4})
+	if m.At(1, 0) != 3 {
+		t.Fatal("NewMatrixFrom layout wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched data length")
+		}
+	}()
+	NewMatrixFrom(2, 2, []float32{1})
+}
+
+func TestMatVec(t *testing.T) {
+	m := NewMatrixFrom(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	x := []float32{1, 0, -1}
+	out := make([]float32, 2)
+	MatVec(m, x, out)
+	if out[0] != -2 || out[1] != -2 {
+		t.Fatalf("MatVec = %v", out)
+	}
+}
+
+func TestMatTVec(t *testing.T) {
+	m := NewMatrixFrom(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	x := []float32{1, 1}
+	out := make([]float32, 3)
+	MatTVec(m, x, out)
+	if out[0] != 5 || out[1] != 7 || out[2] != 9 {
+		t.Fatalf("MatTVec = %v", out)
+	}
+}
+
+func TestMatVecMatTVecAdjointProperty(t *testing.T) {
+	// <Mx, y> == <x, Mᵀy> for random matrices — checks both products agree.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := rng.Intn(6) + 1
+		cols := rng.Intn(6) + 1
+		m := NewMatrix(rows, cols)
+		m.FillRandom(rng)
+		x := make([]float32, cols)
+		y := make([]float32, rows)
+		for i := range x {
+			x[i] = rng.Float32()*2 - 1
+		}
+		for i := range y {
+			y[i] = rng.Float32()*2 - 1
+		}
+		mx := make([]float32, rows)
+		MatVec(m, x, mx)
+		mty := make([]float32, cols)
+		MatTVec(m, y, mty)
+		lhs := float64(Dot(mx, y))
+		rhs := float64(Dot(x, mty))
+		return almostEqual(lhs, rhs, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOuterAccum(t *testing.T) {
+	out := NewMatrix(2, 2)
+	OuterAccum(out, []float32{1, 2}, []float32{3, 4})
+	if out.At(0, 0) != 3 || out.At(0, 1) != 4 || out.At(1, 0) != 6 || out.At(1, 1) != 8 {
+		t.Fatalf("OuterAccum = %v", out.Data)
+	}
+	// Accumulates, not overwrites.
+	OuterAccum(out, []float32{1, 0}, []float32{1, 1})
+	if out.At(0, 0) != 4 || out.At(1, 0) != 6 {
+		t.Fatalf("OuterAccum accumulate = %v", out.Data)
+	}
+}
+
+func TestAxpyScaleDot(t *testing.T) {
+	x := []float32{1, 2, 3}
+	y := []float32{1, 1, 1}
+	Axpy(2, x, y)
+	if y[0] != 3 || y[1] != 5 || y[2] != 7 {
+		t.Fatalf("Axpy = %v", y)
+	}
+	Scale(0.5, y)
+	if y[0] != 1.5 || y[2] != 3.5 {
+		t.Fatalf("Scale = %v", y)
+	}
+	if Dot([]float32{1, 2}, []float32{3, 4}) != 11 {
+		t.Fatal("Dot wrong")
+	}
+}
+
+func TestShapePanics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	cases := []func(){
+		func() { MatVec(m, make([]float32, 2), make([]float32, 2)) },
+		func() { MatTVec(m, make([]float32, 3), make([]float32, 3)) },
+		func() { OuterAccum(m, make([]float32, 3), make([]float32, 3)) },
+		func() { Axpy(1, make([]float32, 2), make([]float32, 3)) },
+		func() { Dot(make([]float32, 2), make([]float32, 3)) },
+		func() { ReLUGrad(make([]float32, 2), make([]float32, 3)) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected shape panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if !almostEqual(float64(Sigmoid(0)), 0.5, 1e-6) {
+		t.Fatal("Sigmoid(0) != 0.5")
+	}
+	if Sigmoid(50) <= 0.99 || Sigmoid(-50) >= 0.01 {
+		t.Fatal("Sigmoid saturation wrong")
+	}
+	// Symmetry: sigmoid(-x) == 1 - sigmoid(x)
+	f := func(v float32) bool {
+		x := v
+		if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+			return true
+		}
+		return almostEqual(float64(Sigmoid(-x)), 1-float64(Sigmoid(x)), 1e-5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReLUAndGrad(t *testing.T) {
+	x := []float32{-1, 0, 2}
+	ReLU(x)
+	if x[0] != 0 || x[1] != 0 || x[2] != 2 {
+		t.Fatalf("ReLU = %v", x)
+	}
+	act := []float32{0, 0, 2}
+	grad := []float32{5, 5, 5}
+	ReLUGrad(act, grad)
+	if grad[0] != 0 || grad[1] != 0 || grad[2] != 5 {
+		t.Fatalf("ReLUGrad = %v", grad)
+	}
+}
+
+func TestLogLoss(t *testing.T) {
+	if !almostEqual(LogLoss(0.5, 1), math.Log(2), 1e-6) {
+		t.Fatal("LogLoss(0.5,1) wrong")
+	}
+	if !almostEqual(LogLoss(0.5, 0), math.Log(2), 1e-6) {
+		t.Fatal("LogLoss(0.5,0) wrong")
+	}
+	// Clamped: never infinite.
+	if math.IsInf(LogLoss(0, 1), 0) || math.IsInf(LogLoss(1, 0), 0) {
+		t.Fatal("LogLoss must clamp")
+	}
+	if LogLoss(0.9, 1) >= LogLoss(0.1, 1) {
+		t.Fatal("better prediction should have lower loss")
+	}
+}
+
+func TestFillRandomRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewMatrix(8, 8)
+	m.FillRandom(rng)
+	limit := math.Sqrt(6.0 / 16.0)
+	nonZero := 0
+	for _, v := range m.Data {
+		if math.Abs(float64(v)) > limit {
+			t.Fatalf("value %v outside Xavier limit %v", v, limit)
+		}
+		if v != 0 {
+			nonZero++
+		}
+	}
+	if nonZero == 0 {
+		t.Fatal("FillRandom produced all zeros")
+	}
+	// Empty matrix should not panic.
+	NewMatrix(0, 5).FillRandom(rng)
+}
