@@ -1,0 +1,167 @@
+// Command hps trains a scaled-down replica of one of the paper's production
+// CTR models (Table 3, models A-E) end to end through the full hierarchical
+// parameter server — HDFS stream -> MEM-PS/SSD-PS pull -> HBM-PS multi-GPU
+// training -> synchronized push — and prints the Fig-4-style throughput and
+// latency breakdown, optionally alongside the MPI-cluster baseline.
+//
+// Examples:
+//
+//	go run ./cmd/hps                         # model A at bench scale
+//	go run ./cmd/hps -model C -nodes 4 -gpus 8
+//	go run ./cmd/hps -model tiny -batches 50 -baseline
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hps/internal/cluster"
+	"hps/internal/dataset"
+	"hps/internal/embedding"
+	"hps/internal/hw"
+	"hps/internal/model"
+	"hps/internal/mpips"
+	"hps/internal/trainer"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "A", "model to train: A-E (Table 3, scaled by -scale) or 'tiny'")
+		scale     = flag.Int64("scale", model.BenchScale, "down-scaling factor applied to the paper models")
+		nodes     = flag.Int("nodes", 2, "number of GPU nodes")
+		gpus      = flag.Int("gpus", 4, "GPUs per node")
+		batches   = flag.Int("batches", 30, "batches to train per node")
+		batchSize = flag.Int("batch-size", 256, "examples per batch per node")
+		inFlight  = flag.Int("inflight", 4, "pipeline depth (1 = no prefetch overlap)")
+		cacheFrac = flag.Float64("cache-frac", 0.25, "MEM-PS cache capacity as a fraction of the per-node parameter shard")
+		evalN     = flag.Int("eval", 2000, "examples for the final AUC evaluation (0 to skip)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		baseline  = flag.Bool("baseline", false, "also run the MPI-cluster baseline and report the modelled speedup")
+	)
+	flag.Parse()
+	if err := run(*modelName, *scale, *nodes, *gpus, *batches, *batchSize, *inFlight, *cacheFrac, *evalN, *seed, *baseline); err != nil {
+		fmt.Fprintln(os.Stderr, "hps:", err)
+		os.Exit(1)
+	}
+}
+
+func resolveSpec(name string, scale int64) (model.Spec, error) {
+	if name == "tiny" {
+		return model.TinySpec(), nil
+	}
+	spec, ok := model.Get(name)
+	if !ok {
+		return model.Spec{}, fmt.Errorf("unknown model %q (want A-E or tiny)", name)
+	}
+	return spec.Scaled(scale), nil
+}
+
+func run(modelName string, scale int64, nodes, gpus, batches, batchSize, inFlight int, cacheFrac float64, evalN int, seed int64, baseline bool) error {
+	spec, err := resolveSpec(modelName, scale)
+	if err != nil {
+		return err
+	}
+	topo := cluster.Topology{Nodes: nodes, GPUsPerNode: gpus}
+	if err := topo.Validate(); err != nil {
+		return err
+	}
+	data := dataset.ForModel(spec.SparseParams, spec.NonZerosPerExample)
+
+	// Size each node's MEM-PS cache relative to its parameter shard so the
+	// memory hierarchy actually works: the hot set stays resident, the cold
+	// tail lives on the SSD-PS.
+	shard := spec.SparseParams / int64(nodes)
+	cacheEntries := int(float64(shard) * cacheFrac)
+	if cacheEntries < 128 {
+		cacheEntries = 128
+	}
+	// Let compaction trigger once stale copies exceed the live model size.
+	liveBytes := shard * int64(8+embedding.EncodedSize(spec.EmbeddingDim))
+
+	cfg := trainer.Config{
+		Spec:              spec,
+		Data:              data,
+		Topology:          topo,
+		BatchSize:         batchSize,
+		Batches:           batches,
+		MaxInFlight:       inFlight,
+		Profile:           hw.DefaultGPUNode(),
+		LRUEntries:        cacheEntries / 2,
+		LFUEntries:        cacheEntries - cacheEntries/2,
+		SSDThresholdBytes: 2 * liveBytes,
+		Seed:              seed,
+	}
+	fmt.Printf("training model %s: %d sparse params, dim %d, %d non-zeros/example, dense %v\n",
+		spec.Name, spec.SparseParams, spec.EmbeddingDim, spec.NonZerosPerExample, spec.HiddenLayers)
+	fmt.Printf("topology: %d node(s) x %d GPU(s), %d batches x %d examples/node, pipeline depth %d\n\n",
+		nodes, gpus, batches, batchSize, inFlight)
+
+	tr, err := trainer.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+
+	wallStart := time.Now()
+	if err := tr.Run(context.Background()); err != nil {
+		return err
+	}
+	wall := time.Since(wallStart)
+
+	report := tr.Report()
+	fmt.Print(report.String())
+	fmt.Printf("(simulation wall time %v)\n", wall.Round(time.Millisecond))
+
+	if evalN > 0 {
+		auc := tr.Evaluate(dataset.NewGenerator(data, seed+424243), evalN)
+		fmt.Printf("\nAUC over %d held-out examples: %.4f\n", evalN, auc)
+	}
+
+	if baseline {
+		if err := runBaseline(spec, data, report.Throughput.ExamplesPerSecond(), nodes, batches, batchSize, seed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runBaseline trains the MPI-cluster baseline on the same workload and
+// prints the modelled speedup (the Table 4 comparison).
+func runBaseline(spec model.Spec, data dataset.Config, hpsRate float64, gpuNodes, batches, batchSize int, seed int64) error {
+	mpiNodes := spec.MPINodes
+	if mpiNodes <= 0 {
+		mpiNodes = 10
+	}
+	c, err := mpips.New(mpips.Config{Nodes: mpiNodes, Spec: spec, Seed: seed})
+	if err != nil {
+		return err
+	}
+	gen := dataset.NewGenerator(data, seed)
+	for i := 0; i < batches; i++ {
+		if err := c.TrainBatch(gen.NextBatch(batchSize)); err != nil {
+			return err
+		}
+	}
+	mpiRate := c.Throughput().ExamplesPerSecond()
+	fmt.Printf("\n-- MPI baseline (%d CPU nodes) --\n", mpiNodes)
+	bd := c.Breakdown()
+	n := time.Duration(batches)
+	fmt.Printf("per-node batch time %v (read %v, pull/push %v, compute %v)\n",
+		c.PerNodeBatchTime().Round(time.Microsecond), (bd.ReadExamples / n).Round(time.Microsecond),
+		(bd.PullPush / n).Round(time.Microsecond), (bd.Compute / n).Round(time.Microsecond))
+	fmt.Printf("cluster throughput %.0f examples/s\n", mpiRate)
+	if mpiRate > 0 {
+		speedup := hpsRate / mpiRate
+		fmt.Printf("hierarchical vs MPI speedup: %.2fx raw", speedup)
+		fmt.Printf(", %.2fx cost-normalized (1 GPU node ~ %.0f MPI nodes)\n",
+			speedup/float64(gpuNodes)/hw.CostGPUNodesPerMPINode*float64(mpiNodes),
+			hw.CostGPUNodesPerMPINode)
+		if spec.PaperSpeedup > 0 {
+			fmt.Printf("(paper reports %.1fx for model %s at production scale)\n", spec.PaperSpeedup, spec.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module hps
+
+go 1.24

@@ -96,6 +96,11 @@ func (d *Device) Dir() string { return d.dir }
 // BlockBytes returns the device block size.
 func (d *Device) BlockBytes() int64 { return d.ssd.BlockBytes }
 
+// Profile returns the SSD hardware model driving the device's time
+// accounting, so callers can attribute the same modelled durations to their
+// own per-operation statistics.
+func (d *Device) Profile() hw.SSD { return d.ssd }
+
 func (d *Device) physical(n int64) int64 {
 	if d.ssd.BlockBytes <= 0 {
 		return n

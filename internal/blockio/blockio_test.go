@@ -123,7 +123,7 @@ func TestReadPartialAmplification(t *testing.T) {
 		t.Fatalf("physical read = %d", s.PhysicalBytesRead)
 	}
 	// Requesting more useful bytes than exist clamps.
-	if _, err := d.ReadPartial("f", 1 <<20); err != nil {
+	if _, err := d.ReadPartial("f", 1<<20); err != nil {
 		t.Fatal(err)
 	}
 	s = d.Stats()

@@ -93,16 +93,23 @@ func TestLRUPinPreventsEviction(t *testing.T) {
 	if c.Unpin(42) {
 		t.Fatal("Unpin of absent key should report false")
 	}
-	// Double pin / double unpin are idempotent.
-	c.Pin(2)
-	c.Pin(2)
+	// Pins nest: each Pin needs a matching Unpin before the key becomes
+	// evictable (overlapping pipelined batches pin shared parameters).
+	c.Pin(2) // second pin on top of the original
 	if c.PinnedLen() != 1 {
-		t.Fatal("double pin should not double count")
+		t.Fatal("nested pin should not change the pinned entry count")
 	}
 	c.Unpin(2)
+	if c.PinnedLen() != 1 || !c.Pinned(2) {
+		t.Fatal("one unpin of a doubly-pinned key must keep it pinned")
+	}
+	c.Unpin(2)
+	if c.PinnedLen() != 0 || c.Pinned(2) {
+		t.Fatal("matching unpins should release the pin")
+	}
 	c.Unpin(2)
 	if c.PinnedLen() != 0 {
-		t.Fatal("double unpin should not go negative")
+		t.Fatal("extra unpin should not go negative")
 	}
 }
 

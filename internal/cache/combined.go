@@ -119,13 +119,17 @@ func (c *Combined[V]) Remove(key uint64) (V, bool) {
 	return c.lfu.Remove(key)
 }
 
-// Pin marks a key in the LRU as unevictable until Unpin. It reports whether
-// the key was found in the LRU (keys in the LFU cannot be pinned; Get them
-// first to promote them).
+// Pin marks a key in the LRU as unevictable until a matching Unpin; pins
+// nest across overlapping batches. It reports whether the key was found in
+// the LRU (keys in the LFU cannot be pinned; Get them first to promote
+// them).
 func (c *Combined[V]) Pin(key uint64) bool { return c.lru.Pin(key) }
 
-// Unpin releases a pin set by Pin.
+// Unpin releases one pin set by Pin.
 func (c *Combined[V]) Unpin(key uint64) bool { return c.lru.Unpin(key) }
+
+// Pinned reports whether the key is currently pinned in the LRU.
+func (c *Combined[V]) Pinned(key uint64) bool { return c.lru.Pinned(key) }
 
 // Flush evicts every entry from both levels through the eviction callback.
 // It is used at shutdown to persist all cached parameters.

@@ -16,9 +16,12 @@ import "container/list"
 type EvictFunc[V any] func(key uint64, value V)
 
 type lruEntry[V any] struct {
-	key    uint64
-	value  V
-	pinned bool
+	key   uint64
+	value V
+	// pins counts outstanding Pin calls: overlapping pipelined batches may
+	// pin the same working parameter, and it stays unevictable until every
+	// batch has unpinned it.
+	pins int
 }
 
 // LRU is a least-recently-used cache keyed by uint64. It is not safe for
@@ -111,7 +114,7 @@ func (c *LRU[V]) evictOverflow() {
 func (c *LRU[V]) oldestUnpinned() *list.Element {
 	front := c.ll.Front()
 	for el := c.ll.Back(); el != nil && el != front; el = el.Prev() {
-		if !el.Value.(*lruEntry[V]).pinned {
+		if el.Value.(*lruEntry[V]).pins == 0 {
 			return el
 		}
 	}
@@ -122,7 +125,7 @@ func (c *LRU[V]) removeElement(el *list.Element, evict bool) {
 	ent := el.Value.(*lruEntry[V])
 	c.ll.Remove(el)
 	delete(c.items, ent.key)
-	if ent.pinned {
+	if ent.pins > 0 {
 		c.pinned--
 	}
 	if evict && c.onEvict != nil {
@@ -142,31 +145,41 @@ func (c *LRU[V]) Remove(key uint64) (V, bool) {
 	return zero, false
 }
 
-// Pin marks key as unevictable. It reports whether the key was present.
+// Pin marks key as unevictable until a matching Unpin. Pins nest: a key
+// pinned by several in-flight batches stays pinned until all of them unpin
+// it. It reports whether the key was present.
 func (c *LRU[V]) Pin(key uint64) bool {
 	el, ok := c.items[key]
 	if !ok {
 		return false
 	}
 	ent := el.Value.(*lruEntry[V])
-	if !ent.pinned {
-		ent.pinned = true
+	ent.pins++
+	if ent.pins == 1 {
 		c.pinned++
 	}
 	return true
 }
 
-// Unpin clears the pin on key and evicts overflow that the pin was holding
-// back. It reports whether the key was present.
+// Pinned reports whether key is present and currently pinned.
+func (c *LRU[V]) Pinned(key uint64) bool {
+	el, ok := c.items[key]
+	return ok && el.Value.(*lruEntry[V]).pins > 0
+}
+
+// Unpin releases one pin on key and, once no pins remain, evicts overflow
+// the pins were holding back. It reports whether the key was present.
 func (c *LRU[V]) Unpin(key uint64) bool {
 	el, ok := c.items[key]
 	if !ok {
 		return false
 	}
 	ent := el.Value.(*lruEntry[V])
-	if ent.pinned {
-		ent.pinned = false
-		c.pinned--
+	if ent.pins > 0 {
+		ent.pins--
+		if ent.pins == 0 {
+			c.pinned--
+		}
 	}
 	c.evictOverflow()
 	return true

@@ -330,3 +330,44 @@ func TestDeviceConcurrentAlloc(t *testing.T) {
 	}
 	_ = fmt.Sprintf("%v", d)
 }
+
+func TestHashTableDelete(t *testing.T) {
+	table := NewHashTable(100, 4)
+	for i := 0; i < 50; i++ {
+		if err := table.Insert(keys.Key(i), embedding.NewValue(4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !table.Delete(7) {
+		t.Fatal("delete of present key should succeed")
+	}
+	if table.Delete(7) {
+		t.Fatal("second delete should report absent")
+	}
+	if table.Len() != 49 {
+		t.Fatalf("len = %d after delete", table.Len())
+	}
+	if _, ok := table.Get(7); ok {
+		t.Fatal("deleted key still readable")
+	}
+	// Every other key must remain reachable: the tombstone may sit in the
+	// middle of their probe sequences.
+	for i := 0; i < 50; i++ {
+		if i == 7 {
+			continue
+		}
+		if _, ok := table.Get(keys.Key(i)); !ok {
+			t.Fatalf("key %d unreachable after unrelated delete", i)
+		}
+	}
+	// The tombstoned slot is reusable.
+	if err := table.Insert(7, embedding.NewValue(4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := table.Get(7); !ok {
+		t.Fatal("reinserted key unreachable")
+	}
+	if table.Len() != 50 {
+		t.Fatalf("len = %d after reinsert", table.Len())
+	}
+}

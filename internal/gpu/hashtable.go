@@ -47,9 +47,10 @@ type tableShard struct {
 }
 
 type tableSlot struct {
-	used  bool
-	key   keys.Key
-	value *embedding.Value
+	used    bool
+	deleted bool // tombstone: slot freed by Delete, probe sequences continue past it
+	key     keys.Key
+	value   *embedding.Value
 }
 
 // NewHashTable constructs a table able to hold capacity values of the given
@@ -111,9 +112,12 @@ func (s *tableShard) probe(k keys.Key) (int, bool, bool) {
 			if firstFree < 0 {
 				firstFree = idx
 			}
-			// Open addressing without deletion tombstones: an empty slot ends
-			// the probe sequence.
-			return firstFree, false, true
+			if !sl.deleted {
+				// A never-used slot ends the probe sequence; a tombstone left
+				// by Delete is reusable but the sequence continues past it.
+				return firstFree, false, true
+			}
+			continue
 		}
 		if sl.key == k {
 			return idx, true, true
@@ -156,6 +160,23 @@ func (t *HashTable) Get(k keys.Key) (*embedding.Value, bool) {
 	return s.slots[idx].value, true
 }
 
+// View calls fn with the value stored under key while holding the shard's
+// read lock — the safe way to read or copy a value that concurrent workers
+// may be updating in place (Get returns the pointer after the lock is
+// released, so the caller's read would race with Update). It returns false
+// for unknown keys.
+func (t *HashTable) View(k keys.Key, fn func(v *embedding.Value)) bool {
+	s := t.shardFor(k)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idx, found, _ := s.probe(k)
+	if !found {
+		return false
+	}
+	fn(s.slots[idx].value)
+	return true
+}
+
 // Accumulate adds delta element-wise onto the embedding weights stored under
 // key and increments the value's reference counter — the accumulate
 // operation of Algorithm 2. It returns ErrKeyNotFound for unknown keys.
@@ -188,6 +209,24 @@ func (t *HashTable) Update(k keys.Key, fn func(v *embedding.Value)) error {
 	}
 	fn(s.slots[idx].value)
 	return nil
+}
+
+// Delete removes the value stored under key, leaving a tombstone so that
+// probe sequences passing through the slot stay intact. The slot is reusable
+// by later inserts. It reports whether the key was present — the delete
+// operation backing HBM-PS partial eviction (demotion of individual keys out
+// of the working set).
+func (t *HashTable) Delete(k keys.Key) bool {
+	s := t.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx, found, _ := s.probe(k)
+	if !found {
+		return false
+	}
+	s.slots[idx] = tableSlot{deleted: true}
+	t.size.Add(-1)
+	return true
 }
 
 // Range calls fn for every stored (key, value) pair until fn returns false.

@@ -1,0 +1,84 @@
+package hbmps
+
+import (
+	"math/rand"
+	"testing"
+
+	"hps/internal/embedding"
+	"hps/internal/hw"
+	"hps/internal/keys"
+	"hps/internal/optimizer"
+	"hps/internal/ps"
+)
+
+func benchHBM(b *testing.B, gpus int) *HBMPS {
+	b.Helper()
+	profile := hw.DefaultGPUNode()
+	h, err := New(Config{
+		NumGPUs:    gpus,
+		Dim:        8,
+		GPUProfile: profile.GPU,
+		NVLink:     profile.NVLink,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h
+}
+
+func benchWorkingSet(n int) map[keys.Key]*embedding.Value {
+	rng := rand.New(rand.NewSource(1))
+	out := make(map[keys.Key]*embedding.Value, n)
+	for i := 0; i < n; i++ {
+		out[keys.Key(keys.Mix64(uint64(i)))] = embedding.NewRandomValue(8, rng)
+	}
+	return out
+}
+
+// BenchmarkLoadWorkingSet measures partitioning and loading a batch working
+// set into the per-GPU hash tables (Algorithm 1 lines 6-10) plus release.
+func BenchmarkLoadWorkingSet(b *testing.B) {
+	h := benchHBM(b, 4)
+	ws := benchWorkingSet(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.LoadWorkingSet(ws); err != nil {
+			b.Fatal(err)
+		}
+		h.Release()
+	}
+}
+
+// BenchmarkPullPush measures one GPU worker's per-example hot path: pull the
+// example's embeddings (local and NVLink-remote) and push the gradients back
+// through the sparse optimizer.
+func BenchmarkPullPush(b *testing.B) {
+	h := benchHBM(b, 4)
+	ws := benchWorkingSet(8192)
+	if err := h.LoadWorkingSet(ws); err != nil {
+		b.Fatal(err)
+	}
+	defer h.Release()
+	all := make([]keys.Key, 0, len(ws))
+	for k := range ws {
+		all = append(all, k)
+	}
+	const nnz = 100
+	feats := all[:nnz]
+	grad := make([]float32, 8)
+	grad[0] = 0.1
+	opt := optimizer.Adagrad{LR: 0.05, InitialAccumulator: 0.1}
+	grads := make(map[keys.Key][]float32, nnz)
+	for _, k := range feats {
+		grads[k] = grad
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Pull(ps.PullRequest{Shard: i % 4, Keys: feats}); err != nil {
+			b.Fatal(err)
+		}
+		if err := h.PushGrads(i%4, grads, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"hps/internal/interconnect"
 	"hps/internal/keys"
 	"hps/internal/optimizer"
+	"hps/internal/ps"
 	"hps/internal/simtime"
 )
 
@@ -62,16 +63,21 @@ type Stats struct {
 }
 
 // HBMPS is the HBM parameter server of one node. It is safe for concurrent
-// use by the node's GPU worker goroutines.
+// use by the node's GPU worker goroutines. It implements ps.Tier: Pull and
+// Push are sharded by GPU id, and Evict demotes keys out of HBM (their
+// authoritative copies live in the MEM-PS below).
 type HBMPS struct {
 	cfg     Config
 	devices []*gpu.Device
+	rec     ps.Recorder
 
 	mu       sync.Mutex
 	loaded   bool
 	original map[keys.Key]*embedding.Value
 	stats    Stats
 }
+
+var _ ps.Tier = (*HBMPS)(nil)
 
 // New constructs the HBM-PS for one node, creating its simulated GPU devices.
 func New(cfg Config) (*HBMPS, error) {
@@ -174,27 +180,32 @@ func (h *HBMPS) Loaded() bool {
 }
 
 // Pull returns the current values of the requested keys for a worker running
-// on gpuID (Algorithm 1 line 12). Keys owned by other GPUs are fetched over
-// NVLink; the returned values are copies the worker may read freely.
-func (h *HBMPS) Pull(gpuID int, ks []keys.Key) (map[keys.Key]*embedding.Value, error) {
+// on GPU req.Shard (Algorithm 1 line 12). Keys owned by other GPUs are
+// fetched over NVLink; the returned values are copies the worker may read
+// freely. Unlike the lower tiers, every requested key must be resident: the
+// working set was loaded for exactly this batch, so a miss is a bug.
+func (h *HBMPS) Pull(req ps.PullRequest) (ps.Result, error) {
+	gpuID := req.Shard
 	if gpuID < 0 || gpuID >= len(h.devices) {
 		return nil, fmt.Errorf("hbmps: invalid gpu id %d", gpuID)
 	}
-	out := make(map[keys.Key]*embedding.Value, len(ks))
+	out := make(ps.Result, len(req.Keys))
 	var localBytes, remoteBytes int64
 	var localCount, remoteCount int64
 	valueBytes := int64(embedding.EncodedSize(h.cfg.Dim))
-	for _, k := range ks {
+	for _, k := range req.Keys {
 		owner := h.gpuOf(k)
 		table := h.devices[owner].Table()
 		if table == nil {
 			return nil, fmt.Errorf("hbmps: gpu %d has no working set loaded", owner)
 		}
-		v, ok := table.Get(k)
-		if !ok {
+		// Clone under the table's shard lock: concurrent workers update the
+		// stored values in place.
+		var snapshot *embedding.Value
+		if !table.View(k, func(v *embedding.Value) { snapshot = v.Clone() }) {
 			return nil, fmt.Errorf("hbmps: key %d not in the working set", k)
 		}
-		out[k] = v.Clone()
+		out[k] = snapshot
 		if owner == gpuID {
 			localBytes += valueBytes
 			localCount++
@@ -208,14 +219,15 @@ func (h *HBMPS) Pull(gpuID int, ks []keys.Key) (map[keys.Key]*embedding.Value, e
 	if h.cfg.Fabric != nil && remoteBytes > 0 {
 		h.cfg.Fabric.NVLink(remoteBytes)
 	}
+	pullTime := h.cfg.GPUProfile.MemoryTime(localBytes)
+	if remoteBytes > 0 {
+		pullTime += nvlinkTime(h.cfg, remoteBytes)
+	}
 	h.mu.Lock()
 	h.stats.LocalPulls += localCount
 	h.stats.RemotePulls += remoteCount
-	h.stats.PullTime += h.cfg.GPUProfile.MemoryTime(localBytes)
-	if remoteBytes > 0 {
-		h.stats.PullTime += nvlinkTime(h.cfg, remoteBytes)
-	}
 	h.mu.Unlock()
+	h.rec.RecordPull(len(req.Keys), pullTime)
 	return out, nil
 }
 
@@ -225,11 +237,11 @@ func nvlinkTime(cfg Config, bytes int64) time.Duration {
 	return cfg.NVLink.TransferTime(bytes)
 }
 
-// Push applies per-parameter gradients produced by a worker on gpuID
+// PushGrads applies per-parameter gradients produced by a worker on gpuID
 // (Algorithm 1 line 14, Algorithm 2). Gradients for parameters owned by other
 // GPUs are sent over NVLink; every owning GPU applies the sparse optimizer to
 // its entry under its own lock (the analogue of the GPU atomic update).
-func (h *HBMPS) Push(gpuID int, grads map[keys.Key][]float32, opt optimizer.Sparse) error {
+func (h *HBMPS) PushGrads(gpuID int, grads map[keys.Key][]float32, opt optimizer.Sparse) error {
 	if gpuID < 0 || gpuID >= len(h.devices) {
 		return fmt.Errorf("hbmps: invalid gpu id %d", gpuID)
 	}
@@ -261,12 +273,55 @@ func (h *HBMPS) Push(gpuID int, grads map[keys.Key][]float32, opt optimizer.Spar
 	if h.cfg.Fabric != nil && remoteBytes > 0 {
 		h.cfg.Fabric.NVLink(remoteBytes)
 	}
-	h.mu.Lock()
-	h.stats.PushTime += h.cfg.GPUProfile.MemoryTime(localBytes)
+	pushTime := h.cfg.GPUProfile.MemoryTime(localBytes)
 	if remoteBytes > 0 {
-		h.stats.PushTime += nvlinkTime(h.cfg, remoteBytes)
+		pushTime += nvlinkTime(h.cfg, remoteBytes)
 	}
-	h.mu.Unlock()
+	h.rec.RecordPush(len(grads), pushTime)
+	return nil
+}
+
+// Push implements ps.Tier: it merges per-key value deltas (weight,
+// optimizer-state and reference-count increments) into the resident working
+// set. Deltas for keys not resident are ignored — this tier only ever holds
+// the current batch's partitions; their authoritative copies live below.
+// When req.Shard names a GPU, deltas for keys owned by other GPUs are charged
+// as NVLink traffic; with ps.NoShard (deltas arriving via the inter-node
+// synchronization, whose transfer time the coordinator charges) no fabric
+// time is charged.
+func (h *HBMPS) Push(req ps.PushRequest) error {
+	if req.Shard != ps.NoShard && (req.Shard < 0 || req.Shard >= len(h.devices)) {
+		return fmt.Errorf("hbmps: invalid gpu id %d", req.Shard)
+	}
+	var localBytes, remoteBytes int64
+	valueBytes := int64(embedding.EncodedSize(h.cfg.Dim))
+	applied := ps.ApplyDeltas(req.Deltas, func(k keys.Key, delta *embedding.Value) bool {
+		table := h.devices[h.gpuOf(k)].Table()
+		if table == nil {
+			return false
+		}
+		if err := table.Update(k, func(v *embedding.Value) { v.Add(delta) }); err != nil {
+			return false
+		}
+		if owner := h.gpuOf(k); req.Shard == ps.NoShard || owner == req.Shard {
+			localBytes += valueBytes
+		} else {
+			remoteBytes += valueBytes
+		}
+		return true
+	})
+	var pushTime time.Duration
+	if req.Shard != ps.NoShard {
+		h.devices[req.Shard].ChargeMemory(localBytes)
+		if h.cfg.Fabric != nil && remoteBytes > 0 {
+			h.cfg.Fabric.NVLink(remoteBytes)
+		}
+		pushTime = h.cfg.GPUProfile.MemoryTime(localBytes)
+		if remoteBytes > 0 {
+			pushTime += nvlinkTime(h.cfg, remoteBytes)
+		}
+	}
+	h.rec.RecordPush(applied, pushTime)
 	return nil
 }
 
@@ -284,24 +339,24 @@ func (h *HBMPS) CollectUpdates() map[keys.Key]*embedding.Value {
 		if table == nil {
 			continue
 		}
-		cur, ok := table.Get(k)
-		if !ok {
-			continue
-		}
 		delta := embedding.NewValue(h.cfg.Dim)
 		changed := false
-		for i := range delta.Weights {
-			delta.Weights[i] = cur.Weights[i] - orig.Weights[i]
-			if delta.Weights[i] != 0 {
-				changed = true
+		// Read under the table's shard lock in case workers are still
+		// pushing updates.
+		ok := table.View(k, func(cur *embedding.Value) {
+			for i := range delta.Weights {
+				delta.Weights[i] = cur.Weights[i] - orig.Weights[i]
+				if delta.Weights[i] != 0 {
+					changed = true
+				}
+				delta.G2Sum[i] = cur.G2Sum[i] - orig.G2Sum[i]
+				if delta.G2Sum[i] != 0 {
+					changed = true
+				}
 			}
-			delta.G2Sum[i] = cur.G2Sum[i] - orig.G2Sum[i]
-			if delta.G2Sum[i] != 0 {
-				changed = true
-			}
-		}
-		delta.Freq = cur.Freq - orig.Freq
-		if changed || delta.Freq != 0 {
+			delta.Freq = cur.Freq - orig.Freq
+		})
+		if ok && (changed || delta.Freq != 0) {
 			out[k] = delta
 		}
 	}
@@ -312,15 +367,39 @@ func (h *HBMPS) CollectUpdates() map[keys.Key]*embedding.Value {
 // GPU hash tables for the parameters this node also holds in its working set
 // — the effect of the inter-node all-reduce on shared parameters.
 func (h *HBMPS) ApplyRemoteDeltas(deltas map[keys.Key]*embedding.Value) {
-	for k, delta := range deltas {
+	_ = h.Push(ps.PushRequest{Shard: ps.NoShard, Deltas: deltas})
+}
+
+// Name implements ps.Tier.
+func (h *HBMPS) Name() string { return "hbm-ps" }
+
+// TierStats implements ps.Tier.
+func (h *HBMPS) TierStats() ps.Stats { return h.rec.TierStats() }
+
+// Evict implements ps.Tier: it demotes keys out of HBM, freeing their slots
+// for the rest of the batch. A nil slice releases the entire working set
+// (the end-of-batch demotion of Algorithm 1 line 17; the caller is expected
+// to have collected the deltas first). Evicted values are dropped — the
+// MEM-PS below holds the authoritative copies.
+func (h *HBMPS) Evict(ks []keys.Key) (int, error) {
+	if ks == nil {
+		n := h.WorkingSetSize()
+		h.Release()
+		h.rec.RecordEvict(n)
+		return n, nil
+	}
+	n := 0
+	for _, k := range ks {
 		table := h.devices[h.gpuOf(k)].Table()
 		if table == nil {
 			continue
 		}
-		_ = table.Update(k, func(v *embedding.Value) {
-			v.Add(delta)
-		})
+		if table.Delete(k) {
+			n++
+		}
 	}
+	h.rec.RecordEvict(n)
+	return n, nil
 }
 
 // Release destroys the per-GPU hash tables and clears the working-set
@@ -347,9 +426,15 @@ func (h *HBMPS) WorkingSetSize() int {
 	return total
 }
 
-// Stats returns cumulative HBM-PS statistics.
+// Stats returns cumulative HBM-PS statistics. The pull/push durations are
+// served from the uniform tier recorder (the single source of truth) so the
+// hot path maintains them only once.
 func (h *HBMPS) Stats() Stats {
+	rec := h.rec.TierStats()
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.stats
+	st := h.stats
+	st.PullTime = rec.PullTime
+	st.PushTime = rec.PushTime
+	return st
 }

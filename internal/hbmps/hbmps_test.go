@@ -11,8 +11,14 @@ import (
 	"hps/internal/interconnect"
 	"hps/internal/keys"
 	"hps/internal/optimizer"
+	"hps/internal/ps"
 	"hps/internal/simtime"
 )
+
+// pull is shorthand for the ps.Tier pull of the pre-refactor API.
+func pull(h *HBMPS, gpuID int, ks []keys.Key) (ps.Result, error) {
+	return h.Pull(ps.PullRequest{Shard: gpuID, Keys: ks})
+}
 
 func testConfig(numGPUs int) Config {
 	profile := hw.DefaultGPUNode()
@@ -105,7 +111,7 @@ func TestLoadCopiesValues(t *testing.T) {
 	}
 	// Mutating the caller's map must not affect the GPU copies.
 	ws[0].Weights[0] = 999
-	got, err := h.Pull(0, []keys.Key{0})
+	got, err := pull(h, 0, []keys.Key{0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +148,7 @@ func TestPullLocalAndRemote(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		ks = append(ks, keys.Key(i))
 	}
-	got, err := h.Pull(0, ks)
+	got, err := pull(h, 0, ks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,10 +168,10 @@ func TestPullLocalAndRemote(t *testing.T) {
 		t.Fatal("pull time should be accounted")
 	}
 	// Invalid GPU id and missing key.
-	if _, err := h.Pull(99, ks); err == nil {
+	if _, err := pull(h, 99, ks); err == nil {
 		t.Fatal("invalid gpu id should fail")
 	}
-	if _, err := h.Pull(0, []keys.Key{10_000}); err == nil {
+	if _, err := pull(h, 0, []keys.Key{10_000}); err == nil {
 		t.Fatal("missing key should fail")
 	}
 }
@@ -173,9 +179,9 @@ func TestPullLocalAndRemote(t *testing.T) {
 func TestPullReturnsCopies(t *testing.T) {
 	h, _ := New(testConfig(2))
 	h.LoadWorkingSet(workingSet(4))
-	got, _ := h.Pull(0, []keys.Key{1})
+	got, _ := pull(h, 0, []keys.Key{1})
 	got[1].Weights[0] = 777
-	again, _ := h.Pull(0, []keys.Key{1})
+	again, _ := pull(h, 0, []keys.Key{1})
 	if again[1].Weights[0] == 777 {
 		t.Fatal("Pull must return copies")
 	}
@@ -184,12 +190,12 @@ func TestPullReturnsCopies(t *testing.T) {
 func TestPushAppliesOptimizer(t *testing.T) {
 	h, _ := New(testConfig(2))
 	h.LoadWorkingSet(workingSet(10))
-	before, _ := h.Pull(0, []keys.Key{3})
+	before, _ := pull(h, 0, []keys.Key{3})
 	grads := map[keys.Key][]float32{3: {1, 0, 0, 0}}
-	if err := h.Push(0, grads, optimizer.SGD{LR: 0.5}); err != nil {
+	if err := h.PushGrads(0, grads, optimizer.SGD{LR: 0.5}); err != nil {
 		t.Fatal(err)
 	}
-	after, _ := h.Pull(0, []keys.Key{3})
+	after, _ := pull(h, 0, []keys.Key{3})
 	want := before[3].Weights[0] - 0.5
 	if after[3].Weights[0] != want {
 		t.Fatalf("push result = %v, want %v", after[3].Weights[0], want)
@@ -201,13 +207,13 @@ func TestPushAppliesOptimizer(t *testing.T) {
 		t.Fatal("push time should be accounted")
 	}
 	// Error cases.
-	if err := h.Push(99, grads, optimizer.SGD{LR: 1}); err == nil {
+	if err := h.PushGrads(99, grads, optimizer.SGD{LR: 1}); err == nil {
 		t.Fatal("invalid gpu id should fail")
 	}
-	if err := h.Push(0, grads, nil); err == nil {
+	if err := h.PushGrads(0, grads, nil); err == nil {
 		t.Fatal("nil optimizer should fail")
 	}
-	if err := h.Push(0, map[keys.Key][]float32{999: {1, 1, 1, 1}}, optimizer.SGD{LR: 1}); err == nil {
+	if err := h.PushGrads(0, map[keys.Key][]float32{999: {1, 1, 1, 1}}, optimizer.SGD{LR: 1}); err == nil {
 		t.Fatal("missing key should fail")
 	}
 }
@@ -224,7 +230,7 @@ func TestPushConcurrentWorkers(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < steps; i++ {
 				grads := map[keys.Key][]float32{keys.Key(i % 50): {1, 0, 0, 0}}
-				if err := h.Push(gpuID%4, grads, optimizer.SGD{LR: 1}); err != nil {
+				if err := h.PushGrads(gpuID%4, grads, optimizer.SGD{LR: 1}); err != nil {
 					t.Error(err)
 					return
 				}
@@ -247,7 +253,7 @@ func TestPushConcurrentWorkers(t *testing.T) {
 func TestCollectUpdatesOnlyChanged(t *testing.T) {
 	h, _ := New(testConfig(2))
 	h.LoadWorkingSet(workingSet(20))
-	h.Push(0, map[keys.Key][]float32{5: {2, 0, 0, 0}}, optimizer.SGD{LR: 1})
+	h.PushGrads(0, map[keys.Key][]float32{5: {2, 0, 0, 0}}, optimizer.SGD{LR: 1})
 	updates := h.CollectUpdates()
 	if len(updates) != 1 {
 		t.Fatalf("expected 1 changed parameter, got %d", len(updates))
@@ -274,7 +280,7 @@ func TestApplyRemoteDeltas(t *testing.T) {
 		2:   delta,
 		999: delta, // not in the working set: ignored
 	})
-	got, _ := h.Pull(0, []keys.Key{2})
+	got, _ := pull(h, 0, []keys.Key{2})
 	if got[2].Weights[0] != 2+3 {
 		t.Fatalf("remote delta not applied: %v", got[2].Weights[0])
 	}
@@ -300,7 +306,7 @@ func TestHBMChargesClock(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		ks = append(ks, keys.Key(i))
 	}
-	h.Pull(0, ks)
+	pull(h, 0, ks)
 	if cfg.Clock.Total(simtime.ResourceNVLink) <= 0 {
 		t.Fatal("remote pulls should charge NVLink time")
 	}
@@ -329,4 +335,65 @@ func TestBytesPerEntryConsistency(t *testing.T) {
 		t.Fatalf("HBM used %d != table size %d", dev.HBMUsed(), dev.Table().SizeBytes())
 	}
 	_ = gpu.BytesPerEntry(4)
+}
+
+func TestTierInterface(t *testing.T) {
+	h, _ := New(testConfig(2))
+	h.LoadWorkingSet(workingSet(20))
+	var tier ps.Tier = h
+	if tier.Name() != "hbm-ps" {
+		t.Fatalf("name = %q", tier.Name())
+	}
+
+	// Tier push merges value deltas shard-aware.
+	delta := embedding.NewValue(4)
+	delta.Weights[0] = 5
+	if err := tier.Push(ps.PushRequest{Shard: 0, Deltas: map[keys.Key]*embedding.Value{4: delta}}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := pull(h, 0, []keys.Key{4})
+	if got[4].Weights[0] != 4+5 {
+		t.Fatalf("tier push not applied: %v", got[4].Weights[0])
+	}
+	if err := tier.Push(ps.PushRequest{Shard: 42, Deltas: nil}); err == nil {
+		t.Fatal("invalid shard should fail")
+	}
+
+	st := tier.TierStats()
+	if st.Pulls == 0 || st.Pushes == 0 || st.KeysPulled == 0 || st.KeysPushed == 0 {
+		t.Fatalf("uniform stats not recorded: %+v", st)
+	}
+}
+
+func TestEvictPartialAndFull(t *testing.T) {
+	h, _ := New(testConfig(2))
+	h.LoadWorkingSet(workingSet(10))
+
+	// Partial eviction demotes individual keys; a second eviction of the same
+	// keys finds nothing.
+	n, err := h.Evict([]keys.Key{1, 3, 999})
+	if err != nil || n != 2 {
+		t.Fatalf("evict = (%d, %v), want (2, nil)", n, err)
+	}
+	if h.WorkingSetSize() != 8 {
+		t.Fatalf("working set size = %d after partial evict", h.WorkingSetSize())
+	}
+	if _, err := pull(h, 0, []keys.Key{1}); err == nil {
+		t.Fatal("evicted key should no longer be resident")
+	}
+	if n, _ := h.Evict([]keys.Key{1, 3}); n != 0 {
+		t.Fatalf("re-evict = %d, want 0", n)
+	}
+
+	// Full eviction releases the working set.
+	n, err = h.Evict(nil)
+	if err != nil || n != 8 {
+		t.Fatalf("full evict = (%d, %v), want (8, nil)", n, err)
+	}
+	if h.Loaded() || h.WorkingSetSize() != 0 {
+		t.Fatal("full evict must release the working set")
+	}
+	if st := h.TierStats(); st.Evictions != 3 || st.KeysEvicted != 10 {
+		t.Fatalf("evict stats = %+v", st)
+	}
 }

@@ -1,0 +1,108 @@
+package memps
+
+import (
+	"testing"
+	"time"
+
+	"hps/internal/blockio"
+	"hps/internal/cluster"
+	"hps/internal/hw"
+	"hps/internal/keys"
+	"hps/internal/simtime"
+	"hps/internal/ssdps"
+)
+
+func benchMemPS(b *testing.B, lru, lfu int) *MemPS {
+	b.Helper()
+	ssd := hw.SSD{
+		ReadBandwidthBytesPerSec:  6 << 30,
+		WriteBandwidthBytesPerSec: 4 << 30,
+		ReadLatency:               90 * time.Microsecond,
+		WriteLatency:              25 * time.Microsecond,
+		BlockBytes:                4096,
+	}
+	dev, err := blockio.NewDevice(b.TempDir(), ssd, simtime.NewClock())
+	if err != nil {
+		b.Fatal(err)
+	}
+	store, err := ssdps.Open(dev, ssdps.Config{Dim: 8, ParamsPerFile: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := New(Config{
+		NodeID:     0,
+		Dim:        8,
+		Topology:   cluster.Topology{Nodes: 1, GPUsPerNode: 4},
+		Store:      store,
+		Clock:      simtime.NewClock(),
+		LRUEntries: lru,
+		LFUEntries: lfu,
+		Seed:       1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func benchKeys(n int) []keys.Key {
+	out := make([]keys.Key, n)
+	for i := range out {
+		out[i] = keys.Key(keys.Mix64(uint64(i)))
+	}
+	return out
+}
+
+// BenchmarkBatchPullHot measures the MEM-PS hot path: assembling and pinning
+// a batch working set that is fully cache-resident.
+func BenchmarkBatchPullHot(b *testing.B) {
+	m := benchMemPS(b, 4096, 4096)
+	working := benchKeys(1024)
+	// Warm the cache.
+	ws, err := m.Prepare(working)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.CompleteBatch(ws)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws, err := m.Prepare(working)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.CompleteBatch(ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchPullSSD measures the cold path: every batch pull misses the
+// cache and reloads its working set from SSD-PS parameter files.
+func BenchmarkBatchPullSSD(b *testing.B) {
+	m := benchMemPS(b, 2048, 2048)
+	working := benchKeys(1024)
+	// Materialize the parameters on disk, then evict them from memory.
+	ws, err := m.Prepare(working)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.CompleteBatch(ws)
+	if _, err := m.Evict(nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws, err := m.Prepare(working)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.CompleteBatch(ws); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if _, err := m.Evict(nil); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"hps/internal/gpu"
 	"hps/internal/interconnect"
 	"hps/internal/keys"
+	"hps/internal/ps"
 	"hps/internal/simtime"
 	"hps/internal/ssdps"
 )
@@ -109,9 +110,13 @@ type WorkingSet struct {
 }
 
 // MemPS is the main-memory parameter server of one node.
-// It is safe for concurrent use.
+// It is safe for concurrent use. It implements ps.Tier: Pull assembles an
+// unpinned working set (local cache/SSD plus remote owners), Push merges
+// collected deltas into the owned shard, and Evict demotes parameters to the
+// SSD-PS below.
 type MemPS struct {
 	cfg Config
+	rec ps.Recorder
 
 	mu          sync.Mutex
 	cache       *cache.Combined[*embedding.Value]
@@ -119,6 +124,8 @@ type MemPS struct {
 	rng         *rand.Rand
 	stats       Stats
 }
+
+var _ ps.Tier = (*MemPS)(nil)
 
 // New constructs a MEM-PS. It validates the configuration.
 func New(cfg Config) (*MemPS, error) {
@@ -213,6 +220,36 @@ func (m *MemPS) localLookup(k keys.Key, loaded map[keys.Key]*embedding.Value, st
 // keys are given (Algorithm 1 lines 3-4). Local parameters are pinned in the
 // cache until CompleteBatch is called with the returned working set.
 func (m *MemPS) Prepare(working []keys.Key) (*WorkingSet, error) {
+	return m.assemble(working, true)
+}
+
+// Name implements ps.Tier.
+func (m *MemPS) Name() string { return "mem-ps" }
+
+// TierStats implements ps.Tier.
+func (m *MemPS) TierStats() ps.Stats { return m.rec.TierStats() }
+
+// Pull implements ps.Tier: it assembles current values for an arbitrary key
+// set — local keys from the cache, the dump buffer or the SSD-PS (created on
+// first reference), remote keys from their owning nodes — without pinning
+// anything. Training batches use Prepare instead, which additionally pins.
+func (m *MemPS) Pull(req ps.PullRequest) (ps.Result, error) {
+	ws, err := m.assemble(req.Keys, false)
+	if err != nil {
+		return nil, err
+	}
+	return ps.Result(ws.Values), nil
+}
+
+// Push implements ps.Tier: it merges per-key deltas into the authoritative
+// copies of the parameters this node owns (deltas for other nodes' shards
+// are ignored; their owners apply them).
+func (m *MemPS) Push(req ps.PushRequest) error {
+	return m.ApplyUpdates(req.Deltas)
+}
+
+// assemble is the shared batched-pull path behind Prepare and Pull.
+func (m *MemPS) assemble(working []keys.Key, pin bool) (*WorkingSet, error) {
 	working = keys.Dedup(append([]keys.Key(nil), working...))
 	ws := &WorkingSet{Values: make(map[keys.Key]*embedding.Value, len(working))}
 
@@ -252,7 +289,6 @@ func (m *MemPS) Prepare(working []keys.Key) (*WorkingSet, error) {
 
 	// Local path: cache, pending dumps, SSD.
 	m.mu.Lock()
-	ssdBefore := m.cfg.Clock.Total(simtime.ResourceSSD)
 	var toLoad []keys.Key
 	for _, k := range local {
 		if !m.cache.Contains(uint64(k)) {
@@ -264,7 +300,7 @@ func (m *MemPS) Prepare(working []keys.Key) (*WorkingSet, error) {
 	loaded := map[keys.Key]*embedding.Value{}
 	if len(toLoad) > 0 {
 		var err error
-		loaded, err = m.cfg.Store.Load(toLoad)
+		loaded, ws.Stats.LocalTime, err = m.cfg.Store.LoadTimed(toLoad)
 		if err != nil {
 			m.mu.Unlock()
 			return nil, fmt.Errorf("memps: load local parameters: %w", err)
@@ -272,10 +308,11 @@ func (m *MemPS) Prepare(working []keys.Key) (*WorkingSet, error) {
 	}
 	for _, k := range local {
 		v := m.localLookup(k, loaded, &ws.Stats)
-		m.cache.Pin(uint64(k))
+		if pin {
+			m.cache.Pin(uint64(k))
+		}
 		ws.Values[k] = v.Clone()
 	}
-	ws.Stats.LocalTime = m.cfg.Clock.Total(simtime.ResourceSSD) - ssdBefore
 	m.stats.BatchesPrepared++
 	m.stats.LocalKeys += int64(len(local))
 	m.stats.RemoteKeys += int64(len(remote))
@@ -319,6 +356,12 @@ func (m *MemPS) Prepare(working []keys.Key) (*WorkingSet, error) {
 			m.mu.Unlock()
 		}
 	}
+	// The local and remote paths overlap, so the batch pays the slower one.
+	pullTime := ws.Stats.LocalTime
+	if ws.Stats.RemoteTime > pullTime {
+		pullTime = ws.Stats.RemoteTime
+	}
+	m.rec.RecordPull(len(ws.Values), pullTime)
 	return ws, nil
 }
 
@@ -376,21 +419,61 @@ func (m *MemPS) ApplyUpdates(deltas map[keys.Key]*embedding.Value) error {
 		}
 	}
 	loaded := map[keys.Key]*embedding.Value{}
+	var loadTime time.Duration
 	if len(toLoad) > 0 {
 		var err error
-		loaded, err = m.cfg.Store.Load(toLoad)
+		loaded, loadTime, err = m.cfg.Store.LoadTimed(toLoad)
 		if err != nil {
 			return fmt.Errorf("memps: apply updates: %w", err)
 		}
 	}
-	for k, delta := range deltas {
+	applied := ps.ApplyDeltas(deltas, func(k keys.Key, delta *embedding.Value) bool {
 		if !m.ownsKey(k) {
+			return false
+		}
+		m.localLookup(k, loaded, nil).Add(delta)
+		return true
+	})
+	m.rec.RecordPush(applied, loadTime)
+	return nil
+}
+
+// Evict implements ps.Tier: it demotes the given locally-owned, unpinned
+// parameters from the memory cache to the SSD-PS, flushing the dump buffer
+// along the way. A nil slice demotes everything (equivalent to Flush). It
+// returns how many parameters left main memory for the SSD.
+func (m *MemPS) Evict(ks []keys.Key) (int, error) {
+	if ks == nil {
+		return m.flushAll()
+	}
+	// The dump runs under m.mu: once keys leave the cache and the dump
+	// buffer they are unreachable until the SSD write completes, and a
+	// concurrent lookup in that window would silently re-initialize a
+	// trained parameter.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	moved := 0
+	for _, k := range ks {
+		if !m.ownsKey(k) || m.cache.Pinned(uint64(k)) {
 			continue
 		}
-		v := m.localLookup(k, loaded, nil)
-		v.Add(delta)
+		if v, ok := m.cache.Remove(uint64(k)); ok {
+			m.pendingDump[k] = v
+			moved++
+		} else if _, pending := m.pendingDump[k]; pending {
+			moved++ // already demoted out of the cache; flushed below
+		}
 	}
-	return nil
+	if len(m.pendingDump) > 0 {
+		dump := m.pendingDump
+		m.pendingDump = make(map[keys.Key]*embedding.Value)
+		if err := m.cfg.Store.Dump(dump); err != nil {
+			return 0, fmt.Errorf("memps: evict: %w", err)
+		}
+		m.stats.Dumped += int64(len(dump))
+	}
+	m.rec.RecordEvict(moved)
+	return moved, nil
 }
 
 // CompleteBatch unpins the batch's locally-owned working parameters, flushes
@@ -405,20 +488,24 @@ func (m *MemPS) CompleteBatch(ws *WorkingSet) error {
 	for _, k := range ws.LocalKeys {
 		m.cache.Unpin(uint64(k))
 	}
-	var dump map[keys.Key]*embedding.Value
+	dumped := false
 	if len(m.pendingDump) >= m.cfg.DumpBatchSize {
-		dump = m.pendingDump
+		// Dump under m.mu so the evicted parameters never become
+		// unreachable to a concurrent (pipelined) batch preparation.
+		dump := m.pendingDump
 		m.pendingDump = make(map[keys.Key]*embedding.Value)
+		if err := m.cfg.Store.Dump(dump); err != nil {
+			m.mu.Unlock()
+			return fmt.Errorf("memps: dump evicted parameters: %w", err)
+		}
+		m.stats.Dumped += int64(len(dump))
+		dumped = true
 	}
 	m.mu.Unlock()
 
-	if len(dump) > 0 {
-		if err := m.cfg.Store.Dump(dump); err != nil {
-			return fmt.Errorf("memps: dump evicted parameters: %w", err)
-		}
-		m.mu.Lock()
-		m.stats.Dumped += int64(len(dump))
-		m.mu.Unlock()
+	if dumped {
+		// Compaction only rewrites already-durable files; it can run
+		// outside the MEM-PS lock.
 		if _, err := m.cfg.Store.CompactIfNeeded(); err != nil {
 			return fmt.Errorf("memps: compaction: %w", err)
 		}
@@ -429,7 +516,16 @@ func (m *MemPS) CompleteBatch(ws *WorkingSet) error {
 // Flush writes every cached parameter and every pending eviction to the
 // SSD-PS. It is called at the end of training to materialize the final model.
 func (m *MemPS) Flush() error {
+	_, err := m.flushAll()
+	return err
+}
+
+// flushAll demotes the entire in-memory state (cache and dump buffer) to the
+// SSD-PS, returning how many parameters were written. The dump runs under
+// m.mu so the parameters stay reachable throughout (see Evict).
+func (m *MemPS) flushAll() (int, error) {
 	m.mu.Lock()
+	defer m.mu.Unlock()
 	all := make(map[keys.Key]*embedding.Value, len(m.pendingDump))
 	for k, v := range m.pendingDump {
 		all[k] = v
@@ -438,17 +534,15 @@ func (m *MemPS) Flush() error {
 	m.cache.Flush(func(k uint64, v *embedding.Value) {
 		all[keys.Key(k)] = v
 	})
-	m.mu.Unlock()
 	if len(all) == 0 {
-		return nil
+		return 0, nil
 	}
 	if err := m.cfg.Store.Dump(all); err != nil {
-		return fmt.Errorf("memps: flush: %w", err)
+		return 0, fmt.Errorf("memps: flush: %w", err)
 	}
-	m.mu.Lock()
 	m.stats.Dumped += int64(len(all))
-	m.mu.Unlock()
-	return nil
+	m.rec.RecordEvict(len(all))
+	return len(all), nil
 }
 
 // Lookup returns a copy of the current authoritative value of a locally-owned

@@ -10,6 +10,7 @@ import (
 	"hps/internal/hw"
 	"hps/internal/interconnect"
 	"hps/internal/keys"
+	"hps/internal/ps"
 	"hps/internal/simtime"
 	"hps/internal/ssdps"
 )
@@ -370,5 +371,83 @@ func TestLookupUnknownKey(t *testing.T) {
 	m := singleNode(t, 16, 16)
 	if v := m.Lookup(999); v != nil {
 		t.Fatal("unknown key should return nil")
+	}
+}
+
+func TestTierInterface(t *testing.T) {
+	m := singleNode(t, 64, 64)
+	var tier ps.Tier = m
+	if tier.Name() != "mem-ps" {
+		t.Fatalf("name = %q", tier.Name())
+	}
+
+	// Tier pull creates on first reference and does not pin.
+	res, err := tier.Pull(ps.PullRequest{Shard: ps.NoShard, Keys: []keys.Key{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("pulled %d values", len(res))
+	}
+	for _, k := range []keys.Key{1, 2, 3} {
+		if m.cache.Pinned(uint64(k)) {
+			t.Fatalf("tier pull must not pin key %d", k)
+		}
+	}
+
+	// Tier push merges deltas into the owned shard.
+	delta := embedding.NewValue(4)
+	delta.Weights[0] = 2.5
+	if err := tier.Push(ps.PushRequest{Shard: ps.NoShard, Deltas: map[keys.Key]*embedding.Value{2: delta}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Lookup(2).Weights[0]; got != res[2].Weights[0]+2.5 {
+		t.Fatalf("tier push not applied: %v", got)
+	}
+
+	st := tier.TierStats()
+	if st.Pulls == 0 || st.Pushes == 0 || st.KeysPulled < 3 || st.KeysPushed != 1 {
+		t.Fatalf("uniform stats = %+v", st)
+	}
+}
+
+func TestEvictDemotesToSSD(t *testing.T) {
+	m := singleNode(t, 64, 64)
+	ws, err := m.Prepare([]keys.Key{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pinned working parameters must survive eviction.
+	if n, err := m.Evict([]keys.Key{1, 2}); err != nil || n != 0 {
+		t.Fatalf("evict of pinned keys = (%d, %v), want (0, nil)", n, err)
+	}
+	if err := m.CompleteBatch(ws); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unpinned keys demote to the SSD-PS.
+	n, err := m.Evict([]keys.Key{1, 2})
+	if err != nil || n != 2 {
+		t.Fatalf("evict = (%d, %v), want (2, nil)", n, err)
+	}
+	if !m.Store().Contains(1) || !m.Store().Contains(2) {
+		t.Fatal("evicted parameters must be on the SSD")
+	}
+	// Still readable through the tier (reloaded from SSD).
+	res, err := m.Pull(ps.PullRequest{Shard: ps.NoShard, Keys: []keys.Key{1}})
+	if err != nil || len(res) != 1 {
+		t.Fatalf("pull after evict = (%v, %v)", res, err)
+	}
+	if st := m.TierStats(); st.Evictions == 0 || st.KeysEvicted != 2 {
+		t.Fatalf("evict stats = %+v", st)
+	}
+
+	// Evict(nil) flushes everything.
+	if _, err := m.Evict(nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.cache.Len() != 0 {
+		t.Fatal("Evict(nil) must empty the cache")
 	}
 }

@@ -4,7 +4,10 @@ import (
 	"testing"
 
 	"hps/internal/dataset"
+	"hps/internal/embedding"
+	"hps/internal/keys"
 	"hps/internal/model"
+	"hps/internal/ps"
 	"hps/internal/simtime"
 )
 
@@ -103,14 +106,20 @@ func TestBaselineLearns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < 40; i++ {
+	// The full workload dominates the package's test time; -short trains a
+	// quarter of it against a correspondingly looser bar.
+	batches, evalN, minAUC := 40, 1500, 0.65
+	if testing.Short() {
+		batches, evalN, minAUC = 10, 500, 0.60
+	}
+	for i := 0; i < batches; i++ {
 		if err := c.TrainBatch(train.NextBatch(128)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	auc := c.Evaluate(test, 1500)
-	if auc < 0.65 {
-		t.Fatalf("MPI baseline AUC = %v, want > 0.65", auc)
+	auc := c.Evaluate(test, evalN)
+	if auc < minAUC {
+		t.Fatalf("MPI baseline AUC = %v, want > %v", auc, minAUC)
 	}
 	if p := c.Predict(train.NextExample().Features); p <= 0 || p >= 1 {
 		t.Fatalf("prediction %v out of range", p)
@@ -127,9 +136,65 @@ func TestComputeDominatesForLargeDense(t *testing.T) {
 		t.Fatal(err)
 	}
 	gen := dataset.NewGenerator(dataset.ForModel(10000, 20), 1)
-	c.TrainBatch(gen.NextBatch(2048))
+	// The batch must stay large enough that HDFS's fixed per-batch open
+	// latency does not mask the bandwidth/compute ratio under test. The
+	// assertion is about the cost model only, so -short skips the real
+	// gradient math (which dominates this package's test time) and charges
+	// the modelled costs directly.
+	b := gen.NextBatch(2048)
+	if testing.Short() {
+		c.accountBatch(b)
+	} else {
+		c.TrainBatch(b)
+	}
 	bd := c.Breakdown()
 	if bd.Compute <= bd.ReadExamples {
 		t.Fatalf("compute (%v) should dominate HDFS (%v) for a large dense tower", bd.Compute, bd.ReadExamples)
+	}
+}
+
+func TestTierInterface(t *testing.T) {
+	c := newCluster(t, 10)
+	var tier ps.Tier = c
+	if tier.Name() != "mpi-ps" {
+		t.Fatalf("name = %q", tier.Name())
+	}
+	gen := dataset.NewGenerator(dataset.ForModel(10000, 20), 1)
+	if err := c.TrainBatch(gen.NextBatch(32)); err != nil {
+		t.Fatal(err)
+	}
+
+	trained := c.Trainer().Embeddings().Keys()
+	if len(trained) == 0 {
+		t.Fatal("no embeddings materialized")
+	}
+	k := keys.Key(trained[0])
+	res, err := tier.Pull(ps.PullRequest{Shard: ps.NoShard, Keys: []keys.Key{k, 1 << 60}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("pull = %d values, want 1 (unknown key absent)", len(res))
+	}
+
+	delta := embedding.NewValue(8)
+	delta.Weights[0] = 1.5
+	if err := tier.Push(ps.PushRequest{Shard: ps.NoShard, Deltas: map[keys.Key]*embedding.Value{k: delta}}); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := tier.Pull(ps.PullRequest{Keys: []keys.Key{k}})
+	if after[k].Weights[0] != res[k].Weights[0]+1.5 {
+		t.Fatal("push delta not applied")
+	}
+
+	if n, _ := tier.Evict([]keys.Key{k}); n != 1 {
+		t.Fatalf("evict = %d, want 1", n)
+	}
+	if got, _ := tier.Pull(ps.PullRequest{Keys: []keys.Key{k}}); len(got) != 0 {
+		t.Fatal("evicted key still present")
+	}
+	st := tier.TierStats()
+	if st.Pulls != 3 || st.Pushes != 1 || st.KeysEvicted != 1 {
+		t.Fatalf("uniform stats = %+v", st)
 	}
 }

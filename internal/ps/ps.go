@@ -1,0 +1,200 @@
+// Package ps defines the common parameter-server contract shared by every
+// tier of the hierarchy — HBM-PS (internal/hbmps), MEM-PS (internal/memps),
+// SSD-PS (internal/ssdps) — and by the MPI baseline (internal/mpips).
+//
+// Each tier stores sparse parameters keyed by keys.Key and serves the same
+// three operations with tier-specific mechanics:
+//
+//   - Pull: batched read of the current values of a key set,
+//   - Push: batched merge of per-key deltas into the stored values,
+//   - Evict: demotion of keys out of the tier (toward the tier below it in
+//     the hierarchy, or retirement for the bottom tier).
+//
+// Before this package existed, each tier hand-rolled its own variant of the
+// pull/push/evict bookkeeping. The Tier interface gives the end-to-end
+// trainer (internal/trainer) and every future scaling change one contract to
+// program against, and Recorder centralizes the uniform statistics every
+// tier reports.
+package ps
+
+import (
+	"sync"
+	"time"
+
+	"hps/internal/embedding"
+	"hps/internal/keys"
+)
+
+// PullRequest is a batched, key-partitioned read request against one tier.
+type PullRequest struct {
+	// Shard identifies the requesting shard within the tier's partition
+	// policy — the GPU id for the HBM-PS, the node id for the MEM-PS. Tiers
+	// without internal sharding ignore it; use NoShard when not applicable.
+	Shard int
+	// Keys are the parameters to read.
+	Keys []keys.Key
+}
+
+// NoShard is the Shard value for requests that are not issued on behalf of a
+// particular shard.
+const NoShard = -1
+
+// Result is the payload of a pull: the requested keys the tier holds, with
+// private copies of their current values. Keys the tier does not hold are
+// absent.
+type Result map[keys.Key]*embedding.Value
+
+// Keys returns the result's keys in unspecified order.
+func (r Result) Keys() []keys.Key {
+	out := make([]keys.Key, 0, len(r))
+	for k := range r {
+		out = append(out, k)
+	}
+	return out
+}
+
+// PushRequest is a batched write request against one tier: per-key deltas
+// (weight, optimizer-state and reference-count increments) to merge into the
+// stored values.
+type PushRequest struct {
+	// Shard identifies the pushing shard; see PullRequest.Shard.
+	Shard int
+	// Deltas are the per-key increments to apply.
+	Deltas map[keys.Key]*embedding.Value
+}
+
+// Tier is the contract every parameter-server tier implements.
+type Tier interface {
+	// Name identifies the tier ("hbm-ps", "mem-ps", "ssd-ps", "mpi-ps").
+	Name() string
+	// Pull returns copies of the current values of the requested keys.
+	// Missing keys are absent from the result, not an error.
+	Pull(req PullRequest) (Result, error)
+	// Push merges the request's per-key deltas into the stored values.
+	// Deltas for keys the tier does not hold are handled tier-specifically
+	// (created, forwarded, or ignored); Push reports only transport or
+	// storage failures.
+	Push(req PushRequest) error
+	// Evict demotes the given keys out of this tier, returning how many were
+	// actually held and demoted. A nil slice evicts everything evictable.
+	Evict(ks []keys.Key) (int, error)
+	// TierStats returns the uniform cumulative statistics of the tier.
+	TierStats() Stats
+}
+
+// Stats is the uniform statistics block every tier maintains (via Recorder).
+// Tiers may expose richer tier-specific statistics alongside it.
+type Stats struct {
+	// Pulls / Pushes / Evictions count operations.
+	Pulls, Pushes, Evictions int64
+	// KeysPulled / KeysPushed / KeysEvicted count parameters moved.
+	KeysPulled, KeysPushed, KeysEvicted int64
+	// PullTime / PushTime are the cumulative modelled durations of the two
+	// hot-path operations (the per-component breakdown of Fig 4).
+	PullTime, PushTime time.Duration
+}
+
+// Add returns the element-wise sum of two stats blocks.
+func (s Stats) Add(other Stats) Stats {
+	s.Pulls += other.Pulls
+	s.Pushes += other.Pushes
+	s.Evictions += other.Evictions
+	s.KeysPulled += other.KeysPulled
+	s.KeysPushed += other.KeysPushed
+	s.KeysEvicted += other.KeysEvicted
+	s.PullTime += other.PullTime
+	s.PushTime += other.PushTime
+	return s
+}
+
+// Recorder is the shared implementation of the uniform statistics block.
+// Tiers embed it (by pointer or value) and call the Record methods from
+// their pull/push/evict paths; TierStats then satisfies the Tier interface.
+// Recorder is safe for concurrent use.
+type Recorder struct {
+	mu sync.Mutex
+	s  Stats
+}
+
+// RecordPull accounts one pull of n keys with the given modelled duration.
+func (r *Recorder) RecordPull(n int, d time.Duration) {
+	r.mu.Lock()
+	r.s.Pulls++
+	r.s.KeysPulled += int64(n)
+	r.s.PullTime += d
+	r.mu.Unlock()
+}
+
+// RecordPush accounts one push of n keys with the given modelled duration.
+func (r *Recorder) RecordPush(n int, d time.Duration) {
+	r.mu.Lock()
+	r.s.Pushes++
+	r.s.KeysPushed += int64(n)
+	r.s.PushTime += d
+	r.mu.Unlock()
+}
+
+// RecordEvict accounts one eviction pass demoting n keys.
+func (r *Recorder) RecordEvict(n int) {
+	r.mu.Lock()
+	r.s.Evictions++
+	r.s.KeysEvicted += int64(n)
+	r.mu.Unlock()
+}
+
+// TierStats returns a snapshot of the recorded statistics.
+func (r *Recorder) TierStats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.s
+}
+
+// ServePull is the shared pull loop: it looks every requested key up through
+// get and collects private copies of the found values. Every tier's Pull is
+// a ServePull over its own storage accessor.
+func ServePull(ks []keys.Key, get func(k keys.Key) (*embedding.Value, bool)) Result {
+	out := make(Result, len(ks))
+	for _, k := range ks {
+		if v, ok := get(k); ok && v != nil {
+			out[k] = v.Clone()
+		}
+	}
+	return out
+}
+
+// ApplyDeltas is the shared push loop: it hands every delta to apply in
+// sorted key order (so tiers with order-dependent storage behave
+// deterministically) and returns the number of deltas apply accepted.
+func ApplyDeltas(deltas map[keys.Key]*embedding.Value, apply func(k keys.Key, delta *embedding.Value) bool) int {
+	ks := make([]keys.Key, 0, len(deltas))
+	for k := range deltas {
+		ks = append(ks, k)
+	}
+	ks = keys.Dedup(ks)
+	applied := 0
+	for _, k := range ks {
+		if apply(k, deltas[k]) {
+			applied++
+		}
+	}
+	return applied
+}
+
+// TierInfo pairs a tier's name with its uniform statistics, for reports.
+type TierInfo struct {
+	Name  string
+	Stats Stats
+}
+
+// CollectStats snapshots the uniform statistics of a set of tiers in order
+// (conventionally top tier first).
+func CollectStats(tiers ...Tier) []TierInfo {
+	out := make([]TierInfo, 0, len(tiers))
+	for _, t := range tiers {
+		if t == nil {
+			continue
+		}
+		out = append(out, TierInfo{Name: t.Name(), Stats: t.TierStats()})
+	}
+	return out
+}

@@ -92,6 +92,10 @@ func (t *Trainer) EmbeddingDim() int { return t.cfg.EmbeddingDim }
 // Network returns the dense tower (for parameter counting).
 func (t *Trainer) Network() *nn.Network { return t.net }
 
+// Embeddings exposes the in-memory sparse parameter table. The MPI baseline
+// serves its ps.Tier facade from it, and evaluation tools inspect it.
+func (t *Trainer) Embeddings() *embedding.Table { return t.table }
+
 // Examples returns the number of training examples seen.
 func (t *Trainer) Examples() int64 { return t.examples }
 

@@ -25,15 +25,15 @@ type Resource string
 // values; these constants cover the hardware described in the paper's
 // experimental setup (Section 7).
 const (
-	ResourceGPU     Resource = "gpu"      // GPU kernel execution (dense training, hash table ops)
-	ResourceHBM     Resource = "hbm"      // GPU high-bandwidth memory traffic
-	ResourceNVLink  Resource = "nvlink"   // intra-node GPU interconnect
-	ResourcePCIe    Resource = "pcie"     // CPU<->GPU transfers
-	ResourceRDMA    Resource = "rdma"     // inter-node GPU RDMA (RoCE)
-	ResourceNetwork Resource = "network"  // inter-node CPU Ethernet (MEM-PS remote pulls, MPI)
-	ResourceSSD     Resource = "ssd"      // SSD reads/writes (SSD-PS)
-	ResourceHDFS    Resource = "hdfs"     // training-data streaming
-	ResourceCPU     Resource = "cpu"      // CPU compute (partitioning, MPI baseline training)
+	ResourceGPU     Resource = "gpu"     // GPU kernel execution (dense training, hash table ops)
+	ResourceHBM     Resource = "hbm"     // GPU high-bandwidth memory traffic
+	ResourceNVLink  Resource = "nvlink"  // intra-node GPU interconnect
+	ResourcePCIe    Resource = "pcie"    // CPU<->GPU transfers
+	ResourceRDMA    Resource = "rdma"    // inter-node GPU RDMA (RoCE)
+	ResourceNetwork Resource = "network" // inter-node CPU Ethernet (MEM-PS remote pulls, MPI)
+	ResourceSSD     Resource = "ssd"     // SSD reads/writes (SSD-PS)
+	ResourceHDFS    Resource = "hdfs"    // training-data streaming
+	ResourceCPU     Resource = "cpu"     // CPU compute (partitioning, MPI baseline training)
 )
 
 // Clock accumulates modelled time per resource and per named span.

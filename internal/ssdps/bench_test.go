@@ -1,0 +1,85 @@
+package ssdps
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"hps/internal/blockio"
+	"hps/internal/embedding"
+	"hps/internal/hw"
+	"hps/internal/keys"
+	"hps/internal/simtime"
+)
+
+func benchStore(b *testing.B, paramsPerFile int) *Store {
+	b.Helper()
+	ssd := hw.SSD{
+		ReadBandwidthBytesPerSec:  6 << 30,
+		WriteBandwidthBytesPerSec: 4 << 30,
+		ReadLatency:               90 * time.Microsecond,
+		WriteLatency:              25 * time.Microsecond,
+		BlockBytes:                4096,
+	}
+	dev, err := blockio.NewDevice(b.TempDir(), ssd, simtime.NewClock())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := Open(dev, Config{Dim: 8, ParamsPerFile: paramsPerFile})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func benchVals(n int, seed int64) map[keys.Key]*embedding.Value {
+	rng := rand.New(rand.NewSource(seed))
+	out := make(map[keys.Key]*embedding.Value, n)
+	for i := 0; i < n; i++ {
+		out[keys.Key(keys.Mix64(uint64(i)))] = embedding.NewRandomValue(8, rng)
+	}
+	return out
+}
+
+// BenchmarkFileRead measures the SSD-PS read path: loading a random subset
+// of parameters, which reads whole parameter files (the read-amplification
+// trade of Appendix E).
+func BenchmarkFileRead(b *testing.B) {
+	s := benchStore(b, 256)
+	if err := s.Dump(benchVals(8192, 1)); err != nil {
+		b.Fatal(err)
+	}
+	all := s.Keys()
+	rng := rand.New(rand.NewSource(2))
+	want := make([]keys.Key, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range want {
+			want[j] = all[rng.Intn(len(all))]
+		}
+		out, err := s.Load(want)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("load returned nothing")
+		}
+	}
+}
+
+// BenchmarkDumpCompactCycle measures the SSD-PS write path under churn: each
+// iteration rewrites the same parameter set (making the previous copies
+// stale) and runs a compaction pass once the stale fraction builds up.
+func BenchmarkDumpCompactCycle(b *testing.B) {
+	s := benchStore(b, 256)
+	vals := benchVals(2048, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Dump(vals); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Compact(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

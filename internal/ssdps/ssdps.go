@@ -16,10 +16,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"hps/internal/blockio"
 	"hps/internal/embedding"
 	"hps/internal/keys"
+	"hps/internal/ps"
 )
 
 // Config configures the store.
@@ -78,16 +80,26 @@ type fileMeta struct {
 }
 
 // Store is an SSD-backed parameter store. It is safe for concurrent use.
+// It implements ps.Tier as the bottom tier of the hierarchy: Pull reads
+// whole parameter files, Push is a read-modify-write of delta batches, and
+// Evict retires keys (there is no tier below to demote to).
 type Store struct {
 	cfg Config
 	dev *blockio.Device
+	rec ps.Recorder
+
+	// pushMu serializes Push's read-modify-write (load, merge, dump) so
+	// concurrent pushes of the same key cannot lose each other's deltas.
+	pushMu sync.Mutex
 
 	mu      sync.Mutex
 	nextID  int64
-	mapping map[keys.Key]string    // parameter -> file name
-	files   map[string]*fileMeta   // file name -> metadata
+	mapping map[keys.Key]string  // parameter -> file name
+	files   map[string]*fileMeta // file name -> metadata
 	stats   Stats
 }
+
+var _ ps.Tier = (*Store)(nil)
 
 // Open creates a store on top of dev. The directory may be empty (a fresh
 // store) — recovering an existing store's mapping from disk is supported via
@@ -226,6 +238,15 @@ func (s *Store) newFileName() string {
 // everything else is I/O amplification accounted by the device. Missing keys
 // are simply absent from the result.
 func (s *Store) Load(ks []keys.Key) (map[keys.Key]*embedding.Value, error) {
+	out, _, err := s.LoadTimed(ks)
+	return out, err
+}
+
+// LoadTimed is Load plus the modelled read duration of this pass alone.
+// Callers attributing per-operation time (MEM-PS pull statistics) use it
+// instead of diffing the shared clock, whose SSD total mixes in concurrent
+// operations from other pipeline stages and nodes.
+func (s *Store) LoadTimed(ks []keys.Key) (map[keys.Key]*embedding.Value, time.Duration, error) {
 	s.mu.Lock()
 	// Group requested keys by the file that holds their latest version.
 	byFile := make(map[string][]keys.Key)
@@ -238,15 +259,18 @@ func (s *Store) Load(ks []keys.Key) (map[keys.Key]*embedding.Value, error) {
 	s.mu.Unlock()
 
 	out := make(map[keys.Key]*embedding.Value, len(ks))
+	var readTime time.Duration
 	for name, wanted := range byFile {
 		wantedBytes := int64(len(wanted)) * int64(8+embedding.EncodedSize(s.cfg.Dim))
 		data, err := s.dev.ReadPartial(name, wantedBytes)
 		if err != nil {
-			return nil, fmt.Errorf("ssdps: load: %w", err)
+			return nil, 0, fmt.Errorf("ssdps: load: %w", err)
 		}
+		// Mirror the device's charge (whole-file read) for per-tier stats.
+		readTime += s.dev.Profile().ReadTime(int64(len(data)))
 		recs, err := decodeFile(data)
 		if err != nil {
-			return nil, fmt.Errorf("ssdps: load %s: %w", name, err)
+			return nil, 0, fmt.Errorf("ssdps: load %s: %w", name, err)
 		}
 		wantedSet := make(map[keys.Key]bool, len(wanted))
 		for _, k := range wanted {
@@ -261,7 +285,8 @@ func (s *Store) Load(ks []keys.Key) (map[keys.Key]*embedding.Value, error) {
 			}
 		}
 	}
-	return out, nil
+	s.rec.RecordPull(len(out), readTime)
+	return out, readTime, nil
 }
 
 // Dump writes the given parameters to the store as new parameter files
@@ -278,6 +303,7 @@ func (s *Store) Dump(vals map[keys.Key]*embedding.Value) error {
 	}
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 
+	var writeTime time.Duration
 	for start := 0; start < len(sorted); start += s.cfg.ParamsPerFile {
 		end := start + s.cfg.ParamsPerFile
 		if end > len(sorted) {
@@ -293,9 +319,11 @@ func (s *Store) Dump(vals map[keys.Key]*embedding.Value) error {
 		name := s.newFileName()
 		s.mu.Unlock()
 
-		if err := s.dev.WriteFile(name, encodeFile(recs)); err != nil {
+		encoded := encodeFile(recs)
+		if err := s.dev.WriteFile(name, encoded); err != nil {
 			return fmt.Errorf("ssdps: dump: %w", err)
 		}
+		writeTime += s.dev.Profile().WriteTime(int64(len(encoded)))
 
 		s.mu.Lock()
 		s.files[name] = &fileMeta{name: name, total: len(recs)}
@@ -310,7 +338,95 @@ func (s *Store) Dump(vals map[keys.Key]*embedding.Value) error {
 		s.stats.Dumps++
 		s.mu.Unlock()
 	}
+	s.rec.RecordPush(len(vals), writeTime)
 	return nil
+}
+
+// Name implements ps.Tier.
+func (s *Store) Name() string { return "ssd-ps" }
+
+// TierStats implements ps.Tier. Pulls cover Load, pushes cover both Dump
+// (absolute writes from the tier above) and Push (delta merges).
+func (s *Store) TierStats() ps.Stats { return s.rec.TierStats() }
+
+// Pull implements ps.Tier: a batched Load. Missing keys are absent.
+func (s *Store) Pull(req ps.PullRequest) (ps.Result, error) {
+	out, err := s.Load(req.Keys)
+	if err != nil {
+		return nil, err
+	}
+	return ps.Result(out), nil
+}
+
+// Push implements ps.Tier: it merges per-key deltas into the stored values
+// with a read-modify-write pass — existing values are loaded, deltas added
+// (unknown keys materialize as fresh values equal to their delta), and the
+// results dumped as new parameter files.
+func (s *Store) Push(req ps.PushRequest) error {
+	if len(req.Deltas) == 0 {
+		return nil
+	}
+	s.pushMu.Lock()
+	defer s.pushMu.Unlock()
+	ks := make([]keys.Key, 0, len(req.Deltas))
+	for k := range req.Deltas {
+		ks = append(ks, k)
+	}
+	existing, err := s.Load(ks)
+	if err != nil {
+		return fmt.Errorf("ssdps: push: %w", err)
+	}
+	merged := make(map[keys.Key]*embedding.Value, len(req.Deltas))
+	ps.ApplyDeltas(req.Deltas, func(k keys.Key, delta *embedding.Value) bool {
+		if v, ok := existing[k]; ok {
+			v.Add(delta) // Load returned a private decoded copy
+			merged[k] = v
+		} else {
+			merged[k] = delta.Clone()
+		}
+		return true
+	})
+	return s.Dump(merged)
+}
+
+// Evict implements ps.Tier. The SSD-PS is the bottom tier — there is no
+// tier below to demote to — so evicting specific keys retires them from the
+// store (their on-disk copies become stale and are reclaimed by compaction),
+// and a nil slice reclaims stale space via a compaction pass without
+// dropping any live parameter.
+func (s *Store) Evict(ks []keys.Key) (int, error) {
+	if ks == nil {
+		if err := s.Compact(); err != nil {
+			return 0, err
+		}
+		s.rec.RecordEvict(0)
+		return 0, nil
+	}
+	n := s.Delete(ks)
+	s.rec.RecordEvict(n)
+	return n, nil
+}
+
+// Delete retires the given keys: their mapping entries are removed and
+// their latest on-disk copies become stale. It returns how many keys were
+// live. Production systems recycle feature ids this way; the disk space is
+// reclaimed by the next compaction pass.
+func (s *Store) Delete(ks []keys.Key) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, k := range ks {
+		name, ok := s.mapping[k]
+		if !ok {
+			continue
+		}
+		delete(s.mapping, k)
+		if meta, ok := s.files[name]; ok {
+			meta.stale++
+		}
+		n++
+	}
+	return n
 }
 
 // NeedsCompaction reports whether live disk usage exceeds the configured

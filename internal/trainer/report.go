@@ -1,0 +1,193 @@
+package trainer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"hps/internal/blockio"
+	"hps/internal/metrics"
+	"hps/internal/pipeline"
+	"hps/internal/ps"
+	"hps/internal/simtime"
+	"hps/internal/ssdps"
+)
+
+// StageReport is one pipeline stage's share of the batch time.
+type StageReport struct {
+	// Name is the stage name (read/pull/train/push).
+	Name string
+	// Modelled is the cumulative modelled hardware time of the stage.
+	Modelled time.Duration
+	// PerBatch is Modelled divided by the number of batches.
+	PerBatch time.Duration
+	// WallBusy / WallStalled are the stage goroutine's measured wall times
+	// (busy inside the stage function, stalled on backpressure).
+	WallBusy, WallStalled time.Duration
+}
+
+// Report is the Fig-4-style throughput/latency breakdown of a training run.
+type Report struct {
+	// Model names the trained spec.
+	Model string
+	// Nodes / GPUsPerNode describe the topology.
+	Nodes, GPUsPerNode int
+	// Batches / Examples count completed work across all nodes.
+	Batches, Examples int64
+	// MaxInFlight is the pipeline depth the run used.
+	MaxInFlight int
+	// Stages is the per-stage breakdown, in pipeline order.
+	Stages []StageReport
+	// Bottleneck is the stage with the largest modelled time — the stage
+	// that governs steady-state throughput (Section 7.2).
+	Bottleneck string
+	// AllReduce is the cumulative modelled inter-GPU synchronization time
+	// (included in the push stage).
+	AllReduce time.Duration
+	// ModelledElapsed estimates the wall time of the run on the modelled
+	// hardware: with pipelining, one pipeline fill plus the bottleneck stage
+	// for every further batch; without, the sum of all stages.
+	ModelledElapsed time.Duration
+	// Throughput is Examples over ModelledElapsed.
+	Throughput metrics.Throughput
+	// Resources are the per-hardware-resource modelled totals (the time
+	// distribution of Fig 4).
+	Resources map[simtime.Resource]time.Duration
+	// Tiers are the uniform per-tier statistics, top tier first.
+	Tiers []ps.TierInfo
+	// CacheHitRate is the MEM-PS cache hit rate across nodes (Fig 4c).
+	CacheHitRate float64
+	// SSD aggregates the SSD-PS store statistics across nodes.
+	SSD ssdps.Stats
+	// ReadAmplification is the SSD device read amplification across nodes.
+	ReadAmplification float64
+	// MeanLoss is the mean training log-loss.
+	MeanLoss float64
+}
+
+func addSSDStats(a, b ssdps.Stats) ssdps.Stats {
+	a.Files += b.Files
+	a.LiveParams += b.LiveParams
+	a.StaleParams += b.StaleParams
+	a.Compactions += b.Compactions
+	a.CompactedFiles += b.CompactedFiles
+	a.Loads += b.Loads
+	a.Dumps += b.Dumps
+	a.UsageBytes += b.UsageBytes
+	return a
+}
+
+// Report summarizes the run so far.
+func (t *Trainer) Report() Report {
+	t.mu.Lock()
+	batches := t.batchesDone
+	examples := t.examples
+	stageModelled := make(map[string]time.Duration, len(t.stageModelled))
+	for k, v := range t.stageModelled {
+		stageModelled[k] = v
+	}
+	allReduce := t.allReduce
+	t.mu.Unlock()
+
+	r := Report{
+		Model:       t.cfg.Spec.Name,
+		Nodes:       t.cfg.Topology.Nodes,
+		GPUsPerNode: t.cfg.Topology.GPUsPerNode,
+		Batches:     batches,
+		Examples:    examples,
+		MaxInFlight: t.cfg.MaxInFlight,
+		AllReduce:   allReduce,
+		Resources:   t.clock.Snapshot(),
+		Tiers:       t.Tiers(),
+		MeanLoss:    t.loss.Mean(),
+	}
+
+	var wall []pipeline.StageStats
+	if t.pipe != nil {
+		wall = t.pipe.Stats()
+	}
+	var sum, max time.Duration
+	for i, name := range []string{StageRead, StagePull, StageTrain, StagePush} {
+		sr := StageReport{Name: name, Modelled: stageModelled[name]}
+		if batches > 0 {
+			sr.PerBatch = sr.Modelled / time.Duration(batches)
+		}
+		if i < len(wall) {
+			sr.WallBusy, sr.WallStalled = wall[i].Busy, wall[i].Stalled
+		}
+		sum += sr.Modelled
+		if sr.Modelled >= max {
+			max = sr.Modelled
+			r.Bottleneck = name
+		}
+		r.Stages = append(r.Stages, sr)
+	}
+	// One pipeline fill (every stage once), then the bottleneck stage paces
+	// each remaining batch; without overlap every batch pays every stage.
+	if t.cfg.MaxInFlight > 1 && batches > 0 {
+		fill := sum / time.Duration(batches)
+		r.ModelledElapsed = fill + max/time.Duration(batches)*time.Duration(batches-1)
+	} else {
+		r.ModelledElapsed = sum
+	}
+	r.Throughput = metrics.Throughput{Examples: examples, Elapsed: r.ModelledElapsed}
+
+	var hits, lookups int64
+	var ioStats blockio.Stats
+	for _, n := range t.nodes {
+		cs := n.mem.CacheStats()
+		hits += cs.Hits
+		lookups += cs.Hits + cs.Misses
+		r.SSD = addSSDStats(r.SSD, n.store.Stats())
+		ds := n.dev.Stats()
+		ioStats.LogicalBytesRead += ds.LogicalBytesRead
+		ioStats.PhysicalBytesRead += ds.PhysicalBytesRead
+	}
+	if lookups > 0 {
+		r.CacheHitRate = float64(hits) / float64(lookups)
+	}
+	r.ReadAmplification = ioStats.ReadAmplification()
+	return r
+}
+
+// String renders the report as the Fig-4-style breakdown printed by cmd/hps.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== hierarchical parameter server: model %s, %d node(s) x %d GPU(s), pipeline depth %d ===\n",
+		r.Model, r.Nodes, r.GPUsPerNode, r.MaxInFlight)
+	fmt.Fprintf(&b, "batches %d   examples %d   mean log-loss %.4f\n", r.Batches, r.Examples, r.MeanLoss)
+	fmt.Fprintf(&b, "\n-- batch pipeline (modelled hardware time) --\n")
+	for _, s := range r.Stages {
+		marker := "  "
+		if s.Name == r.Bottleneck {
+			marker = "* " // the stage that paces steady-state throughput
+		}
+		fmt.Fprintf(&b, "%s%-6s total %12v   per-batch %12v   wall busy %10v   stalled %10v\n",
+			marker, s.Name, s.Modelled.Round(time.Microsecond), s.PerBatch.Round(time.Microsecond),
+			s.WallBusy.Round(time.Microsecond), s.WallStalled.Round(time.Microsecond))
+	}
+	fmt.Fprintf(&b, "bottleneck stage: %s   all-reduce (in push): %v\n", r.Bottleneck, r.AllReduce.Round(time.Microsecond))
+	fmt.Fprintf(&b, "modelled elapsed %v   throughput %.0f examples/s\n",
+		r.ModelledElapsed.Round(time.Microsecond), r.Throughput.ExamplesPerSecond())
+
+	fmt.Fprintf(&b, "\n-- hardware time distribution --\n")
+	names := make([]string, 0, len(r.Resources))
+	for res := range r.Resources {
+		names = append(names, string(res))
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "  %-8s %12v\n", name, r.Resources[simtime.Resource(name)].Round(time.Microsecond))
+	}
+
+	fmt.Fprintf(&b, "\n-- parameter-server tiers --\n")
+	for _, ti := range r.Tiers {
+		fmt.Fprintf(&b, "  %-7s pulls %8d (%10d keys, %12v)   pushes %8d (%10d keys, %12v)   evicted %8d\n",
+			ti.Name, ti.Stats.Pulls, ti.Stats.KeysPulled, ti.Stats.PullTime.Round(time.Microsecond),
+			ti.Stats.Pushes, ti.Stats.KeysPushed, ti.Stats.PushTime.Round(time.Microsecond), ti.Stats.KeysEvicted)
+	}
+	fmt.Fprintf(&b, "mem-ps cache hit rate %.1f%%   ssd-ps: %d files, %d live / %d stale params, %d compactions, read amplification %.1fx\n",
+		100*r.CacheHitRate, r.SSD.Files, r.SSD.LiveParams, r.SSD.StaleParams, r.SSD.Compactions, r.ReadAmplification)
+	return b.String()
+}

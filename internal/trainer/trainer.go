@@ -1,0 +1,710 @@
+// Package trainer composes the three parameter-server tiers into the paper's
+// end-to-end hierarchical training system (Sections 3-6): training batches
+// stream from HDFS, the MEM-PS of every node assembles and pins the batch's
+// working parameters (pulling cold ones from its SSD-PS and remote ones from
+// the other nodes), the HBM-PS loads the working set into the node's GPUs,
+// per-GPU workers train with concurrent batched pull/push against the HBM-PS,
+// and the collected updates are synchronized across nodes and merged back
+// into the authoritative MEM-PS copies, which demote cold parameters to the
+// SSD-PS as memory fills.
+//
+// The four batch phases — read, pull, train, push — run as the prefetch
+// pipeline of Section 3 (internal/pipeline), so the steady-state batch
+// latency is governed by the slowest stage. MaxInFlight bounds how many
+// batches overlap: 1 reproduces the strict ordering of Algorithm 1 (and the
+// accuracy oracle of Fig 3b), larger values buy throughput at the price of
+// parameters at most MaxInFlight-1 batches stale, which is the trade the
+// paper's pipeline makes.
+package trainer
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"hps/internal/blockio"
+	"hps/internal/cluster"
+	"hps/internal/dataset"
+	"hps/internal/embedding"
+	"hps/internal/hbmps"
+	"hps/internal/hdfs"
+	"hps/internal/hw"
+	"hps/internal/interconnect"
+	"hps/internal/keys"
+	"hps/internal/memps"
+	"hps/internal/metrics"
+	"hps/internal/model"
+	"hps/internal/nn"
+	"hps/internal/optimizer"
+	"hps/internal/pipeline"
+	"hps/internal/ps"
+	"hps/internal/simtime"
+	"hps/internal/ssdps"
+)
+
+// Stage names of the 4-stage batch pipeline.
+const (
+	StageRead  = "read"
+	StagePull  = "pull"
+	StageTrain = "train"
+	StagePush  = "push"
+)
+
+// Config configures the hierarchical trainer.
+type Config struct {
+	// Spec is the model being trained (embedding dim, dense tower, per-example
+	// non-zeros). Required.
+	Spec model.Spec
+	// Data describes the training distribution; the zero value derives it
+	// from Spec via dataset.ForModel.
+	Data dataset.Config
+	// Topology is the cluster shape. The zero value means 1 node x 1 GPU.
+	Topology cluster.Topology
+	// BatchSize is the per-node examples per batch (default 256).
+	BatchSize int
+	// Batches is the number of batches each node trains on. Required > 0.
+	Batches int
+	// MaxInFlight bounds how many batches may be in the pipeline at once.
+	// 1 (the default) reproduces Algorithm 1's strict ordering; larger values
+	// overlap the stages as in Section 3.
+	MaxInFlight int
+	// Profile describes each node's hardware; the zero value uses
+	// hw.DefaultGPUNode.
+	Profile hw.NodeProfile
+	// SparseLR / DenseLR are the Adagrad learning rates (defaults 0.05/0.01,
+	// matching internal/reference).
+	SparseLR, DenseLR float32
+	// LRUEntries / LFUEntries set each node's MEM-PS cache level capacities;
+	// when zero they are derived from Profile.MainMemoryBytes.
+	LRUEntries, LFUEntries int
+	// ParamsPerFile is the SSD-PS file granularity (default 256).
+	ParamsPerFile int
+	// SSDThresholdBytes triggers SSD-PS compaction; 0 uses device capacity.
+	SSDThresholdBytes int64
+	// Dir is the root directory for the per-node SSD-PS devices; "" creates
+	// (and owns) a temporary directory removed by Close.
+	Dir string
+	// Seed seeds model initialization and the per-node data streams.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Topology.Nodes == 0 && c.Topology.GPUsPerNode == 0 {
+		c.Topology = cluster.Topology{Nodes: 1, GPUsPerNode: 1}
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 1
+	}
+	if c.Profile.GPU.FLOPS == 0 {
+		c.Profile = hw.DefaultGPUNode()
+	}
+	if c.SparseLR <= 0 {
+		c.SparseLR = 0.05
+	}
+	if c.DenseLR <= 0 {
+		c.DenseLR = 0.01
+	}
+	if c.ParamsPerFile <= 0 {
+		c.ParamsPerFile = 256
+	}
+	if c.Data.NumFeatures == 0 {
+		c.Data = dataset.ForModel(c.Spec.SparseParams, c.Spec.NonZerosPerExample)
+	}
+	return c
+}
+
+// node bundles the per-node pieces of the hierarchy.
+type node struct {
+	id     int
+	gen    *dataset.Generator
+	stream *hdfs.Stream
+	dev    *blockio.Device
+	store  *ssdps.Store
+	mem    *memps.MemPS
+	hbm    *hbmps.HBMPS
+}
+
+// nodeBatch carries one node's view of a batch through the pipeline.
+type nodeBatch struct {
+	batch  *dataset.Batch
+	ws     *memps.WorkingSet
+	deltas map[keys.Key]*embedding.Value
+}
+
+// job is one batch index flowing through the pipeline (all nodes process
+// their own batch of that index in parallel, as in data-parallel training).
+type job struct {
+	index int
+	nodes []*nodeBatch
+}
+
+// Trainer is the end-to-end hierarchical training system.
+type Trainer struct {
+	cfg       Config
+	clock     *simtime.Clock
+	fabric    *interconnect.Fabric
+	transport *cluster.LocalTransport
+	nodes     []*node
+
+	// The dense tower is replicated on every GPU and kept in sync by a
+	// per-example all-reduce; the replication is modelled by a single shared
+	// network updated under a mutex.
+	denseMu    sync.Mutex
+	net        *nn.Network
+	denseState *nn.DenseState
+	denseOpt   optimizer.Dense
+	sparseOpt  optimizer.Sparse
+	evalActs   *nn.Activations
+
+	pipe *pipeline.Pipeline[*job]
+
+	// stageDelay injects an artificial wall-clock delay per stage; it is a
+	// test hook for exercising pipeline overlap with controlled timings.
+	stageDelay map[string]time.Duration
+
+	mu            sync.Mutex
+	stageModelled map[string]time.Duration
+	allReduce     time.Duration
+	loss          metrics.LogLossAccumulator
+	examples      int64
+	batchesDone   int64
+
+	tmpDir  string
+	ownsDir bool
+	closed  bool
+}
+
+// New builds the full hierarchy for the configured topology. Call Close to
+// flush the MEM-PS tiers and release the SSD-PS directories.
+func New(cfg Config) (*Trainer, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Spec.EmbeddingDim <= 0 {
+		return nil, fmt.Errorf("trainer: model spec has no embedding dimension")
+	}
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Data.Validate(); err != nil {
+		return nil, err
+	}
+	dim := cfg.Spec.EmbeddingDim
+
+	dir := cfg.Dir
+	ownsDir := false
+	if dir == "" {
+		d, err := os.MkdirTemp("", "hps-trainer-*")
+		if err != nil {
+			return nil, fmt.Errorf("trainer: temp dir: %w", err)
+		}
+		dir, ownsDir = d, true
+	}
+
+	clock := simtime.NewClock()
+	t := &Trainer{
+		cfg:           cfg,
+		clock:         clock,
+		fabric:        interconnect.NewFabric(cfg.Profile, clock),
+		transport:     cluster.NewLocalTransport(dim),
+		denseOpt:      optimizer.Adagrad{LR: cfg.DenseLR, InitialAccumulator: 0.1},
+		sparseOpt:     optimizer.Adagrad{LR: cfg.SparseLR, InitialAccumulator: 0.1},
+		stageModelled: make(map[string]time.Duration),
+		tmpDir:        dir,
+		ownsDir:       ownsDir,
+	}
+	t.net = nn.New(nn.Config{InputDim: dim, Hidden: cfg.Spec.HiddenLayers, Seed: cfg.Seed})
+	t.denseState = t.net.NewDenseState(t.denseOpt)
+	t.evalActs = t.net.NewActivations()
+
+	cleanup := func() {
+		if ownsDir {
+			os.RemoveAll(dir)
+		}
+	}
+	for id := 0; id < cfg.Topology.Nodes; id++ {
+		n, err := t.buildNode(id, dir)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		t.nodes = append(t.nodes, n)
+		t.transport.Register(id, n.mem)
+	}
+	return t, nil
+}
+
+func (t *Trainer) buildNode(id int, root string) (*node, error) {
+	cfg := t.cfg
+	dev, err := blockio.NewDevice(filepath.Join(root, fmt.Sprintf("node-%d", id)), cfg.Profile.SSD, t.clock)
+	if err != nil {
+		return nil, fmt.Errorf("trainer: node %d device: %w", id, err)
+	}
+	store, err := ssdps.Open(dev, ssdps.Config{
+		Dim:                     cfg.Spec.EmbeddingDim,
+		ParamsPerFile:           cfg.ParamsPerFile,
+		DiskUsageThresholdBytes: cfg.SSDThresholdBytes,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("trainer: node %d ssd-ps: %w", id, err)
+	}
+	var transport cluster.Transport
+	if cfg.Topology.Nodes > 1 {
+		transport = t.transport
+	}
+	mem, err := memps.New(memps.Config{
+		NodeID:            id,
+		Dim:               cfg.Spec.EmbeddingDim,
+		Topology:          cfg.Topology,
+		Transport:         transport,
+		Store:             store,
+		Fabric:            t.fabric,
+		Clock:             t.clock,
+		MemoryBudgetBytes: cfg.Profile.MainMemoryBytes,
+		LRUEntries:        cfg.LRUEntries,
+		LFUEntries:        cfg.LFUEntries,
+		Seed:              cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("trainer: node %d mem-ps: %w", id, err)
+	}
+	hbm, err := hbmps.New(hbmps.Config{
+		NodeID:     id,
+		NumGPUs:    cfg.Topology.GPUsPerNode,
+		Dim:        cfg.Spec.EmbeddingDim,
+		GPUProfile: cfg.Profile.GPU,
+		NVLink:     cfg.Profile.NVLink,
+		Fabric:     t.fabric,
+		Clock:      t.clock,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("trainer: node %d hbm-ps: %w", id, err)
+	}
+	// Every node streams its own shard of the click log: distinct seeds give
+	// distinct (but identically distributed) example streams. Node 0 uses the
+	// base seed so a single-node trainer sees exactly the stream the
+	// reference oracle trains on.
+	gen := dataset.NewGenerator(cfg.Data, cfg.Seed+int64(id)*7919)
+	stream := hdfs.NewStream(gen, hdfs.Config{
+		BatchSize:  cfg.BatchSize,
+		MaxBatches: cfg.Batches,
+		Profile:    cfg.Profile.HDFS,
+		Clock:      t.clock,
+	})
+	return &node{id: id, gen: gen, stream: stream, dev: dev, store: store, mem: mem, hbm: hbm}, nil
+}
+
+// eachNode runs fn for every node concurrently and returns the first error.
+func (t *Trainer) eachNode(fn func(n *node) error) error {
+	if len(t.nodes) == 1 {
+		return fn(t.nodes[0])
+	}
+	errs := make([]error, len(t.nodes))
+	var wg sync.WaitGroup
+	for i, n := range t.nodes {
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			errs[i] = fn(n)
+		}(i, n)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Trainer) addStageModelled(stage string, d time.Duration) {
+	t.mu.Lock()
+	t.stageModelled[stage] += d
+	t.mu.Unlock()
+}
+
+func (t *Trainer) maybeDelay(stage string) {
+	if d := t.stageDelay[stage]; d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Run trains cfg.Batches batches through the 4-stage pipeline. It can be
+// called once.
+func (t *Trainer) Run(ctx context.Context) error {
+	if t.cfg.Batches <= 0 {
+		return fmt.Errorf("trainer: Batches must be positive, have %d", t.cfg.Batches)
+	}
+	// MaxInFlight tokens bound pipeline occupancy: the source takes one per
+	// batch and the sink returns it, so at most MaxInFlight batches are in
+	// flight and the parameters a batch trains on are at most MaxInFlight-1
+	// batches stale. With one token the pipeline degenerates to Algorithm 1's
+	// strict sequential ordering.
+	tokens := make(chan struct{}, t.cfg.MaxInFlight)
+	for i := 0; i < t.cfg.MaxInFlight; i++ {
+		tokens <- struct{}{}
+	}
+
+	next := 0
+	source := func(ctx context.Context) (*job, bool, error) {
+		if next >= t.cfg.Batches {
+			return nil, false, nil
+		}
+		select {
+		case <-tokens:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		j := &job{index: next, nodes: make([]*nodeBatch, len(t.nodes))}
+		next++
+		return j, true, nil
+	}
+	sink := func(ctx context.Context, j *job) error {
+		tokens <- struct{}{}
+		t.mu.Lock()
+		t.batchesDone++
+		for _, nb := range j.nodes {
+			t.examples += int64(nb.batch.Len())
+		}
+		t.mu.Unlock()
+		return nil
+	}
+
+	t.pipe = pipeline.New(
+		pipeline.Stage[*job]{Name: StageRead, QueueSize: 1, Fn: t.stageRead},
+		pipeline.Stage[*job]{Name: StagePull, QueueSize: 1, Fn: t.stagePull},
+		pipeline.Stage[*job]{Name: StageTrain, QueueSize: 1, Fn: t.stageTrain},
+		pipeline.Stage[*job]{Name: StagePush, QueueSize: 1, Fn: t.stagePush},
+	)
+	return t.pipe.Run(ctx, source, sink)
+}
+
+// stageRead streams every node's batch of this index from HDFS.
+func (t *Trainer) stageRead(_ context.Context, j *job) (*job, error) {
+	t.maybeDelay(StageRead)
+	var mu sync.Mutex
+	var modelled time.Duration
+	err := t.eachNode(func(n *node) error {
+		b, err := n.stream.NextBatch()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return fmt.Errorf("trainer: node %d stream exhausted at batch %d", n.id, j.index)
+		}
+		j.nodes[n.id] = &nodeBatch{batch: b}
+		d := t.cfg.Profile.HDFS.ReadTime(b.ByteSize())
+		mu.Lock()
+		if d > modelled {
+			modelled = d // nodes stream in parallel; the job pays the slowest
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.addStageModelled(StageRead, modelled)
+	return j, nil
+}
+
+// stagePull has every node's MEM-PS assemble and pin the batch's working
+// parameters (Algorithm 1 lines 3-4): cache hits from memory, misses from
+// the SSD-PS, remote shards from the owning nodes.
+func (t *Trainer) stagePull(_ context.Context, j *job) (*job, error) {
+	t.maybeDelay(StagePull)
+	var mu sync.Mutex
+	var modelled time.Duration
+	err := t.eachNode(func(n *node) error {
+		nb := j.nodes[n.id]
+		ws, err := n.mem.Prepare(nb.batch.Keys())
+		if err != nil {
+			return err
+		}
+		nb.ws = ws
+		d := ws.Stats.LocalTime
+		if ws.Stats.RemoteTime > d {
+			d = ws.Stats.RemoteTime
+		}
+		mu.Lock()
+		if d > modelled {
+			modelled = d
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.addStageModelled(StagePull, modelled)
+	return j, nil
+}
+
+// stageTrain loads every node's working set into its HBM-PS, trains the
+// batch with one concurrent worker per GPU (each pulling and pushing its
+// shard against the HBM-PS), and collects the per-node update deltas.
+func (t *Trainer) stageTrain(_ context.Context, j *job) (*job, error) {
+	t.maybeDelay(StageTrain)
+	var mu sync.Mutex
+	var modelled time.Duration
+	err := t.eachNode(func(n *node) error {
+		nb := j.nodes[n.id]
+		before := n.hbm.Stats()
+		if err := n.hbm.LoadWorkingSet(nb.ws.Values); err != nil {
+			return err
+		}
+		if err := t.trainOnGPUs(n, nb.batch); err != nil {
+			return err
+		}
+		nb.deltas = n.hbm.CollectUpdates()
+		if _, err := n.hbm.Evict(nil); err != nil { // release HBM for the next batch
+			return err
+		}
+		after := n.hbm.Stats()
+
+		// The dense tower trains on the GPUs in parallel with the sparse
+		// pulls; charge its modelled compute time per GPU.
+		flopsPerGPU := t.net.FLOPsPerExample() * float64(nb.batch.Len()) / float64(len(n.hbm.Devices()))
+		var computeTime time.Duration
+		for _, dev := range n.hbm.Devices() {
+			dev.ChargeCompute(flopsPerGPU)
+			if ct := dev.Profile().ComputeTime(flopsPerGPU); ct > computeTime {
+				computeTime = ct
+			}
+		}
+		d := (after.LoadTime - before.LoadTime) +
+			(after.PullTime - before.PullTime) +
+			(after.PushTime - before.PushTime) + computeTime
+		mu.Lock()
+		if d > modelled {
+			modelled = d
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.addStageModelled(StageTrain, modelled)
+	return j, nil
+}
+
+// trainOnGPUs shards the batch across the node's GPUs and trains each shard
+// on its own worker goroutine: pull the example's embeddings from the
+// HBM-PS, run the dense tower, push the sparse gradients back (Algorithm 1
+// lines 11-15).
+func (t *Trainer) trainOnGPUs(n *node, b *dataset.Batch) error {
+	numGPUs := n.hbm.NumGPUs()
+	shards := b.Shard(numGPUs)
+	errs := make([]error, numGPUs)
+	var wg sync.WaitGroup
+	for g := 0; g < numGPUs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			errs[g] = t.trainShard(n, g, shards[g])
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// trainShard is one GPU worker's loop over its examples.
+func (t *Trainer) trainShard(n *node, gpuID int, shard *dataset.Batch) error {
+	if shard.Len() == 0 {
+		return nil
+	}
+	acts := t.net.NewActivations()
+	grads := t.net.NewGradients()
+	vecs := make([][]float32, 0, t.cfg.Data.NonZerosPerExample)
+	for _, ex := range shard.Examples {
+		values, err := n.hbm.Pull(ps.PullRequest{Shard: gpuID, Keys: ex.Features})
+		if err != nil {
+			return err
+		}
+		vecs = vecs[:0]
+		for _, k := range ex.Features {
+			vecs = append(vecs, values[k].Weights)
+		}
+
+		// The dense tower is replicated across GPUs and synchronized per
+		// example; the shared network under a mutex models that.
+		t.denseMu.Lock()
+		nn.PoolSum(acts.Input(), vecs)
+		pred := t.net.Forward(acts)
+		grads.Zero()
+		inputGrad := t.net.Backward(acts, pred, ex.Label, grads)
+		t.net.Apply(t.denseOpt, t.denseState, grads)
+		t.denseMu.Unlock()
+		t.loss.Add(float64(pred), float64(ex.Label))
+
+		// With sum pooling every referenced feature receives the input
+		// gradient; the HBM-PS owners apply the sparse optimizer in place.
+		sparse := make(map[keys.Key][]float32, len(ex.Features))
+		for _, k := range ex.Features {
+			sparse[k] = inputGrad
+		}
+		if err := n.hbm.PushGrads(gpuID, sparse, t.sparseOpt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stagePush synchronizes the per-node deltas (the hierarchical all-reduce of
+// Appendix C.3), merges them into the owning MEM-PS shards, and completes
+// the batch (unpin, dump evictions, compact — Algorithm 1 lines 16-18).
+func (t *Trainer) stagePush(_ context.Context, j *job) (*job, error) {
+	t.maybeDelay(StagePush)
+
+	// Sum the deltas of all nodes: the inter-node synchronization delivers
+	// every delta everywhere, and each owner applies the global sum once.
+	global := j.nodes[0].deltas
+	if len(t.nodes) > 1 {
+		global = make(map[keys.Key]*embedding.Value)
+		for _, nb := range j.nodes {
+			for k, d := range nb.deltas {
+				if acc, ok := global[k]; ok {
+					acc.Add(d)
+				} else {
+					global[k] = d.Clone()
+				}
+			}
+		}
+	}
+
+	// Charge the modelled all-reduce: every GPU contributes its partition of
+	// the deltas, inter-node rounds over RDMA, intra-node rounds over NVLink.
+	var syncTime time.Duration
+	totalGPUs := t.cfg.Topology.TotalGPUs()
+	if totalGPUs > 1 {
+		deltaBytes := int64(len(global)) * int64(8+embedding.EncodedSize(t.cfg.Spec.EmbeddingDim))
+		bytesPerGPU := deltaBytes / int64(totalGPUs)
+		syncTime = interconnect.HierarchicalAllReduceTime(
+			bytesPerGPU, t.cfg.Topology.Nodes, t.cfg.Topology.GPUsPerNode,
+			t.cfg.Profile.RDMA, t.cfg.Profile.NVLink)
+		t.clock.Add(simtime.ResourceRDMA, syncTime)
+		t.mu.Lock()
+		t.allReduce += syncTime
+		t.mu.Unlock()
+	}
+
+	// Apply and complete per node. memTime/ssdTime deltas are safe to read
+	// here because only this stage touches the MEM-PS push path.
+	var mu sync.Mutex
+	var modelled time.Duration
+	err := t.eachNode(func(n *node) error {
+		nb := j.nodes[n.id]
+		memBefore := n.mem.TierStats().PushTime
+		ssdBefore := n.store.TierStats().PushTime
+		if err := n.mem.Push(ps.PushRequest{Shard: ps.NoShard, Deltas: global}); err != nil {
+			return err
+		}
+		if err := n.mem.CompleteBatch(nb.ws); err != nil {
+			return err
+		}
+		d := (n.mem.TierStats().PushTime - memBefore) + (n.store.TierStats().PushTime - ssdBefore)
+		mu.Lock()
+		if d > modelled {
+			modelled = d
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.addStageModelled(StagePush, modelled+syncTime)
+	return j, nil
+}
+
+// Predict returns the model's click probability for a feature set, reading
+// the authoritative parameter copies from the owning MEM-PS shards. Features
+// never trained on contribute nothing (matching internal/reference).
+func (t *Trainer) Predict(features []keys.Key) float32 {
+	vecs := make([][]float32, 0, len(features))
+	for _, k := range features {
+		owner := t.cfg.Topology.NodeOf(k)
+		if v := t.nodes[owner].mem.Lookup(k); v != nil {
+			vecs = append(vecs, v.Weights)
+		}
+	}
+	t.denseMu.Lock()
+	defer t.denseMu.Unlock()
+	nn.PoolSum(t.evalActs.Input(), vecs)
+	return t.net.Forward(t.evalActs)
+}
+
+// Evaluate returns the model AUC over n fresh examples drawn from gen.
+func (t *Trainer) Evaluate(gen *dataset.Generator, n int) float64 {
+	scores := make([]float64, 0, n)
+	labels := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		ex := gen.NextExample()
+		scores = append(scores, float64(t.Predict(ex.Features)))
+		labels = append(labels, float64(ex.Label))
+	}
+	return metrics.AUC(scores, labels)
+}
+
+// Examples returns the number of examples trained across all nodes.
+func (t *Trainer) Examples() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.examples
+}
+
+// MeanLoss returns the mean training log-loss so far.
+func (t *Trainer) MeanLoss() float64 { return t.loss.Mean() }
+
+// Clock returns the cluster's simulated-time clock.
+func (t *Trainer) Clock() *simtime.Clock { return t.clock }
+
+// Nodes returns the number of nodes.
+func (t *Trainer) Nodes() int { return len(t.nodes) }
+
+// Tiers returns each tier's uniform statistics aggregated across nodes, top
+// tier first (plus the SSD-PS device-level store stats via Report).
+func (t *Trainer) Tiers() []ps.TierInfo {
+	var hbm, mem, ssd ps.Stats
+	for _, n := range t.nodes {
+		hbm = hbm.Add(n.hbm.TierStats())
+		mem = mem.Add(n.mem.TierStats())
+		ssd = ssd.Add(n.store.TierStats())
+	}
+	return []ps.TierInfo{
+		{Name: t.nodes[0].hbm.Name(), Stats: hbm},
+		{Name: t.nodes[0].mem.Name(), Stats: mem},
+		{Name: t.nodes[0].store.Name(), Stats: ssd},
+	}
+}
+
+// Flush persists every node's in-memory parameters to its SSD-PS.
+func (t *Trainer) Flush() error {
+	return t.eachNode(func(n *node) error { return n.mem.Flush() })
+}
+
+// Close flushes the hierarchy and removes the SSD-PS directories the trainer
+// created. It is idempotent.
+func (t *Trainer) Close() error {
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	err := t.Flush()
+	if t.ownsDir {
+		if rmErr := os.RemoveAll(t.tmpDir); err == nil {
+			err = rmErr
+		}
+	}
+	return err
+}
