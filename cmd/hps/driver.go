@@ -1,0 +1,184 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"hps/internal/cluster"
+	"hps/internal/dataset"
+	"hps/internal/hw"
+	"hps/internal/trainer"
+)
+
+// shardProc is one spawned `hps serve` child process.
+type shardProc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// runDriver is the `hps driver` subcommand: spawn one `hps serve` process
+// per MEM-PS shard, train the model against them over real TCP sockets, and
+// print the Fig-4-style breakdown including the measured network time.
+func runDriver(args []string) error {
+	fs := newTrainFlags("driver")
+	shardsFlag := fs.fs.Int("shards", 2, "number of MEM-PS shard processes to spawn")
+	if err := fs.fs.Parse(args); err != nil {
+		return err
+	}
+	if rest := fs.fs.Args(); len(rest) > 0 {
+		return fmt.Errorf("unexpected argument %q", rest[0])
+	}
+	shards := *shardsFlag
+	if shards < 1 {
+		return fmt.Errorf("need at least one shard, have %d", shards)
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("resolve own executable: %w", err)
+	}
+
+	procs := make([]*shardProc, 0, shards)
+	defer func() { stopShards(procs) }()
+	addrs := make(map[int]string, shards)
+	for i := 0; i < shards; i++ {
+		p, err := spawnShard(exe, i, shards, fs)
+		if err != nil {
+			return err
+		}
+		procs = append(procs, p)
+		addrs[i] = p.addr
+		fmt.Printf("shard %d up: pid %d at %s\n", i, p.cmd.Process.Pid, p.addr)
+	}
+
+	spec, err := resolveSpec(*fs.modelName, *fs.scale)
+	if err != nil {
+		return err
+	}
+	data := dataset.ForModel(spec.SparseParams, spec.NonZerosPerExample)
+	cfg := trainer.Config{
+		Spec:         spec,
+		Data:         data,
+		Topology:     cluster.Topology{Nodes: shards, GPUsPerNode: *fs.gpus},
+		BatchSize:    *fs.batchSize,
+		Batches:      *fs.batches,
+		MaxInFlight:  *fs.inFlight,
+		Profile:      hw.DefaultGPUNode(),
+		Seed:         *fs.seed,
+		RemoteShards: addrs,
+	}
+	fmt.Printf("training model %s against %d MEM-PS shard process(es), %d GPU(s)/node, %d batches x %d examples/node\n\n",
+		spec.Name, shards, *fs.gpus, *fs.batches, *fs.batchSize)
+
+	tr, err := trainer.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+
+	wallStart := time.Now()
+	if err := tr.Run(context.Background()); err != nil {
+		return err
+	}
+	wall := time.Since(wallStart)
+
+	report := tr.Report()
+	fmt.Print(report.String())
+	fmt.Printf("(driver wall time %v)\n", wall.Round(time.Millisecond))
+
+	if *fs.evalN > 0 {
+		auc, err := tr.Evaluate(dataset.NewGenerator(data, *fs.seed+424243), *fs.evalN)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nAUC over %d held-out examples: %.4f\n", *fs.evalN, auc)
+	}
+	// Close before stopping the shards: the final flush goes over the wire.
+	if err := tr.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// spawnShard launches one `hps serve` child and waits for its ready line.
+func spawnShard(exe string, shard, shards int, fs *trainFlags) (*shardProc, error) {
+	cmd := exec.Command(exe, "serve",
+		"-addr", "127.0.0.1:0",
+		"-shard", fmt.Sprint(shard),
+		"-shards", fmt.Sprint(shards),
+		"-model", *fs.modelName,
+		"-scale", fmt.Sprint(*fs.scale),
+		"-cache-frac", fmt.Sprint(*fs.cacheFrac),
+		"-seed", fmt.Sprint(*fs.seed),
+	)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("spawn shard %d: %w", shard, err)
+	}
+
+	addrCh := make(chan string, 1)
+	go func() {
+		// The goroutine owns the pipe for the child's lifetime: it delivers
+		// the ready line, then keeps draining so the child never blocks on a
+		// full pipe.
+		scanner := bufio.NewScanner(stdout)
+		for scanner.Scan() {
+			line := scanner.Text()
+			if strings.HasPrefix(line, shardReadyPrefix) {
+				if i := strings.LastIndex(line, "addr="); i >= 0 {
+					select {
+					case addrCh <- line[i+len("addr="):]:
+					default:
+					}
+				}
+			}
+		}
+		close(addrCh)
+	}()
+
+	select {
+	case addr, ok := <-addrCh:
+		if !ok || addr == "" {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return nil, fmt.Errorf("shard %d exited before becoming ready", shard)
+		}
+		return &shardProc{cmd: cmd, addr: addr}, nil
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("shard %d did not become ready within 15s", shard)
+	}
+}
+
+// stopShards asks every child to shut down cleanly (flush to SSD-PS), then
+// kills stragglers.
+func stopShards(procs []*shardProc) {
+	for _, p := range procs {
+		if p.cmd.Process != nil {
+			p.cmd.Process.Signal(os.Interrupt)
+		}
+	}
+	for _, p := range procs {
+		done := make(chan struct{})
+		go func(p *shardProc) {
+			p.cmd.Wait()
+			close(done)
+		}(p)
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			p.cmd.Process.Kill()
+			<-done
+		}
+	}
+}

@@ -4,11 +4,19 @@
 // training -> synchronized push — and prints the Fig-4-style throughput and
 // latency breakdown, optionally alongside the MPI-cluster baseline.
 //
+// Three modes:
+//
+//	hps [train flags]      in-process: every simulated node in one process
+//	hps serve  -shard i    host one MEM-PS shard behind a TCP server
+//	hps driver -shards n   spawn n `hps serve` processes and train against
+//	                       them over real sockets
+//
 // Examples:
 //
 //	go run ./cmd/hps                         # model A at bench scale
 //	go run ./cmd/hps -model C -nodes 4 -gpus 8
 //	go run ./cmd/hps -model tiny -batches 50 -baseline
+//	go run ./cmd/hps driver -model tiny -shards 2 -batches 20
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"hps/internal/cluster"
@@ -27,25 +36,76 @@ import (
 	"hps/internal/trainer"
 )
 
+// defaultScale is the down-scaling factor applied to the paper models by
+// every mode's -scale flag.
+const defaultScale = model.BenchScale
+
+// trainFlags are the flags shared by the train and driver modes.
+type trainFlags struct {
+	fs        *flag.FlagSet
+	modelName *string
+	scale     *int64
+	gpus      *int
+	batches   *int
+	batchSize *int
+	inFlight  *int
+	cacheFrac *float64
+	evalN     *int
+	seed      *int64
+}
+
+func newTrainFlags(name string) *trainFlags {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	return &trainFlags{
+		fs:        fs,
+		modelName: fs.String("model", "A", "model to train: A-E (Table 3, scaled by -scale) or 'tiny'"),
+		scale:     fs.Int64("scale", defaultScale, "down-scaling factor applied to the paper models"),
+		gpus:      fs.Int("gpus", 4, "GPUs per node"),
+		batches:   fs.Int("batches", 30, "batches to train per node"),
+		batchSize: fs.Int("batch-size", 256, "examples per batch per node"),
+		inFlight:  fs.Int("inflight", 4, "pipeline depth (1 = no prefetch overlap)"),
+		cacheFrac: fs.Float64("cache-frac", 0.25, "MEM-PS cache capacity as a fraction of the per-node parameter shard"),
+		evalN:     fs.Int("eval", 2000, "examples for the final AUC evaluation (0 to skip)"),
+		seed:      fs.Int64("seed", 1, "random seed"),
+	}
+}
+
 func main() {
-	var (
-		modelName = flag.String("model", "A", "model to train: A-E (Table 3, scaled by -scale) or 'tiny'")
-		scale     = flag.Int64("scale", model.BenchScale, "down-scaling factor applied to the paper models")
-		nodes     = flag.Int("nodes", 2, "number of GPU nodes")
-		gpus      = flag.Int("gpus", 4, "GPUs per node")
-		batches   = flag.Int("batches", 30, "batches to train per node")
-		batchSize = flag.Int("batch-size", 256, "examples per batch per node")
-		inFlight  = flag.Int("inflight", 4, "pipeline depth (1 = no prefetch overlap)")
-		cacheFrac = flag.Float64("cache-frac", 0.25, "MEM-PS cache capacity as a fraction of the per-node parameter shard")
-		evalN     = flag.Int("eval", 2000, "examples for the final AUC evaluation (0 to skip)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		baseline  = flag.Bool("baseline", false, "also run the MPI-cluster baseline and report the modelled speedup")
-	)
-	flag.Parse()
-	if err := run(*modelName, *scale, *nodes, *gpus, *batches, *batchSize, *inFlight, *cacheFrac, *evalN, *seed, *baseline); err != nil {
+	args := os.Args[1:]
+	var err error
+	switch {
+	case len(args) > 0 && args[0] == "serve":
+		err = runServe(args[1:])
+	case len(args) > 0 && args[0] == "driver":
+		err = runDriver(args[1:])
+	case len(args) > 0 && !strings.HasPrefix(args[0], "-"):
+		// A bare word that is not a known subcommand is almost certainly a
+		// typo for one; running a full default training instead would be a
+		// silent surprise.
+		err = fmt.Errorf("unknown subcommand %q (want serve, driver, or train flags)", args[0])
+	default:
+		err = runTrain(args)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hps:", err)
 		os.Exit(1)
 	}
+}
+
+// runTrain is the in-process mode (the default, flag-compatible with the
+// original command).
+func runTrain(args []string) error {
+	fs := newTrainFlags("hps")
+	nodes := fs.fs.Int("nodes", 2, "number of GPU nodes")
+	baseline := fs.fs.Bool("baseline", false, "also run the MPI-cluster baseline and report the modelled speedup")
+	if err := fs.fs.Parse(args); err != nil {
+		return err
+	}
+	if rest := fs.fs.Args(); len(rest) > 0 {
+		return fmt.Errorf("unexpected argument %q", rest[0])
+	}
+	return run(*fs.modelName, *fs.scale, *nodes, *fs.gpus, *fs.batches, *fs.batchSize,
+		*fs.inFlight, *fs.cacheFrac, *fs.evalN, *fs.seed, *baseline)
 }
 
 func resolveSpec(name string, scale int64) (model.Spec, error) {
@@ -116,7 +176,10 @@ func run(modelName string, scale int64, nodes, gpus, batches, batchSize, inFligh
 	fmt.Printf("(simulation wall time %v)\n", wall.Round(time.Millisecond))
 
 	if evalN > 0 {
-		auc := tr.Evaluate(dataset.NewGenerator(data, seed+424243), evalN)
+		auc, err := tr.Evaluate(dataset.NewGenerator(data, seed+424243), evalN)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("\nAUC over %d held-out examples: %.4f\n", evalN, auc)
 	}
 

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hps/internal/blockio"
+	"hps/internal/cluster"
+	"hps/internal/embedding"
+	"hps/internal/hw"
+	"hps/internal/memps"
+	"hps/internal/simtime"
+	"hps/internal/ssdps"
+)
+
+// shardReadyPrefix starts the line a shard server prints on stdout once it
+// is accepting connections; the driver scrapes it for the bound address.
+const shardReadyPrefix = "hps-shard ready"
+
+// runServe is the `hps serve` subcommand: host one MEM-PS shard (backed by
+// its own SSD-PS) behind a TCP server, until SIGINT/SIGTERM. On shutdown the
+// shard flushes its in-memory parameters to the SSD-PS, so a restart over
+// the same -dir resumes from durable state.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:0", "address to listen on (port 0 picks a free port)")
+		shard     = fs.Int("shard", 0, "id of the MEM-PS shard this process serves")
+		shards    = fs.Int("shards", 1, "total number of MEM-PS shards in the deployment")
+		modelName = fs.String("model", "A", "model being trained: A-E (scaled by -scale) or 'tiny'")
+		scale     = fs.Int64("scale", defaultScale, "down-scaling factor applied to the paper models")
+		cacheFrac = fs.Float64("cache-frac", 0.25, "MEM-PS cache capacity as a fraction of this shard's parameters")
+		dir       = fs.String("dir", "", "SSD-PS directory (empty: a temporary one, removed on exit)")
+		seed      = fs.Int64("seed", 1, "random seed (must match the driver's)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if rest := fs.Args(); len(rest) > 0 {
+		return fmt.Errorf("unexpected argument %q", rest[0])
+	}
+	spec, err := resolveSpec(*modelName, *scale)
+	if err != nil {
+		return err
+	}
+	if *shard < 0 || *shard >= *shards {
+		return fmt.Errorf("shard %d out of range [0, %d)", *shard, *shards)
+	}
+
+	root := *dir
+	ownsDir := false
+	if root == "" {
+		d, err := os.MkdirTemp("", fmt.Sprintf("hps-shard-%d-*", *shard))
+		if err != nil {
+			return err
+		}
+		root, ownsDir = d, true
+	}
+	defer func() {
+		if ownsDir {
+			os.RemoveAll(root)
+		}
+	}()
+
+	profile := hw.DefaultGPUNode()
+	dev, err := blockio.NewDevice(root, profile.SSD, simtime.NewClock())
+	if err != nil {
+		return err
+	}
+	shardParams := spec.SparseParams / int64(*shards)
+	cacheEntries := int(float64(shardParams) * *cacheFrac)
+	if cacheEntries < 128 {
+		cacheEntries = 128
+	}
+	liveBytes := shardParams * int64(8+embedding.EncodedSize(spec.EmbeddingDim))
+	store, err := ssdps.Open(dev, ssdps.Config{
+		Dim:                     spec.EmbeddingDim,
+		DiskUsageThresholdBytes: 2 * liveBytes,
+	})
+	if err != nil {
+		return err
+	}
+	mem, err := memps.New(memps.Config{
+		NodeID:     *shard,
+		Dim:        spec.EmbeddingDim,
+		Topology:   cluster.Topology{Nodes: *shards, GPUsPerNode: 1},
+		Transport:  cluster.NoRoute{}, // a shard server answers; it never proxies peers
+		Store:      store,
+		LRUEntries: cacheEntries / 2,
+		LFUEntries: cacheEntries - cacheEntries/2,
+		// The MEM-PS derives its per-node rng from Seed and NodeID exactly as
+		// the in-process trainer does, so both modes initialize identically.
+		Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	srv, err := cluster.ServeTCPOptions(*addr, mem, cluster.ServerOptions{Seqs: cluster.NewSeqTracker()})
+	if err != nil {
+		return err
+	}
+	// The ready line is the driver's cue that the port is bound.
+	fmt.Printf("%s shard=%d addr=%s\n", shardReadyPrefix, *shard, srv.Addr())
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	<-sigCh
+
+	start := time.Now()
+	// Close before flushing: once the flush starts, no push may be applied
+	// (and acked) that the flush would miss — an acked-but-unflushed update
+	// would be silently lost on restart, because the client never resends a
+	// push it got a reply for.
+	closeErr := srv.Close()
+	if err := mem.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "hps-shard %d: flush: %v\n", *shard, err)
+	}
+	st := mem.TierStats()
+	fmt.Fprintf(os.Stderr, "hps-shard %d: served %d pulls (%d keys) and %d pushes (%d keys); flushed in %v\n",
+		*shard, st.Pulls, st.KeysPulled, st.Pushes, st.KeysPushed, time.Since(start).Round(time.Millisecond))
+	return closeErr
+}

@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnknownNode reports a pull or push addressed to a node id the transport
+// has no route for. It is a configuration error, never retryable.
+var ErrUnknownNode = errors.New("cluster: unknown node")
+
+// TransportError reports a network-level failure talking to a node: a failed
+// dial, a dropped connection, or a malformed reply. The shard itself may be
+// healthy (or restarting), so transport errors are retryable — the TCP
+// transport retries them itself with fresh connections before giving up.
+type TransportError struct {
+	// Node is the peer node id.
+	Node int
+	// Op names the RPC that failed ("pull", "push", "evict", "stats", "lookup").
+	Op string
+	// Attempts is how many times the transport tried before giving up.
+	Attempts int
+	// Err is the underlying network error.
+	Err error
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("cluster: %s node %d failed after %d attempt(s): %v", e.Op, e.Node, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying network error to errors.Is/As.
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// RemoteError reports a failure inside the serving shard: the connection and
+// the RPC round trip were fine, but the handler rejected or could not serve
+// the request. Retrying over a new connection would fail identically, so
+// remote errors are not retryable.
+type RemoteError struct {
+	// Node is the serving node id.
+	Node int
+	// Op names the RPC the shard failed ("pull", "push", ...).
+	Op string
+	// Msg is the shard-side error text.
+	Msg string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("cluster: node %d failed %s: %s", e.Node, e.Op, e.Msg)
+}
+
+// Retryable reports whether err is a transient network failure that a caller
+// (or the transport itself) may retry, as opposed to a shard-side failure or
+// a configuration error.
+func Retryable(err error) bool {
+	var te *TransportError
+	return errors.As(err, &te)
+}

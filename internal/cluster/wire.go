@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"hps/internal/embedding"
+	"hps/internal/keys"
+	"hps/internal/ps"
+)
+
+// The wire protocol between nodes is a stream of length-prefixed gob frames:
+// a 4-byte big-endian payload length followed by one gob-encoded wireRequest
+// (client to server) or wireResponse (server to client). The explicit frame
+// boundary is what keeps a malformed or truncated payload contained — the
+// server can reject a frame without losing stream synchronization, and the
+// length cap bounds how much memory a single frame may ask it to allocate.
+
+// RPC operations.
+const (
+	opPull   uint8 = 1 // read values of a key set (creating them is handler policy)
+	opPush   uint8 = 2 // merge per-key deltas into the shard
+	opEvict  uint8 = 3 // demote keys out of the tier (All = everything)
+	opStats  uint8 = 4 // read the tier's name and uniform statistics
+	opLookup uint8 = 5 // read values without materializing missing keys
+)
+
+func opName(op uint8) string {
+	switch op {
+	case opPull:
+		return "pull"
+	case opPush:
+		return "push"
+	case opEvict:
+		return "evict"
+	case opStats:
+		return "stats"
+	case opLookup:
+		return "lookup"
+	}
+	return fmt.Sprintf("op#%d", op)
+}
+
+// MaxFrameBytes caps the payload of a single wire frame. Larger frames are
+// rejected before any allocation happens, so a corrupt length prefix cannot
+// make a peer allocate unbounded memory.
+const MaxFrameBytes = 64 << 20
+
+// wireRequest is one batched RPC from a client to a shard server.
+type wireRequest struct {
+	// Op selects the operation.
+	Op uint8
+	// Client identifies the sending transport; with Seq it lets the server
+	// deduplicate pushes retried across a reconnect.
+	Client uint64
+	// Seq is the client's push sequence number (0 for non-push operations).
+	Seq uint64
+	// Keys are the requested keys (pull/evict/lookup) or the delta keys (push).
+	Keys []keys.Key
+	// Values are the push deltas, parallel to Keys.
+	Values []*embedding.Value
+	// All marks an evict of everything evictable (the nil-slice form of
+	// ps.Tier.Evict, which gob cannot distinguish from an empty slice).
+	All bool
+}
+
+// wireResponse is the reply to one wireRequest.
+type wireResponse struct {
+	// Keys / Values carry pull and lookup results.
+	Keys   []keys.Key
+	Values []*embedding.Value
+	// Count is the evicted-key count of an evict.
+	Count int
+	// Name / Stats carry a stats reply.
+	Name  string
+	Stats ps.Stats
+	// Err is the shard-side failure, empty on success.
+	Err string
+}
+
+// validate rejects requests that decoded cleanly but are semantically
+// malformed, so handlers never see them.
+func (r *wireRequest) validate() error {
+	switch r.Op {
+	case opPull, opEvict, opStats, opLookup:
+		if len(r.Values) != 0 {
+			return fmt.Errorf("cluster: %s carries %d values", opName(r.Op), len(r.Values))
+		}
+	case opPush:
+		if len(r.Values) != len(r.Keys) {
+			return fmt.Errorf("cluster: push has %d keys but %d values", len(r.Keys), len(r.Values))
+		}
+	default:
+		return fmt.Errorf("cluster: unknown operation %d", r.Op)
+	}
+	for i, v := range r.Values {
+		if v == nil {
+			return fmt.Errorf("cluster: push value %d is nil", i)
+		}
+	}
+	return nil
+}
+
+// deltas converts a push request's parallel key/value slices into the map
+// form handlers consume.
+func (r *wireRequest) deltas() map[keys.Key]*embedding.Value {
+	out := make(map[keys.Key]*embedding.Value, len(r.Keys))
+	for i, k := range r.Keys {
+		out[k] = r.Values[i]
+	}
+	return out
+}
+
+// setResult stores a pull/lookup result as parallel slices (gob-friendly and
+// deterministic in size).
+func (w *wireResponse) setResult(res PullResult) {
+	w.Keys = make([]keys.Key, 0, len(res))
+	w.Values = make([]*embedding.Value, 0, len(res))
+	for k, v := range res {
+		if v == nil {
+			continue
+		}
+		w.Keys = append(w.Keys, k)
+		w.Values = append(w.Values, v)
+	}
+}
+
+// result converts a response's parallel slices back into a PullResult,
+// dropping entries a hostile peer could have left inconsistent.
+func (w *wireResponse) result() PullResult {
+	out := make(PullResult, len(w.Keys))
+	for i, k := range w.Keys {
+		if i < len(w.Values) && w.Values[i] != nil {
+			out[k] = w.Values[i]
+		}
+	}
+	return out
+}
+
+// writeFrame gob-encodes v and writes it as one length-prefixed frame.
+func writeFrame(w io.Writer, v any) error {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0}) // length prefix placeholder
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return fmt.Errorf("cluster: encode frame: %w", err)
+	}
+	payload := buf.Len() - 4
+	if payload > MaxFrameBytes {
+		return fmt.Errorf("cluster: frame of %d bytes exceeds limit %d", payload, MaxFrameBytes)
+	}
+	b := buf.Bytes()
+	binary.BigEndian.PutUint32(b[:4], uint32(payload))
+	_, err := w.Write(b)
+	return err
+}
+
+// readFrame reads one length-prefixed frame from r and gob-decodes it into v.
+// It returns io.EOF unwrapped when the stream ends cleanly between frames so
+// connection loops can distinguish shutdown from corruption.
+func readFrame(r io.Reader, v any) error {
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("cluster: read frame prefix: %w", err)
+	}
+	n := binary.BigEndian.Uint32(prefix[:])
+	if n == 0 || n > MaxFrameBytes {
+		return fmt.Errorf("cluster: frame length %d out of range (limit %d)", n, MaxFrameBytes)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return fmt.Errorf("cluster: read frame payload: %w", err)
+	}
+	return decodeFrame(payload, v)
+}
+
+// decodeFrame gob-decodes one frame payload, converting any decoder panic
+// into an error: the bytes may come from a hostile or corrupt peer and must
+// never take the process down.
+func decodeFrame(payload []byte, v any) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cluster: decode frame: panic: %v", r)
+		}
+	}()
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return fmt.Errorf("cluster: decode frame: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+
+	"hps/internal/embedding"
+	"hps/internal/keys"
+)
+
+func encodeRequestFrame(t *testing.T, req *wireRequest) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	v := embedding.NewValue(4)
+	v.Weights[2] = 1.5
+	v.Freq = 3
+	req := &wireRequest{
+		Op:     opPush,
+		Client: 9,
+		Seq:    2,
+		Keys:   []keys.Key{10, 20},
+		Values: []*embedding.Value{v, embedding.NewValue(4)},
+	}
+	frame := encodeRequestFrame(t, req)
+	var got wireRequest
+	if err := readFrame(bytes.NewReader(frame), &got); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != opPush || got.Client != 9 || got.Seq != 2 || len(got.Keys) != 2 {
+		t.Fatalf("decoded request = %+v", got)
+	}
+	if got.Values[0].Weights[2] != 1.5 || got.Values[0].Freq != 3 {
+		t.Fatal("value payload corrupted through the codec")
+	}
+}
+
+func TestWireRejectsBadFrames(t *testing.T) {
+	// Truncated prefix.
+	if err := readFrame(bytes.NewReader([]byte{0, 0}), &wireRequest{}); err == nil {
+		t.Fatal("truncated prefix must fail")
+	}
+	// Clean EOF between frames is io.EOF exactly.
+	if err := readFrame(bytes.NewReader(nil), &wireRequest{}); err != io.EOF {
+		t.Fatalf("empty stream error = %v, want io.EOF", err)
+	}
+	// Zero and oversized lengths.
+	if err := readFrame(bytes.NewReader([]byte{0, 0, 0, 0}), &wireRequest{}); err == nil {
+		t.Fatal("zero-length frame must fail")
+	}
+	if err := readFrame(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff}), &wireRequest{}); err == nil {
+		t.Fatal("oversized frame must fail")
+	}
+	// Truncated payload.
+	frame := encodeRequestFrame(t, &wireRequest{Op: opPull, Keys: []keys.Key{1}})
+	if err := readFrame(bytes.NewReader(frame[:len(frame)-3]), &wireRequest{}); err == nil {
+		t.Fatal("truncated payload must fail")
+	}
+	// Garbage gob payload.
+	garbage := append([]byte{0, 0, 0, 4}, 1, 2, 3, 4)
+	if err := readFrame(bytes.NewReader(garbage), &wireRequest{}); err == nil {
+		t.Fatal("garbage payload must fail")
+	}
+}
+
+func TestWireRequestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		req  wireRequest
+		ok   bool
+	}{
+		{"pull", wireRequest{Op: opPull, Keys: []keys.Key{1}}, true},
+		{"stats", wireRequest{Op: opStats}, true},
+		{"unknown op", wireRequest{Op: 99}, false},
+		{"pull with values", wireRequest{Op: opPull, Values: []*embedding.Value{embedding.NewValue(2)}}, false},
+		{"push mismatched", wireRequest{Op: opPush, Keys: []keys.Key{1, 2}, Values: []*embedding.Value{embedding.NewValue(2)}}, false},
+		{"push nil value", wireRequest{Op: opPush, Keys: []keys.Key{1}, Values: []*embedding.Value{nil}}, false},
+		{"push ok", wireRequest{Op: opPush, Keys: []keys.Key{1}, Values: []*embedding.Value{embedding.NewValue(2)}}, true},
+	}
+	for _, tc := range cases {
+		if err := tc.req.validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestSeqTrackerDedup(t *testing.T) {
+	s := NewSeqTracker()
+	if !s.fresh(1, 1) {
+		t.Fatal("first (1,1) must be fresh")
+	}
+	if s.fresh(1, 1) {
+		t.Fatal("replayed (1,1) must be deduplicated")
+	}
+	if !s.fresh(1, 2) || !s.fresh(2, 1) {
+		t.Fatal("new seqs and new clients must be fresh")
+	}
+	if s.fresh(1, 1) {
+		t.Fatal("old seq must stay deduplicated after newer ones")
+	}
+	// Out-of-order first deliveries are both fresh (concurrent pushes race
+	// for the connection); only true replays are duplicates.
+	if !s.fresh(3, 2) {
+		t.Fatal("first (3,2) must be fresh")
+	}
+	if !s.fresh(3, 1) {
+		t.Fatal("out-of-order (3,1) must still be fresh: it was never applied")
+	}
+	if s.fresh(3, 1) || s.fresh(3, 2) {
+		t.Fatal("replays of applied out-of-order seqs must be deduplicated")
+	}
+	// Seq 0 marks non-push traffic and never dedups.
+	if !s.fresh(1, 0) || !s.fresh(1, 0) {
+		t.Fatal("seq 0 must always pass")
+	}
+	// A nil tracker is a no-op pass-through.
+	var nilTracker *SeqTracker
+	if !nilTracker.fresh(1, 1) {
+		t.Fatal("nil tracker must pass everything")
+	}
+}
+
+// dedupHandler counts pushes applied, for duplicate-frame tests; the first
+// failPushes applies fail.
+type dedupHandler struct {
+	mu         sync.Mutex
+	pushes     int
+	failPushes int
+}
+
+func (h *dedupHandler) HandlePull(ks []keys.Key) (PullResult, error) {
+	return make(PullResult), nil
+}
+
+func (h *dedupHandler) HandlePush(map[keys.Key]*embedding.Value) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.failPushes > 0 {
+		h.failPushes--
+		return errors.New("injected apply failure")
+	}
+	h.pushes++
+	return nil
+}
+
+// TestServerDedupsReplayedPushFrame replays a byte-identical push frame —
+// exactly what a transport retry after a lost reply produces — and checks
+// the server applies it once while still acknowledging both.
+func TestServerDedupsReplayedPushFrame(t *testing.T) {
+	h := &dedupHandler{}
+	seqs := NewSeqTracker()
+	srv, err := ServeTCPOptions("127.0.0.1:0", h, ServerOptions{Seqs: seqs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	req := &wireRequest{
+		Op:     opPush,
+		Client: 77,
+		Seq:    1,
+		Keys:   []keys.Key{1},
+		Values: []*embedding.Value{embedding.NewValue(2)},
+	}
+	send := func() {
+		t.Helper()
+		conn, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if err := writeFrame(conn, req); err != nil {
+			t.Fatal(err)
+		}
+		var resp wireResponse
+		if err := readFrame(conn, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Err != "" {
+			t.Fatalf("push rejected: %s", resp.Err)
+		}
+	}
+	send() // original
+	send() // retry after a (simulated) lost reply, over a new connection
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.pushes != 1 {
+		t.Fatalf("replayed push applied %d times, want 1", h.pushes)
+	}
+}
+
+// TestServerRetriesFailedPushApply checks the other half of exactly-once: a
+// push whose apply FAILED must not be recorded as applied — the retry has to
+// re-apply it, not get acked as a duplicate of nothing.
+func TestServerRetriesFailedPushApply(t *testing.T) {
+	h := &dedupHandler{failPushes: 1}
+	srv, err := ServeTCPOptions("127.0.0.1:0", h, ServerOptions{Seqs: NewSeqTracker()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	req := &wireRequest{
+		Op:     opPush,
+		Client: 78,
+		Seq:    1,
+		Keys:   []keys.Key{1},
+		Values: []*embedding.Value{embedding.NewValue(2)},
+	}
+	send := func() string {
+		t.Helper()
+		conn, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if err := writeFrame(conn, req); err != nil {
+			t.Fatal(err)
+		}
+		var resp wireResponse
+		if err := readFrame(conn, &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp.Err
+	}
+	if errMsg := send(); errMsg == "" {
+		t.Fatal("first push should have failed to apply")
+	}
+	if errMsg := send(); errMsg != "" {
+		t.Fatalf("retried push rejected: %s", errMsg)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.pushes != 1 {
+		t.Fatalf("retry after failed apply applied %d times, want 1", h.pushes)
+	}
+}

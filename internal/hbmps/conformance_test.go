@@ -1,0 +1,48 @@
+package hbmps_test
+
+import (
+	"testing"
+
+	"hps/internal/embedding"
+	"hps/internal/hbmps"
+	"hps/internal/hw"
+	"hps/internal/keys"
+	"hps/internal/ps"
+	"hps/internal/ps/conformance"
+	"hps/internal/simtime"
+)
+
+// TestTierConformance runs the shared ps.Tier suite against the HBM-PS: the
+// top tier, which only ever holds the loaded working set — pulling a key
+// outside it is a bug, and deltas for absent keys are ignored because the
+// authoritative copies live in the tiers below.
+func TestTierConformance(t *testing.T) {
+	const dim = 8
+	conformance.Run(t, conformance.Harness{
+		Dim:               dim,
+		Shard:             0, // requests come from GPU 0's worker
+		PullMissingErrors: true,
+		Concurrent:        true,
+		New: func(t *testing.T, ks []keys.Key) ps.Tier {
+			h, err := hbmps.New(hbmps.Config{
+				NumGPUs:    2,
+				Dim:        dim,
+				GPUProfile: hw.DefaultGPUNode().GPU,
+				Clock:      simtime.NewClock(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ws := make(map[keys.Key]*embedding.Value, len(ks))
+			for i, k := range ks {
+				v := embedding.NewValue(dim)
+				v.Weights[0] = float32(i + 1)
+				ws[k] = v
+			}
+			if err := h.LoadWorkingSet(ws); err != nil {
+				t.Fatal(err)
+			}
+			return h
+		},
+	})
+}

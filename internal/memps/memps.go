@@ -361,13 +361,17 @@ func (m *MemPS) assemble(working []keys.Key, pin bool) (*WorkingSet, error) {
 	if ws.Stats.RemoteTime > pullTime {
 		pullTime = ws.Stats.RemoteTime
 	}
-	m.rec.RecordPull(len(ws.Values), pullTime)
+	// Only the locally-served keys count toward this tier instance's uniform
+	// statistics: the remote keys are recorded by the MEM-PS that serves
+	// them (HandlePull), so cluster-wide aggregates count each key once.
+	m.rec.RecordPull(len(local), pullTime)
 	return ws, nil
 }
 
 // HandlePull implements cluster.PullHandler: it serves parameter pulls from
-// other nodes for the shard this node owns. Served parameters enter the cache
-// (they are now "recently used") but are not pinned.
+// other nodes (or a multi-process driver) for the shard this node owns.
+// Served parameters enter the cache (they are now "recently used") but are
+// not pinned, and the serve is recorded in the tier's uniform statistics.
 func (m *MemPS) HandlePull(ks []keys.Key) (cluster.PullResult, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -384,9 +388,10 @@ func (m *MemPS) HandlePull(ks []keys.Key) (cluster.PullResult, error) {
 		}
 	}
 	loaded := map[keys.Key]*embedding.Value{}
+	var loadTime time.Duration
 	if len(toLoad) > 0 {
 		var err error
-		loaded, err = m.cfg.Store.Load(toLoad)
+		loaded, loadTime, err = m.cfg.Store.LoadTimed(toLoad)
 		if err != nil {
 			return nil, fmt.Errorf("memps: handle pull: %w", err)
 		}
@@ -396,7 +401,66 @@ func (m *MemPS) HandlePull(ks []keys.Key) (cluster.PullResult, error) {
 		v := m.localLookup(k, loaded, nil)
 		out[k] = v.Clone()
 	}
+	m.rec.RecordPull(len(out), loadTime)
 	return out, nil
+}
+
+// HandlePush implements cluster.PushHandler: it merges deltas pushed by a
+// remote driver or peer node into the shard this node owns, exactly like the
+// in-process push path. A remote shard never sees CompleteBatch, so the push
+// — which arrives once per training batch — also runs the batch-completion
+// housekeeping (dump full eviction buffers, compact the SSD-PS).
+func (m *MemPS) HandlePush(deltas map[keys.Key]*embedding.Value) error {
+	if err := m.ApplyUpdates(deltas); err != nil {
+		return err
+	}
+	return m.Maintain()
+}
+
+// LookupAll returns copies of the current values of the locally-owned keys
+// this node has seen, without materializing missing ones. Cache and
+// dump-buffer hits are cloned under the lock; the remaining misses go to the
+// SSD-PS as one batched load. The error is always nil here; the signature
+// matches the trainer's memService contract, whose remote implementation
+// can fail.
+func (m *MemPS) LookupAll(ks []keys.Key) (map[keys.Key]*embedding.Value, error) {
+	out := make(map[keys.Key]*embedding.Value, len(ks))
+	var toLoad []keys.Key
+	m.mu.Lock()
+	for _, k := range ks {
+		if !m.ownsKey(k) {
+			continue
+		}
+		if v, ok := m.cache.Get(uint64(k)); ok {
+			out[k] = v.Clone()
+		} else if v, ok := m.pendingDump[k]; ok {
+			out[k] = v.Clone()
+		} else {
+			toLoad = append(toLoad, k)
+		}
+	}
+	m.mu.Unlock()
+	if len(toLoad) > 0 {
+		// Outside the lock: a concurrently evicted key is still durable on
+		// the SSD, and Load returns private decoded copies.
+		loaded, err := m.cfg.Store.Load(toLoad)
+		if err != nil {
+			return out, nil // matching Lookup: unreadable keys read as absent
+		}
+		for k, v := range loaded {
+			out[k] = v
+		}
+	}
+	return out, nil
+}
+
+// HandleLookup implements cluster.LookupHandler: it reads the current values
+// of the requested locally-owned keys without materializing missing ones —
+// the evaluation-time contract, where a never-trained feature must stay
+// absent rather than spring into existence with random weights.
+func (m *MemPS) HandleLookup(ks []keys.Key) (cluster.PullResult, error) {
+	out, err := m.LookupAll(ks)
+	return cluster.PullResult(out), err
 }
 
 // ApplyUpdates merges per-parameter deltas (weight/optimizer-state deltas and
@@ -488,6 +552,17 @@ func (m *MemPS) CompleteBatch(ws *WorkingSet) error {
 	for _, k := range ws.LocalKeys {
 		m.cache.Unpin(uint64(k))
 	}
+	m.mu.Unlock()
+	return m.Maintain()
+}
+
+// Maintain runs the batch-completion housekeeping without a working set:
+// dump the eviction buffer to the SSD-PS once it is full, and compact the
+// SSD-PS when its disk usage exceeds the threshold. CompleteBatch calls it
+// after unpinning; shard servers call it from the push RPC, which arrives
+// once per training batch.
+func (m *MemPS) Maintain() error {
+	m.mu.Lock()
 	dumped := false
 	if len(m.pendingDump) >= m.cfg.DumpBatchSize {
 		// Dump under m.mu so the evicted parameters never become
@@ -549,27 +624,8 @@ func (m *MemPS) flushAll() (int, error) {
 // key, or nil if the node does not own it or has never seen it. It is used by
 // evaluation code, not by the training path.
 func (m *MemPS) Lookup(k keys.Key) *embedding.Value {
-	if !m.ownsKey(k) {
-		return nil
-	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if v, ok := m.cache.Get(uint64(k)); ok {
-		return v.Clone()
-	}
-	if v, ok := m.pendingDump[k]; ok {
-		return v.Clone()
-	}
-	m.mu.Unlock()
-	loaded, err := m.cfg.Store.Load([]keys.Key{k})
-	m.mu.Lock()
-	if err != nil {
-		return nil
-	}
-	if v, ok := loaded[k]; ok {
-		return v.Clone()
-	}
-	return nil
+	out, _ := m.LookupAll([]keys.Key{k})
+	return out[k]
 }
 
 // CacheStats returns the cumulative cache statistics (Fig 4c's hit rate).

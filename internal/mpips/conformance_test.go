@@ -1,0 +1,50 @@
+package mpips_test
+
+import (
+	"testing"
+
+	"hps/internal/embedding"
+	"hps/internal/keys"
+	"hps/internal/model"
+	"hps/internal/mpips"
+	"hps/internal/ps"
+	"hps/internal/ps/conformance"
+)
+
+// TestTierConformance runs the shared ps.Tier suite against the MPI-cluster
+// baseline: a flat single-tier server where pushes materialize unknown keys
+// and eviction retires them. The baseline is not safe for concurrent use.
+func TestTierConformance(t *testing.T) {
+	const dim = 8
+	conformance.Run(t, conformance.Harness{
+		Dim:         dim,
+		Shard:       ps.NoShard,
+		PushCreates: true,
+		New: func(t *testing.T, ks []keys.Key) ps.Tier {
+			c, err := mpips.New(mpips.Config{
+				Nodes: 4,
+				Spec: model.Spec{
+					Name:               "conformance",
+					SparseParams:       4096,
+					EmbeddingDim:       dim,
+					NonZerosPerExample: 4,
+					HiddenLayers:       []int{8},
+				},
+				Seed: 11,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			seed := make(map[keys.Key]*embedding.Value, len(ks))
+			for i, k := range ks {
+				v := embedding.NewValue(dim)
+				v.Weights[0] = float32(i + 1)
+				seed[k] = v
+			}
+			if err := c.Push(ps.PushRequest{Shard: ps.NoShard, Deltas: seed}); err != nil {
+				t.Fatal(err)
+			}
+			return c
+		},
+	})
+}

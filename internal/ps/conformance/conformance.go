@@ -1,0 +1,407 @@
+// Package conformance is a reusable test suite for ps.Tier implementations.
+//
+// Every tier of the hierarchy answers the same Pull/Push/Evict/TierStats
+// contract with tier-specific policies around missing keys and eviction
+// (the HBM-PS errors on keys outside the loaded working set, the MEM-PS
+// materializes first references, the SSD-PS and the MPI baseline leave them
+// absent). The suite checks the invariants every implementation must share —
+// value isolation, delta arithmetic, statistics monotonicity — and lets a
+// Harness declare the per-tier policies it should expect.
+//
+// Usage, from a tier's own test package:
+//
+//	func TestTierConformance(t *testing.T) {
+//		conformance.Run(t, conformance.Harness{
+//			Dim: 8,
+//			New: func(t *testing.T, ks []keys.Key) ps.Tier { ... },
+//			...policy flags...
+//		})
+//	}
+package conformance
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"hps/internal/embedding"
+	"hps/internal/keys"
+	"hps/internal/ps"
+)
+
+// Harness describes one ps.Tier implementation to the suite.
+type Harness struct {
+	// New returns a fresh tier in which every key of ks is already present
+	// (pullable). Each invariant gets its own tier, so New must be cheap and
+	// side-effect free across calls.
+	New func(t *testing.T, ks []keys.Key) ps.Tier
+	// Dim is the embedding dimension the tier was built for.
+	Dim int
+	// Shard is the shard id to stamp on requests (a valid GPU id for the
+	// HBM-PS, ps.NoShard for tiers that ignore it).
+	Shard int
+	// PullCreates marks tiers that materialize a missing key on first pull
+	// (the MEM-PS contract).
+	PullCreates bool
+	// PullMissingErrors marks tiers where pulling a key outside the loaded
+	// set is a bug, not a miss (the HBM-PS contract).
+	PullMissingErrors bool
+	// PushCreates marks tiers where pushing a delta to a missing key
+	// materializes it (SSD-PS, MPI baseline). Tiers without it ignore such
+	// deltas (HBM-PS) or create-then-merge (MEM-PS).
+	PushCreates bool
+	// EvictDurable marks tiers whose eviction demotes to a tier below, so
+	// evicted keys remain readable afterwards (the MEM-PS over its SSD-PS).
+	// Without it, evicted keys are retired.
+	EvictDurable bool
+	// Concurrent marks tiers that are safe for concurrent use.
+	Concurrent bool
+}
+
+// suiteKeys is the fixed key set the suite preloads. The values span several
+// node/GPU shards under both modulo and hash sharding.
+func suiteKeys() []keys.Key {
+	ks := make([]keys.Key, 0, 16)
+	for i := 1; i <= 16; i++ {
+		ks = append(ks, keys.Key(i*37))
+	}
+	return ks
+}
+
+// missingKey is a key never preloaded by the suite.
+const missingKey = keys.Key(1 << 40)
+
+// Run executes the conformance suite against the harness.
+func Run(t *testing.T, h Harness) {
+	if h.New == nil || h.Dim <= 0 {
+		t.Fatal("conformance: Harness needs New and a positive Dim")
+	}
+	t.Run("PullPresent", h.pullPresent)
+	t.Run("PullEmpty", h.pullEmpty)
+	t.Run("PullIsolation", h.pullIsolation)
+	t.Run("PullMissing", h.pullMissing)
+	t.Run("PushAccumulates", h.pushAccumulates)
+	t.Run("PushMissing", h.pushMissing)
+	t.Run("PushEmpty", h.pushEmpty)
+	t.Run("Evict", h.evict)
+	t.Run("Stats", h.stats)
+	t.Run("ConcurrentPulls", h.concurrentPulls)
+}
+
+func (h Harness) pull(t *testing.T, tier ps.Tier, ks []keys.Key) ps.Result {
+	t.Helper()
+	res, err := tier.Pull(ps.PullRequest{Shard: h.Shard, Keys: ks})
+	if err != nil {
+		t.Fatalf("Pull(%v): %v", ks, err)
+	}
+	return res
+}
+
+// delta builds a push delta with a recognizable per-element value.
+func (h Harness) delta(base float32) *embedding.Value {
+	v := embedding.NewValue(h.Dim)
+	for i := range v.Weights {
+		v.Weights[i] = base + float32(i)
+		v.G2Sum[i] = base / 2
+	}
+	v.Freq = 1
+	return v
+}
+
+// pullPresent: every preloaded key is pullable, with a value of the right
+// shape, and repeated pulls agree.
+func (h Harness) pullPresent(t *testing.T) {
+	ks := suiteKeys()
+	tier := h.New(t, ks)
+	first := h.pull(t, tier, ks)
+	if len(first) != len(ks) {
+		t.Fatalf("pull returned %d of %d preloaded keys", len(first), len(ks))
+	}
+	for _, k := range ks {
+		v := first[k]
+		if v == nil {
+			t.Fatalf("preloaded key %d absent", k)
+		}
+		if v.Dim() != h.Dim || len(v.G2Sum) != h.Dim {
+			t.Fatalf("key %d has dim %d, want %d", k, v.Dim(), h.Dim)
+		}
+	}
+	second := h.pull(t, tier, ks)
+	for _, k := range ks {
+		for i := range first[k].Weights {
+			if first[k].Weights[i] != second[k].Weights[i] {
+				t.Fatalf("key %d unstable across pulls without writes", k)
+			}
+		}
+	}
+}
+
+// pullEmpty: an empty request succeeds with an empty result.
+func (h Harness) pullEmpty(t *testing.T) {
+	tier := h.New(t, suiteKeys())
+	if res := h.pull(t, tier, nil); len(res) != 0 {
+		t.Fatalf("empty pull returned %d values", len(res))
+	}
+}
+
+// pullIsolation: results are private copies — mutating them must not leak
+// into the tier's stored state.
+func (h Harness) pullIsolation(t *testing.T) {
+	ks := suiteKeys()[:4]
+	tier := h.New(t, ks)
+	before := h.pull(t, tier, ks)
+	for _, v := range before {
+		for i := range v.Weights {
+			v.Weights[i] = math.MaxFloat32
+		}
+	}
+	after := h.pull(t, tier, ks)
+	for _, k := range ks {
+		for i := range after[k].Weights {
+			if after[k].Weights[i] == math.MaxFloat32 {
+				t.Fatalf("key %d: pull result aliases tier storage", k)
+			}
+		}
+	}
+}
+
+// pullMissing: the tier's declared missing-key policy holds.
+func (h Harness) pullMissing(t *testing.T) {
+	tier := h.New(t, suiteKeys())
+	res, err := tier.Pull(ps.PullRequest{Shard: h.Shard, Keys: []keys.Key{missingKey}})
+	switch {
+	case h.PullMissingErrors:
+		if err == nil {
+			t.Fatal("pulling a key outside the loaded set should error")
+		}
+	case h.PullCreates:
+		if err != nil {
+			t.Fatalf("pull of a fresh key should materialize it: %v", err)
+		}
+		if res[missingKey] == nil {
+			t.Fatal("tier declared PullCreates but left the key absent")
+		}
+		again := h.pull(t, tier, []keys.Key{missingKey})
+		for i := range res[missingKey].Weights {
+			if res[missingKey].Weights[i] != again[missingKey].Weights[i] {
+				t.Fatal("materialized key not stable across pulls")
+			}
+		}
+	default:
+		if err != nil {
+			t.Fatalf("missing keys must be absent, not an error: %v", err)
+		}
+		if res[missingKey] != nil {
+			t.Fatal("missing key materialized by a tier without PullCreates")
+		}
+	}
+}
+
+// pushAccumulates: pushing a delta moves the stored value by exactly that
+// delta, regardless of how the tier initialized it.
+func (h Harness) pushAccumulates(t *testing.T) {
+	ks := suiteKeys()
+	tier := h.New(t, ks)
+	before := h.pull(t, tier, ks)
+	deltas := make(map[keys.Key]*embedding.Value, len(ks))
+	for i, k := range ks {
+		deltas[k] = h.delta(float32(i + 1))
+	}
+	if err := tier.Push(ps.PushRequest{Shard: h.Shard, Deltas: deltas}); err != nil {
+		t.Fatalf("Push: %v", err)
+	}
+	after := h.pull(t, tier, ks)
+	for _, k := range ks {
+		for i := range after[k].Weights {
+			want := before[k].Weights[i] + deltas[k].Weights[i]
+			if diff := math.Abs(float64(after[k].Weights[i] - want)); diff > 1e-4 {
+				t.Fatalf("key %d weight[%d] = %g after push, want %g", k, i, after[k].Weights[i], want)
+			}
+			wantG2 := before[k].G2Sum[i] + deltas[k].G2Sum[i]
+			if diff := math.Abs(float64(after[k].G2Sum[i] - wantG2)); diff > 1e-4 {
+				t.Fatalf("key %d g2sum[%d] = %g after push, want %g", k, i, after[k].G2Sum[i], wantG2)
+			}
+		}
+	}
+}
+
+// pushMissing: the tier's declared policy for deltas on absent keys holds.
+func (h Harness) pushMissing(t *testing.T) {
+	tier := h.New(t, suiteKeys())
+	d := h.delta(3)
+	err := tier.Push(ps.PushRequest{
+		Shard:  h.Shard,
+		Deltas: map[keys.Key]*embedding.Value{missingKey: d},
+	})
+	if err != nil {
+		t.Fatalf("pushing a delta for an absent key must not fail: %v", err)
+	}
+	if h.PullMissingErrors {
+		// The tier has no way to read the key back; ignoring the delta
+		// (HBM-PS: authoritative copies live below) is the whole contract.
+		return
+	}
+	res := h.pull(t, tier, []keys.Key{missingKey})
+	v := res[missingKey]
+	switch {
+	case h.PushCreates:
+		if v == nil {
+			t.Fatal("tier declared PushCreates but the key is still absent")
+		}
+		for i := range v.Weights {
+			if diff := math.Abs(float64(v.Weights[i] - d.Weights[i])); diff > 1e-4 {
+				t.Fatalf("materialized value weight[%d] = %g, want the delta %g", i, v.Weights[i], d.Weights[i])
+			}
+		}
+	case h.PullCreates:
+		// Create-then-merge (MEM-PS): the key now exists; its exact value
+		// folds the delta into a fresh initialization, checked above by
+		// pushAccumulates on preloaded keys.
+		if v == nil {
+			t.Fatal("tier with PullCreates lost the pushed key")
+		}
+	default:
+		if v != nil {
+			t.Fatal("delta on an absent key materialized it without PushCreates")
+		}
+	}
+}
+
+// pushEmpty: a push with no deltas is a no-op, not an error.
+func (h Harness) pushEmpty(t *testing.T) {
+	tier := h.New(t, suiteKeys())
+	if err := tier.Push(ps.PushRequest{Shard: h.Shard}); err != nil {
+		t.Fatalf("empty push: %v", err)
+	}
+}
+
+// evict: evicting preloaded keys reports them all, double-evicting reports
+// none... and readability afterwards follows the declared durability.
+func (h Harness) evict(t *testing.T) {
+	ks := suiteKeys()
+	tier := h.New(t, ks)
+	victims := ks[:8]
+	n, err := tier.Evict(victims)
+	if err != nil {
+		t.Fatalf("Evict: %v", err)
+	}
+	if n != len(victims) {
+		t.Fatalf("evicted %d of %d held keys", n, len(victims))
+	}
+	if h.EvictDurable {
+		res := h.pull(t, tier, victims)
+		if len(res) != len(victims) {
+			t.Fatalf("durable evict lost keys: %d of %d readable", len(res), len(victims))
+		}
+	} else {
+		res, err := tier.Pull(ps.PullRequest{Shard: h.Shard, Keys: victims})
+		switch {
+		case h.PullMissingErrors:
+			if err == nil {
+				t.Fatal("pulling retired keys should error for this tier")
+			}
+		case h.PullCreates:
+			// Retired keys re-materialize on pull; nothing further to assert.
+		default:
+			if err != nil {
+				t.Fatalf("pull after evict: %v", err)
+			}
+			if len(res) != 0 {
+				t.Fatalf("retired keys still readable: %d", len(res))
+			}
+		}
+		// Re-evicting retired keys finds nothing (unless pulling them back
+		// above re-created them).
+		if !h.PullCreates && !h.PullMissingErrors {
+			if n, err := tier.Evict(victims); err != nil || n != 0 {
+				t.Fatalf("second evict = (%d, %v), want (0, nil)", n, err)
+			}
+		}
+	}
+	// The untouched keys must be unaffected.
+	rest := h.pull(t, tier, ks[8:])
+	if len(rest) != len(ks)-8 {
+		t.Fatalf("evict disturbed unrelated keys: %d of %d readable", len(rest), len(ks)-8)
+	}
+}
+
+// stats: the uniform statistics track operations monotonically.
+func (h Harness) stats(t *testing.T) {
+	ks := suiteKeys()
+	tier := h.New(t, ks)
+	if tier.Name() == "" {
+		t.Fatal("tier has no name")
+	}
+	base := tier.TierStats()
+	h.pull(t, tier, ks)
+	afterPull := tier.TierStats()
+	if afterPull.Pulls <= base.Pulls {
+		t.Fatalf("Pulls did not advance: %d -> %d", base.Pulls, afterPull.Pulls)
+	}
+	if afterPull.KeysPulled < base.KeysPulled+int64(len(ks)) {
+		t.Fatalf("KeysPulled advanced by %d, want >= %d", afterPull.KeysPulled-base.KeysPulled, len(ks))
+	}
+	deltas := map[keys.Key]*embedding.Value{ks[0]: h.delta(1), ks[1]: h.delta(2)}
+	if err := tier.Push(ps.PushRequest{Shard: h.Shard, Deltas: deltas}); err != nil {
+		t.Fatalf("Push: %v", err)
+	}
+	afterPush := tier.TierStats()
+	if afterPush.Pushes <= afterPull.Pushes {
+		t.Fatalf("Pushes did not advance: %d -> %d", afterPull.Pushes, afterPush.Pushes)
+	}
+	if afterPush.KeysPushed < afterPull.KeysPushed+int64(len(deltas)) {
+		t.Fatalf("KeysPushed advanced by %d, want >= %d", afterPush.KeysPushed-afterPull.KeysPushed, len(deltas))
+	}
+	if _, err := tier.Evict(ks[:2]); err != nil {
+		t.Fatalf("Evict: %v", err)
+	}
+	afterEvict := tier.TierStats()
+	if afterEvict.Evictions <= afterPush.Evictions {
+		t.Fatalf("Evictions did not advance: %d -> %d", afterPush.Evictions, afterEvict.Evictions)
+	}
+	if afterEvict.KeysEvicted < afterPush.KeysEvicted+2 {
+		t.Fatalf("KeysEvicted advanced by %d, want >= 2", afterEvict.KeysEvicted-afterPush.KeysEvicted)
+	}
+	if afterEvict.PullTime < 0 || afterEvict.PushTime < 0 {
+		t.Fatal("negative cumulative operation time")
+	}
+}
+
+// concurrentPulls: tiers declared concurrent serve parallel readers without
+// races or corruption (run under -race).
+func (h Harness) concurrentPulls(t *testing.T) {
+	if !h.Concurrent {
+		t.Skip("tier is not safe for concurrent use")
+	}
+	ks := suiteKeys()
+	tier := h.New(t, ks)
+	want := h.pull(t, tier, ks)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				res, err := tier.Pull(ps.PullRequest{Shard: h.Shard, Keys: ks})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				for _, k := range ks {
+					if res[k] == nil || res[k].Weights[0] != want[k].Weights[0] {
+						errs[w] = fmt.Errorf("concurrent pull returned a corrupt value for key %d", k)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package ssdps_test
+
+import (
+	"testing"
+
+	"hps/internal/blockio"
+	"hps/internal/embedding"
+	"hps/internal/hw"
+	"hps/internal/keys"
+	"hps/internal/ps"
+	"hps/internal/ps/conformance"
+	"hps/internal/simtime"
+	"hps/internal/ssdps"
+)
+
+// TestTierConformance runs the shared ps.Tier suite against the SSD-PS: the
+// bottom tier, where missing keys stay absent, pushes materialize unknown
+// keys, and eviction retires keys for compaction to reclaim.
+func TestTierConformance(t *testing.T) {
+	const dim = 8
+	conformance.Run(t, conformance.Harness{
+		Dim:         dim,
+		Shard:       ps.NoShard,
+		PushCreates: true,
+		Concurrent:  true,
+		New: func(t *testing.T, ks []keys.Key) ps.Tier {
+			dev, err := blockio.NewDevice(t.TempDir(), hw.DefaultGPUNode().SSD, simtime.NewClock())
+			if err != nil {
+				t.Fatal(err)
+			}
+			store, err := ssdps.Open(dev, ssdps.Config{Dim: dim, ParamsPerFile: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			seed := make(map[keys.Key]*embedding.Value, len(ks))
+			for i, k := range ks {
+				v := embedding.NewValue(dim)
+				v.Weights[0] = float32(i + 1)
+				seed[k] = v
+			}
+			if err := store.Dump(seed); err != nil {
+				t.Fatal(err)
+			}
+			return store
+		},
+	})
+}

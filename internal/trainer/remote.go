@@ -1,0 +1,224 @@
+package trainer
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hps/internal/cluster"
+	"hps/internal/embedding"
+	"hps/internal/keys"
+	"hps/internal/memps"
+	"hps/internal/ps"
+)
+
+// memService is the node-facing contract of the MEM-PS tier. The in-process
+// memps.MemPS satisfies it directly; in multi-process mode a remoteMem
+// satisfies it by RPC against the shard server processes, so the training
+// stages are identical in both deployments.
+type memService interface {
+	Name() string
+	TierStats() ps.Stats
+	// Prepare assembles (and, where supported, pins) the working set of a
+	// batch's referenced keys.
+	Prepare(working []keys.Key) (*memps.WorkingSet, error)
+	// Push merges collected per-key deltas into the authoritative copies of
+	// the shard this node owns.
+	Push(req ps.PushRequest) error
+	// CompleteBatch releases a prepared working set.
+	CompleteBatch(ws *memps.WorkingSet) error
+	// LookupAll reads current values without materializing missing keys.
+	// A missing key is absent from the result; an error means the values
+	// could not be read at all (e.g. an unreachable shard).
+	LookupAll(ks []keys.Key) (map[keys.Key]*embedding.Value, error)
+	// Flush persists the in-memory parameters to the SSD-PS below.
+	Flush() error
+}
+
+var _ memService = (*memps.MemPS)(nil)
+
+// remoteNet accumulates the real network activity of a multi-process run —
+// wall-clock time and payload bytes of the parameter RPCs — for the Fig-4
+// style breakdown.
+type remoteNet struct {
+	mu         sync.Mutex
+	pulls      int64
+	pushes     int64
+	keysPulled int64
+	keysPushed int64
+	bytes      int64
+	pullWall   time.Duration
+	pushWall   time.Duration
+}
+
+func (r *remoteNet) recordPull(nkeys int, bytes int64, wall time.Duration) {
+	r.mu.Lock()
+	r.pulls++
+	r.keysPulled += int64(nkeys)
+	r.bytes += bytes
+	r.pullWall += wall
+	r.mu.Unlock()
+}
+
+func (r *remoteNet) recordPush(nkeys int, bytes int64, wall time.Duration) {
+	r.mu.Lock()
+	r.pushes++
+	r.keysPushed += int64(nkeys)
+	r.bytes += bytes
+	r.pushWall += wall
+	r.mu.Unlock()
+}
+
+// remoteMem is one virtual node's view of the sharded remote MEM-PS tier:
+// the node's batches pull their working sets from the owning shard processes
+// and push this node's shard partition of the global deltas back. All nodes
+// share one transport (connection reuse across the driver).
+type remoteMem struct {
+	transport cluster.TierTransport
+	node      int
+	topo      cluster.Topology
+	net       *remoteNet
+}
+
+var _ memService = (*remoteMem)(nil)
+
+// Name implements memService; the remote tier is still the MEM-PS.
+func (r *remoteMem) Name() string { return "mem-ps" }
+
+// TierStats fetches the serving shard's own uniform statistics. An
+// unreachable shard reports zero statistics — reports are best-effort and
+// must not fail a run that already completed; the RemoteNetReport's
+// retry/reconnect counters record that the run had connectivity trouble.
+func (r *remoteMem) TierStats() ps.Stats {
+	info, err := r.transport.TierStats(r.node)
+	if err != nil {
+		return ps.Stats{}
+	}
+	return info.Stats
+}
+
+// Prepare implements memService: the working set is assembled by pulling
+// every key partition from its owning shard process, concurrently. There is
+// no local pinning — the shard processes own cache retention — so the
+// working set only carries values and timing.
+func (r *remoteMem) Prepare(working []keys.Key) (*memps.WorkingSet, error) {
+	working = keys.Dedup(append([]keys.Key(nil), working...))
+	ws := &memps.WorkingSet{
+		Values:     make(map[keys.Key]*embedding.Value, len(working)),
+		RemoteKeys: working,
+	}
+	ws.Stats.RemoteKeys = len(working)
+
+	type pullResult struct {
+		res cluster.PullResult
+		err error
+	}
+	parts := r.topo.SplitByNode(working)
+	start := time.Now()
+	resultCh := make(chan pullResult, len(parts))
+	inFlight := 0
+	for nodeID, ks := range parts {
+		if len(ks) == 0 {
+			continue
+		}
+		inFlight++
+		go func(nodeID int, ks []keys.Key) {
+			res, bytes, err := r.transport.Pull(nodeID, ks)
+			if err == nil {
+				r.net.recordPull(len(ks), bytes, time.Since(start))
+			}
+			resultCh <- pullResult{res: res, err: err}
+		}(nodeID, ks)
+	}
+	var firstErr error
+	for i := 0; i < inFlight; i++ {
+		pr := <-resultCh
+		if pr.err != nil {
+			if firstErr == nil {
+				firstErr = pr.err
+			}
+			continue
+		}
+		for k, v := range pr.res {
+			ws.Values[k] = v
+		}
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("trainer: remote prepare: %w", firstErr)
+	}
+	// The shard pulls run in parallel; the batch pays the slowest, which the
+	// single start timestamp already measures.
+	ws.Stats.RemoteTime = time.Since(start)
+	if len(ws.Values) != len(working) {
+		// The MEM-PS materializes first references, so a shard that answered
+		// at all answers completely; a gap means a shard bug.
+		return nil, fmt.Errorf("trainer: remote prepare returned %d of %d keys", len(ws.Values), len(working))
+	}
+	return ws, nil
+}
+
+// Push implements memService: it sends this node's shard partition of the
+// global deltas to the owning shard process. Every virtual node pushes only
+// its own partition, so each shard applies the global sum exactly once per
+// batch — the same once-per-owner discipline as the in-process MEM-PS.
+func (r *remoteMem) Push(req ps.PushRequest) error {
+	owned := make(map[keys.Key]*embedding.Value)
+	for k, d := range req.Deltas {
+		if r.topo.NodeOf(k) == r.node {
+			owned[k] = d
+		}
+	}
+	if len(owned) == 0 {
+		return nil
+	}
+	start := time.Now()
+	bytes, err := r.transport.Push(r.node, owned)
+	if err != nil {
+		return fmt.Errorf("trainer: remote push: %w", err)
+	}
+	r.net.recordPush(len(owned), bytes, time.Since(start))
+	return nil
+}
+
+// CompleteBatch implements memService. Nothing was pinned driver-side, and
+// the shard server runs its own housekeeping from the push RPC.
+func (r *remoteMem) CompleteBatch(*memps.WorkingSet) error { return nil }
+
+// LookupAll implements memService with the no-create lookup RPC.
+func (r *remoteMem) LookupAll(ks []keys.Key) (map[keys.Key]*embedding.Value, error) {
+	res, _, err := r.transport.Lookup(r.node, ks)
+	if err != nil {
+		return nil, fmt.Errorf("trainer: remote lookup: %w", err)
+	}
+	return res, nil
+}
+
+// Flush implements memService: an evict-everything RPC, which demotes the
+// shard's entire in-memory state to its SSD-PS.
+func (r *remoteMem) Flush() error {
+	_, err := r.transport.Evict(r.node, nil)
+	if err != nil {
+		return fmt.Errorf("trainer: remote flush: %w", err)
+	}
+	return nil
+}
+
+// RemoteNetReport is the real-network section of a multi-process run's
+// report: RPC counts, payload bytes and wall-clock time measured at the
+// driver, plus the transport's connection-level counters.
+type RemoteNetReport struct {
+	// Shards is the number of MEM-PS shard processes.
+	Shards int
+	// Pulls / Pushes count parameter RPCs; KeysPulled / KeysPushed count the
+	// parameters they moved.
+	Pulls, Pushes          int64
+	KeysPulled, KeysPushed int64
+	// PayloadBytes estimates the traffic that crossed the sockets.
+	PayloadBytes int64
+	// PullWall / PushWall are cumulative wall-clock times of the RPCs (the
+	// real network component of the batch breakdown).
+	PullWall, PushWall time.Duration
+	// Calls / Retries / Redials are the transport's connection counters;
+	// non-zero Redials means the run rode out at least one reconnect.
+	Calls, Retries, Redials int64
+}

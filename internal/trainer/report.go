@@ -64,6 +64,9 @@ type Report struct {
 	ReadAmplification float64
 	// MeanLoss is the mean training log-loss.
 	MeanLoss float64
+	// Remote describes the real network activity of a multi-process run;
+	// nil for in-process runs.
+	Remote *RemoteNetReport
 }
 
 func addSSDStats(a, b ssdps.Stats) ssdps.Stats {
@@ -136,7 +139,10 @@ func (t *Trainer) Report() Report {
 	var hits, lookups int64
 	var ioStats blockio.Stats
 	for _, n := range t.nodes {
-		cs := n.mem.CacheStats()
+		if n.local == nil { // multi-process mode: cache and SSD live remotely
+			continue
+		}
+		cs := n.local.CacheStats()
 		hits += cs.Hits
 		lookups += cs.Hits + cs.Misses
 		r.SSD = addSSDStats(r.SSD, n.store.Stats())
@@ -148,6 +154,25 @@ func (t *Trainer) Report() Report {
 		r.CacheHitRate = float64(hits) / float64(lookups)
 	}
 	r.ReadAmplification = ioStats.ReadAmplification()
+
+	if t.remote != nil {
+		net := t.remoteNet
+		net.mu.Lock()
+		rr := &RemoteNetReport{
+			Shards:       t.cfg.Topology.Nodes,
+			Pulls:        net.pulls,
+			Pushes:       net.pushes,
+			KeysPulled:   net.keysPulled,
+			KeysPushed:   net.keysPushed,
+			PayloadBytes: net.bytes,
+			PullWall:     net.pullWall,
+			PushWall:     net.pushWall,
+		}
+		net.mu.Unlock()
+		ts := t.remote.Stats()
+		rr.Calls, rr.Retries, rr.Redials = ts.Calls, ts.Retries, ts.Redials
+		r.Remote = rr
+	}
 	return r
 }
 
@@ -187,7 +212,18 @@ func (r Report) String() string {
 			ti.Name, ti.Stats.Pulls, ti.Stats.KeysPulled, ti.Stats.PullTime.Round(time.Microsecond),
 			ti.Stats.Pushes, ti.Stats.KeysPushed, ti.Stats.PushTime.Round(time.Microsecond), ti.Stats.KeysEvicted)
 	}
-	fmt.Fprintf(&b, "mem-ps cache hit rate %.1f%%   ssd-ps: %d files, %d live / %d stale params, %d compactions, read amplification %.1fx\n",
-		100*r.CacheHitRate, r.SSD.Files, r.SSD.LiveParams, r.SSD.StaleParams, r.SSD.Compactions, r.ReadAmplification)
+	if r.Remote == nil {
+		fmt.Fprintf(&b, "mem-ps cache hit rate %.1f%%   ssd-ps: %d files, %d live / %d stale params, %d compactions, read amplification %.1fx\n",
+			100*r.CacheHitRate, r.SSD.Files, r.SSD.LiveParams, r.SSD.StaleParams, r.SSD.Compactions, r.ReadAmplification)
+		return b.String()
+	}
+
+	rr := r.Remote
+	fmt.Fprintf(&b, "\n-- multi-process network (real wall time) --\n")
+	fmt.Fprintf(&b, "  %d MEM-PS shard process(es): pulls %d (%d keys, %v)   pushes %d (%d keys, %v)\n",
+		rr.Shards, rr.Pulls, rr.KeysPulled, rr.PullWall.Round(time.Microsecond),
+		rr.Pushes, rr.KeysPushed, rr.PushWall.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  payload %.2f MiB   rpcs %d   retries %d   reconnects %d\n",
+		float64(rr.PayloadBytes)/(1<<20), rr.Calls, rr.Retries, rr.Redials)
 	return b.String()
 }

@@ -89,6 +89,16 @@ type Config struct {
 	Dir string
 	// Seed seeds model initialization and the per-node data streams.
 	Seed int64
+	// RemoteShards switches the trainer into multi-process mode: the MEM-PS
+	// tier lives in separate shard-server processes, and RemoteShards maps
+	// each shard id (== virtual node id) to the TCP address serving it. It
+	// must have exactly Topology.Nodes entries. The driver keeps the data
+	// streams, the GPUs and the dense tower; every parameter pull and push
+	// crosses a real socket.
+	RemoteShards map[int]string
+	// RemoteRetry overrides the TCP transport's retry policy in
+	// multi-process mode; the zero value keeps the default.
+	RemoteRetry cluster.RetryPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -119,14 +129,17 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// node bundles the per-node pieces of the hierarchy.
+// node bundles the per-node pieces of the hierarchy. In multi-process mode
+// the MEM-PS/SSD-PS pieces live in a shard-server process, so dev, store and
+// local are nil and mem is the RPC-backed view.
 type node struct {
 	id     int
 	gen    *dataset.Generator
 	stream *hdfs.Stream
 	dev    *blockio.Device
 	store  *ssdps.Store
-	mem    *memps.MemPS
+	local  *memps.MemPS
+	mem    memService
 	hbm    *hbmps.HBMPS
 }
 
@@ -152,6 +165,11 @@ type Trainer struct {
 	transport *cluster.LocalTransport
 	nodes     []*node
 
+	// Multi-process mode: the shared TCP transport to the shard servers and
+	// the real-network accounting, nil for in-process runs.
+	remote    *cluster.TCPTransport
+	remoteNet *remoteNet
+
 	// The dense tower is replicated on every GPU and kept in sync by a
 	// per-example all-reduce; the replication is modelled by a single shared
 	// network updated under a mutex.
@@ -167,6 +185,12 @@ type Trainer struct {
 	// stageDelay injects an artificial wall-clock delay per stage; it is a
 	// test hook for exercising pipeline overlap with controlled timings.
 	stageDelay map[string]time.Duration
+
+	// sequential makes eachNode visit nodes in order instead of
+	// concurrently; a test hook that removes scheduling nondeterminism (the
+	// interleaving of per-node dense updates and parameter creation) so
+	// equivalence tests can compare two runs at a tight tolerance.
+	sequential bool
 
 	mu            sync.Mutex
 	stageModelled map[string]time.Duration
@@ -194,10 +218,22 @@ func New(cfg Config) (*Trainer, error) {
 		return nil, err
 	}
 	dim := cfg.Spec.EmbeddingDim
+	remoteMode := len(cfg.RemoteShards) > 0
+	if remoteMode {
+		if len(cfg.RemoteShards) != cfg.Topology.Nodes {
+			return nil, fmt.Errorf("trainer: %d remote shards for %d nodes (need one per node)",
+				len(cfg.RemoteShards), cfg.Topology.Nodes)
+		}
+		for id := 0; id < cfg.Topology.Nodes; id++ {
+			if _, ok := cfg.RemoteShards[id]; !ok {
+				return nil, fmt.Errorf("trainer: no remote shard address for node %d", id)
+			}
+		}
+	}
 
 	dir := cfg.Dir
 	ownsDir := false
-	if dir == "" {
+	if dir == "" && !remoteMode { // remote mode has no local SSD-PS state
 		d, err := os.MkdirTemp("", "hps-trainer-*")
 		if err != nil {
 			return nil, fmt.Errorf("trainer: temp dir: %w", err)
@@ -221,6 +257,13 @@ func New(cfg Config) (*Trainer, error) {
 	t.denseState = t.net.NewDenseState(t.denseOpt)
 	t.evalActs = t.net.NewActivations()
 
+	if remoteMode {
+		t.remote = cluster.NewTCPTransport(cfg.RemoteShards, dim)
+		if cfg.RemoteRetry.Attempts > 0 {
+			t.remote.SetRetryPolicy(cfg.RemoteRetry)
+		}
+		t.remoteNet = &remoteNet{}
+	}
 	cleanup := func() {
 		if ownsDir {
 			os.RemoveAll(dir)
@@ -233,44 +276,60 @@ func New(cfg Config) (*Trainer, error) {
 			return nil, err
 		}
 		t.nodes = append(t.nodes, n)
-		t.transport.Register(id, n.mem)
+		if n.local != nil {
+			t.transport.Register(id, n.local)
+		}
 	}
 	return t, nil
 }
 
 func (t *Trainer) buildNode(id int, root string) (*node, error) {
 	cfg := t.cfg
-	dev, err := blockio.NewDevice(filepath.Join(root, fmt.Sprintf("node-%d", id)), cfg.Profile.SSD, t.clock)
-	if err != nil {
-		return nil, fmt.Errorf("trainer: node %d device: %w", id, err)
-	}
-	store, err := ssdps.Open(dev, ssdps.Config{
-		Dim:                     cfg.Spec.EmbeddingDim,
-		ParamsPerFile:           cfg.ParamsPerFile,
-		DiskUsageThresholdBytes: cfg.SSDThresholdBytes,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("trainer: node %d ssd-ps: %w", id, err)
-	}
-	var transport cluster.Transport
-	if cfg.Topology.Nodes > 1 {
-		transport = t.transport
-	}
-	mem, err := memps.New(memps.Config{
-		NodeID:            id,
-		Dim:               cfg.Spec.EmbeddingDim,
-		Topology:          cfg.Topology,
-		Transport:         transport,
-		Store:             store,
-		Fabric:            t.fabric,
-		Clock:             t.clock,
-		MemoryBudgetBytes: cfg.Profile.MainMemoryBytes,
-		LRUEntries:        cfg.LRUEntries,
-		LFUEntries:        cfg.LFUEntries,
-		Seed:              cfg.Seed,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("trainer: node %d mem-ps: %w", id, err)
+	var (
+		dev   *blockio.Device
+		store *ssdps.Store
+		local *memps.MemPS
+		mem   memService
+		err   error
+	)
+	if t.remote != nil {
+		// Multi-process mode: the MEM-PS/SSD-PS of this node live in the
+		// shard-server process; this node only keeps the RPC-backed view.
+		mem = &remoteMem{transport: t.remote, node: id, topo: cfg.Topology, net: t.remoteNet}
+	} else {
+		dev, err = blockio.NewDevice(filepath.Join(root, fmt.Sprintf("node-%d", id)), cfg.Profile.SSD, t.clock)
+		if err != nil {
+			return nil, fmt.Errorf("trainer: node %d device: %w", id, err)
+		}
+		store, err = ssdps.Open(dev, ssdps.Config{
+			Dim:                     cfg.Spec.EmbeddingDim,
+			ParamsPerFile:           cfg.ParamsPerFile,
+			DiskUsageThresholdBytes: cfg.SSDThresholdBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("trainer: node %d ssd-ps: %w", id, err)
+		}
+		var transport cluster.Transport
+		if cfg.Topology.Nodes > 1 {
+			transport = t.transport
+		}
+		local, err = memps.New(memps.Config{
+			NodeID:            id,
+			Dim:               cfg.Spec.EmbeddingDim,
+			Topology:          cfg.Topology,
+			Transport:         transport,
+			Store:             store,
+			Fabric:            t.fabric,
+			Clock:             t.clock,
+			MemoryBudgetBytes: cfg.Profile.MainMemoryBytes,
+			LRUEntries:        cfg.LRUEntries,
+			LFUEntries:        cfg.LFUEntries,
+			Seed:              cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("trainer: node %d mem-ps: %w", id, err)
+		}
+		mem = local
 	}
 	hbm, err := hbmps.New(hbmps.Config{
 		NodeID:     id,
@@ -295,13 +354,18 @@ func (t *Trainer) buildNode(id int, root string) (*node, error) {
 		Profile:    cfg.Profile.HDFS,
 		Clock:      t.clock,
 	})
-	return &node{id: id, gen: gen, stream: stream, dev: dev, store: store, mem: mem, hbm: hbm}, nil
+	return &node{id: id, gen: gen, stream: stream, dev: dev, store: store, local: local, mem: mem, hbm: hbm}, nil
 }
 
 // eachNode runs fn for every node concurrently and returns the first error.
 func (t *Trainer) eachNode(fn func(n *node) error) error {
-	if len(t.nodes) == 1 {
-		return fn(t.nodes[0])
+	if len(t.nodes) == 1 || t.sequential {
+		for _, n := range t.nodes {
+			if err := fn(n); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	errs := make([]error, len(t.nodes))
 	var wg sync.WaitGroup
@@ -604,15 +668,26 @@ func (t *Trainer) stagePush(_ context.Context, j *job) (*job, error) {
 	var modelled time.Duration
 	err := t.eachNode(func(n *node) error {
 		nb := j.nodes[n.id]
-		memBefore := n.mem.TierStats().PushTime
-		ssdBefore := n.store.TierStats().PushTime
-		if err := n.mem.Push(ps.PushRequest{Shard: ps.NoShard, Deltas: global}); err != nil {
-			return err
+		var d time.Duration
+		if t.remote != nil {
+			// Multi-process mode: the push crosses a real socket; its wall
+			// time is the batch's push cost.
+			start := time.Now()
+			if err := n.mem.Push(ps.PushRequest{Shard: ps.NoShard, Deltas: global}); err != nil {
+				return err
+			}
+			d = time.Since(start)
+		} else {
+			memBefore := n.mem.TierStats().PushTime
+			ssdBefore := n.store.TierStats().PushTime
+			if err := n.mem.Push(ps.PushRequest{Shard: ps.NoShard, Deltas: global}); err != nil {
+				return err
+			}
+			if err := n.mem.CompleteBatch(nb.ws); err != nil {
+				return err
+			}
+			d = (n.mem.TierStats().PushTime - memBefore) + (n.store.TierStats().PushTime - ssdBefore)
 		}
-		if err := n.mem.CompleteBatch(nb.ws); err != nil {
-			return err
-		}
-		d := (n.mem.TierStats().PushTime - memBefore) + (n.store.TierStats().PushTime - ssdBefore)
 		mu.Lock()
 		if d > modelled {
 			modelled = d
@@ -628,32 +703,49 @@ func (t *Trainer) stagePush(_ context.Context, j *job) (*job, error) {
 }
 
 // Predict returns the model's click probability for a feature set, reading
-// the authoritative parameter copies from the owning MEM-PS shards. Features
-// never trained on contribute nothing (matching internal/reference).
-func (t *Trainer) Predict(features []keys.Key) float32 {
+// the authoritative parameter copies from the owning MEM-PS shards (one
+// batched lookup per owner — over the wire in multi-process mode). Features
+// never trained on contribute nothing (matching internal/reference). It
+// fails if a shard's parameters cannot be read: a prediction computed with a
+// shard's embeddings missing would be silently wrong.
+func (t *Trainer) Predict(features []keys.Key) (float32, error) {
+	byOwner := t.cfg.Topology.SplitByNode(features)
+	vals := make([]map[keys.Key]*embedding.Value, len(t.nodes))
+	for owner, ks := range byOwner {
+		if len(ks) > 0 {
+			v, err := t.nodes[owner].mem.LookupAll(ks)
+			if err != nil {
+				return 0, fmt.Errorf("trainer: predict: node %d: %w", owner, err)
+			}
+			vals[owner] = v
+		}
+	}
 	vecs := make([][]float32, 0, len(features))
 	for _, k := range features {
-		owner := t.cfg.Topology.NodeOf(k)
-		if v := t.nodes[owner].mem.Lookup(k); v != nil {
+		if v := vals[t.cfg.Topology.NodeOf(k)][k]; v != nil {
 			vecs = append(vecs, v.Weights)
 		}
 	}
 	t.denseMu.Lock()
 	defer t.denseMu.Unlock()
 	nn.PoolSum(t.evalActs.Input(), vecs)
-	return t.net.Forward(t.evalActs)
+	return t.net.Forward(t.evalActs), nil
 }
 
 // Evaluate returns the model AUC over n fresh examples drawn from gen.
-func (t *Trainer) Evaluate(gen *dataset.Generator, n int) float64 {
+func (t *Trainer) Evaluate(gen *dataset.Generator, n int) (float64, error) {
 	scores := make([]float64, 0, n)
 	labels := make([]float64, 0, n)
 	for i := 0; i < n; i++ {
 		ex := gen.NextExample()
-		scores = append(scores, float64(t.Predict(ex.Features)))
+		p, err := t.Predict(ex.Features)
+		if err != nil {
+			return 0, err
+		}
+		scores = append(scores, float64(p))
 		labels = append(labels, float64(ex.Label))
 	}
-	return metrics.AUC(scores, labels)
+	return metrics.AUC(scores, labels), nil
 }
 
 // Examples returns the number of examples trained across all nodes.
@@ -673,19 +765,27 @@ func (t *Trainer) Clock() *simtime.Clock { return t.clock }
 func (t *Trainer) Nodes() int { return len(t.nodes) }
 
 // Tiers returns each tier's uniform statistics aggregated across nodes, top
-// tier first (plus the SSD-PS device-level store stats via Report).
+// tier first (plus the SSD-PS device-level store stats via Report). In
+// multi-process mode the MEM-PS statistics are fetched from the shard
+// servers over the wire, and the SSD-PS row is absent — the stores live in
+// the shard processes.
 func (t *Trainer) Tiers() []ps.TierInfo {
 	var hbm, mem, ssd ps.Stats
 	for _, n := range t.nodes {
 		hbm = hbm.Add(n.hbm.TierStats())
 		mem = mem.Add(n.mem.TierStats())
-		ssd = ssd.Add(n.store.TierStats())
+		if n.store != nil {
+			ssd = ssd.Add(n.store.TierStats())
+		}
 	}
-	return []ps.TierInfo{
+	out := []ps.TierInfo{
 		{Name: t.nodes[0].hbm.Name(), Stats: hbm},
 		{Name: t.nodes[0].mem.Name(), Stats: mem},
-		{Name: t.nodes[0].store.Name(), Stats: ssd},
 	}
+	if t.nodes[0].store != nil {
+		out = append(out, ps.TierInfo{Name: t.nodes[0].store.Name(), Stats: ssd})
+	}
+	return out
 }
 
 // Flush persists every node's in-memory parameters to its SSD-PS.
@@ -693,14 +793,18 @@ func (t *Trainer) Flush() error {
 	return t.eachNode(func(n *node) error { return n.mem.Flush() })
 }
 
-// Close flushes the hierarchy and removes the SSD-PS directories the trainer
-// created. It is idempotent.
+// Close flushes the hierarchy, closes the remote transport (in multi-process
+// mode) and removes the SSD-PS directories the trainer created. It is
+// idempotent.
 func (t *Trainer) Close() error {
 	if t.closed {
 		return nil
 	}
 	t.closed = true
 	err := t.Flush()
+	if t.remote != nil {
+		t.remote.Close()
+	}
 	if t.ownsDir {
 		if rmErr := os.RemoveAll(t.tmpDir); err == nil {
 			err = rmErr

@@ -26,6 +26,15 @@ func testData() dataset.Config {
 	return dataset.Config{NumFeatures: 3000, NonZerosPerExample: 15}
 }
 
+func evalAUC(t *testing.T, tr *Trainer, gen *dataset.Generator, n int) float64 {
+	t.Helper()
+	auc, err := tr.Evaluate(gen, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return auc
+}
+
 func runTrainer(t *testing.T, cfg Config) *Trainer {
 	t.Helper()
 	tr, err := New(cfg)
@@ -100,7 +109,7 @@ func TestConvergesToReferenceOracle(t *testing.T) {
 	}
 
 	refAUC := ref.Evaluate(dataset.NewGenerator(data, 999), evalN)
-	hpsAUC := tr.Evaluate(dataset.NewGenerator(data, 999), evalN)
+	hpsAUC := evalAUC(t, tr, dataset.NewGenerator(data, 999), evalN)
 	t.Logf("reference AUC = %.4f, hierarchical AUC = %.4f", refAUC, hpsAUC)
 	if refAUC < 0.6 {
 		t.Fatalf("reference oracle failed to learn (AUC %.4f); test data too hard", refAUC)
@@ -134,7 +143,7 @@ func TestMultiNodeMultiGPU(t *testing.T) {
 		Seed:       3,
 	})
 
-	auc := tr.Evaluate(dataset.NewGenerator(data, 999), 1000)
+	auc := evalAUC(t, tr, dataset.NewGenerator(data, 999), 1000)
 	if auc < 0.62 {
 		t.Fatalf("distributed trainer AUC = %.4f, want > 0.62", auc)
 	}
@@ -172,7 +181,7 @@ func TestMultiNodeMultiGPU(t *testing.T) {
 	// Remote pulls must actually have crossed nodes.
 	remote := int64(0)
 	for _, n := range tr.nodes {
-		remote += n.mem.Stats().RemoteKeys
+		remote += n.local.Stats().RemoteKeys
 	}
 	if remote == 0 {
 		t.Fatal("two-node training must pull remote shards")
