@@ -43,6 +43,13 @@ func runDriver(args []string) error {
 		return fmt.Errorf("resolve own executable: %w", err)
 	}
 
+	// Validate the spec before launching anything: an unknown model must
+	// surface as its own error, not as shards dying on startup.
+	spec, err := resolveSpec(*fs.modelName, *fs.scale)
+	if err != nil {
+		return err
+	}
+
 	procs := make([]*shardProc, 0, shards)
 	defer func() { stopShards(procs) }()
 	addrs := make(map[int]string, shards)
@@ -54,11 +61,6 @@ func runDriver(args []string) error {
 		procs = append(procs, p)
 		addrs[i] = p.addr
 		fmt.Printf("shard %d up: pid %d at %s\n", i, p.cmd.Process.Pid, p.addr)
-	}
-
-	spec, err := resolveSpec(*fs.modelName, *fs.scale)
-	if err != nil {
-		return err
 	}
 	data := dataset.ForModel(spec.SparseParams, spec.NonZerosPerExample)
 	cfg := trainer.Config{

@@ -32,6 +32,11 @@ func FuzzWireCodec(f *testing.F) {
 	seed(&wireRequest{Op: opEvict, All: true})
 	seed(&wireRequest{Op: opStats})
 	seed(&wireRequest{Op: opLookup, Keys: []keys.Key{4}})
+	seed(&wireRequest{Op: opPullBlock, Keys: []keys.Key{1, 2}})
+	blk := ps.NewValueBlock(4)
+	blk.Reset(4, []keys.Key{9})
+	blk.Set(0, v)
+	seed(&wireRequest{Op: opPushBlock, Client: 7, Seq: 2, Keys: []keys.Key{9}, Block: blk.AppendWire(nil)})
 	var respBuf bytes.Buffer
 	resp := &wireResponse{Keys: []keys.Key{1}, Values: []*embedding.Value{v}, Name: "mem-ps"}
 	if err := writeFrame(&respBuf, resp); err != nil {
@@ -50,7 +55,12 @@ func FuzzWireCodec(f *testing.F) {
 				// A frame that decodes and validates must dispatch without
 				// panicking, and the reply must encode.
 				var out bytes.Buffer
-				if err := writeFrame(&out, srv.dispatch(&req)); err != nil {
+				resp, release := srv.dispatch(&req)
+				err := writeFrame(&out, resp)
+				if release != nil {
+					release()
+				}
+				if err != nil {
 					t.Fatalf("response for valid request failed to encode: %v", err)
 				}
 			}

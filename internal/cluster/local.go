@@ -66,7 +66,52 @@ func (t *LocalTransport) handler(nodeID int) (PullHandler, error) {
 	return h, nil
 }
 
-var _ TierTransport = (*LocalTransport)(nil)
+var (
+	_ TierTransport  = (*LocalTransport)(nil)
+	_ BlockTransport = (*LocalTransport)(nil)
+)
+
+// PullBlock implements BlockTransport: block-capable handlers serve straight
+// into dst; others are adapted through their map-based pull.
+func (t *LocalTransport) PullBlock(nodeID int, ks []keys.Key, dst *ps.ValueBlock) (int64, error) {
+	h, err := t.handler(nodeID)
+	if err != nil {
+		return 0, err
+	}
+	if bh, ok := h.(BlockPullHandler); ok {
+		if err := bh.HandlePullBlock(ks, dst); err != nil {
+			return 0, fmt.Errorf("cluster: pull from node %d: %w", nodeID, err)
+		}
+	} else {
+		res, err := h.HandlePull(ks)
+		if err != nil {
+			return 0, fmt.Errorf("cluster: pull from node %d: %w", nodeID, err)
+		}
+		ps.FillFromPull(dst, t.dim, ks, ps.Result(res))
+	}
+	return int64(len(ks))*8 + int64(dst.PresentCount())*int64(8+embedding.EncodedSize(t.dim)), nil
+}
+
+// PushBlock implements BlockTransport. Handlers without a block push receive
+// freshly allocated map deltas (handlers may retain what push hands them).
+func (t *LocalTransport) PushBlock(nodeID int, blk *ps.ValueBlock) (int64, error) {
+	h, err := t.handler(nodeID)
+	if err != nil {
+		return 0, err
+	}
+	switch bh := h.(type) {
+	case BlockPushHandler:
+		err = bh.HandlePushBlock(blk)
+	case PushHandler:
+		err = bh.HandlePush(blk.Deltas())
+	default:
+		return 0, &RemoteError{Node: nodeID, Op: "push", Msg: "shard does not accept pushes"}
+	}
+	if err != nil {
+		return 0, fmt.Errorf("cluster: push to node %d: %w", nodeID, err)
+	}
+	return int64(blk.PresentCount()) * int64(8+embedding.EncodedSize(t.dim)), nil
+}
 
 // Push implements TierTransport when node nodeID's handler accepts pushes.
 func (t *LocalTransport) Push(nodeID int, deltas map[keys.Key]*embedding.Value) (int64, error) {

@@ -18,11 +18,13 @@ type TierHandler struct {
 }
 
 var (
-	_ PullHandler   = (*TierHandler)(nil)
-	_ PushHandler   = (*TierHandler)(nil)
-	_ LookupHandler = (*TierHandler)(nil)
-	_ EvictHandler  = (*TierHandler)(nil)
-	_ StatsHandler  = (*TierHandler)(nil)
+	_ PullHandler      = (*TierHandler)(nil)
+	_ PushHandler      = (*TierHandler)(nil)
+	_ LookupHandler    = (*TierHandler)(nil)
+	_ EvictHandler     = (*TierHandler)(nil)
+	_ StatsHandler     = (*TierHandler)(nil)
+	_ BlockPullHandler = (*TierHandler)(nil)
+	_ BlockPushHandler = (*TierHandler)(nil)
 )
 
 // HandlePull implements PullHandler via the tier's Pull.
@@ -37,6 +39,19 @@ func (h *TierHandler) HandlePull(ks []keys.Key) (PullResult, error) {
 // HandlePush implements PushHandler via the tier's Push.
 func (h *TierHandler) HandlePush(deltas map[keys.Key]*embedding.Value) error {
 	return h.Tier.Push(ps.PushRequest{Shard: ps.NoShard, Deltas: deltas})
+}
+
+// HandlePullBlock implements BlockPullHandler through the ps.PullInto
+// adapter, so block frames reach the tier's native block path when it has
+// one and its map-based Pull otherwise.
+func (h *TierHandler) HandlePullBlock(ks []keys.Key, dst *ps.ValueBlock) error {
+	return ps.PullInto(h.Tier, ps.PullRequest{Shard: ps.NoShard, Keys: ks}, dst)
+}
+
+// HandlePushBlock implements BlockPushHandler through the ps.PushBlock
+// adapter.
+func (h *TierHandler) HandlePushBlock(blk *ps.ValueBlock) error {
+	return ps.PushBlock(h.Tier, ps.PushBlockRequest{Shard: ps.NoShard, Block: blk})
 }
 
 // HandleLookup implements LookupHandler. A plain tier's Pull already leaves
@@ -66,7 +81,11 @@ type RemoteTier struct {
 	rec       ps.Recorder
 }
 
-var _ ps.Tier = (*RemoteTier)(nil)
+var (
+	_ ps.Tier        = (*RemoteTier)(nil)
+	_ ps.BlockPuller = (*RemoteTier)(nil)
+	_ ps.BlockPusher = (*RemoteTier)(nil)
+)
 
 // NewRemoteTier returns a tier view of node nodeID behind transport.
 func NewRemoteTier(transport TierTransport, nodeID int) *RemoteTier {
@@ -87,6 +106,42 @@ func (r *RemoteTier) Pull(req ps.PullRequest) (ps.Result, error) {
 	}
 	r.rec.RecordPull(len(res), time.Since(start))
 	return ps.Result(res), nil
+}
+
+// PullInto implements ps.BlockPuller: over a block-capable transport the
+// reply crosses the wire as one flat frame and lands in dst without
+// per-value decoding; otherwise it degrades to the map-based Pull.
+func (r *RemoteTier) PullInto(req ps.PullRequest, dst *ps.ValueBlock) error {
+	bt, ok := r.transport.(BlockTransport)
+	if !ok {
+		res, err := r.Pull(req)
+		if err != nil {
+			return err
+		}
+		ps.FillFromPull(dst, dst.Dim, req.Keys, ps.Result(res))
+		return nil
+	}
+	start := time.Now()
+	if _, err := bt.PullBlock(r.node, req.Keys, dst); err != nil {
+		return err
+	}
+	r.rec.RecordPull(dst.PresentCount(), time.Since(start))
+	return nil
+}
+
+// PushBlock implements ps.BlockPusher, carrying the deltas as one flat frame
+// over a block-capable transport (map-based otherwise).
+func (r *RemoteTier) PushBlock(req ps.PushBlockRequest) error {
+	bt, ok := r.transport.(BlockTransport)
+	if !ok {
+		return r.Push(ps.PushRequest{Shard: req.Shard, Deltas: req.Block.Deltas()})
+	}
+	start := time.Now()
+	if _, err := bt.PushBlock(r.node, req.Block); err != nil {
+		return err
+	}
+	r.rec.RecordPush(req.Block.PresentCount(), time.Since(start))
+	return nil
 }
 
 // Push implements ps.Tier.

@@ -252,8 +252,12 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			// connection. The client reconnects and retries.
 			return
 		}
-		resp := s.dispatch(&req)
-		if err := writeFrame(conn, resp); err != nil {
+		resp, release := s.dispatch(&req)
+		err := writeFrame(conn, resp)
+		if release != nil {
+			release() // resp may reference pooled buffers; free after the write
+		}
+		if err != nil {
 			return
 		}
 	}
@@ -261,17 +265,23 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 
 // dispatch executes one validated request against the handler. Handler
 // panics are contained per request: a poisoned batch must not take the shard
-// server (and every other client's parameters) down with it.
-func (s *TCPServer) dispatch(req *wireRequest) (resp *wireResponse) {
+// server (and every other client's parameters) down with it. The returned
+// release function (may be nil) recycles buffers the response borrows; the
+// caller runs it after the response has been written.
+func (s *TCPServer) dispatch(req *wireRequest) (resp *wireResponse, release func()) {
 	resp = &wireResponse{}
 	if err := req.validate(); err != nil {
 		resp.Err = err.Error()
-		return resp
+		return resp, nil
 	}
 	defer func() {
 		if r := recover(); r != nil {
-			if req.Op == opPush {
+			if req.Op == opPush || req.Op == opPushBlock {
 				s.seqs.forget(req.Client, req.Seq) // the apply did not complete
+			}
+			if release != nil {
+				release()
+				release = nil
 			}
 			resp = &wireResponse{Err: fmt.Sprintf("%s handler panicked: %v", opName(req.Op), r)}
 		}
@@ -281,17 +291,38 @@ func (s *TCPServer) dispatch(req *wireRequest) (resp *wireResponse) {
 		res, err := s.handler.HandlePull(req.Keys)
 		if err != nil {
 			resp.Err = err.Error()
-			return resp
+			return resp, nil
 		}
 		resp.setResult(res)
+	case opPullBlock:
+		blk := ps.GetBlock(0, nil)
+		defer ps.PutBlock(blk)
+		if h, ok := s.handler.(BlockPullHandler); ok {
+			if err := h.HandlePullBlock(req.Keys, blk); err != nil {
+				resp.Err = err.Error()
+				return resp, nil
+			}
+		} else {
+			// Map-based handler: serve the pull and flatten the result (the
+			// dimension is inferred from the returned values).
+			res, err := s.handler.HandlePull(req.Keys)
+			if err != nil {
+				resp.Err = err.Error()
+				return resp, nil
+			}
+			ps.FillFromPull(blk, 0, req.Keys, ps.Result(res))
+		}
+		buf := getScratch()
+		resp.Block = blk.AppendWire((*buf)[:0])
+		release = func() { *buf = resp.Block[:0]; putScratch(buf) }
 	case opPush:
 		h, ok := s.handler.(PushHandler)
 		if !ok {
 			resp.Err = "shard does not accept pushes"
-			return resp
+			return resp, nil
 		}
 		if !s.seqs.fresh(req.Client, req.Seq) {
-			return resp // duplicate of an already-applied push: ack, don't re-apply
+			return resp, nil // duplicate of an already-applied push: ack, don't re-apply
 		}
 		if err := h.HandlePush(req.deltas()); err != nil {
 			// The apply failed: withdraw the sequence so a retry re-applies
@@ -299,11 +330,36 @@ func (s *TCPServer) dispatch(req *wireRequest) (resp *wireResponse) {
 			s.seqs.forget(req.Client, req.Seq)
 			resp.Err = err.Error()
 		}
+	case opPushBlock:
+		blk := ps.GetBlock(0, nil)
+		defer ps.PutBlock(blk)
+		if err := blk.DecodeWire(req.Keys, req.Block); err != nil {
+			resp.Err = err.Error()
+			return resp, nil
+		}
+		if !s.seqs.fresh(req.Client, req.Seq) {
+			return resp, nil // duplicate: ack, don't re-apply
+		}
+		var err error
+		switch h := s.handler.(type) {
+		case BlockPushHandler:
+			err = h.HandlePushBlock(blk)
+		case PushHandler:
+			err = h.HandlePush(blk.Deltas())
+		default:
+			s.seqs.forget(req.Client, req.Seq)
+			resp.Err = "shard does not accept pushes"
+			return resp, nil
+		}
+		if err != nil {
+			s.seqs.forget(req.Client, req.Seq)
+			resp.Err = err.Error()
+		}
 	case opEvict:
 		h, ok := s.handler.(EvictHandler)
 		if !ok {
 			resp.Err = "shard does not support evict"
-			return resp
+			return resp, nil
 		}
 		ks := req.Keys
 		if req.All {
@@ -312,14 +368,14 @@ func (s *TCPServer) dispatch(req *wireRequest) (resp *wireResponse) {
 		n, err := h.Evict(ks)
 		if err != nil {
 			resp.Err = err.Error()
-			return resp
+			return resp, nil
 		}
 		resp.Count = n
 	case opStats:
 		h, ok := s.handler.(StatsHandler)
 		if !ok {
 			resp.Err = "shard does not report stats"
-			return resp
+			return resp, nil
 		}
 		resp.Name = h.Name()
 		resp.Stats = h.TierStats()
@@ -327,16 +383,16 @@ func (s *TCPServer) dispatch(req *wireRequest) (resp *wireResponse) {
 		h, ok := s.handler.(LookupHandler)
 		if !ok {
 			resp.Err = "shard does not support lookup"
-			return resp
+			return resp, nil
 		}
 		res, err := h.HandleLookup(req.Keys)
 		if err != nil {
 			resp.Err = err.Error()
-			return resp
+			return resp, nil
 		}
 		resp.setResult(res)
 	}
-	return resp
+	return resp, release
 }
 
 // RetryPolicy controls how the TCP transport handles network failures.
@@ -393,7 +449,10 @@ type TCPTransport struct {
 	bytesIn  int64
 }
 
-var _ TierTransport = (*TCPTransport)(nil)
+var (
+	_ TierTransport  = (*TCPTransport)(nil)
+	_ BlockTransport = (*TCPTransport)(nil)
+)
 
 type tcpConn struct {
 	mu   sync.Mutex
@@ -583,6 +642,55 @@ func (t *TCPTransport) Push(nodeID int, deltas map[keys.Key]*embedding.Value) (i
 		return 0, err
 	}
 	bytes := int64(len(req.Keys)) * int64(8+embedding.EncodedSize(t.dim))
+	t.addBytes(bytes, 0)
+	return bytes, nil
+}
+
+// PullBlock implements BlockTransport: the reply arrives as one flat block
+// body (encoded in a single pass server-side) and is decoded straight into
+// dst, in request-key order — no per-value gob decoding.
+func (t *TCPTransport) PullBlock(nodeID int, ks []keys.Key, dst *ps.ValueBlock) (int64, error) {
+	resp, err := t.call(nodeID, &wireRequest{Op: opPullBlock, Keys: ks})
+	if err != nil {
+		return 0, err
+	}
+	if err := dst.DecodeWire(ks, resp.Block); err != nil {
+		// The frame itself decoded, so the stream is still synchronized —
+		// only the block body inside was malformed. No connection to drop;
+		// classify it as a retryable transport failure (errors.go: "a
+		// malformed reply"), letting the caller retry against a peer that
+		// may answer sanely next time.
+		return 0, &TransportError{Node: nodeID, Op: opName(opPullBlock), Attempts: 1, Err: err}
+	}
+	if dst.Dim == 0 && t.dim > 0 {
+		// An all-missing reply from a map-based handler carries no dimension
+		// to infer; re-shape to the transport's so absent rows read as zeroed
+		// dim-d rows, per the PullInto contract.
+		dst.Reset(t.dim, ks)
+	}
+	bytes := int64(len(ks))*8 + int64(dst.PresentCount())*int64(8+embedding.EncodedSize(t.dim))
+	t.addBytes(int64(len(ks))*8, bytes-int64(len(ks))*8)
+	return bytes, nil
+}
+
+// PushBlock implements BlockTransport: the block's delta rows travel as one
+// flat frame, stamped with a dedup sequence exactly like a map push, so a
+// push-block retried across a reconnect is applied exactly once.
+func (t *TCPTransport) PushBlock(nodeID int, blk *ps.ValueBlock) (int64, error) {
+	buf := getScratch()
+	defer putScratch(buf)
+	req := &wireRequest{
+		Op:     opPushBlock,
+		Client: t.client,
+		Seq:    t.seq.Add(1),
+		Keys:   blk.Keys,
+		Block:  blk.AppendWire((*buf)[:0]),
+	}
+	defer func() { *buf = req.Block[:0] }()
+	if _, err := t.call(nodeID, req); err != nil {
+		return 0, err
+	}
+	bytes := int64(blk.PresentCount()) * int64(8+embedding.EncodedSize(t.dim))
 	t.addBytes(bytes, 0)
 	return bytes, nil
 }

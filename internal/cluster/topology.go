@@ -89,6 +89,20 @@ type LookupHandler interface {
 	HandleLookup(ks []keys.Key) (PullResult, error)
 }
 
+// BlockPullHandler is the batched-block form of PullHandler: the values land
+// in dst's flat rows (request-key order) instead of a per-value map, so the
+// server can encode the whole reply in one pass. Handlers without it are
+// served through HandlePull plus a conversion.
+type BlockPullHandler interface {
+	HandlePullBlock(ks []keys.Key, dst *ps.ValueBlock) error
+}
+
+// BlockPushHandler is the batched-block form of PushHandler, consuming the
+// parallel key/delta rows of a push frame directly.
+type BlockPushHandler interface {
+	HandlePushBlock(blk *ps.ValueBlock) error
+}
+
 // EvictHandler demotes parameters out of the serving tier. ps.Tier's Evict
 // satisfies it directly.
 type EvictHandler interface {
@@ -127,6 +141,19 @@ type TierTransport interface {
 	// Lookup reads the given keys from node nodeID without materializing
 	// missing ones, returning the payload bytes that crossed the network.
 	Lookup(nodeID int, ks []keys.Key) (PullResult, int64, error)
+}
+
+// BlockTransport is the optional batched-block extension of TierTransport:
+// pulls land in (and pushes depart from) flat ValueBlocks whose wire frames
+// are encoded in one pass, instead of per-value gob maps. Both LocalTransport
+// and TCPTransport implement it.
+type BlockTransport interface {
+	// PullBlock reads ks from node nodeID into dst (request-key order),
+	// returning the payload bytes that crossed the network.
+	PullBlock(nodeID int, ks []keys.Key, dst *ps.ValueBlock) (int64, error)
+	// PushBlock merges the block's parallel key/delta rows into node nodeID's
+	// shard, returning the payload bytes that crossed the network.
+	PushBlock(nodeID int, blk *ps.ValueBlock) (int64, error)
 }
 
 // NoRoute is a Transport for processes that serve a single shard and never

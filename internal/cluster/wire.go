@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sync"
 
 	"hps/internal/embedding"
 	"hps/internal/keys"
@@ -21,11 +22,13 @@ import (
 
 // RPC operations.
 const (
-	opPull   uint8 = 1 // read values of a key set (creating them is handler policy)
-	opPush   uint8 = 2 // merge per-key deltas into the shard
-	opEvict  uint8 = 3 // demote keys out of the tier (All = everything)
-	opStats  uint8 = 4 // read the tier's name and uniform statistics
-	opLookup uint8 = 5 // read values without materializing missing keys
+	opPull      uint8 = 1 // read values of a key set (creating them is handler policy)
+	opPush      uint8 = 2 // merge per-key deltas into the shard
+	opEvict     uint8 = 3 // demote keys out of the tier (All = everything)
+	opStats     uint8 = 4 // read the tier's name and uniform statistics
+	opLookup    uint8 = 5 // read values without materializing missing keys
+	opPullBlock uint8 = 6 // pull whose reply is one flat value block
+	opPushBlock uint8 = 7 // push whose deltas arrive as one flat value block
 )
 
 func opName(op uint8) string {
@@ -40,6 +43,10 @@ func opName(op uint8) string {
 		return "stats"
 	case opLookup:
 		return "lookup"
+	case opPullBlock:
+		return "pull-block"
+	case opPushBlock:
+		return "push-block"
 	}
 	return fmt.Sprintf("op#%d", op)
 }
@@ -62,6 +69,10 @@ type wireRequest struct {
 	Keys []keys.Key
 	// Values are the push deltas, parallel to Keys.
 	Values []*embedding.Value
+	// Block is a push-block's delta rows (parallel to Keys), encoded with
+	// ps.ValueBlock.AppendWire — the whole batch in one flat buffer, instead
+	// of one gob value per parameter.
+	Block []byte
 	// All marks an evict of everything evictable (the nil-slice form of
 	// ps.Tier.Evict, which gob cannot distinguish from an empty slice).
 	All bool
@@ -72,6 +83,9 @@ type wireResponse struct {
 	// Keys / Values carry pull and lookup results.
 	Keys   []keys.Key
 	Values []*embedding.Value
+	// Block carries a pull-block result: the flat rows of the requested keys
+	// in request order (the keys themselves are not echoed).
+	Block []byte
 	// Count is the evicted-key count of an evict.
 	Count int
 	// Name / Stats carry a stats reply.
@@ -85,13 +99,23 @@ type wireResponse struct {
 // malformed, so handlers never see them.
 func (r *wireRequest) validate() error {
 	switch r.Op {
-	case opPull, opEvict, opStats, opLookup:
+	case opPull, opEvict, opStats, opLookup, opPullBlock:
 		if len(r.Values) != 0 {
 			return fmt.Errorf("cluster: %s carries %d values", opName(r.Op), len(r.Values))
+		}
+		if len(r.Block) != 0 {
+			return fmt.Errorf("cluster: %s carries a %d-byte block", opName(r.Op), len(r.Block))
 		}
 	case opPush:
 		if len(r.Values) != len(r.Keys) {
 			return fmt.Errorf("cluster: push has %d keys but %d values", len(r.Keys), len(r.Values))
+		}
+	case opPushBlock:
+		if len(r.Values) != 0 {
+			return fmt.Errorf("cluster: push-block carries %d gob values", len(r.Values))
+		}
+		if len(r.Block) == 0 {
+			return fmt.Errorf("cluster: push-block carries no block")
 		}
 	default:
 		return fmt.Errorf("cluster: unknown operation %d", r.Op)
@@ -140,11 +164,41 @@ func (w *wireResponse) result() PullResult {
 	return out
 }
 
+// frameBufPool recycles the encode buffers of writeFrame and the payload
+// buffers of readFrame, so the steady per-batch RPC stream does not allocate
+// a fresh frame buffer per call.
+var frameBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// scratchPool recycles the byte slices used to encode block bodies before
+// they enter a frame (and anywhere else a transient byte buffer is needed).
+var scratchPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// maxPooledScratch keeps the occasional giant frame from pinning its buffer
+// in the pool forever.
+const maxPooledScratch = 4 << 20
+
+func getScratch() *[]byte { return scratchPool.Get().(*[]byte) }
+
+func putScratch(b *[]byte) {
+	if cap(*b) > maxPooledScratch {
+		return
+	}
+	*b = (*b)[:0]
+	scratchPool.Put(b)
+}
+
 // writeFrame gob-encodes v and writes it as one length-prefixed frame.
 func writeFrame(w io.Writer, v any) error {
-	var buf bytes.Buffer
+	buf := frameBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		if buf.Cap() > maxPooledScratch {
+			return // same cap as the read side: giant frames don't pin pool memory
+		}
+		buf.Reset()
+		frameBufPool.Put(buf)
+	}()
 	buf.Write([]byte{0, 0, 0, 0}) // length prefix placeholder
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
 		return fmt.Errorf("cluster: encode frame: %w", err)
 	}
 	payload := buf.Len() - 4
@@ -172,7 +226,12 @@ func readFrame(r io.Reader, v any) error {
 	if n == 0 || n > MaxFrameBytes {
 		return fmt.Errorf("cluster: frame length %d out of range (limit %d)", n, MaxFrameBytes)
 	}
-	payload := make([]byte, n)
+	scratch := getScratch()
+	defer putScratch(scratch)
+	if cap(*scratch) < int(n) {
+		*scratch = make([]byte, n)
+	}
+	payload := (*scratch)[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return fmt.Errorf("cluster: read frame payload: %w", err)
 	}

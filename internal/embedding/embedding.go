@@ -65,19 +65,29 @@ func (v *Value) Clone() *Value {
 }
 
 // Add accumulates other's weights and accumulators into v (used when merging
-// parameter updates during all-reduce synchronization).
+// parameter updates during all-reduce synchronization). The dimensions must
+// match exactly: a mismatch means two tiers disagree about the model shape,
+// and silently dropping or skipping elements would corrupt the parameter, so
+// Add panics with context instead. Callers that ingest untrusted values (the
+// cluster RPC server) contain the panic per request.
 func (v *Value) Add(other *Value) {
-	for i := range v.Weights {
-		if i < len(other.Weights) {
-			v.Weights[i] += other.Weights[i]
-		}
+	v.AddFlat(other.Weights, other.G2Sum, other.Freq)
+}
+
+// AddFlat is Add over raw weight/accumulator rows (the ValueBlock layout),
+// with the same strict dimension contract.
+func (v *Value) AddFlat(weights, g2sum []float32, freq uint32) {
+	if len(weights) != len(v.Weights) || len(g2sum) != len(v.G2Sum) {
+		panic(fmt.Sprintf("embedding: Add dimension mismatch: delta %d/%d into value %d/%d",
+			len(weights), len(g2sum), len(v.Weights), len(v.G2Sum)))
 	}
-	for i := range v.G2Sum {
-		if i < len(other.G2Sum) {
-			v.G2Sum[i] += other.G2Sum[i]
-		}
+	for i, w := range weights {
+		v.Weights[i] += w
 	}
-	v.Freq += other.Freq
+	for i, g := range g2sum {
+		v.G2Sum[i] += g
+	}
+	v.Freq += freq
 }
 
 // EncodedSize returns the number of bytes Encode produces for a value of the

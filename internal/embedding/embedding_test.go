@@ -1,7 +1,9 @@
 package embedding
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -67,9 +69,34 @@ func TestAdd(t *testing.T) {
 	if a.Freq != 7 {
 		t.Fatalf("Add freq = %d", a.Freq)
 	}
-	// Mismatched dims must not panic.
-	short := NewValue(1)
-	a.Add(short)
+}
+
+// TestAddDimMismatchPanics pins the strict dimension contract: merging values
+// of different dimensions means two tiers disagree about the model shape, and
+// silently dropping elements (the old behaviour) corrupts the parameter. Both
+// the too-short and too-long directions must panic, with enough context to
+// identify the shapes.
+func TestAddDimMismatchPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s: dimension mismatch did not panic", name)
+			}
+			if msg := fmt.Sprint(r); !strings.Contains(msg, "dimension mismatch") {
+				t.Fatalf("%s: panic %q carries no context", name, msg)
+			}
+		}()
+		fn()
+	}
+	a := NewValue(3)
+	mustPanic("short delta", func() { a.Add(NewValue(1)) })
+	mustPanic("long delta", func() { a.Add(NewValue(5)) })
+	mustPanic("flat row", func() { a.AddFlat(make([]float32, 3), make([]float32, 2), 1) })
+	// Matching dims keep working.
+	a.Add(NewValue(3))
+	a.AddFlat(make([]float32, 3), make([]float32, 3), 1)
 }
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {

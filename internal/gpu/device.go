@@ -27,6 +27,10 @@ type Device struct {
 	mu      sync.Mutex
 	hbmUsed int64
 	table   *HashTable
+	// spare is the most recently destroyed table, kept (with its HBM freed)
+	// so the next batch of a similar working-set size can recycle it instead
+	// of reallocating every shard's slot array.
+	spare *HashTable
 }
 
 // NewDevice constructs a device with the given hardware profile. clock may be
@@ -97,9 +101,22 @@ func (d *Device) ChargeMemory(n int64) {
 
 // CreateHashTable allocates a fixed-capacity parameter hash table in HBM and
 // makes it the device's active table. Any previous table is destroyed first.
+// A table retired by DestroyHashTable is recycled (cleared) when its shape
+// still fits, so the per-batch create/destroy cycle of the HBM-PS does not
+// reallocate slot arrays in steady state.
 func (d *Device) CreateHashTable(capacity, dim int) (*HashTable, error) {
 	d.DestroyHashTable()
-	t := NewHashTable(capacity, dim)
+	d.mu.Lock()
+	spare := d.spare
+	d.spare = nil
+	d.mu.Unlock()
+	var t *HashTable
+	if spare != nil && spare.Reusable(capacity, dim) {
+		spare.Clear()
+		t = spare
+	} else {
+		t = NewHashTable(capacity, dim)
+	}
 	if err := d.Alloc(t.SizeBytes()); err != nil {
 		return nil, err
 	}
@@ -116,11 +133,16 @@ func (d *Device) Table() *HashTable {
 	return d.table
 }
 
-// DestroyHashTable frees the active hash table's HBM, if any.
+// DestroyHashTable frees the active hash table's HBM, if any. The table
+// object itself is retained as a recycling candidate for the next
+// CreateHashTable of a compatible shape.
 func (d *Device) DestroyHashTable() {
 	d.mu.Lock()
 	t := d.table
 	d.table = nil
+	if t != nil {
+		d.spare = t
+	}
 	d.mu.Unlock()
 	if t != nil {
 		d.Free(t.SizeBytes())

@@ -59,15 +59,32 @@ type tableSlot struct {
 // assignment rarely overflows an individual shard; Capacity reports the
 // actual number of allocated slots.
 func NewHashTable(capacity, dim int) *HashTable {
-	if capacity < tableShards {
-		capacity = tableShards
-	}
-	perShard := (2*capacity+tableShards-1)/tableShards + 8
+	perShard := slotsPerShard(capacity)
 	t := &HashTable{dim: dim, capacity: perShard * tableShards}
 	for i := range t.shards {
 		t.shards[i].slots = make([]tableSlot, perShard)
 	}
 	return t
+}
+
+// slotsPerShard returns the per-shard slot count NewHashTable allocates for
+// the given nominal capacity.
+func slotsPerShard(capacity int) int {
+	if capacity < tableShards {
+		capacity = tableShards
+	}
+	return (2*capacity+tableShards-1)/tableShards + 8
+}
+
+// Reusable reports whether a cleared instance of this table can stand in for
+// a fresh NewHashTable(capacity, dim): the dimension matches, every shard has
+// at least the slots a fresh table would get, and the table is not so
+// oversized (more than 4x) that reusing it would hoard HBM for a now-small
+// working set. Devices use it to recycle tables across training batches.
+func (t *HashTable) Reusable(capacity, dim int) bool {
+	need := slotsPerShard(capacity)
+	have := len(t.shards[0].slots)
+	return t.dim == dim && have >= need && have <= 4*need
 }
 
 // Capacity returns the fixed capacity of the table.

@@ -82,3 +82,43 @@ func BenchmarkPullPush(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPullCommitBlock measures the batched replacement of the
+// BenchmarkPullPush cycle: one block pull of the mini-batch's key set into a
+// reused ValueBlock, the sparse optimizer applied to the block in place, and
+// one block commit — what a GPU worker now does once per mini-batch instead
+// of once per example.
+func BenchmarkPullCommitBlock(b *testing.B) {
+	h := benchHBM(b, 4)
+	ws := benchWorkingSet(8192)
+	if err := h.LoadWorkingSet(ws); err != nil {
+		b.Fatal(err)
+	}
+	defer h.Release()
+	all := make([]keys.Key, 0, len(ws))
+	for k := range ws {
+		all = append(all, k)
+	}
+	const nnz = 100
+	feats := keys.Dedup(all[:nnz])
+	grad := make([]float32, 8)
+	grad[0] = 0.1
+	opt := optimizer.Adagrad{LR: 0.05, InitialAccumulator: 0.1}
+	work := ps.NewValueBlock(8)
+	orig := ps.NewValueBlock(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gpu := i % 4
+		if err := h.PullInto(ps.PullRequest{Shard: gpu, Keys: feats}, work); err != nil {
+			b.Fatal(err)
+		}
+		orig.CopyFrom(work)
+		for row := range feats {
+			opt.ApplySparse(work.WeightsRow(row), work.G2Row(row), grad)
+			work.Freq[row]++
+		}
+		if err := h.CommitBlock(gpu, orig, work); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

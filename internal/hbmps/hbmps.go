@@ -9,6 +9,13 @@
 // nodes, updates are synchronized by the hierarchical all-reduce of
 // Appendix C.3, which the core trainer coordinates; this package exposes the
 // per-node pieces (delta collection and remote-delta application).
+//
+// The hot path is batched: workers pull a whole mini-batch's unique keys at
+// once with PullInto, train against the flat block, and write the result back
+// with one CommitBlock — the per-example Pull/PushGrads pair remains as the
+// reference path. Working-set storage is slab-backed and recycled across
+// batches (value arena + reusable GPU hash tables), so steady-state loads
+// allocate almost nothing.
 package hbmps
 
 import (
@@ -62,22 +69,71 @@ type Stats struct {
 	LocalPulls, RemotePulls int64
 }
 
+// valueArena is the slab storage backing one batch's working-set values: the
+// table entries are embedding.Values whose Weights/G2Sum slices point into
+// two contiguous float slabs. The arena is reused across batches, so loading
+// a working set allocates nothing once the slabs have grown to the steady
+// batch size.
+type valueArena struct {
+	weights []float32
+	g2      []float32
+	vals    []embedding.Value
+}
+
+func (a *valueArena) reset(n, dim int) {
+	flat := n * dim
+	if cap(a.weights) < flat {
+		a.weights = make([]float32, flat)
+		a.g2 = make([]float32, flat)
+	} else {
+		a.weights = a.weights[:flat]
+		a.g2 = a.g2[:flat]
+	}
+	if cap(a.vals) < n {
+		a.vals = make([]embedding.Value, n)
+	} else {
+		a.vals = a.vals[:n]
+	}
+}
+
+// value binds arena slot i to a copy of (w, g2, freq) and returns it.
+func (a *valueArena) value(i, dim int, w, g2 []float32, freq uint32) *embedding.Value {
+	v := &a.vals[i]
+	v.Weights = a.weights[i*dim : (i+1)*dim : (i+1)*dim]
+	v.G2Sum = a.g2[i*dim : (i+1)*dim : (i+1)*dim]
+	copy(v.Weights, w)
+	copy(v.G2Sum, g2)
+	v.Freq = freq
+	return v
+}
+
 // HBMPS is the HBM parameter server of one node. It is safe for concurrent
-// use by the node's GPU worker goroutines. It implements ps.Tier: Pull and
-// Push are sharded by GPU id, and Evict demotes keys out of HBM (their
-// authoritative copies live in the MEM-PS below).
+// use by the node's GPU worker goroutines. It implements ps.Tier (plus the
+// ps.BlockPuller / ps.BlockPusher batched extensions): Pull and Push are
+// sharded by GPU id, and Evict demotes keys out of HBM (their authoritative
+// copies live in the MEM-PS below).
 type HBMPS struct {
 	cfg     Config
 	devices []*gpu.Device
 	rec     ps.Recorder
 
-	mu       sync.Mutex
-	loaded   bool
-	original map[keys.Key]*embedding.Value
-	stats    Stats
+	mu     sync.Mutex
+	loaded bool
+	// arena backs the values resident in the GPU tables; origSet snapshots
+	// the loaded values (flat, same row order as arena slots) for delta
+	// computation at batch completion. Both are recycled across batches.
+	arena   valueArena
+	origSet ps.ValueBlock
+	parts   [][]int32
+	keyBuf  []keys.Key
+	stats   Stats
 }
 
-var _ ps.Tier = (*HBMPS)(nil)
+var (
+	_ ps.Tier        = (*HBMPS)(nil)
+	_ ps.BlockPuller = (*HBMPS)(nil)
+	_ ps.BlockPusher = (*HBMPS)(nil)
+)
 
 // New constructs the HBM-PS for one node, creating its simulated GPU devices.
 func New(cfg Config) (*HBMPS, error) {
@@ -115,43 +171,85 @@ func (h *HBMPS) gpuOf(k keys.Key) int { return k.HashShard(len(h.devices)) }
 func (h *HBMPS) LoadWorkingSet(values map[keys.Key]*embedding.Value) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	ks := h.keyBuf[:0]
+	for k := range values {
+		ks = append(ks, k)
+	}
+	h.keyBuf = ks
+	return h.loadLocked(ks, func(i int) ([]float32, []float32, uint32) {
+		v := values[ks[i]]
+		return v.Weights, v.G2Sum, v.Freq
+	})
+}
+
+// LoadBlock is LoadWorkingSet over a flat ValueBlock — the batched form the
+// trainer feeds straight from the MEM-PS block pull, with no intermediate
+// map. Every row must be present.
+func (h *HBMPS) LoadBlock(blk *ps.ValueBlock) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range blk.Keys {
+		if !blk.Present[i] {
+			return fmt.Errorf("hbmps: working-set block row %d (key %d) is absent", i, blk.Keys[i])
+		}
+	}
+	return h.loadLocked(blk.Keys, func(i int) ([]float32, []float32, uint32) {
+		return blk.WeightsRow(i), blk.G2Row(i), blk.Freq[i]
+	})
+}
+
+// loadLocked is the shared working-set loader: ks are the keys and row(i)
+// yields key i's value. The caller must hold h.mu.
+func (h *HBMPS) loadLocked(ks []keys.Key, row func(i int) ([]float32, []float32, uint32)) error {
 	if h.loaded {
 		return errors.New("hbmps: working set already loaded; call Release first")
 	}
+	dim := h.cfg.Dim
 
-	// Partition keys across GPUs.
-	parts := make([][]keys.Key, len(h.devices))
-	for k := range values {
+	// Partition key indices across GPUs (buffers recycled across batches).
+	if len(h.parts) != len(h.devices) {
+		h.parts = make([][]int32, len(h.devices))
+	}
+	for g := range h.parts {
+		h.parts[g] = h.parts[g][:0]
+	}
+	for i, k := range ks {
 		g := h.gpuOf(k)
-		parts[g] = append(parts[g], k)
+		h.parts[g] = append(h.parts[g], int32(i))
 	}
 
 	loadStart := h.cfg.Clock.Total(simtime.ResourcePCIe) + h.cfg.Clock.Total(simtime.ResourceHBM)
+	h.arena.reset(len(ks), dim)
 
-	// Create per-GPU tables sized to their partitions and insert.
+	rollback := func() {
+		for _, d := range h.devices {
+			d.DestroyHashTable()
+		}
+	}
+	// Create (or recycle) per-GPU tables sized to their partitions and insert.
 	for g, dev := range h.devices {
-		capacity := len(parts[g])
+		capacity := len(h.parts[g])
 		if capacity == 0 {
 			capacity = 1
 		}
-		table, err := dev.CreateHashTable(capacity, h.cfg.Dim)
+		table, err := dev.CreateHashTable(capacity, dim)
 		if err != nil {
-			// Roll back tables created so far.
-			for _, d := range h.devices {
-				d.DestroyHashTable()
-			}
+			rollback()
 			return fmt.Errorf("hbmps: gpu %d cannot hold its partition of %d parameters: %w", g, capacity, err)
 		}
 		var bytes int64
-		for _, k := range parts[g] {
-			v := values[k].Clone()
-			if err := table.Insert(k, v); err != nil {
-				for _, d := range h.devices {
-					d.DestroyHashTable()
-				}
+		for _, i := range h.parts[g] {
+			w, g2, freq := row(int(i))
+			if len(w) != dim || len(g2) != dim {
+				rollback()
+				return fmt.Errorf("hbmps: key %d has dim %d/%d, want %d", ks[i], len(w), len(g2), dim)
+			}
+			v := h.arena.value(int(i), dim, w, g2, freq)
+			if err := table.Insert(ks[i], v); err != nil {
+				rollback()
 				return fmt.Errorf("hbmps: insert into gpu %d: %w", g, err)
 			}
-			bytes += int64(embedding.EncodedSize(h.cfg.Dim)) + 8
+			bytes += int64(embedding.EncodedSize(dim)) + 8
 		}
 		// The partition travels CPU -> GPU over PCIe and is written to HBM.
 		if h.cfg.Fabric != nil {
@@ -160,14 +258,18 @@ func (h *HBMPS) LoadWorkingSet(values map[keys.Key]*embedding.Value) error {
 		dev.ChargeMemory(bytes)
 	}
 
-	// Snapshot originals for delta computation at batch completion.
-	h.original = make(map[keys.Key]*embedding.Value, len(values))
-	for k, v := range values {
-		h.original[k] = v.Clone()
+	// Snapshot originals for delta computation at batch completion: a flat
+	// copy of the arena slabs, row-parallel to ks.
+	h.origSet.Reset(dim, ks)
+	copy(h.origSet.Weights, h.arena.weights)
+	copy(h.origSet.G2Sum, h.arena.g2)
+	for i := range ks {
+		h.origSet.Freq[i] = h.arena.vals[i].Freq
+		h.origSet.Present[i] = true
 	}
 	h.loaded = true
 	h.stats.BatchesLoaded++
-	h.stats.ParamsLoaded += int64(len(values))
+	h.stats.ParamsLoaded += int64(len(ks))
 	h.stats.LoadTime += h.cfg.Clock.Total(simtime.ResourcePCIe) + h.cfg.Clock.Total(simtime.ResourceHBM) - loadStart
 	return nil
 }
@@ -185,27 +287,51 @@ func (h *HBMPS) Loaded() bool {
 // freely. Unlike the lower tiers, every requested key must be resident: the
 // working set was loaded for exactly this batch, so a miss is a bug.
 func (h *HBMPS) Pull(req ps.PullRequest) (ps.Result, error) {
+	out := make(ps.Result, len(req.Keys))
+	err := h.pull(req, func(i int, k keys.Key, v *embedding.Value) {
+		out[k] = v.Clone()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PullInto implements ps.BlockPuller: one batched pull of a worker's
+// mini-batch key set into a caller-owned flat block, in request-key order,
+// with no per-value allocation. The accounting is identical to Pull's.
+func (h *HBMPS) PullInto(req ps.PullRequest, dst *ps.ValueBlock) error {
+	dst.Reset(h.cfg.Dim, req.Keys)
+	return h.pull(req, func(i int, k keys.Key, v *embedding.Value) {
+		copy(dst.WeightsRow(i), v.Weights)
+		copy(dst.G2Row(i), v.G2Sum)
+		dst.Freq[i] = v.Freq
+		dst.Present[i] = true
+	})
+}
+
+// pull is the shared read path behind Pull and PullInto: visit copies each
+// requested value (under its table's shard lock) into the caller's
+// representation.
+func (h *HBMPS) pull(req ps.PullRequest, visit func(i int, k keys.Key, v *embedding.Value)) error {
 	gpuID := req.Shard
 	if gpuID < 0 || gpuID >= len(h.devices) {
-		return nil, fmt.Errorf("hbmps: invalid gpu id %d", gpuID)
+		return fmt.Errorf("hbmps: invalid gpu id %d", gpuID)
 	}
-	out := make(ps.Result, len(req.Keys))
 	var localBytes, remoteBytes int64
 	var localCount, remoteCount int64
 	valueBytes := int64(embedding.EncodedSize(h.cfg.Dim))
-	for _, k := range req.Keys {
+	for i, k := range req.Keys {
 		owner := h.gpuOf(k)
 		table := h.devices[owner].Table()
 		if table == nil {
-			return nil, fmt.Errorf("hbmps: gpu %d has no working set loaded", owner)
+			return fmt.Errorf("hbmps: gpu %d has no working set loaded", owner)
 		}
-		// Clone under the table's shard lock: concurrent workers update the
+		// Copy under the table's shard lock: concurrent workers update the
 		// stored values in place.
-		var snapshot *embedding.Value
-		if !table.View(k, func(v *embedding.Value) { snapshot = v.Clone() }) {
-			return nil, fmt.Errorf("hbmps: key %d not in the working set", k)
+		if !table.View(k, func(v *embedding.Value) { visit(i, k, v) }) {
+			return fmt.Errorf("hbmps: key %d not in the working set", k)
 		}
-		out[k] = snapshot
 		if owner == gpuID {
 			localBytes += valueBytes
 			localCount++
@@ -228,7 +354,7 @@ func (h *HBMPS) Pull(req ps.PullRequest) (ps.Result, error) {
 	h.stats.RemotePulls += remoteCount
 	h.mu.Unlock()
 	h.rec.RecordPull(len(req.Keys), pullTime)
-	return out, nil
+	return nil
 }
 
 // nvlinkTime mirrors what the fabric charges for an NVLink hop, for
@@ -281,6 +407,63 @@ func (h *HBMPS) PushGrads(gpuID int, grads map[keys.Key][]float32, opt optimizer
 	return nil
 }
 
+// CommitBlock writes back one GPU worker's trained mini-batch: orig is the
+// block PullInto filled at batch start and final the same block after the
+// worker applied the sparse optimizer example by example. Each stored value
+// becomes final + (stored - orig) — exactly final when no other worker
+// touched the key (stored == orig bit-for-bit, so the correction term is an
+// exact zero), and the base value plus both workers' contributions when
+// example shards share hot keys within a batch. One CommitBlock replaces the
+// per-example PushGrads calls of the mini-batch.
+func (h *HBMPS) CommitBlock(gpuID int, orig, final *ps.ValueBlock) error {
+	if gpuID < 0 || gpuID >= len(h.devices) {
+		return fmt.Errorf("hbmps: invalid gpu id %d", gpuID)
+	}
+	if orig.Dim != h.cfg.Dim || final.Dim != h.cfg.Dim || len(orig.Keys) != len(final.Keys) {
+		return fmt.Errorf("hbmps: commit blocks disagree: orig %dx%d vs final %dx%d (want dim %d)",
+			len(orig.Keys), orig.Dim, len(final.Keys), final.Dim, h.cfg.Dim)
+	}
+	var localBytes, remoteBytes int64
+	valueBytes := int64(8 * h.cfg.Dim) // weights and accumulators move back
+	for i, k := range final.Keys {
+		owner := h.gpuOf(k)
+		table := h.devices[owner].Table()
+		if table == nil {
+			return fmt.Errorf("hbmps: gpu %d has no working set loaded", owner)
+		}
+		ow, og := orig.WeightsRow(i), orig.G2Row(i)
+		fw, fg := final.WeightsRow(i), final.G2Row(i)
+		freqDelta := final.Freq[i] - orig.Freq[i]
+		err := table.Update(k, func(v *embedding.Value) {
+			for j := range v.Weights {
+				v.Weights[j] = fw[j] + (v.Weights[j] - ow[j])
+			}
+			for j := range v.G2Sum {
+				v.G2Sum[j] = fg[j] + (v.G2Sum[j] - og[j])
+			}
+			v.Freq += freqDelta
+		})
+		if err != nil {
+			return fmt.Errorf("hbmps: commit key %d: %w", k, err)
+		}
+		if owner == gpuID {
+			localBytes += valueBytes
+		} else {
+			remoteBytes += valueBytes
+		}
+	}
+	h.devices[gpuID].ChargeMemory(localBytes)
+	if h.cfg.Fabric != nil && remoteBytes > 0 {
+		h.cfg.Fabric.NVLink(remoteBytes)
+	}
+	pushTime := h.cfg.GPUProfile.MemoryTime(localBytes)
+	if remoteBytes > 0 {
+		pushTime += nvlinkTime(h.cfg, remoteBytes)
+	}
+	h.rec.RecordPush(len(final.Keys), pushTime)
+	return nil
+}
+
 // Push implements ps.Tier: it merges per-key value deltas (weight,
 // optimizer-state and reference-count increments) into the resident working
 // set. Deltas for keys not resident are ignored — this tier only ever holds
@@ -310,9 +493,50 @@ func (h *HBMPS) Push(req ps.PushRequest) error {
 		}
 		return true
 	})
+	h.recordPushTraffic(req.Shard, applied, localBytes, remoteBytes)
+	return nil
+}
+
+// PushBlock implements ps.BlockPusher with Push's semantics over the block's
+// parallel key/delta rows, applied in row order (callers keep rows sorted for
+// deterministic storage effects).
+func (h *HBMPS) PushBlock(req ps.PushBlockRequest) error {
+	if req.Shard != ps.NoShard && (req.Shard < 0 || req.Shard >= len(h.devices)) {
+		return fmt.Errorf("hbmps: invalid gpu id %d", req.Shard)
+	}
+	blk := req.Block
+	var localBytes, remoteBytes int64
+	valueBytes := int64(embedding.EncodedSize(h.cfg.Dim))
+	applied := 0
+	for i, k := range blk.Keys {
+		if !blk.Present[i] {
+			continue
+		}
+		table := h.devices[h.gpuOf(k)].Table()
+		if table == nil {
+			continue
+		}
+		w, g2, freq := blk.WeightsRow(i), blk.G2Row(i), blk.Freq[i]
+		if table.Update(k, func(v *embedding.Value) { v.AddFlat(w, g2, freq) }) != nil {
+			continue
+		}
+		applied++
+		if owner := h.gpuOf(k); req.Shard == ps.NoShard || owner == req.Shard {
+			localBytes += valueBytes
+		} else {
+			remoteBytes += valueBytes
+		}
+	}
+	h.recordPushTraffic(req.Shard, applied, localBytes, remoteBytes)
+	return nil
+}
+
+// recordPushTraffic charges the fabric/memory cost of a tier push and records
+// it in the uniform statistics (shared by Push and PushBlock).
+func (h *HBMPS) recordPushTraffic(shard, applied int, localBytes, remoteBytes int64) {
 	var pushTime time.Duration
-	if req.Shard != ps.NoShard {
-		h.devices[req.Shard].ChargeMemory(localBytes)
+	if shard != ps.NoShard {
+		h.devices[shard].ChargeMemory(localBytes)
 		if h.cfg.Fabric != nil && remoteBytes > 0 {
 			h.cfg.Fabric.NVLink(remoteBytes)
 		}
@@ -322,7 +546,6 @@ func (h *HBMPS) Push(req ps.PushRequest) error {
 		}
 	}
 	h.rec.RecordPush(applied, pushTime)
-	return nil
 }
 
 // CollectUpdates returns, for every parameter of the working set, the delta
@@ -333,28 +556,30 @@ func (h *HBMPS) Push(req ps.PushRequest) error {
 func (h *HBMPS) CollectUpdates() map[keys.Key]*embedding.Value {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	out := make(map[keys.Key]*embedding.Value, len(h.original))
-	for k, orig := range h.original {
+	out := make(map[keys.Key]*embedding.Value, len(h.origSet.Keys))
+	for i, k := range h.origSet.Keys {
 		table := h.devices[h.gpuOf(k)].Table()
 		if table == nil {
 			continue
 		}
+		origW := h.origSet.WeightsRow(i)
+		origG := h.origSet.G2Row(i)
 		delta := embedding.NewValue(h.cfg.Dim)
 		changed := false
 		// Read under the table's shard lock in case workers are still
 		// pushing updates.
 		ok := table.View(k, func(cur *embedding.Value) {
-			for i := range delta.Weights {
-				delta.Weights[i] = cur.Weights[i] - orig.Weights[i]
-				if delta.Weights[i] != 0 {
+			for j := range delta.Weights {
+				delta.Weights[j] = cur.Weights[j] - origW[j]
+				if delta.Weights[j] != 0 {
 					changed = true
 				}
-				delta.G2Sum[i] = cur.G2Sum[i] - orig.G2Sum[i]
-				if delta.G2Sum[i] != 0 {
+				delta.G2Sum[j] = cur.G2Sum[j] - origG[j]
+				if delta.G2Sum[j] != 0 {
 					changed = true
 				}
 			}
-			delta.Freq = cur.Freq - orig.Freq
+			delta.Freq = cur.Freq - h.origSet.Freq[i]
 		})
 		if ok && (changed || delta.Freq != 0) {
 			out[k] = delta
@@ -403,10 +628,11 @@ func (h *HBMPS) Evict(ks []keys.Key) (int, error) {
 }
 
 // Release destroys the per-GPU hash tables and clears the working-set
-// snapshot, freeing the HBM for the next batch.
+// snapshot, freeing the HBM for the next batch. The backing storage (value
+// arena, snapshot block, retired tables) is retained for recycling.
 func (h *HBMPS) Release() {
 	h.mu.Lock()
-	h.original = nil
+	h.origSet.Reset(h.cfg.Dim, nil)
 	h.loaded = false
 	h.mu.Unlock()
 	for _, d := range h.devices {

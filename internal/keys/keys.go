@@ -7,7 +7,10 @@
 // node (HBM-PS partitions, Section 4.1). Both use the same modulo policy.
 package keys
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // Key identifies a single sparse parameter (one embedding row).
 type Key uint64
@@ -61,12 +64,16 @@ func PartitionByShard(ks []Key, n int) [][]Key {
 
 // Dedup sorts and deduplicates ks in place, returning the shortened slice.
 // The union of referenced parameters of a batch (Algorithm 1 line 3-4) is
-// produced this way.
+// produced this way — it runs once per shard per batch on the hot path, so
+// it uses the non-reflective sort and skips sorting entirely for
+// already-sorted input (re-deduplicating a batch's key union is common).
 func Dedup(ks []Key) []Key {
 	if len(ks) < 2 {
 		return ks
 	}
-	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	if !slices.IsSorted(ks) {
+		slices.Sort(ks)
+	}
 	w := 1
 	for i := 1; i < len(ks); i++ {
 		if ks[i] != ks[i-1] {
@@ -75,6 +82,19 @@ func Dedup(ks []Key) []Key {
 		}
 	}
 	return ks[:w]
+}
+
+// SortedUnique reports whether ks is strictly increasing — i.e. already in
+// Dedup's output form. Hot paths use it to skip the defensive copy-and-sort
+// when a key set has already been deduplicated upstream (a batch's key union
+// flows through several tiers).
+func SortedUnique(ks []Key) bool {
+	for i := 1; i < len(ks); i++ {
+		if ks[i] <= ks[i-1] {
+			return false
+		}
+	}
+	return true
 }
 
 // Union merges two already-deduplicated key slices into a new sorted,

@@ -8,6 +8,7 @@ import (
 	"hps/internal/cluster"
 	"hps/internal/hw"
 	"hps/internal/keys"
+	"hps/internal/ps"
 	"hps/internal/simtime"
 	"hps/internal/ssdps"
 )
@@ -67,6 +68,32 @@ func BenchmarkBatchPullHot(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ws, err := m.Prepare(working)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.CompleteBatch(ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchPullHotBlock measures the batched form of the hot pull: the
+// same fully cache-resident working set assembled into a reused ValueBlock
+// (PrepareInto) instead of a freshly allocated map of cloned values — the
+// path the trainer's pull stage actually runs, including its pre-deduplicated
+// sorted key union (what batch.Keys hands the pull stage).
+func BenchmarkBatchPullHotBlock(b *testing.B) {
+	m := benchMemPS(b, 4096, 4096)
+	working := keys.Dedup(benchKeys(1024))
+	blk := ps.NewValueBlock(8)
+	ws, err := m.PrepareInto(working, blk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.CompleteBatch(ws)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws, err := m.PrepareInto(working, blk)
 		if err != nil {
 			b.Fatal(err)
 		}

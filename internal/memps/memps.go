@@ -11,9 +11,11 @@
 package memps
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math/rand"
+	"slices"
 	"sync"
 	"time"
 
@@ -99,7 +101,9 @@ type PullStats struct {
 // partitioned across the node's GPUs.
 type WorkingSet struct {
 	// Values holds a private copy of every working parameter (local and
-	// remote), keyed by parameter key.
+	// remote), keyed by parameter key. It is nil when the working set was
+	// assembled into a caller-owned ValueBlock (PrepareInto), which carries
+	// the values instead.
 	Values map[keys.Key]*embedding.Value
 	// LocalKeys are the working parameters owned (and pinned) by this node.
 	LocalKeys []keys.Key
@@ -125,7 +129,11 @@ type MemPS struct {
 	stats       Stats
 }
 
-var _ ps.Tier = (*MemPS)(nil)
+var (
+	_ ps.Tier        = (*MemPS)(nil)
+	_ ps.BlockPuller = (*MemPS)(nil)
+	_ ps.BlockPusher = (*MemPS)(nil)
+)
 
 // New constructs a MEM-PS. It validates the configuration.
 func New(cfg Config) (*MemPS, error) {
@@ -195,6 +203,13 @@ func (m *MemPS) localLookup(k keys.Key, loaded map[keys.Key]*embedding.Value, st
 	if st != nil {
 		st.CacheMisses++
 	}
+	return m.resolveMiss(k, loaded, st)
+}
+
+// resolveMiss is localLookup's cache-miss tail: the pending-dump buffer, the
+// batch-loaded SSD values, then first-reference creation. The resolved value
+// enters the cache. The caller must hold m.mu and have counted the miss.
+func (m *MemPS) resolveMiss(k keys.Key, loaded map[keys.Key]*embedding.Value, st *PullStats) *embedding.Value {
 	if v, ok := m.pendingDump[k]; ok {
 		// Not yet written to SSD; pull it back into the cache.
 		delete(m.pendingDump, k)
@@ -220,7 +235,19 @@ func (m *MemPS) localLookup(k keys.Key, loaded map[keys.Key]*embedding.Value, st
 // keys are given (Algorithm 1 lines 3-4). Local parameters are pinned in the
 // cache until CompleteBatch is called with the returned working set.
 func (m *MemPS) Prepare(working []keys.Key) (*WorkingSet, error) {
-	return m.assemble(working, true)
+	return m.assemble(working, true, nil)
+}
+
+// PrepareInto is Prepare's batched form: the working values land in dst (one
+// flat row per unique key, in sorted key order) instead of a freshly
+// allocated map, so a pipelined trainer reusing its blocks assembles batches
+// without per-value allocation. The returned WorkingSet carries the key
+// partition, pinning state and pull statistics; its Values map is nil.
+func (m *MemPS) PrepareInto(working []keys.Key, dst *ps.ValueBlock) (*WorkingSet, error) {
+	if dst == nil {
+		return nil, errors.New("memps: PrepareInto needs a destination block")
+	}
+	return m.assemble(working, true, dst)
 }
 
 // Name implements ps.Tier.
@@ -234,11 +261,33 @@ func (m *MemPS) TierStats() ps.Stats { return m.rec.TierStats() }
 // first reference), remote keys from their owning nodes — without pinning
 // anything. Training batches use Prepare instead, which additionally pins.
 func (m *MemPS) Pull(req ps.PullRequest) (ps.Result, error) {
-	ws, err := m.assemble(req.Keys, false)
+	ws, err := m.assemble(req.Keys, false, nil)
 	if err != nil {
 		return nil, err
 	}
 	return ps.Result(ws.Values), nil
+}
+
+// PullInto implements ps.BlockPuller: Pull into a caller-owned flat block,
+// in request-key order. The batched assemble path produces sorted rows, so a
+// request that is not already sorted-unique (never the case on the hot path)
+// goes through the map pull and is scattered back into request order — rows
+// bound positionally to the request (the wire protocol) must never come back
+// reordered.
+func (m *MemPS) PullInto(req ps.PullRequest, dst *ps.ValueBlock) error {
+	if dst == nil {
+		return errors.New("memps: PullInto needs a destination block")
+	}
+	if !keys.SortedUnique(req.Keys) {
+		res, err := m.Pull(req)
+		if err != nil {
+			return err
+		}
+		ps.FillFromPull(dst, m.cfg.Dim, req.Keys, res)
+		return nil
+	}
+	_, err := m.assemble(req.Keys, false, dst)
+	return err
 }
 
 // Push implements ps.Tier: it merges per-key deltas into the authoritative
@@ -248,10 +297,29 @@ func (m *MemPS) Push(req ps.PushRequest) error {
 	return m.ApplyUpdates(req.Deltas)
 }
 
-// assemble is the shared batched-pull path behind Prepare and Pull.
-func (m *MemPS) assemble(working []keys.Key, pin bool) (*WorkingSet, error) {
-	working = keys.Dedup(append([]keys.Key(nil), working...))
-	ws := &WorkingSet{Values: make(map[keys.Key]*embedding.Value, len(working))}
+// PushBlock implements ps.BlockPusher: Push over the block's parallel
+// key/delta rows. Rows are applied in sorted key order (like ApplyUpdates);
+// duplicate keys accumulate.
+func (m *MemPS) PushBlock(req ps.PushBlockRequest) error {
+	return m.applyBlock(req.Block)
+}
+
+// assemble is the shared batched-pull path behind Prepare, Pull and their
+// block-based variants. With dst == nil the values are cloned into
+// ws.Values; otherwise they are copied into dst's flat rows (sorted
+// unique-key order) and ws.Values stays nil.
+func (m *MemPS) assemble(working []keys.Key, pin bool, dst *ps.ValueBlock) (*WorkingSet, error) {
+	// A batch's key union arrives already sorted and unique (batch.Keys went
+	// through Dedup upstream); only copy-and-sort arbitrary requests.
+	if !keys.SortedUnique(working) {
+		working = keys.Dedup(append([]keys.Key(nil), working...))
+	}
+	ws := &WorkingSet{}
+	if dst != nil {
+		dst.Reset(m.cfg.Dim, working)
+	} else {
+		ws.Values = make(map[keys.Key]*embedding.Value, len(working))
+	}
 
 	var local, remote []keys.Key
 	for _, k := range working {
@@ -267,12 +335,18 @@ func (m *MemPS) assemble(working []keys.Key, pin bool) (*WorkingSet, error) {
 	ws.Stats.RemoteKeys = len(remote)
 
 	// Remote pulls go out first (they overlap the local SSD reads in the real
-	// system; here we issue them concurrently and take both durations).
+	// system; here we issue them concurrently and take both durations). When
+	// assembling into a block over a block-capable transport, each peer's
+	// partition arrives as a flat sub-block (one frame, no per-value
+	// decoding) and is scattered into dst's rows.
 	type remoteResult struct {
 		res   cluster.PullResult
+		sub   *ps.ValueBlock
 		bytes int64
 		err   error
 	}
+	bt, blockRemote := m.cfg.Transport.(cluster.BlockTransport)
+	blockRemote = blockRemote && dst != nil
 	remoteByNode := m.cfg.Topology.SplitByNode(remote)
 	resultCh := make(chan remoteResult, m.cfg.Topology.Nodes)
 	inFlight := 0
@@ -282,19 +356,45 @@ func (m *MemPS) assemble(working []keys.Key, pin bool) (*WorkingSet, error) {
 		}
 		inFlight++
 		go func(nodeID int, ks []keys.Key) {
+			if blockRemote {
+				sub := ps.GetBlock(m.cfg.Dim, ks)
+				bytes, err := bt.PullBlock(nodeID, ks, sub)
+				resultCh <- remoteResult{sub: sub, bytes: bytes, err: err}
+				return
+			}
 			res, bytes, err := m.cfg.Transport.Pull(nodeID, ks)
 			resultCh <- remoteResult{res: res, bytes: bytes, err: err}
 		}(nodeID, ks)
 	}
 
-	// Local path: cache, pending dumps, SSD.
-	m.mu.Lock()
-	var toLoad []keys.Key
-	for _, k := range local {
-		if !m.cache.Contains(uint64(k)) {
-			if _, pending := m.pendingDump[k]; !pending {
-				toLoad = append(toLoad, k)
+	// Local path: cache, pending dumps, SSD. One cache lookup per key: hits
+	// are emitted on the spot, misses are collected and resolved after the
+	// (single, batched) SSD load — the steady hot-pull case touches the cache
+	// exactly once per key.
+	emit := func(k keys.Key, v *embedding.Value) {
+		if pin {
+			m.cache.Pin(uint64(k))
+		}
+		if dst != nil {
+			if i, ok := dst.Row(k); ok {
+				dst.Set(i, v)
 			}
+		} else {
+			ws.Values[k] = v.Clone()
+		}
+	}
+	m.mu.Lock()
+	var misses, toLoad []keys.Key
+	for _, k := range local {
+		if v, ok := m.cache.Get(uint64(k)); ok {
+			ws.Stats.CacheHits++
+			emit(k, v)
+			continue
+		}
+		ws.Stats.CacheMisses++
+		misses = append(misses, k)
+		if _, pending := m.pendingDump[k]; !pending {
+			toLoad = append(toLoad, k)
 		}
 	}
 	loaded := map[keys.Key]*embedding.Value{}
@@ -302,16 +402,26 @@ func (m *MemPS) assemble(working []keys.Key, pin bool) (*WorkingSet, error) {
 		var err error
 		loaded, ws.Stats.LocalTime, err = m.cfg.Store.LoadTimed(toLoad)
 		if err != nil {
+			if pin {
+				// Withdraw the pins already taken for cache hits (local minus
+				// misses, both in working order): a failed Prepare must not
+				// leak pinned, unevictable entries — CompleteBatch is never
+				// called for it.
+				mi := 0
+				for _, k := range local {
+					if mi < len(misses) && misses[mi] == k {
+						mi++
+						continue
+					}
+					m.cache.Unpin(uint64(k))
+				}
+			}
 			m.mu.Unlock()
 			return nil, fmt.Errorf("memps: load local parameters: %w", err)
 		}
 	}
-	for _, k := range local {
-		v := m.localLookup(k, loaded, &ws.Stats)
-		if pin {
-			m.cache.Pin(uint64(k))
-		}
-		ws.Values[k] = v.Clone()
+	for _, k := range misses {
+		emit(k, m.resolveMiss(k, loaded, &ws.Stats))
 	}
 	m.stats.BatchesPrepared++
 	m.stats.LocalKeys += int64(len(local))
@@ -327,8 +437,11 @@ func (m *MemPS) assemble(working []keys.Key, pin bool) (*WorkingSet, error) {
 	var firstErr error
 	for i := 0; i < inFlight; i++ {
 		r := <-resultCh
-		if r.err != nil && firstErr == nil {
-			firstErr = r.err
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			ps.PutBlock(r.sub)
 			continue
 		}
 		var d time.Duration
@@ -340,20 +453,53 @@ func (m *MemPS) assemble(working []keys.Key, pin bool) (*WorkingSet, error) {
 		m.stats.RemotePulls++
 		m.stats.RemotePullTime += d
 		m.mu.Unlock()
+		if r.sub != nil {
+			dst.ScatterRows(r.sub) // drops rows the peer was never asked for
+			ps.PutBlock(r.sub)
+			continue
+		}
+		if dst != nil {
+			dst.ScatterResult(ps.Result(r.res))
+			continue
+		}
 		for k, v := range r.res {
 			ws.Values[k] = v.Clone()
 		}
 	}
 	if firstErr != nil {
+		if pin {
+			// Same invariant as the SSD-load failure above: a failed Prepare
+			// must not leak pins — by now every local key has been pinned.
+			m.mu.Lock()
+			for _, k := range local {
+				m.cache.Unpin(uint64(k))
+			}
+			m.mu.Unlock()
+		}
 		return nil, fmt.Errorf("memps: remote pull: %w", firstErr)
 	}
 	// Any remote key the owner failed to return (should not happen) gets a
 	// fresh value so training can proceed.
 	for _, k := range remote {
-		if _, ok := ws.Values[k]; !ok {
+		missing := false
+		if dst != nil {
+			i, _ := dst.Row(k) // remote keys are rows of the working set
+			missing = !dst.Present[i]
+		} else {
+			_, ok := ws.Values[k]
+			missing = !ok
+		}
+		if missing {
 			m.mu.Lock()
-			ws.Values[k] = embedding.NewRandomValue(m.cfg.Dim, m.rng)
+			v := embedding.NewRandomValue(m.cfg.Dim, m.rng)
 			m.mu.Unlock()
+			if dst != nil {
+				if i, ok := dst.Row(k); ok {
+					dst.Set(i, v)
+				}
+			} else {
+				ws.Values[k] = v
+			}
 		}
 	}
 	// The local and remote paths overlap, so the batch pays the slower one.
@@ -368,6 +514,24 @@ func (m *MemPS) assemble(working []keys.Key, pin bool) (*WorkingSet, error) {
 	return ws, nil
 }
 
+// loadUncached batch-loads from the SSD-PS those of ks that are neither in
+// the cache nor sitting in the pending-dump buffer — the shared cold-load
+// pass of every serve/apply path. The caller must hold m.mu.
+func (m *MemPS) loadUncached(ks []keys.Key) (map[keys.Key]*embedding.Value, time.Duration, error) {
+	var toLoad []keys.Key
+	for _, k := range ks {
+		if !m.cache.Contains(uint64(k)) {
+			if _, pending := m.pendingDump[k]; !pending {
+				toLoad = append(toLoad, k)
+			}
+		}
+	}
+	if len(toLoad) == 0 {
+		return map[keys.Key]*embedding.Value{}, 0, nil
+	}
+	return m.cfg.Store.LoadTimed(keys.Dedup(toLoad))
+}
+
 // HandlePull implements cluster.PullHandler: it serves parameter pulls from
 // other nodes (or a multi-process driver) for the shard this node owns.
 // Served parameters enter the cache (they are now "recently used") but are
@@ -375,26 +539,15 @@ func (m *MemPS) assemble(working []keys.Key, pin bool) (*WorkingSet, error) {
 func (m *MemPS) HandlePull(ks []keys.Key) (cluster.PullResult, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	var toLoad []keys.Key
 	for _, k := range ks {
 		if !m.ownsKey(k) {
 			return nil, fmt.Errorf("memps: node %d asked for key %d owned by node %d",
 				m.cfg.NodeID, k, m.cfg.Topology.NodeOf(k))
 		}
-		if !m.cache.Contains(uint64(k)) {
-			if _, pending := m.pendingDump[k]; !pending {
-				toLoad = append(toLoad, k)
-			}
-		}
 	}
-	loaded := map[keys.Key]*embedding.Value{}
-	var loadTime time.Duration
-	if len(toLoad) > 0 {
-		var err error
-		loaded, loadTime, err = m.cfg.Store.LoadTimed(toLoad)
-		if err != nil {
-			return nil, fmt.Errorf("memps: handle pull: %w", err)
-		}
+	loaded, loadTime, err := m.loadUncached(ks)
+	if err != nil {
+		return nil, fmt.Errorf("memps: handle pull: %w", err)
 	}
 	out := make(cluster.PullResult, len(ks))
 	for _, k := range ks {
@@ -471,25 +624,15 @@ func (m *MemPS) HandleLookup(ks []keys.Key) (cluster.PullResult, error) {
 func (m *MemPS) ApplyUpdates(deltas map[keys.Key]*embedding.Value) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	var toLoad []keys.Key
+	owned := make([]keys.Key, 0, len(deltas))
 	for k := range deltas {
-		if !m.ownsKey(k) {
-			continue
-		}
-		if !m.cache.Contains(uint64(k)) {
-			if _, pending := m.pendingDump[k]; !pending {
-				toLoad = append(toLoad, k)
-			}
+		if m.ownsKey(k) {
+			owned = append(owned, k)
 		}
 	}
-	loaded := map[keys.Key]*embedding.Value{}
-	var loadTime time.Duration
-	if len(toLoad) > 0 {
-		var err error
-		loaded, loadTime, err = m.cfg.Store.LoadTimed(toLoad)
-		if err != nil {
-			return fmt.Errorf("memps: apply updates: %w", err)
-		}
+	loaded, loadTime, err := m.loadUncached(owned)
+	if err != nil {
+		return fmt.Errorf("memps: apply updates: %w", err)
 	}
 	applied := ps.ApplyDeltas(deltas, func(k keys.Key, delta *embedding.Value) bool {
 		if !m.ownsKey(k) {
@@ -500,6 +643,70 @@ func (m *MemPS) ApplyUpdates(deltas map[keys.Key]*embedding.Value) error {
 	})
 	m.rec.RecordPush(applied, loadTime)
 	return nil
+}
+
+// applyBlock is ApplyUpdates over a flat delta block: the owned rows are
+// merged into the authoritative copies in sorted key order, loading cold
+// parameters from the SSD-PS in one batched pass first.
+func (m *MemPS) applyBlock(blk *ps.ValueBlock) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	order := make([]int, 0, len(blk.Keys))
+	for i := range blk.Keys {
+		if blk.Present[i] && m.ownsKey(blk.Keys[i]) {
+			order = append(order, i)
+		}
+	}
+	slices.SortFunc(order, func(a, b int) int { return cmp.Compare(blk.Keys[a], blk.Keys[b]) })
+	ownedKeys := make([]keys.Key, len(order))
+	for j, i := range order {
+		ownedKeys[j] = blk.Keys[i]
+	}
+	loaded, loadTime, err := m.loadUncached(ownedKeys)
+	if err != nil {
+		return fmt.Errorf("memps: apply updates: %w", err)
+	}
+	for _, i := range order {
+		k := blk.Keys[i]
+		m.localLookup(k, loaded, nil).AddFlat(blk.WeightsRow(i), blk.G2Row(i), blk.Freq[i])
+	}
+	m.rec.RecordPush(len(order), loadTime)
+	return nil
+}
+
+// HandlePullBlock implements cluster.BlockPullHandler: HandlePull's contract
+// — serve the shard this node owns, materializing first references — with the
+// values written straight into dst's flat rows (request-key order) instead of
+// a per-value map.
+func (m *MemPS) HandlePullBlock(ks []keys.Key, dst *ps.ValueBlock) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dst.Reset(m.cfg.Dim, ks)
+	for _, k := range ks {
+		if !m.ownsKey(k) {
+			return fmt.Errorf("memps: node %d asked for key %d owned by node %d",
+				m.cfg.NodeID, k, m.cfg.Topology.NodeOf(k))
+		}
+	}
+	loaded, loadTime, err := m.loadUncached(ks)
+	if err != nil {
+		return fmt.Errorf("memps: handle pull: %w", err)
+	}
+	for i, k := range ks {
+		dst.Set(i, m.localLookup(k, loaded, nil))
+	}
+	m.rec.RecordPull(len(ks), loadTime)
+	return nil
+}
+
+// HandlePushBlock implements cluster.BlockPushHandler: the block-frame form
+// of HandlePush. Like HandlePush it runs the batch-completion housekeeping —
+// the push RPC arrives once per training batch on a shard server.
+func (m *MemPS) HandlePushBlock(blk *ps.ValueBlock) error {
+	if err := m.applyBlock(blk); err != nil {
+		return err
+	}
+	return m.Maintain()
 }
 
 // Evict implements ps.Tier: it demotes the given locally-owned, unpinned

@@ -92,6 +92,20 @@ type Activations struct {
 	// values[0] is the input; values[i] is the post-activation output of
 	// layer i-1. The final entry is the pre-sigmoid logit (length 1).
 	values [][]float32
+	// deltas are Backward's per-layer gradient scratch buffers, allocated
+	// lazily and reused across examples.
+	deltas [][]float32
+}
+
+// deltaBuf returns the reusable gradient buffer of width n for layer slot i.
+func (a *Activations) deltaBuf(i, n int) []float32 {
+	for len(a.deltas) <= i {
+		a.deltas = append(a.deltas, nil)
+	}
+	if cap(a.deltas[i]) < n {
+		a.deltas[i] = make([]float32, n)
+	}
+	return a.deltas[i][:n]
 }
 
 // NewActivations allocates activation buffers matching the network shape.
@@ -196,18 +210,21 @@ func (g *Gradients) SetFromFlat(flat []float32) error {
 // Backward computes gradients of the log-loss at (pred, label) for the
 // forward pass recorded in acts, accumulates dense gradients into g, and
 // returns the gradient with respect to the network input (the pooled
-// embedding). The returned slice is owned by the caller.
+// embedding). The returned slice is backed by acts' reusable scratch: it
+// stays valid until the next Backward call on the same Activations, so the
+// per-example hot path allocates nothing.
 func (n *Network) Backward(acts *Activations, pred, label float32, g *Gradients) []float32 {
 	// dL/dlogit for sigmoid + cross-entropy is (pred - label).
-	delta := []float32{pred - label}
+	delta := acts.deltaBuf(len(n.layers), 1)
+	delta[0] = pred - label
 	for i := len(n.layers) - 1; i >= 0; i-- {
 		l := n.layers[i]
 		in := acts.values[i]
 		// Accumulate weight and bias gradients.
 		tensor.OuterAccum(g.w[i], delta, in)
 		tensor.Axpy(1, delta, g.b[i])
-		// Propagate to the layer input.
-		prev := make([]float32, l.w.Cols)
+		// Propagate to the layer input (MatTVec overwrites the buffer).
+		prev := acts.deltaBuf(i, l.w.Cols)
 		tensor.MatTVec(l.w, delta, prev)
 		if i > 0 {
 			// The stored activation of the previous hidden layer is

@@ -1,0 +1,379 @@
+package ps
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"hps/internal/embedding"
+	"hps/internal/keys"
+)
+
+// ValueBlock is the flat, reusable representation of a batch of embedding
+// values: one row per key, in request-key order, backed by two contiguous
+// float slabs instead of a map of per-key allocations. It is the unit of the
+// batched hot path — PullInto fills one block per mini-batch, the trainer
+// indexes examples' features by row offset into it, and PushBlock carries the
+// accumulated per-key deltas back — so the steady state moves O(unique keys
+// per batch) flat rows instead of O(examples x features) map entries.
+//
+// Blocks are plain buffers, not thread-safe; reuse them through GetBlock /
+// PutBlock so steady-state batches allocate nothing.
+type ValueBlock struct {
+	// Dim is the embedding dimension of every row.
+	Dim int
+	// Keys are the row keys, in the order rows are laid out.
+	Keys []keys.Key
+	// Weights and G2Sum hold len(Keys) rows of Dim float32s each; row i spans
+	// [i*Dim, (i+1)*Dim).
+	Weights []float32
+	G2Sum   []float32
+	// Freq holds the per-row reference counts (or count deltas, for pushes).
+	Freq []uint32
+	// Present marks the rows the serving tier actually holds. Pull adapters
+	// leave missing keys absent (zero row, Present false); push paths skip
+	// rows with Present false, which lets callers mask a reused block.
+	Present []bool
+}
+
+// NewValueBlock returns an empty block for embeddings of the given dimension.
+func NewValueBlock(dim int) *ValueBlock { return &ValueBlock{Dim: dim} }
+
+// Len returns the number of rows.
+func (b *ValueBlock) Len() int { return len(b.Keys) }
+
+// Reset re-shapes the block for the given dimension and key set, reusing the
+// underlying storage. All rows come back zeroed and absent; ks is copied, so
+// the caller keeps ownership of its slice.
+func (b *ValueBlock) Reset(dim int, ks []keys.Key) {
+	if dim < 0 {
+		dim = 0
+	}
+	b.Dim = dim
+	n := len(ks)
+	b.Keys = append(b.Keys[:0], ks...)
+	flat := n * dim
+	b.Weights = growFloats(b.Weights, flat)
+	b.G2Sum = growFloats(b.G2Sum, flat)
+	if cap(b.Freq) < n {
+		b.Freq = make([]uint32, n)
+	} else {
+		b.Freq = b.Freq[:n]
+		for i := range b.Freq {
+			b.Freq[i] = 0
+		}
+	}
+	if cap(b.Present) < n {
+		b.Present = make([]bool, n)
+	} else {
+		b.Present = b.Present[:n]
+		for i := range b.Present {
+			b.Present[i] = false
+		}
+	}
+}
+
+func growFloats(s []float32, n int) []float32 {
+	if cap(s) < n {
+		return make([]float32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// WeightsRow returns row i of the weight slab. The full-slice expression pins
+// the row's capacity so appends by the caller cannot bleed into row i+1.
+func (b *ValueBlock) WeightsRow(i int) []float32 {
+	return b.Weights[i*b.Dim : (i+1)*b.Dim : (i+1)*b.Dim]
+}
+
+// G2Row returns row i of the Adagrad-accumulator slab.
+func (b *ValueBlock) G2Row(i int) []float32 {
+	return b.G2Sum[i*b.Dim : (i+1)*b.Dim : (i+1)*b.Dim]
+}
+
+// Set copies v into row i and marks it present. It panics on dimension
+// mismatch — a block never silently truncates a value.
+func (b *ValueBlock) Set(i int, v *embedding.Value) {
+	if v.Dim() != b.Dim || len(v.G2Sum) != b.Dim {
+		panic(fmt.Sprintf("ps: ValueBlock.Set dim mismatch: value %d/%d into block of dim %d",
+			v.Dim(), len(v.G2Sum), b.Dim))
+	}
+	copy(b.WeightsRow(i), v.Weights)
+	copy(b.G2Row(i), v.G2Sum)
+	b.Freq[i] = v.Freq
+	b.Present[i] = true
+}
+
+// Value returns a freshly allocated copy of row i, or nil if the row is
+// absent. It is the bridge back to the map-based representation.
+func (b *ValueBlock) Value(i int) *embedding.Value {
+	if !b.Present[i] {
+		return nil
+	}
+	v := embedding.NewValue(b.Dim)
+	copy(v.Weights, b.WeightsRow(i))
+	copy(v.G2Sum, b.G2Row(i))
+	v.Freq = b.Freq[i]
+	return v
+}
+
+// CopyFrom makes b an exact copy of o (used to snapshot a pulled block before
+// training mutates it in place).
+func (b *ValueBlock) CopyFrom(o *ValueBlock) {
+	b.Reset(o.Dim, o.Keys)
+	copy(b.Weights, o.Weights)
+	copy(b.G2Sum, o.G2Sum)
+	copy(b.Freq, o.Freq)
+	copy(b.Present, o.Present)
+}
+
+// Deltas converts the block's present rows into the map form map-based tiers
+// consume. The values are freshly allocated — tiers are allowed to retain
+// what Push hands them.
+func (b *ValueBlock) Deltas() map[keys.Key]*embedding.Value {
+	out := make(map[keys.Key]*embedding.Value, len(b.Keys))
+	for i, k := range b.Keys {
+		if v := b.Value(i); v != nil {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// FillFromResult scatters a map-based pull result into the block's rows
+// (request-key order is b.Keys). Keys absent from res stay absent.
+func (b *ValueBlock) FillFromResult(res Result) {
+	for i, k := range b.Keys {
+		if v, ok := res[k]; ok && v != nil {
+			b.Set(i, v)
+		}
+	}
+}
+
+// Row returns the row of k in b, whose Keys must be sorted (the batched
+// pull paths always assemble into sorted unique-key blocks). The second
+// result reports whether k is actually a row of b.
+func (b *ValueBlock) Row(k keys.Key) (int, bool) {
+	i := sort.Search(len(b.Keys), func(i int) bool { return b.Keys[i] >= k })
+	return i, i < len(b.Keys) && b.Keys[i] == k
+}
+
+// ScatterRows copies sub's present rows into the rows of b holding the same
+// keys. b.Keys must be sorted. Rows for keys b did not ask for are dropped —
+// a buggy or hostile peer answering a partition pull must not be able to
+// corrupt unrelated rows.
+func (b *ValueBlock) ScatterRows(sub *ValueBlock) {
+	for j, k := range sub.Keys {
+		if !sub.Present[j] {
+			continue
+		}
+		i, ok := b.Row(k)
+		if !ok {
+			continue
+		}
+		copy(b.WeightsRow(i), sub.WeightsRow(j))
+		copy(b.G2Row(i), sub.G2Row(j))
+		b.Freq[i] = sub.Freq[j]
+		b.Present[i] = true
+	}
+}
+
+// ScatterResult is ScatterRows over a map-based pull result, with the same
+// sorted-keys requirement and unknown-key containment.
+func (b *ValueBlock) ScatterResult(res Result) {
+	for k, v := range res {
+		if v == nil {
+			continue
+		}
+		if i, ok := b.Row(k); ok {
+			b.Set(i, v)
+		}
+	}
+}
+
+// PresentCount returns the number of present rows.
+func (b *ValueBlock) PresentCount() int {
+	n := 0
+	for _, p := range b.Present {
+		if p {
+			n++
+		}
+	}
+	return n
+}
+
+// Wire layout of a block body (keys travel separately, in the enclosing
+// request): an 8-byte header of dimension and row count, then per row one
+// present byte, the 4-byte frequency, and the two float rows. Encoding is a
+// single append pass — no per-value reflection — which is what lets the
+// cluster transport carry a whole batch in one flat frame.
+const wireRowOverhead = 5 // present byte + uint32 freq
+
+// WireSize returns the encoded size of the block body.
+func (b *ValueBlock) WireSize() int {
+	return 8 + len(b.Keys)*(wireRowOverhead+8*b.Dim)
+}
+
+// AppendWire appends the block body to dst and returns the extended slice.
+func (b *ValueBlock) AppendWire(dst []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(b.Dim))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(b.Keys)))
+	dst = append(dst, hdr[:]...)
+	var scratch [4]byte
+	for i := range b.Keys {
+		if b.Present[i] {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		binary.LittleEndian.PutUint32(scratch[:], b.Freq[i])
+		dst = append(dst, scratch[:]...)
+		for _, w := range b.WeightsRow(i) {
+			binary.LittleEndian.PutUint32(scratch[:], math.Float32bits(w))
+			dst = append(dst, scratch[:]...)
+		}
+		for _, g := range b.G2Row(i) {
+			binary.LittleEndian.PutUint32(scratch[:], math.Float32bits(g))
+			dst = append(dst, scratch[:]...)
+		}
+	}
+	return dst
+}
+
+// maxWireDim bounds the dimension a decoded header may claim, so a corrupt
+// or hostile payload cannot make DecodeWire allocate unbounded rows.
+const maxWireDim = 1 << 16
+
+// DecodeWire parses a block body produced by AppendWire into b. The rows are
+// bound to ks — the keys the requester asked for — which must match the
+// encoded row count. The payload may come from a hostile peer; DecodeWire
+// validates every length before touching it.
+func (b *ValueBlock) DecodeWire(ks []keys.Key, payload []byte) error {
+	if len(payload) < 8 {
+		return fmt.Errorf("ps: block body too short: %d bytes", len(payload))
+	}
+	dim := int(binary.LittleEndian.Uint32(payload[0:4]))
+	count := int(binary.LittleEndian.Uint32(payload[4:8]))
+	if dim < 0 || dim > maxWireDim {
+		return fmt.Errorf("ps: block dimension %d out of range", dim)
+	}
+	if count != len(ks) {
+		return fmt.Errorf("ps: block has %d rows for %d keys", count, len(ks))
+	}
+	rowBytes := wireRowOverhead + 8*dim
+	if want := 8 + count*rowBytes; len(payload) != want {
+		return fmt.Errorf("ps: block body is %d bytes, want %d", len(payload), want)
+	}
+	b.Reset(dim, ks)
+	off := 8
+	for i := 0; i < count; i++ {
+		b.Present[i] = payload[off] != 0
+		b.Freq[i] = binary.LittleEndian.Uint32(payload[off+1 : off+5])
+		off += wireRowOverhead
+		w := b.WeightsRow(i)
+		for j := 0; j < dim; j++ {
+			w[j] = math.Float32frombits(binary.LittleEndian.Uint32(payload[off : off+4]))
+			off += 4
+		}
+		g := b.G2Row(i)
+		for j := 0; j < dim; j++ {
+			g[j] = math.Float32frombits(binary.LittleEndian.Uint32(payload[off : off+4]))
+			off += 4
+		}
+	}
+	return nil
+}
+
+// blockPool recycles ValueBlocks across batches; see GetBlock / PutBlock.
+var blockPool = sync.Pool{New: func() any { return &ValueBlock{} }}
+
+// GetBlock returns a pooled block reset for the given dimension and keys.
+func GetBlock(dim int, ks []keys.Key) *ValueBlock {
+	b := blockPool.Get().(*ValueBlock)
+	b.Reset(dim, ks)
+	return b
+}
+
+// PutBlock returns a block to the pool. The caller must not use it afterwards.
+func PutBlock(b *ValueBlock) {
+	if b != nil {
+		blockPool.Put(b)
+	}
+}
+
+// FillFromPull shapes dst for ks and scatters a map-based pull result into
+// it in request-key order — the one conversion shared by every map-to-block
+// fallback (tier adapters, transports, the RPC server). When dim is 0 it is
+// inferred from the first returned value; an all-missing result over an
+// unshaped block stays Dim 0.
+func FillFromPull(dst *ValueBlock, dim int, ks []keys.Key, res Result) {
+	if dim == 0 {
+		for _, v := range res {
+			if v != nil {
+				dim = v.Dim()
+				break
+			}
+		}
+	}
+	dst.Reset(dim, ks)
+	dst.FillFromResult(res)
+}
+
+// PushBlockRequest is the batched, slice-based form of PushRequest: the
+// block's keys and parallel delta rows (weight, optimizer-state and
+// reference-count increments), applied in row order.
+type PushBlockRequest struct {
+	// Shard identifies the pushing shard; see PullRequest.Shard.
+	Shard int
+	// Block carries the parallel key/delta slices. Rows with Present false
+	// are skipped.
+	Block *ValueBlock
+}
+
+// BlockPuller is the optional batched-pull extension of Tier: PullInto writes
+// the requested values into dst in request-key order, resetting it first.
+// Missing keys follow the tier's Pull policy (absent row, materialized, or an
+// error), and dst rows never alias tier storage.
+type BlockPuller interface {
+	PullInto(req PullRequest, dst *ValueBlock) error
+}
+
+// BlockPusher is the optional batched-push extension of Tier: PushBlock
+// merges the block's delta rows with the same semantics as Push over the
+// equivalent delta map.
+type BlockPusher interface {
+	PushBlock(req PushBlockRequest) error
+}
+
+// PullInto pulls req into dst through the tier's native block path when it
+// implements BlockPuller, falling back to the map-based Pull otherwise. Every
+// tier is therefore usable from the batched hot path; native implementations
+// just skip the per-value allocations.
+func PullInto(t Tier, req PullRequest, dst *ValueBlock) error {
+	if bp, ok := t.(BlockPuller); ok {
+		return bp.PullInto(req, dst)
+	}
+	res, err := t.Pull(req)
+	if err != nil {
+		return err
+	}
+	FillFromPull(dst, dst.Dim, req.Keys, res)
+	return nil
+}
+
+// PushBlock pushes req through the tier's native block path when it
+// implements BlockPusher, falling back to a map-based Push of freshly
+// allocated deltas otherwise (tiers may retain what Push hands them).
+func PushBlock(t Tier, req PushBlockRequest) error {
+	if bp, ok := t.(BlockPusher); ok {
+		return bp.PushBlock(req)
+	}
+	return t.Push(PushRequest{Shard: req.Shard, Deltas: req.Block.Deltas()})
+}

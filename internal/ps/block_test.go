@@ -1,0 +1,276 @@
+package ps
+
+import (
+	"math/rand"
+	"testing"
+
+	"hps/internal/embedding"
+	"hps/internal/keys"
+)
+
+func testBlock(t *testing.T, dim, n int) *ValueBlock {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(dim*1000 + n)))
+	ks := make([]keys.Key, n)
+	for i := range ks {
+		ks[i] = keys.Key(keys.Mix64(uint64(i)))
+	}
+	b := NewValueBlock(dim)
+	b.Reset(dim, ks)
+	for i := range ks {
+		if i%3 == 2 {
+			continue // leave some rows absent
+		}
+		v := embedding.NewRandomValue(dim, rng)
+		v.Freq = uint32(i * 7)
+		b.Set(i, v)
+	}
+	return b
+}
+
+func TestBlockRowsAndValues(t *testing.T) {
+	b := testBlock(t, 8, 9)
+	if b.Len() != 9 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if got := b.PresentCount(); got != 6 {
+		t.Fatalf("PresentCount = %d, want 6", got)
+	}
+	v := b.Value(0)
+	if v == nil || v.Dim() != 8 || v.Weights[0] != b.WeightsRow(0)[0] {
+		t.Fatalf("Value(0) = %+v", v)
+	}
+	v.Weights[0] = 99
+	if b.WeightsRow(0)[0] == 99 {
+		t.Fatal("Value must copy, not alias")
+	}
+	if b.Value(2) != nil {
+		t.Fatal("absent row must read as nil value")
+	}
+	// Rows must not be able to append into their neighbours.
+	row := b.WeightsRow(0)
+	row = append(row, 42)
+	if b.WeightsRow(1)[0] == 42 {
+		t.Fatal("row capacity bleeds into the next row")
+	}
+}
+
+func TestBlockSetDimMismatchPanics(t *testing.T) {
+	b := NewValueBlock(4)
+	b.Reset(4, []keys.Key{1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set with a mismatched dim must panic")
+		}
+	}()
+	b.Set(0, embedding.NewValue(3))
+}
+
+func TestBlockResetReusesStorage(t *testing.T) {
+	b := testBlock(t, 8, 16)
+	w0 := &b.Weights[0]
+	b.Reset(8, b.Keys[:8])
+	if &b.Weights[0] != w0 {
+		t.Fatal("Reset reallocated a slab that still fit")
+	}
+	for i := range b.Keys {
+		if b.Present[i] || b.Freq[i] != 0 || b.WeightsRow(i)[0] != 0 {
+			t.Fatalf("row %d not cleared by Reset", i)
+		}
+	}
+}
+
+func TestBlockWireRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 9} {
+		src := testBlock(t, 6, n)
+		payload := src.AppendWire(nil)
+		if len(payload) != src.WireSize() {
+			t.Fatalf("n=%d: encoded %d bytes, WireSize says %d", n, len(payload), src.WireSize())
+		}
+		dst := NewValueBlock(0)
+		if err := dst.DecodeWire(src.Keys, payload); err != nil {
+			t.Fatalf("n=%d: DecodeWire: %v", n, err)
+		}
+		if dst.Dim != src.Dim || dst.Len() != src.Len() {
+			t.Fatalf("n=%d: decoded shape %dx%d, want %dx%d", n, dst.Len(), dst.Dim, src.Len(), src.Dim)
+		}
+		for i := range src.Keys {
+			if dst.Present[i] != src.Present[i] || dst.Freq[i] != src.Freq[i] {
+				t.Fatalf("n=%d row %d: present/freq mismatch", n, i)
+			}
+			for j := 0; j < src.Dim; j++ {
+				if dst.WeightsRow(i)[j] != src.WeightsRow(i)[j] || dst.G2Row(i)[j] != src.G2Row(i)[j] {
+					t.Fatalf("n=%d row %d element %d mismatch", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestBlockDecodeWireRejectsHostilePayloads(t *testing.T) {
+	src := testBlock(t, 4, 3)
+	good := src.AppendWire(nil)
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     good[:len(good)-1],
+		"long":      append(append([]byte(nil), good...), 0),
+		"truncated": good[:9],
+	}
+	for name, payload := range cases {
+		dst := NewValueBlock(0)
+		if err := dst.DecodeWire(src.Keys, payload); err == nil {
+			t.Fatalf("%s payload decoded without error", name)
+		}
+	}
+	// A count that disagrees with the key slice must be rejected.
+	dst := NewValueBlock(0)
+	if err := dst.DecodeWire(src.Keys[:2], good); err == nil {
+		t.Fatal("row count / key count mismatch decoded without error")
+	}
+	// A huge declared dimension must be rejected before any allocation.
+	huge := append([]byte(nil), good...)
+	huge[0], huge[1], huge[2], huge[3] = 0xff, 0xff, 0xff, 0x7f
+	if err := dst.DecodeWire(src.Keys, huge); err == nil {
+		t.Fatal("absurd dimension decoded without error")
+	}
+}
+
+func TestBlockDeltasAndFill(t *testing.T) {
+	src := testBlock(t, 5, 6)
+	deltas := src.Deltas()
+	if len(deltas) != src.PresentCount() {
+		t.Fatalf("Deltas has %d entries, want %d", len(deltas), src.PresentCount())
+	}
+	dst := NewValueBlock(5)
+	dst.Reset(5, src.Keys)
+	dst.FillFromResult(Result(deltas))
+	for i := range src.Keys {
+		if dst.Present[i] != src.Present[i] {
+			t.Fatalf("row %d present mismatch after fill", i)
+		}
+		if src.Present[i] && dst.WeightsRow(i)[0] != src.WeightsRow(i)[0] {
+			t.Fatalf("row %d weight mismatch after fill", i)
+		}
+	}
+}
+
+func TestBlockScatterDropsUnrequestedKeys(t *testing.T) {
+	dst := NewValueBlock(3)
+	dst.Reset(3, []keys.Key{10, 20, 30}) // sorted, as assembled working sets are
+	mk := func(w float32) *embedding.Value {
+		v := embedding.NewValue(3)
+		v.Weights[0] = w
+		return v
+	}
+	// A peer answering keys it was never asked for — below, between, and
+	// beyond the requested range — must not corrupt (or crash on) other rows.
+	sub := NewValueBlock(3)
+	sub.Reset(3, []keys.Key{5, 20, 99})
+	sub.Set(0, mk(1))
+	sub.Set(1, mk(2))
+	sub.Set(2, mk(3))
+	dst.ScatterRows(sub)
+	if dst.PresentCount() != 1 || !dst.Present[1] || dst.WeightsRow(1)[0] != 2 {
+		t.Fatalf("scatter applied wrong rows: %+v", dst)
+	}
+	dst.ScatterResult(Result{25: mk(7), 1 << 60: mk(8), 30: mk(9), 10: nil})
+	if dst.PresentCount() != 2 || !dst.Present[2] || dst.WeightsRow(2)[0] != 9 {
+		t.Fatalf("result scatter applied wrong rows: %+v", dst)
+	}
+	if dst.Present[0] {
+		t.Fatal("nil value materialized a row")
+	}
+}
+
+func TestBlockCopyFrom(t *testing.T) {
+	src := testBlock(t, 4, 5)
+	dst := NewValueBlock(0)
+	dst.CopyFrom(src)
+	src.WeightsRow(0)[0] += 1
+	if dst.WeightsRow(0)[0] == src.WeightsRow(0)[0] {
+		t.Fatal("CopyFrom must deep-copy the slabs")
+	}
+	if dst.Dim != src.Dim || dst.Len() != src.Len() {
+		t.Fatal("CopyFrom shape mismatch")
+	}
+}
+
+func TestBlockPool(t *testing.T) {
+	ks := []keys.Key{3, 1, 2}
+	b := GetBlock(7, ks)
+	if b.Dim != 7 || b.Len() != 3 || b.PresentCount() != 0 {
+		t.Fatalf("GetBlock returned a dirty block: %+v", b)
+	}
+	b.Set(1, embedding.NewValue(7))
+	PutBlock(b)
+	again := GetBlock(7, ks)
+	if again.PresentCount() != 0 {
+		t.Fatal("pooled block not reset on reuse")
+	}
+	PutBlock(again)
+	PutBlock(nil) // must not panic
+}
+
+// adapterTier is a map-only tier: the PullInto/PushBlock package adapters
+// must bridge it into the block world.
+type adapterTier struct {
+	Recorder
+	vals map[keys.Key]*embedding.Value
+}
+
+func (a *adapterTier) Name() string { return "adapter" }
+func (a *adapterTier) Pull(req PullRequest) (Result, error) {
+	out := ServePull(req.Keys, func(k keys.Key) (*embedding.Value, bool) {
+		v, ok := a.vals[k]
+		return v, ok
+	})
+	a.RecordPull(len(out), 0)
+	return out, nil
+}
+func (a *adapterTier) Push(req PushRequest) error {
+	n := ApplyDeltas(req.Deltas, func(k keys.Key, delta *embedding.Value) bool {
+		if v, ok := a.vals[k]; ok {
+			v.Add(delta)
+		} else {
+			a.vals[k] = delta.Clone()
+		}
+		return true
+	})
+	a.RecordPush(n, 0)
+	return nil
+}
+func (a *adapterTier) Evict([]keys.Key) (int, error) { return 0, nil }
+
+func TestAdaptersBridgeMapOnlyTiers(t *testing.T) {
+	tier := &adapterTier{vals: map[keys.Key]*embedding.Value{}}
+	v := embedding.NewValue(3)
+	v.Weights[0] = 2.5
+	tier.vals[10] = v
+
+	// Adapter pull with an unshaped destination block infers the dimension.
+	blk := NewValueBlock(0)
+	if err := PullInto(tier, PullRequest{Shard: NoShard, Keys: []keys.Key{10, 11}}, blk); err != nil {
+		t.Fatal(err)
+	}
+	if blk.Dim != 3 || !blk.Present[0] || blk.Present[1] || blk.WeightsRow(0)[0] != 2.5 {
+		t.Fatalf("adapter pull block = %+v", blk)
+	}
+
+	// Adapter push must hand the tier values it can safely retain.
+	push := NewValueBlock(3)
+	push.Reset(3, []keys.Key{10, 12})
+	d := embedding.NewValue(3)
+	d.Weights[0] = 1
+	push.Set(0, d)
+	push.Set(1, d)
+	if err := PushBlock(tier, PushBlockRequest{Shard: NoShard, Block: push}); err != nil {
+		t.Fatal(err)
+	}
+	if tier.vals[10].Weights[0] != 3.5 {
+		t.Fatalf("delta not merged: %v", tier.vals[10].Weights)
+	}
+	push.WeightsRow(1)[0] = 77 // mutate the block after the push
+	if tier.vals[12].Weights[0] != 1 {
+		t.Fatal("tier retained an aliased block row")
+	}
+}

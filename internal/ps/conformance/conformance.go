@@ -87,6 +87,11 @@ func Run(t *testing.T, h Harness) {
 	t.Run("Evict", h.evict)
 	t.Run("Stats", h.stats)
 	t.Run("ConcurrentPulls", h.concurrentPulls)
+	t.Run("BlockPullAgrees", h.blockPullAgrees)
+	t.Run("BlockPullUnsortedOrder", h.blockPullUnsortedOrder)
+	t.Run("BlockPullMissing", h.blockPullMissing)
+	t.Run("BlockPushAgrees", h.blockPushAgrees)
+	t.Run("BlockPullIsolation", h.blockPullIsolation)
 }
 
 func (h Harness) pull(t *testing.T, tier ps.Tier, ks []keys.Key) ps.Result {
@@ -365,6 +370,176 @@ func (h Harness) stats(t *testing.T) {
 	}
 	if afterEvict.PullTime < 0 || afterEvict.PushTime < 0 {
 		t.Fatal("negative cumulative operation time")
+	}
+}
+
+// blockPullAgrees: the batched block pull (native PullInto or the adapter)
+// returns exactly the values of the map-based Pull, in request-key order.
+// The suite keys are sorted and deduplicated, as the batched hot path's
+// requests always are.
+func (h Harness) blockPullAgrees(t *testing.T) {
+	ks := suiteKeys()
+	tier := h.New(t, ks)
+	want := h.pull(t, tier, ks)
+	blk := ps.NewValueBlock(h.Dim)
+	if err := ps.PullInto(tier, ps.PullRequest{Shard: h.Shard, Keys: ks}, blk); err != nil {
+		t.Fatalf("PullInto: %v", err)
+	}
+	if blk.Len() != len(ks) {
+		t.Fatalf("block has %d rows for %d keys", blk.Len(), len(ks))
+	}
+	if blk.Dim != h.Dim {
+		t.Fatalf("block dim = %d, want %d", blk.Dim, h.Dim)
+	}
+	for i, k := range ks {
+		if blk.Keys[i] != k {
+			t.Fatalf("row %d holds key %d, want request order key %d", i, blk.Keys[i], k)
+		}
+		if !blk.Present[i] {
+			t.Fatalf("preloaded key %d absent from the block", k)
+		}
+		w, g2 := blk.WeightsRow(i), blk.G2Row(i)
+		for j := 0; j < h.Dim; j++ {
+			if w[j] != want[k].Weights[j] || g2[j] != want[k].G2Sum[j] {
+				t.Fatalf("key %d element %d: block (%g,%g) != pull (%g,%g)",
+					k, j, w[j], g2[j], want[k].Weights[j], want[k].G2Sum[j])
+			}
+		}
+		if blk.Freq[i] != want[k].Freq {
+			t.Fatalf("key %d freq: block %d != pull %d", k, blk.Freq[i], want[k].Freq)
+		}
+	}
+}
+
+// blockPullUnsortedOrder: request-key order is the contract even when the
+// request is not sorted — a tier that assembles sorted internally must
+// scatter back, because wire replies bind rows to the requester's key order
+// positionally.
+func (h Harness) blockPullUnsortedOrder(t *testing.T) {
+	ks := suiteKeys()
+	tier := h.New(t, ks)
+	want := h.pull(t, tier, ks)
+	rev := make([]keys.Key, len(ks))
+	for i, k := range ks {
+		rev[len(ks)-1-i] = k
+	}
+	blk := ps.NewValueBlock(h.Dim)
+	if err := ps.PullInto(tier, ps.PullRequest{Shard: h.Shard, Keys: rev}, blk); err != nil {
+		t.Fatalf("PullInto(reversed): %v", err)
+	}
+	for i, k := range rev {
+		if blk.Keys[i] != k {
+			t.Fatalf("row %d holds key %d, want request order key %d", i, blk.Keys[i], k)
+		}
+		if !blk.Present[i] {
+			t.Fatalf("preloaded key %d absent", k)
+		}
+		for j := 0; j < h.Dim; j++ {
+			if blk.WeightsRow(i)[j] != want[k].Weights[j] {
+				t.Fatalf("key %d element %d: reversed-request row holds the wrong value", k, j)
+			}
+		}
+	}
+}
+
+// blockPullMissing: the block pull honours the tier's declared missing-key
+// policy exactly like the map-based Pull.
+func (h Harness) blockPullMissing(t *testing.T) {
+	tier := h.New(t, suiteKeys())
+	blk := ps.NewValueBlock(h.Dim)
+	err := ps.PullInto(tier, ps.PullRequest{Shard: h.Shard, Keys: []keys.Key{missingKey}}, blk)
+	switch {
+	case h.PullMissingErrors:
+		if err == nil {
+			t.Fatal("block-pulling a key outside the loaded set should error")
+		}
+	case h.PullCreates:
+		if err != nil {
+			t.Fatalf("block pull of a fresh key should materialize it: %v", err)
+		}
+		if !blk.Present[0] {
+			t.Fatal("tier declared PullCreates but the block row is absent")
+		}
+		// The materialized value must be what subsequent map pulls read.
+		again := h.pull(t, tier, []keys.Key{missingKey})
+		for j := 0; j < h.Dim; j++ {
+			if blk.WeightsRow(0)[j] != again[missingKey].Weights[j] {
+				t.Fatal("block-materialized key not stable across pulls")
+			}
+		}
+	default:
+		if err != nil {
+			t.Fatalf("missing keys must be absent rows, not an error: %v", err)
+		}
+		if blk.Present[0] {
+			t.Fatal("missing key marked present by a tier without PullCreates")
+		}
+		for j := 0; j < h.Dim; j++ {
+			if blk.WeightsRow(0)[j] != 0 {
+				t.Fatal("absent row is not zeroed")
+			}
+		}
+	}
+}
+
+// blockPushAgrees: pushing a delta block moves the stored values by exactly
+// the same arithmetic as the map-based Push that pushAccumulates verifies.
+func (h Harness) blockPushAgrees(t *testing.T) {
+	ks := suiteKeys()
+	tier := h.New(t, ks)
+	before := h.pull(t, tier, ks)
+	basePushed := tier.TierStats().KeysPushed
+	blk := ps.NewValueBlock(h.Dim)
+	blk.Reset(h.Dim, ks)
+	deltas := make(map[keys.Key]*embedding.Value, len(ks))
+	for i, k := range ks {
+		d := h.delta(float32(i + 1))
+		deltas[k] = d
+		blk.Set(i, d)
+	}
+	if err := ps.PushBlock(tier, ps.PushBlockRequest{Shard: h.Shard, Block: blk}); err != nil {
+		t.Fatalf("PushBlock: %v", err)
+	}
+	after := h.pull(t, tier, ks)
+	for _, k := range ks {
+		for i := range after[k].Weights {
+			want := before[k].Weights[i] + deltas[k].Weights[i]
+			if diff := math.Abs(float64(after[k].Weights[i] - want)); diff > 1e-4 {
+				t.Fatalf("key %d weight[%d] = %g after block push, want %g", k, i, after[k].Weights[i], want)
+			}
+			wantG2 := before[k].G2Sum[i] + deltas[k].G2Sum[i]
+			if diff := math.Abs(float64(after[k].G2Sum[i] - wantG2)); diff > 1e-4 {
+				t.Fatalf("key %d g2sum[%d] = %g after block push, want %g", k, i, after[k].G2Sum[i], wantG2)
+			}
+		}
+	}
+	if got := tier.TierStats().KeysPushed; got < basePushed+int64(len(ks)) {
+		t.Fatalf("block push advanced KeysPushed by %d, want >= %d", got-basePushed, len(ks))
+	}
+}
+
+// blockPullIsolation: block rows are copies — mutating them must not leak
+// into the tier's stored state.
+func (h Harness) blockPullIsolation(t *testing.T) {
+	ks := suiteKeys()[:4]
+	tier := h.New(t, ks)
+	blk := ps.NewValueBlock(h.Dim)
+	if err := ps.PullInto(tier, ps.PullRequest{Shard: h.Shard, Keys: ks}, blk); err != nil {
+		t.Fatalf("PullInto: %v", err)
+	}
+	for i := range ks {
+		row := blk.WeightsRow(i)
+		for j := range row {
+			row[j] = math.MaxFloat32
+		}
+	}
+	after := h.pull(t, tier, ks)
+	for _, k := range ks {
+		for i := range after[k].Weights {
+			if after[k].Weights[i] == math.MaxFloat32 {
+				t.Fatalf("key %d: block row aliases tier storage", k)
+			}
+		}
 	}
 }
 

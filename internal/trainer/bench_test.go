@@ -1,0 +1,38 @@
+package trainer
+
+import (
+	"context"
+	"testing"
+
+	"hps/internal/cluster"
+	"hps/internal/model"
+)
+
+// BenchmarkTrainerBatch measures the composed hot path — one full
+// read -> pull -> train -> push cycle per op on a single node — so future
+// changes benchmark the end-to-end batch cost, not just individual tiers.
+func BenchmarkTrainerBatch(b *testing.B) {
+	spec := model.Spec{
+		Name:               "bench",
+		NonZerosPerExample: 15,
+		SparseParams:       20000,
+		EmbeddingDim:       8,
+		HiddenLayers:       []int{32, 16},
+	}
+	tr, err := New(Config{
+		Spec:        spec,
+		Topology:    cluster.Topology{Nodes: 1, GPUsPerNode: 1},
+		BatchSize:   256,
+		Batches:     b.N,
+		MaxInFlight: 1, // strict ordering: per-op cost is one whole batch
+		Seed:        1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tr.Close()
+	b.ResetTimer()
+	if err := tr.Run(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+}

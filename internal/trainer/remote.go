@@ -19,9 +19,11 @@ import (
 type memService interface {
 	Name() string
 	TierStats() ps.Stats
-	// Prepare assembles (and, where supported, pins) the working set of a
-	// batch's referenced keys.
-	Prepare(working []keys.Key) (*memps.WorkingSet, error)
+	// PrepareInto assembles (and, where supported, pins) the working set of
+	// a batch's referenced keys, delivering the values in dst's flat rows
+	// (sorted unique-key order). The returned WorkingSet carries keys, pins
+	// and statistics.
+	PrepareInto(working []keys.Key, dst *ps.ValueBlock) (*memps.WorkingSet, error)
 	// Push merges collected per-key deltas into the authoritative copies of
 	// the shard this node owns.
 	Push(req ps.PushRequest) error
@@ -76,6 +78,7 @@ func (r *remoteNet) recordPush(nkeys int, bytes int64, wall time.Duration) {
 type remoteMem struct {
 	transport cluster.TierTransport
 	node      int
+	dim       int
 	topo      cluster.Topology
 	net       *remoteNet
 }
@@ -97,20 +100,24 @@ func (r *remoteMem) TierStats() ps.Stats {
 	return info.Stats
 }
 
-// Prepare implements memService: the working set is assembled by pulling
-// every key partition from its owning shard process, concurrently. There is
-// no local pinning — the shard processes own cache retention — so the
-// working set only carries values and timing.
-func (r *remoteMem) Prepare(working []keys.Key) (*memps.WorkingSet, error) {
-	working = keys.Dedup(append([]keys.Key(nil), working...))
-	ws := &memps.WorkingSet{
-		Values:     make(map[keys.Key]*embedding.Value, len(working)),
-		RemoteKeys: working,
+// PrepareInto implements memService: the working set is assembled by
+// pulling every key partition from its owning shard process, concurrently —
+// as one flat block frame per shard (no per-value gob decoding), scattered
+// into dst's sorted rows; transports without block support fall back to
+// map-based pulls per shard. There is no local pinning: the shard processes
+// own cache retention, so the working set only carries keys and timing.
+func (r *remoteMem) PrepareInto(working []keys.Key, dst *ps.ValueBlock) (*memps.WorkingSet, error) {
+	if !keys.SortedUnique(working) {
+		working = keys.Dedup(append([]keys.Key(nil), working...))
 	}
+	dst.Reset(r.dim, working)
+	ws := &memps.WorkingSet{RemoteKeys: working}
 	ws.Stats.RemoteKeys = len(working)
 
+	bt, _ := r.transport.(cluster.BlockTransport)
 	type pullResult struct {
 		res cluster.PullResult
+		sub *ps.ValueBlock
 		err error
 	}
 	parts := r.topo.SplitByNode(working)
@@ -123,6 +130,15 @@ func (r *remoteMem) Prepare(working []keys.Key) (*memps.WorkingSet, error) {
 		}
 		inFlight++
 		go func(nodeID int, ks []keys.Key) {
+			if bt != nil {
+				sub := ps.GetBlock(r.dim, ks)
+				bytes, err := bt.PullBlock(nodeID, ks, sub)
+				if err == nil {
+					r.net.recordPull(len(ks), bytes, time.Since(start))
+				}
+				resultCh <- pullResult{sub: sub, err: err}
+				return
+			}
 			res, bytes, err := r.transport.Pull(nodeID, ks)
 			if err == nil {
 				r.net.recordPull(len(ks), bytes, time.Since(start))
@@ -137,22 +153,24 @@ func (r *remoteMem) Prepare(working []keys.Key) (*memps.WorkingSet, error) {
 			if firstErr == nil {
 				firstErr = pr.err
 			}
+			ps.PutBlock(pr.sub)
 			continue
 		}
-		for k, v := range pr.res {
-			ws.Values[k] = v
+		if pr.sub != nil {
+			dst.ScatterRows(pr.sub) // drops rows the shard was never asked for
+			ps.PutBlock(pr.sub)
+			continue
 		}
+		dst.ScatterResult(ps.Result(pr.res))
 	}
 	if firstErr != nil {
 		return nil, fmt.Errorf("trainer: remote prepare: %w", firstErr)
 	}
-	// The shard pulls run in parallel; the batch pays the slowest, which the
-	// single start timestamp already measures.
 	ws.Stats.RemoteTime = time.Since(start)
-	if len(ws.Values) != len(working) {
+	if got := dst.PresentCount(); got != len(working) {
 		// The MEM-PS materializes first references, so a shard that answered
 		// at all answers completely; a gap means a shard bug.
-		return nil, fmt.Errorf("trainer: remote prepare returned %d of %d keys", len(ws.Values), len(working))
+		return nil, fmt.Errorf("trainer: remote prepare returned %d of %d keys", got, len(working))
 	}
 	return ws, nil
 }
@@ -160,19 +178,38 @@ func (r *remoteMem) Prepare(working []keys.Key) (*memps.WorkingSet, error) {
 // Push implements memService: it sends this node's shard partition of the
 // global deltas to the owning shard process. Every virtual node pushes only
 // its own partition, so each shard applies the global sum exactly once per
-// batch — the same once-per-owner discipline as the in-process MEM-PS.
+// batch — the same once-per-owner discipline as the in-process MEM-PS. Over
+// a block-capable transport the partition travels as one flat frame in
+// sorted key order (deterministic payloads, one encode pass).
 func (r *remoteMem) Push(req ps.PushRequest) error {
-	owned := make(map[keys.Key]*embedding.Value)
-	for k, d := range req.Deltas {
+	owned := make([]keys.Key, 0, len(req.Deltas))
+	for k := range req.Deltas {
 		if r.topo.NodeOf(k) == r.node {
-			owned[k] = d
+			owned = append(owned, k)
 		}
 	}
 	if len(owned) == 0 {
 		return nil
 	}
+	owned = keys.Dedup(owned)
+	bt, _ := r.transport.(cluster.BlockTransport)
 	start := time.Now()
-	bytes, err := r.transport.Push(r.node, owned)
+	var bytes int64
+	var err error
+	if bt != nil {
+		blk := ps.GetBlock(r.dim, owned)
+		for i, k := range owned {
+			blk.Set(i, req.Deltas[k])
+		}
+		bytes, err = bt.PushBlock(r.node, blk)
+		ps.PutBlock(blk)
+	} else {
+		deltas := make(map[keys.Key]*embedding.Value, len(owned))
+		for _, k := range owned {
+			deltas[k] = req.Deltas[k]
+		}
+		bytes, err = r.transport.Push(r.node, deltas)
+	}
 	if err != nil {
 		return fmt.Errorf("trainer: remote push: %w", err)
 	}

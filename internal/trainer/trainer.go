@@ -15,6 +15,31 @@
 // accuracy oracle of Fig 3b), larger values buy throughput at the price of
 // parameters at most MaxInFlight-1 batches stale, which is the trade the
 // paper's pipeline makes.
+//
+// # The batched hot path
+//
+// Parameter movement is batched end to end: stagePull assembles each node's
+// working set into a flat ps.ValueBlock (one row per unique key, no per-value
+// map), stageTrain loads that block straight into the HBM-PS, and each GPU
+// worker issues exactly one block pull and one block commit per mini-batch —
+// it dedups its shard's keys, pulls them into a reused ValueBlock, indexes
+// every example's features by row offset, applies the sparse optimizer to the
+// block in place, and commits the accumulated result. All scratch (blocks,
+// activations, gradients, offset buffers) is pool-recycled, so steady-state
+// batches allocate close to nothing.
+//
+// # Dense-tower staleness
+//
+// The dense tower is replicated across GPUs and modelled by one shared
+// network under a mutex. Workers take that lock once per micro-run of
+// denseMicroRun examples rather than once per example; within a run the
+// worker's examples see each other's dense updates exactly as before, but
+// updates from other GPU workers become visible only at micro-run boundaries.
+// A worker's dense replica is therefore at most denseMicroRun-1 examples
+// stale with respect to its peers — the same bounded-staleness trade the
+// batch pipeline already makes across batches, now applied within one. With a
+// single GPU (or the sequential test hook) there is no concurrent writer and
+// the semantics are bit-identical to per-example locking.
 package trainer
 
 import (
@@ -145,8 +170,12 @@ type node struct {
 
 // nodeBatch carries one node's view of a batch through the pipeline.
 type nodeBatch struct {
-	batch  *dataset.Batch
-	ws     *memps.WorkingSet
+	batch *dataset.Batch
+	ws    *memps.WorkingSet
+	// block holds the working-set values (flat rows, sorted unique-key
+	// order) between the pull and train stages; it is returned to the block
+	// pool as soon as the HBM-PS has loaded it.
+	block  *ps.ValueBlock
 	deltas map[keys.Key]*embedding.Value
 }
 
@@ -191,6 +220,15 @@ type Trainer struct {
 	// interleaving of per-node dense updates and parameter creation) so
 	// equivalence tests can compare two runs at a tight tolerance.
 	sequential bool
+
+	// perExample switches trainShard to the pre-batching reference
+	// implementation (per-example pulls and gradient pushes); a test hook
+	// used to assert the batched path reproduces it exactly.
+	perExample bool
+
+	// scratch pools per-GPU-worker training buffers (activations, gradients,
+	// offset/stamp scratch) across shards and batches.
+	scratch sync.Pool
 
 	mu            sync.Mutex
 	stageModelled map[string]time.Duration
@@ -256,6 +294,9 @@ func New(cfg Config) (*Trainer, error) {
 	t.net = nn.New(nn.Config{InputDim: dim, Hidden: cfg.Spec.HiddenLayers, Seed: cfg.Seed})
 	t.denseState = t.net.NewDenseState(t.denseOpt)
 	t.evalActs = t.net.NewActivations()
+	t.scratch.New = func() any {
+		return &shardScratch{acts: t.net.NewActivations(), grads: t.net.NewGradients()}
+	}
 
 	if remoteMode {
 		t.remote = cluster.NewTCPTransport(cfg.RemoteShards, dim)
@@ -295,7 +336,7 @@ func (t *Trainer) buildNode(id int, root string) (*node, error) {
 	if t.remote != nil {
 		// Multi-process mode: the MEM-PS/SSD-PS of this node live in the
 		// shard-server process; this node only keeps the RPC-backed view.
-		mem = &remoteMem{transport: t.remote, node: id, topo: cfg.Topology, net: t.remoteNet}
+		mem = &remoteMem{transport: t.remote, node: id, dim: cfg.Spec.EmbeddingDim, topo: cfg.Topology, net: t.remoteNet}
 	} else {
 		dev, err = blockio.NewDevice(filepath.Join(root, fmt.Sprintf("node-%d", id)), cfg.Profile.SSD, t.clock)
 		if err != nil {
@@ -485,11 +526,13 @@ func (t *Trainer) stagePull(_ context.Context, j *job) (*job, error) {
 	var modelled time.Duration
 	err := t.eachNode(func(n *node) error {
 		nb := j.nodes[n.id]
-		ws, err := n.mem.Prepare(nb.batch.Keys())
+		blk := ps.GetBlock(t.cfg.Spec.EmbeddingDim, nil)
+		ws, err := n.mem.PrepareInto(nb.batch.Keys(), blk)
 		if err != nil {
+			ps.PutBlock(blk)
 			return err
 		}
-		nb.ws = ws
+		nb.ws, nb.block = ws, blk
 		d := ws.Stats.LocalTime
 		if ws.Stats.RemoteTime > d {
 			d = ws.Stats.RemoteTime
@@ -518,9 +561,12 @@ func (t *Trainer) stageTrain(_ context.Context, j *job) (*job, error) {
 	err := t.eachNode(func(n *node) error {
 		nb := j.nodes[n.id]
 		before := n.hbm.Stats()
-		if err := n.hbm.LoadWorkingSet(nb.ws.Values); err != nil {
+		if err := n.hbm.LoadBlock(nb.block); err != nil {
 			return err
 		}
+		// The HBM-PS copied the values; recycle the block for later batches.
+		ps.PutBlock(nb.block)
+		nb.block = nil
 		if err := t.trainOnGPUs(n, nb.batch); err != nil {
 			return err
 		}
@@ -582,11 +628,126 @@ func (t *Trainer) trainOnGPUs(n *node, b *dataset.Batch) error {
 	return nil
 }
 
-// trainShard is one GPU worker's loop over its examples.
+// denseMicroRun is how many examples a GPU worker trains per dense-tower
+// lock hold; see the package comment's staleness discussion.
+const denseMicroRun = 32
+
+// shardScratch is one GPU worker's pooled training state: the dense buffers
+// plus the offset/stamp scratch of the batched sparse path. Pooled on
+// Trainer.scratch, so steady-state shards allocate nothing.
+type shardScratch struct {
+	acts  *nn.Activations
+	grads *nn.Gradients
+	vecs  [][]float32
+	offs  []int32
+	keys  []keys.Key
+	// stamp[row] == ver marks rows already updated by the current example,
+	// deduplicating repeated features within one example exactly like the
+	// per-example path's gradient map did.
+	stamp []uint32
+	ver   uint32
+}
+
+// trainShard trains one GPU worker's mini-batch with batched parameter
+// movement: one block pull of the shard's unique keys, offset-indexed
+// training against the block (applying the sparse optimizer in place, example
+// by example), and one block commit — in place of a pull and a gradient push
+// per example. With a single shard the arithmetic is bit-identical to the
+// per-example reference path (see CommitBlock); across concurrent shards the
+// per-key contributions combine additively rather than interleaving through
+// the shared tables.
 func (t *Trainer) trainShard(n *node, gpuID int, shard *dataset.Batch) error {
 	if shard.Len() == 0 {
 		return nil
 	}
+	if t.perExample {
+		return t.trainShardPerExample(n, gpuID, shard)
+	}
+	sc := t.scratch.Get().(*shardScratch)
+	defer t.scratch.Put(sc)
+
+	// The shard's unique key set, sorted: row offsets are binary searches.
+	kb := sc.keys[:0]
+	for i := range shard.Examples {
+		kb = append(kb, shard.Examples[i].Features...)
+	}
+	uniq := keys.Dedup(kb)
+	sc.keys = uniq
+
+	dim := t.cfg.Spec.EmbeddingDim
+	work := ps.GetBlock(dim, uniq)
+	defer ps.PutBlock(work)
+	if err := n.hbm.PullInto(ps.PullRequest{Shard: gpuID, Keys: uniq}, work); err != nil {
+		return err
+	}
+	orig := ps.GetBlock(dim, uniq)
+	defer ps.PutBlock(orig)
+	orig.CopyFrom(work)
+
+	if cap(sc.stamp) < len(uniq) {
+		sc.stamp = make([]uint32, len(uniq))
+	} else {
+		sc.stamp = sc.stamp[:len(uniq)]
+	}
+
+	examples := shard.Examples
+	for start := 0; start < len(examples); start += denseMicroRun {
+		end := min(start+denseMicroRun, len(examples))
+		// One lock hold per micro-run: the dense replica syncs with other
+		// workers at run boundaries (package comment, "Dense-tower
+		// staleness").
+		t.denseMu.Lock()
+		for e := start; e < end; e++ {
+			ex := &examples[e]
+			sc.vecs = sc.vecs[:0]
+			sc.offs = sc.offs[:0]
+			for _, k := range ex.Features {
+				row, _ := work.Row(k) // every feature is in the shard's key set
+				off := int32(row)
+				sc.offs = append(sc.offs, off)
+				sc.vecs = append(sc.vecs, work.WeightsRow(int(off)))
+			}
+			nn.PoolSum(sc.acts.Input(), sc.vecs)
+			pred := t.net.Forward(sc.acts)
+			sc.grads.Zero()
+			inputGrad := t.net.Backward(sc.acts, pred, ex.Label, sc.grads)
+			t.net.Apply(t.denseOpt, t.denseState, sc.grads)
+			t.loss.Add(float64(pred), float64(ex.Label))
+
+			// With sum pooling every referenced feature receives the input
+			// gradient; apply the sparse optimizer to the block in place so
+			// later examples of this shard see the update, exactly like the
+			// per-example path reading back from the tables. The sparse loop
+			// deliberately stays inside the denseMu hold even though it only
+			// touches the worker-private block: the next example's gather
+			// must observe it for bit-parity with the reference path, and it
+			// is small next to the dense forward/backward it rides with.
+			sc.ver++
+			if sc.ver == 0 { // stamp wrapped: reset the epoch space
+				for i := range sc.stamp {
+					sc.stamp[i] = 0
+				}
+				sc.ver = 1
+			}
+			for _, off := range sc.offs {
+				if sc.stamp[off] == sc.ver {
+					continue // repeated feature within the example
+				}
+				sc.stamp[off] = sc.ver
+				t.sparseOpt.ApplySparse(work.WeightsRow(int(off)), work.G2Row(int(off)), inputGrad)
+				work.Freq[off]++
+			}
+		}
+		t.denseMu.Unlock()
+	}
+	return n.hbm.CommitBlock(gpuID, orig, work)
+}
+
+// trainShardPerExample is the pre-batching reference implementation: pull
+// the example's embeddings, train, push the gradients — per example. It is
+// kept (behind the perExample hook) so tests can assert the batched path
+// reproduces it exactly.
+func (t *Trainer) trainShardPerExample(n *node, gpuID int, shard *dataset.Batch) error {
 	acts := t.net.NewActivations()
 	grads := t.net.NewGradients()
 	vecs := make([][]float32, 0, t.cfg.Data.NonZerosPerExample)

@@ -120,6 +120,47 @@ func TestConvergesToReferenceOracle(t *testing.T) {
 	}
 }
 
+// TestBatchedMatchesPerExample pins the batched hot path's arithmetic: with
+// a single GPU and the sequential hook (no concurrent writers anywhere) the
+// block pull -> offset-indexed in-place training -> block commit cycle is
+// bit-for-bit the same computation as the per-example pull/push reference
+// path, so the two runs must produce the *identical* AUC — not merely a
+// close one.
+func TestBatchedMatchesPerExample(t *testing.T) {
+	data := testData()
+	spec := testSpec()
+	run := func(perExample bool) float64 {
+		tr, err := New(Config{
+			Spec:        spec,
+			Data:        data,
+			Topology:    cluster.Topology{Nodes: 1, GPUsPerNode: 1},
+			BatchSize:   128,
+			Batches:     20,
+			MaxInFlight: 1,
+			Seed:        7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { tr.Close() })
+		tr.sequential = true
+		tr.perExample = perExample
+		if err := tr.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return evalAUC(t, tr, dataset.NewGenerator(data, 999), 1500)
+	}
+	batched := run(false)
+	perExample := run(true)
+	t.Logf("batched AUC = %.6f, per-example AUC = %.6f", batched, perExample)
+	if batched != perExample {
+		t.Fatalf("batched path diverged from the per-example reference: %.9f != %.9f", batched, perExample)
+	}
+	if batched < 0.6 {
+		t.Fatalf("both paths failed to learn (AUC %.4f)", batched)
+	}
+}
+
 // TestMultiNodeMultiGPU drives the full distributed path: remote MEM-PS
 // pulls, per-GPU concurrent workers, inter-node delta synchronization, and
 // eviction pressure that exercises the SSD-PS.
