@@ -2,12 +2,15 @@ package cluster
 
 import (
 	"errors"
+	"net"
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"hps/internal/embedding"
 	"hps/internal/keys"
+	"hps/internal/ps"
 )
 
 func TestTopologyValidate(t *testing.T) {
@@ -217,6 +220,75 @@ func TestTCPTransportConcurrentPulls(t *testing.T) {
 	}
 }
 
+// wireHandler wraps mapHandler with the zero-intermediate pull-block path,
+// encoding rows straight into the frame buffer.
+type wireHandler struct {
+	*mapHandler
+	calls int
+	fail  bool
+}
+
+func (h *wireHandler) HandlePullBlockWire(ks []keys.Key, dst []byte) ([]byte, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.calls++
+	if h.fail {
+		return dst, errors.New("wire handler broken")
+	}
+	dst = ps.AppendWireHeader(dst, h.dim, len(ks))
+	for _, k := range ks {
+		v, ok := h.vals[k]
+		if !ok {
+			v = embedding.NewValue(h.dim)
+			v.Weights[0] = float32(k)
+			h.vals[k] = v
+		}
+		dst = ps.AppendWireRow(dst, true, v.Freq, v.Weights, v.G2Sum)
+	}
+	return dst, nil
+}
+
+// TestTCPPullBlockPrefersWireHandler asserts the server serves pull-block
+// RPCs through BlockPullWireHandler when the handler offers it, and that the
+// frames it produces decode identically to the staged block path.
+func TestTCPPullBlockPrefersWireHandler(t *testing.T) {
+	h := &wireHandler{mapHandler: newMapHandler(4)}
+	srv, err := ServeTCP("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tr := NewTCPTransport(map[int]string{0: srv.Addr()}, 4)
+	defer tr.Close()
+
+	ks := []keys.Key{5, 6, 7}
+	blk := ps.NewValueBlock(4)
+	if _, err := tr.PullBlock(0, ks, blk); err != nil {
+		t.Fatal(err)
+	}
+	if h.calls == 0 {
+		t.Fatal("server did not use the wire handler")
+	}
+	if blk.Len() != 3 || blk.PresentCount() != 3 || blk.WeightsRow(1)[0] != 6 {
+		t.Fatalf("wire-served block = keys %v present %v w %v", blk.Keys, blk.Present, blk.Weights)
+	}
+
+	// A wire-handler error surfaces like any handler error, and the
+	// connection stays usable afterwards.
+	h.mu.Lock()
+	h.fail = true
+	h.mu.Unlock()
+	if _, err := tr.PullBlock(0, ks, blk); err == nil {
+		t.Fatal("wire handler error should surface at the client")
+	}
+	h.mu.Lock()
+	h.fail = false
+	h.mu.Unlock()
+	if _, err := tr.PullBlock(0, ks, blk); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestTCPServerHandlerError(t *testing.T) {
 	h := newMapHandler(2)
 	h.err = errors.New("storage offline")
@@ -229,6 +301,77 @@ func TestTCPServerHandlerError(t *testing.T) {
 	defer tr.Close()
 	if _, _, err := tr.Pull(0, []keys.Key{1}); err == nil {
 		t.Fatal("handler error should surface at the client")
+	}
+}
+
+// TestRPCDeadlineSurfacesStalledShard covers the ROADMAP-flagged hang: a
+// shard that accepts the connection (and even reads the request) but never
+// answers must fail the RPC within the per-RPC deadline as a retryable
+// TransportError, not block it forever.
+func TestRPCDeadlineSurfacesStalledShard(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				// Drain whatever arrives, answer nothing: alive, stalled.
+				buf := make([]byte, 4096)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	tr := NewTCPTransport(map[int]string{0: ln.Addr().String()}, 2)
+	defer tr.Close()
+	tr.SetRetryPolicy(RetryPolicy{Attempts: 2, Backoff: time.Millisecond, RPCTimeout: 50 * time.Millisecond})
+
+	start := time.Now()
+	_, _, err = tr.Pull(0, []keys.Key{1})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("pull against a stalled shard must fail")
+	}
+	if !Retryable(err) {
+		t.Fatalf("stall must surface as a retryable TransportError, got %T: %v", err, err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("deadline did not bound the stall: took %v", elapsed)
+	}
+	if st := tr.Stats(); st.Retries == 0 {
+		t.Fatalf("expected the stalled RPC to be retried, stats = %+v", st)
+	}
+}
+
+// TestRPCDeadlineDefaultsApplied asserts the zero-value policy fields resolve
+// to the bounded defaults (a stalled shard must never hang by default) and
+// that negative values opt out.
+func TestRPCDeadlineDefaultsApplied(t *testing.T) {
+	var p RetryPolicy
+	if p.dial() != DefaultDialTimeout || p.rpc() != DefaultRPCTimeout {
+		t.Fatalf("zero policy deadlines = %v/%v, want defaults", p.dial(), p.rpc())
+	}
+	p = RetryPolicy{DialTimeout: -1, RPCTimeout: -1}
+	if p.dial() != 0 || p.rpc() != 0 {
+		t.Fatalf("negative policy deadlines = %v/%v, want unbounded", p.dial(), p.rpc())
 	}
 }
 

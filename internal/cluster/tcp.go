@@ -295,6 +295,23 @@ func (s *TCPServer) dispatch(req *wireRequest) (resp *wireResponse, release func
 		}
 		resp.setResult(res)
 	case opPullBlock:
+		if h, ok := s.handler.(BlockPullWireHandler); ok {
+			// Zero-intermediate path: the handler encodes its value rows
+			// straight into the outgoing frame buffer.
+			buf := getScratch()
+			out, err := h.HandlePullBlockWire(req.Keys, (*buf)[:0])
+			if err != nil {
+				if out != nil {
+					*buf = out[:0] // keep whatever the handler grew the buffer to
+				}
+				putScratch(buf)
+				resp.Err = err.Error()
+				return resp, nil
+			}
+			resp.Block = out
+			release = func() { *buf = resp.Block[:0]; putScratch(buf) }
+			return resp, release
+		}
 		blk := ps.GetBlock(0, nil)
 		defer ps.PutBlock(blk)
 		if h, ok := s.handler.(BlockPullHandler); ok {
@@ -395,7 +412,9 @@ func (s *TCPServer) dispatch(req *wireRequest) (resp *wireResponse, release func
 	return resp, release
 }
 
-// RetryPolicy controls how the TCP transport handles network failures.
+// RetryPolicy controls how the TCP transport handles network failures,
+// including how long it is willing to wait for a peer that accepts traffic
+// but never answers.
 type RetryPolicy struct {
 	// Attempts is the total number of tries per RPC (first try included).
 	Attempts int
@@ -403,6 +422,41 @@ type RetryPolicy struct {
 	// the default policy rides out a shard-server restart of a few hundred
 	// milliseconds.
 	Backoff time.Duration
+	// DialTimeout bounds connection establishment to a peer. Zero means the
+	// default (an unreachable-but-routing peer must not hang the dial);
+	// negative disables the bound.
+	DialTimeout time.Duration
+	// RPCTimeout bounds one RPC round trip (write request, read reply) once a
+	// connection exists. A stalled-but-alive shard — accepted the connection,
+	// never answers — therefore surfaces as a retryable TransportError
+	// instead of blocking the RPC forever. Zero means the default; negative
+	// disables the bound (a test serving deliberately slow handlers can opt
+	// out).
+	RPCTimeout time.Duration
+}
+
+// Default deadlines installed when the corresponding RetryPolicy field is
+// zero. The RPC bound is generous: it only has to beat "forever", not a slow
+// SSD load on the far side.
+const (
+	DefaultDialTimeout = 5 * time.Second
+	DefaultRPCTimeout  = 30 * time.Second
+)
+
+// dial returns the effective dial timeout (0 = unbounded).
+func (p RetryPolicy) dial() time.Duration {
+	if p.DialTimeout == 0 {
+		return DefaultDialTimeout
+	}
+	return max(p.DialTimeout, 0)
+}
+
+// rpc returns the effective per-RPC timeout (0 = unbounded).
+func (p RetryPolicy) rpc() time.Duration {
+	if p.RPCTimeout == 0 {
+		return DefaultRPCTimeout
+	}
+	return max(p.RPCTimeout, 0)
 }
 
 // DefaultRetryPolicy is the policy NewTCPTransport installs.
@@ -502,7 +556,7 @@ func (t *TCPTransport) Stats() TransportStats {
 	}
 }
 
-func (t *TCPTransport) conn(nodeID int) (*tcpConn, error) {
+func (t *TCPTransport) conn(nodeID int, dialTimeout time.Duration) (*tcpConn, error) {
 	t.mu.Lock()
 	if c, ok := t.conns[nodeID]; ok {
 		t.mu.Unlock()
@@ -514,8 +568,9 @@ func (t *TCPTransport) conn(nodeID int) (*tcpConn, error) {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, nodeID)
 	}
 	// Dial outside the transport lock: a slow or unreachable peer must not
-	// stall RPCs to the healthy ones.
-	conn, err := net.Dial("tcp", addr)
+	// stall RPCs to the healthy ones. The dial deadline keeps a
+	// routing-but-dead peer from hanging this RPC's attempt.
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("dial %s: %w", addr, err)
 	}
@@ -565,7 +620,7 @@ func (t *TCPTransport) call(nodeID int, req *wireRequest) (*wireResponse, error)
 				time.Sleep(backoff)
 			}
 		}
-		c, err := t.conn(nodeID)
+		c, err := t.conn(nodeID, policy.dial())
 		if err != nil {
 			if errors.Is(err, ErrUnknownNode) {
 				return nil, err
@@ -573,7 +628,7 @@ func (t *TCPTransport) call(nodeID int, req *wireRequest) (*wireResponse, error)
 			lastErr = err // dial failure: the peer may be restarting
 			continue
 		}
-		resp, err := t.roundTrip(c, req)
+		resp, err := t.roundTrip(c, req, policy.rpc())
 		if err != nil {
 			t.dropConn(nodeID, c)
 			lastErr = err
@@ -588,9 +643,22 @@ func (t *TCPTransport) call(nodeID int, req *wireRequest) (*wireResponse, error)
 	return nil, &TransportError{Node: nodeID, Op: opName(req.Op), Attempts: policy.Attempts, Err: lastErr}
 }
 
-func (t *TCPTransport) roundTrip(c *tcpConn, req *wireRequest) (*wireResponse, error) {
+func (t *TCPTransport) roundTrip(c *tcpConn, req *wireRequest, timeout time.Duration) (*wireResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// One deadline covers the whole round trip; a peer that accepted the
+	// connection but stopped answering fails the read instead of parking the
+	// RPC forever. The caller drops the connection on any error, so a frame
+	// cut short by the deadline can never desynchronize a reused stream.
+	if timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, fmt.Errorf("set deadline: %w", err)
+		}
+	} else {
+		if err := c.conn.SetDeadline(time.Time{}); err != nil {
+			return nil, fmt.Errorf("clear deadline: %w", err)
+		}
+	}
 	if err := writeFrame(c.conn, req); err != nil {
 		return nil, fmt.Errorf("send: %w", err)
 	}

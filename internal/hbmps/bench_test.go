@@ -83,6 +83,64 @@ func BenchmarkPullPush(b *testing.B) {
 	}
 }
 
+// benchCollectSetup loads a working set of n keys and trains a quarter of
+// them so a collect sees a realistic mix of changed and untouched rows.
+func benchCollectSetup(b *testing.B, n int) *HBMPS {
+	b.Helper()
+	h := benchHBM(b, 4)
+	ws := benchWorkingSet(n)
+	if err := h.LoadWorkingSet(ws); err != nil {
+		b.Fatal(err)
+	}
+	all := make([]keys.Key, 0, len(ws))
+	for k := range ws {
+		all = append(all, k)
+	}
+	grad := make([]float32, 8)
+	grad[0] = 0.1
+	opt := optimizer.Adagrad{LR: 0.05, InitialAccumulator: 0.1}
+	grads := make(map[keys.Key][]float32, n/4)
+	for _, k := range all[:n/4] {
+		grads[k] = grad
+	}
+	if err := h.PushGrads(0, grads, opt); err != nil {
+		b.Fatal(err)
+	}
+	return h
+}
+
+// BenchmarkCollectUpdates measures the map-building delta collection
+// (Algorithm 1 line 16): one heap-allocated embedding.Value per working-set
+// key, kept only for the changed ones. It is the pre-block baseline the
+// batched BenchmarkCollectBlock replaces on the hot path.
+func BenchmarkCollectUpdates(b *testing.B) {
+	h := benchCollectSetup(b, 8192)
+	defer h.Release()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := len(h.CollectUpdates()); got == 0 {
+			b.Fatal("no deltas collected")
+		}
+	}
+}
+
+// BenchmarkCollectBlock measures the block-native delta collection that
+// replaces BenchmarkCollectUpdates on the hot path: changed-key deltas
+// computed with the fused subtract-and-test kernel straight into a reused
+// flat block — O(1) allocations once the block's slabs are warm.
+func BenchmarkCollectBlock(b *testing.B) {
+	h := benchCollectSetup(b, 8192)
+	defer h.Release()
+	blk := ps.NewValueBlock(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.CollectBlock(blk)
+		if blk.Len() == 0 {
+			b.Fatal("no deltas collected")
+		}
+	}
+}
+
 // BenchmarkPullCommitBlock measures the batched replacement of the
 // BenchmarkPullPush cycle: one block pull of the mini-batch's key set into a
 // reused ValueBlock, the sparse optimizer applied to the block in place, and

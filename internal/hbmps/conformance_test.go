@@ -7,10 +7,147 @@ import (
 	"hps/internal/hbmps"
 	"hps/internal/hw"
 	"hps/internal/keys"
+	"hps/internal/optimizer"
 	"hps/internal/ps"
 	"hps/internal/ps/conformance"
 	"hps/internal/simtime"
 )
+
+// TestCollectAgrees is the conformance check for delta collection: the
+// block-native CollectBlock and the map form CollectUpdates must report
+// identical keys and bit-identical weight/accumulator/frequency deltas, and
+// both must agree with an independent reference computed from the tier's own
+// Pull — including the changed-key filter (untouched parameters absent,
+// frequency-only changes present).
+func TestCollectAgrees(t *testing.T) {
+	const dim = 8
+	const n = 96
+	clock := simtime.NewClock()
+	h, err := hbmps.New(hbmps.Config{
+		NumGPUs:    2,
+		Dim:        dim,
+		GPUProfile: hw.DefaultGPUNode().GPU,
+		Clock:      clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Load a sorted working-set block so collection order is deterministic.
+	ks := make([]keys.Key, n)
+	for i := range ks {
+		ks[i] = keys.Key(i*3 + 1)
+	}
+	loadBlk := ps.NewValueBlock(dim)
+	loadBlk.Reset(dim, ks)
+	for i := range ks {
+		v := embedding.NewValue(dim)
+		for j := range v.Weights {
+			v.Weights[j] = float32(i) + float32(j)*0.25
+			v.G2Sum[j] = 0.1 * float32(j+1)
+		}
+		v.Freq = uint32(i)
+		loadBlk.Set(i, v)
+	}
+	if err := h.LoadBlock(loadBlk); err != nil {
+		t.Fatal(err)
+	}
+	orig := ps.NewValueBlock(dim)
+	orig.CopyFrom(loadBlk)
+
+	// Mutate a third of the keys through the optimizer, bump only the
+	// frequency of another third, and leave the rest untouched.
+	opt := optimizer.Adagrad{LR: 0.05, InitialAccumulator: 0.1}
+	grad := make([]float32, dim)
+	grad[0], grad[dim-1] = 0.5, -0.25
+	grads := make(map[keys.Key][]float32)
+	for i := 0; i < n/3; i++ {
+		grads[ks[i]] = grad
+	}
+	if err := h.PushGrads(0, grads, opt); err != nil {
+		t.Fatal(err)
+	}
+	freqOnly := make(map[keys.Key]*embedding.Value)
+	for i := n / 3; i < 2*n/3; i++ {
+		d := embedding.NewValue(dim) // zero weights/g2: frequency-only delta
+		d.Freq = 2
+		freqOnly[ks[i]] = d
+	}
+	if err := h.Push(ps.PushRequest{Shard: ps.NoShard, Deltas: freqOnly}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Independent reference: current values straight from the tier, minus the
+	// loaded ones, keeping only non-zero deltas.
+	cur, err := h.Pull(ps.PullRequest{Shard: 0, Keys: ks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[keys.Key]*embedding.Value)
+	for i, k := range ks {
+		d := embedding.NewValue(dim)
+		changed := false
+		for j := range d.Weights {
+			d.Weights[j] = cur[k].Weights[j] - orig.WeightsRow(i)[j]
+			d.G2Sum[j] = cur[k].G2Sum[j] - orig.G2Row(i)[j]
+			if d.Weights[j] != 0 || d.G2Sum[j] != 0 {
+				changed = true
+			}
+		}
+		d.Freq = cur[k].Freq - orig.Freq[i]
+		if changed || d.Freq != 0 {
+			want[k] = d
+		}
+	}
+	if len(want) != 2*(n/3) {
+		t.Fatalf("reference expects %d changed keys, want %d", len(want), 2*(n/3))
+	}
+
+	blk := ps.NewValueBlock(dim)
+	h.CollectBlock(blk)
+	if blk.Len() != len(want) {
+		t.Fatalf("CollectBlock returned %d rows, want %d", blk.Len(), len(want))
+	}
+	if !keys.SortedUnique(blk.Keys) {
+		t.Fatalf("CollectBlock rows not in sorted working-set order: %v", blk.Keys)
+	}
+	for i, k := range blk.Keys {
+		ref := want[k]
+		if ref == nil {
+			t.Fatalf("CollectBlock reported unchanged key %d", k)
+		}
+		if !blk.Present[i] {
+			t.Fatalf("collected row %d (key %d) absent", i, k)
+		}
+		if blk.Freq[i] != ref.Freq {
+			t.Fatalf("key %d freq delta = %d, want %d", k, blk.Freq[i], ref.Freq)
+		}
+		for j := range ref.Weights {
+			if blk.WeightsRow(i)[j] != ref.Weights[j] || blk.G2Row(i)[j] != ref.G2Sum[j] {
+				t.Fatalf("key %d delta row differs from reference at element %d", k, j)
+			}
+		}
+	}
+
+	deltas := h.CollectUpdates()
+	if len(deltas) != len(want) {
+		t.Fatalf("CollectUpdates returned %d deltas, want %d", len(deltas), len(want))
+	}
+	for k, ref := range want {
+		d := deltas[k]
+		if d == nil {
+			t.Fatalf("CollectUpdates missing key %d", k)
+		}
+		if d.Freq != ref.Freq {
+			t.Fatalf("key %d map freq delta = %d, want %d", k, d.Freq, ref.Freq)
+		}
+		for j := range ref.Weights {
+			if d.Weights[j] != ref.Weights[j] || d.G2Sum[j] != ref.G2Sum[j] {
+				t.Fatalf("key %d map delta differs from reference at element %d", k, j)
+			}
+		}
+	}
+}
 
 // TestTierConformance runs the shared ps.Tier suite against the HBM-PS: the
 // top tier, which only ever holds the loaded working set — pulling a key

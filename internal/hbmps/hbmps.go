@@ -32,6 +32,7 @@ import (
 	"hps/internal/optimizer"
 	"hps/internal/ps"
 	"hps/internal/simtime"
+	"hps/internal/tensor"
 )
 
 // Config configures the HBM-PS of a single node.
@@ -548,44 +549,61 @@ func (h *HBMPS) recordPushTraffic(shard, applied int, localBytes, remoteBytes in
 	h.rec.RecordPush(applied, pushTime)
 }
 
-// CollectUpdates returns, for every parameter of the working set, the delta
-// between its current value in the GPU hash tables and its value when the
-// working set was loaded (Algorithm 1 line 16). The deltas are what the
+// CollectBlock writes, for every parameter of the working set whose value
+// changed since it was loaded, the delta between its current value in the GPU
+// hash tables and its loaded value into dst (Algorithm 1 line 16) — flat
+// weight/g2 rows in working-set order (sorted, on the trainer's path), one
+// pass per key under its table's shard lock, no per-key allocation once dst's
+// slabs have grown to the steady delta size. The deltas are what the
 // inter-node synchronization exchanges and what the MEM-PS applies to the
 // authoritative copies.
-func (h *HBMPS) CollectUpdates() map[keys.Key]*embedding.Value {
+//
+// Each candidate row is appended speculatively and the subtraction computed
+// straight into it with the fused subtract-and-test kernel; rows whose delta
+// turns out to be exactly zero (weights, accumulators and frequency alike)
+// are withdrawn, so dst ends up holding only the changed keys.
+func (h *HBMPS) CollectBlock(dst *ps.ValueBlock) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	out := make(map[keys.Key]*embedding.Value, len(h.origSet.Keys))
+	dst.Reset(h.cfg.Dim, nil)
+	dst.Grow(len(h.origSet.Keys))
 	for i, k := range h.origSet.Keys {
 		table := h.devices[h.gpuOf(k)].Table()
 		if table == nil {
 			continue
 		}
-		origW := h.origSet.WeightsRow(i)
-		origG := h.origSet.G2Row(i)
-		delta := embedding.NewValue(h.cfg.Dim)
+		// Uninitialized grow: the fused kernel below writes every element of
+		// the row, and a row whose View fails is truncated before anything
+		// can observe it.
+		row := dst.GrowRowUninit(k)
+		dw, dg := dst.WeightsRow(row), dst.G2Row(row)
+		origW, origG := h.origSet.WeightsRow(i), h.origSet.G2Row(i)
 		changed := false
+		var freqDelta uint32
 		// Read under the table's shard lock in case workers are still
 		// pushing updates.
 		ok := table.View(k, func(cur *embedding.Value) {
-			for j := range delta.Weights {
-				delta.Weights[j] = cur.Weights[j] - origW[j]
-				if delta.Weights[j] != 0 {
-					changed = true
-				}
-				delta.G2Sum[j] = cur.G2Sum[j] - origG[j]
-				if delta.G2Sum[j] != 0 {
-					changed = true
-				}
-			}
-			delta.Freq = cur.Freq - h.origSet.Freq[i]
+			wChanged := tensor.SubAnyNonZero(dw, cur.Weights, origW)
+			gChanged := tensor.SubAnyNonZero(dg, cur.G2Sum, origG)
+			changed = wChanged || gChanged
+			freqDelta = cur.Freq - h.origSet.Freq[i]
 		})
-		if ok && (changed || delta.Freq != 0) {
-			out[k] = delta
+		if !ok || (!changed && freqDelta == 0) {
+			dst.TruncateLast()
+			continue
 		}
+		dst.Freq[row] = freqDelta
 	}
-	return out
+}
+
+// CollectUpdates is the map form of CollectBlock, kept as a thin adapter for
+// tests and map-based callers: one freshly allocated embedding.Value per
+// changed key. The hot path uses CollectBlock directly.
+func (h *HBMPS) CollectUpdates() map[keys.Key]*embedding.Value {
+	blk := ps.GetBlock(h.cfg.Dim, nil)
+	defer ps.PutBlock(blk)
+	h.CollectBlock(blk)
+	return blk.Deltas()
 }
 
 // ApplyRemoteDeltas merges deltas received from other nodes into the local

@@ -17,6 +17,7 @@ import (
 
 	"hps/internal/hw"
 	"hps/internal/simtime"
+	"hps/internal/tensor"
 )
 
 // Fabric charges transfer times for the four link types of a node.
@@ -157,7 +158,9 @@ func NaiveAllToAllTime(bytesPerGPU int64, nodes, gpusPerNode int, rdma, nvlink h
 
 // AllReduceSum element-wise sums the buffers (one per participant) and
 // writes the result back into every buffer — the data movement performed by
-// the parameter synchronization. All buffers must have identical length.
+// the parameter synchronization. All buffers must have identical length. The
+// accumulation runs through the shared unrolled tensor kernel (the same
+// flat-slab fast path the delta merges use) rather than a scalar loop.
 func AllReduceSum(buffers [][]float32) error {
 	if len(buffers) == 0 {
 		return nil
@@ -169,10 +172,9 @@ func AllReduceSum(buffers [][]float32) error {
 		}
 	}
 	sum := make([]float32, n)
-	for _, b := range buffers {
-		for i, v := range b {
-			sum[i] += v
-		}
+	copy(sum, buffers[0])
+	for _, b := range buffers[1:] {
+		tensor.Add(b, sum)
 	}
 	for _, b := range buffers {
 		copy(b, sum)
@@ -191,9 +193,7 @@ func AllReduceMean(buffers [][]float32) error {
 	}
 	inv := 1 / float32(len(buffers))
 	for _, b := range buffers {
-		for i := range b {
-			b[i] *= inv
-		}
+		tensor.Scale(inv, b)
 	}
 	return nil
 }

@@ -130,9 +130,10 @@ type MemPS struct {
 }
 
 var (
-	_ ps.Tier        = (*MemPS)(nil)
-	_ ps.BlockPuller = (*MemPS)(nil)
-	_ ps.BlockPusher = (*MemPS)(nil)
+	_ ps.Tier                      = (*MemPS)(nil)
+	_ ps.BlockPuller               = (*MemPS)(nil)
+	_ ps.BlockPusher               = (*MemPS)(nil)
+	_ cluster.BlockPullWireHandler = (*MemPS)(nil)
 )
 
 // New constructs a MEM-PS. It validates the configuration.
@@ -532,27 +533,42 @@ func (m *MemPS) loadUncached(ks []keys.Key) (map[keys.Key]*embedding.Value, time
 	return m.cfg.Store.LoadTimed(keys.Dedup(toLoad))
 }
 
-// HandlePull implements cluster.PullHandler: it serves parameter pulls from
-// other nodes (or a multi-process driver) for the shard this node owns.
-// Served parameters enter the cache (they are now "recently used") but are
-// not pinned, and the serve is recorded in the tier's uniform statistics.
-func (m *MemPS) HandlePull(ks []keys.Key) (cluster.PullResult, error) {
+// servePull is the shared serving prologue of every pull-RPC handler: it
+// verifies ownership of ks, batch-loads the cold parameters from the SSD-PS,
+// resolves each key to its authoritative value (materializing first
+// references) under m.mu, and hands them to emit in request order. Served
+// parameters enter the cache (they are now "recently used") but are not
+// pinned. The returned duration is the SSD load time; the caller records the
+// serve in the tier statistics with its own served-key count (the map path
+// counts duplicate request keys once).
+func (m *MemPS) servePull(ks []keys.Key, emit func(i int, k keys.Key, v *embedding.Value)) (time.Duration, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, k := range ks {
 		if !m.ownsKey(k) {
-			return nil, fmt.Errorf("memps: node %d asked for key %d owned by node %d",
+			return 0, fmt.Errorf("memps: node %d asked for key %d owned by node %d",
 				m.cfg.NodeID, k, m.cfg.Topology.NodeOf(k))
 		}
 	}
 	loaded, loadTime, err := m.loadUncached(ks)
 	if err != nil {
-		return nil, fmt.Errorf("memps: handle pull: %w", err)
+		return 0, fmt.Errorf("memps: handle pull: %w", err)
 	}
+	for i, k := range ks {
+		emit(i, k, m.localLookup(k, loaded, nil))
+	}
+	return loadTime, nil
+}
+
+// HandlePull implements cluster.PullHandler: it serves parameter pulls from
+// other nodes (or a multi-process driver) for the shard this node owns.
+func (m *MemPS) HandlePull(ks []keys.Key) (cluster.PullResult, error) {
 	out := make(cluster.PullResult, len(ks))
-	for _, k := range ks {
-		v := m.localLookup(k, loaded, nil)
+	loadTime, err := m.servePull(ks, func(_ int, k keys.Key, v *embedding.Value) {
 		out[k] = v.Clone()
+	})
+	if err != nil {
+		return nil, err
 	}
 	m.rec.RecordPull(len(out), loadTime)
 	return out, nil
@@ -679,24 +695,34 @@ func (m *MemPS) applyBlock(blk *ps.ValueBlock) error {
 // values written straight into dst's flat rows (request-key order) instead of
 // a per-value map.
 func (m *MemPS) HandlePullBlock(ks []keys.Key, dst *ps.ValueBlock) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	dst.Reset(m.cfg.Dim, ks)
-	for _, k := range ks {
-		if !m.ownsKey(k) {
-			return fmt.Errorf("memps: node %d asked for key %d owned by node %d",
-				m.cfg.NodeID, k, m.cfg.Topology.NodeOf(k))
-		}
-	}
-	loaded, loadTime, err := m.loadUncached(ks)
+	loadTime, err := m.servePull(ks, func(i int, _ keys.Key, v *embedding.Value) {
+		dst.Set(i, v)
+	})
 	if err != nil {
-		return fmt.Errorf("memps: handle pull: %w", err)
-	}
-	for i, k := range ks {
-		dst.Set(i, m.localLookup(k, loaded, nil))
+		return err
 	}
 	m.rec.RecordPull(len(ks), loadTime)
 	return nil
+}
+
+// HandlePullBlockWire implements cluster.BlockPullWireHandler —
+// HandlePullBlock's contract with the reply encoded straight into the
+// outgoing frame: each served value's rows are copied exactly once, from the
+// cache's own storage into dst's wire bytes, under the MEM-PS lock. Hot keys
+// (the steady state, where the cache holds the whole working set) therefore
+// cross neither an intermediate embedding.Value nor an intermediate
+// ValueBlock on their way to the socket.
+func (m *MemPS) HandlePullBlockWire(ks []keys.Key, dst []byte) ([]byte, error) {
+	out := ps.AppendWireHeader(dst, m.cfg.Dim, len(ks))
+	loadTime, err := m.servePull(ks, func(_ int, _ keys.Key, v *embedding.Value) {
+		out = ps.AppendWireRow(out, true, v.Freq, v.Weights, v.G2Sum)
+	})
+	if err != nil {
+		return out, err // the caller discards the content, not the buffer
+	}
+	m.rec.RecordPull(len(ks), loadTime)
+	return out, nil
 }
 
 // HandlePushBlock implements cluster.BlockPushHandler: the block-frame form

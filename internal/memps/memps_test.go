@@ -347,6 +347,72 @@ func TestMultiNodeRemotePull(t *testing.T) {
 	}
 }
 
+// TestHandlePullBlockWireMatchesBlock asserts the zero-intermediate wire
+// serving path produces byte-for-byte the frame the block path would: the
+// same working set served through HandlePullBlock + AppendWire and through
+// HandlePullBlockWire must encode identically, across cache hits, SSD
+// reloads and first references.
+func TestHandlePullBlockWireMatchesBlock(t *testing.T) {
+	m := singleNode(t, 16, 16)
+	ks := []keys.Key{3, 7, 11, 19, 23}
+	// Mixed serving states: train some keys in, evict one to the SSD, and
+	// leave the rest to be materialized on first reference.
+	if _, err := m.Prepare(ks[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Evict([]keys.Key{ks[1]}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The wire handler materializes first references, so serve the block path
+	// against an identically-seeded twin to compare equal first-reference
+	// values (serving order is the request order for both).
+	twin := singleNode(t, 16, 16)
+	if _, err := twin.Prepare(ks[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := twin.Evict([]keys.Key{ks[1]}); err != nil {
+		t.Fatal(err)
+	}
+
+	wire, err := m.HandlePullBlockWire(ks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := ps.NewValueBlock(twin.Dim())
+	if err := twin.HandlePullBlock(ks, blk); err != nil {
+		t.Fatal(err)
+	}
+	want := blk.AppendWire(nil)
+	if len(wire) != len(want) {
+		t.Fatalf("frame sizes differ: wire %d, block %d", len(wire), len(want))
+	}
+	for i := range want {
+		if wire[i] != want[i] {
+			t.Fatalf("byte %d differs: %d != %d", i, wire[i], want[i])
+		}
+	}
+
+	// Foreign keys are rejected, exactly like the block path.
+	clock := simtime.NewClock()
+	multi, err := New(Config{
+		NodeID:     0,
+		Dim:        4,
+		Topology:   cluster.Topology{Nodes: 2, GPUsPerNode: 1},
+		Transport:  cluster.NoRoute{},
+		Store:      newStore(t, 4, clock),
+		Clock:      clock,
+		LRUEntries: 16,
+		LFUEntries: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := multi.HandlePullBlockWire([]keys.Key{1}, nil); err == nil { // odd keys belong to node 1
+		t.Fatal("expected foreign-key rejection")
+	}
+}
+
 func TestHandlePullRejectsForeignKeys(t *testing.T) {
 	topo := cluster.Topology{Nodes: 2, GPUsPerNode: 1}
 	transport := cluster.NewLocalTransport(4)

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"sync"
 
@@ -84,6 +85,88 @@ func growFloats(s []float32, n int) []float32 {
 		s[i] = 0
 	}
 	return s
+}
+
+// Grow ensures the block's backing storage can hold rows additional rows
+// without reallocating — the pre-sizing step of the append-style builders
+// (delta collection, slab merges), which then run allocation-free.
+func (b *ValueBlock) Grow(rows int) {
+	if rows <= 0 {
+		return
+	}
+	b.Keys = slices.Grow(b.Keys, rows)
+	flat := rows * b.Dim
+	b.Weights = slices.Grow(b.Weights, flat)
+	b.G2Sum = slices.Grow(b.G2Sum, flat)
+	b.Freq = slices.Grow(b.Freq, rows)
+	b.Present = slices.Grow(b.Present, rows)
+}
+
+// GrowRow appends a zeroed, present row for k and returns its index. Together
+// with TruncateLast it is the speculative-append primitive of the fused
+// delta-collection loop: grow a row, compute the delta straight into it, and
+// withdraw it if the delta turned out to be zero.
+func (b *ValueBlock) GrowRow(k keys.Key) int {
+	i := len(b.Keys)
+	b.Keys = append(b.Keys, k)
+	b.Weights = appendZeros(b.Weights, b.Dim)
+	b.G2Sum = appendZeros(b.G2Sum, b.Dim)
+	b.Freq = append(b.Freq, 0)
+	b.Present = append(b.Present, true)
+	return i
+}
+
+func appendZeros(s []float32, n int) []float32 {
+	l := len(s)
+	s = slices.Grow(s, n)[:l+n]
+	for i := l; i < l+n; i++ {
+		s[i] = 0
+	}
+	return s
+}
+
+// GrowRowUninit is GrowRow without zero-filling the new row's slabs — they
+// may hold stale data from rows truncated earlier. The caller must either
+// overwrite every element of the weight and accumulator rows or TruncateLast
+// the row before anything can observe it. The fused delta-collection loop
+// uses it (its kernel writes every element anyway); builders that rely on
+// zeroed rows, like the slab merges, use GrowRow.
+func (b *ValueBlock) GrowRowUninit(k keys.Key) int {
+	i := len(b.Keys)
+	b.Keys = append(b.Keys, k)
+	b.Weights = slices.Grow(b.Weights, b.Dim)[:len(b.Weights)+b.Dim]
+	b.G2Sum = slices.Grow(b.G2Sum, b.Dim)[:len(b.G2Sum)+b.Dim]
+	b.Freq = append(b.Freq, 0)
+	b.Present = append(b.Present, true)
+	return i
+}
+
+// TruncateLast removes the block's last row (storage is retained).
+func (b *ValueBlock) TruncateLast() {
+	n := len(b.Keys) - 1
+	if n < 0 {
+		return
+	}
+	b.Keys = b.Keys[:n]
+	b.Weights = b.Weights[:n*b.Dim]
+	b.G2Sum = b.G2Sum[:n*b.Dim]
+	b.Freq = b.Freq[:n]
+	b.Present = b.Present[:n]
+}
+
+// AppendRow appends a present row for k with the given weight/accumulator
+// rows and frequency — the flat-slab counterpart of Set for append-style
+// builders. It panics on dimension mismatch. The copies cover the whole row,
+// so the growth can skip zero-filling.
+func (b *ValueBlock) AppendRow(k keys.Key, w, g2 []float32, freq uint32) {
+	if len(w) != b.Dim || len(g2) != b.Dim {
+		panic(fmt.Sprintf("ps: ValueBlock.AppendRow dim mismatch: row %d/%d into block of dim %d",
+			len(w), len(g2), b.Dim))
+	}
+	i := b.GrowRowUninit(k)
+	copy(b.WeightsRow(i), w)
+	copy(b.G2Row(i), g2)
+	b.Freq[i] = freq
 }
 
 // WeightsRow returns row i of the weight slab. The full-slice expression pins
@@ -217,32 +300,54 @@ const wireRowOverhead = 5 // present byte + uint32 freq
 
 // WireSize returns the encoded size of the block body.
 func (b *ValueBlock) WireSize() int {
-	return 8 + len(b.Keys)*(wireRowOverhead+8*b.Dim)
+	return WireSizeFor(b.Dim, len(b.Keys))
+}
+
+// WireSizeFor returns the encoded size of a block body of count rows of the
+// given dimension.
+func WireSizeFor(dim, count int) int {
+	return 8 + count*(wireRowOverhead+8*dim)
+}
+
+// AppendWireHeader appends the 8-byte block-body header. Together with
+// AppendWireRow it lets a serving tier encode rows straight from its own
+// storage into the outgoing frame — no intermediate block, no intermediate
+// embedding.Value — producing exactly the bytes AppendWire would.
+func AppendWireHeader(dst []byte, dim, count int) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(dim))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(count))
+	return append(dst, hdr[:]...)
+}
+
+// AppendWireRow appends one encoded row: present flag, frequency, then the
+// weight and accumulator rows. Every row of a body must carry the same
+// dimension the header declared, or DecodeWire on the far side rejects it.
+func AppendWireRow(dst []byte, present bool, freq uint32, w, g2 []float32) []byte {
+	if present {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	var scratch [4]byte
+	binary.LittleEndian.PutUint32(scratch[:], freq)
+	dst = append(dst, scratch[:]...)
+	for _, v := range w {
+		binary.LittleEndian.PutUint32(scratch[:], math.Float32bits(v))
+		dst = append(dst, scratch[:]...)
+	}
+	for _, g := range g2 {
+		binary.LittleEndian.PutUint32(scratch[:], math.Float32bits(g))
+		dst = append(dst, scratch[:]...)
+	}
+	return dst
 }
 
 // AppendWire appends the block body to dst and returns the extended slice.
 func (b *ValueBlock) AppendWire(dst []byte) []byte {
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(b.Dim))
-	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(b.Keys)))
-	dst = append(dst, hdr[:]...)
-	var scratch [4]byte
+	dst = AppendWireHeader(dst, b.Dim, len(b.Keys))
 	for i := range b.Keys {
-		if b.Present[i] {
-			dst = append(dst, 1)
-		} else {
-			dst = append(dst, 0)
-		}
-		binary.LittleEndian.PutUint32(scratch[:], b.Freq[i])
-		dst = append(dst, scratch[:]...)
-		for _, w := range b.WeightsRow(i) {
-			binary.LittleEndian.PutUint32(scratch[:], math.Float32bits(w))
-			dst = append(dst, scratch[:]...)
-		}
-		for _, g := range b.G2Row(i) {
-			binary.LittleEndian.PutUint32(scratch[:], math.Float32bits(g))
-			dst = append(dst, scratch[:]...)
-		}
+		dst = AppendWireRow(dst, b.Present[i], b.Freq[i], b.WeightsRow(i), b.G2Row(i))
 	}
 	return dst
 }

@@ -55,6 +55,90 @@ func TestBlockRowsAndValues(t *testing.T) {
 	}
 }
 
+func TestBlockAppendGrowTruncate(t *testing.T) {
+	b := NewValueBlock(4)
+	b.Reset(4, nil)
+	b.Grow(3)
+	wCap, gCap := cap(b.Weights), cap(b.G2Sum)
+	if wCap < 12 || gCap < 12 {
+		t.Fatalf("Grow(3) capacity = %d/%d, want >= 12", wCap, gCap)
+	}
+
+	w := []float32{1, 2, 3, 4}
+	g := []float32{5, 6, 7, 8}
+	b.AppendRow(10, w, g, 3)
+	if b.Len() != 1 || !b.Present[0] || b.Freq[0] != 3 || b.WeightsRow(0)[2] != 3 || b.G2Row(0)[3] != 8 {
+		t.Fatalf("AppendRow row = keys %v present %v freq %v w %v g %v",
+			b.Keys, b.Present, b.Freq, b.Weights, b.G2Sum)
+	}
+
+	// GrowRow appends a zeroed present row; TruncateLast withdraws it, and a
+	// re-grown row must come back zeroed even though the storage is reused.
+	i := b.GrowRow(11)
+	b.WeightsRow(i)[0] = 42
+	b.TruncateLast()
+	if b.Len() != 1 {
+		t.Fatalf("Len after TruncateLast = %d", b.Len())
+	}
+	i = b.GrowRow(12)
+	if b.Keys[i] != 12 || !b.Present[i] || b.WeightsRow(i)[0] != 0 {
+		t.Fatalf("re-grown row = key %v present %v w %v", b.Keys[i], b.Present[i], b.WeightsRow(i))
+	}
+	// GrowRowUninit rows carry no zero guarantee; once fully written they
+	// read back like any other row.
+	i = b.GrowRowUninit(13)
+	for j := range b.WeightsRow(i) {
+		b.WeightsRow(i)[j] = float32(j)
+		b.G2Row(i)[j] = float32(-j)
+	}
+	b.Freq[i] = 9
+	if b.Keys[i] != 13 || !b.Present[i] || b.WeightsRow(i)[3] != 3 || b.G2Row(i)[3] != -3 {
+		t.Fatalf("uninit-grown row reads back wrong: %v / %v", b.WeightsRow(i), b.G2Row(i))
+	}
+	b.TruncateLast()
+
+	// Growth within pre-sized capacity must not reallocate the slabs.
+	if cap(b.Weights) != wCap || cap(b.G2Sum) != gCap {
+		t.Fatalf("append within Grow capacity reallocated: %d/%d -> %d/%d",
+			wCap, gCap, cap(b.Weights), cap(b.G2Sum))
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected AppendRow dim-mismatch panic")
+		}
+	}()
+	b.AppendRow(13, []float32{1}, []float32{2}, 0)
+}
+
+func TestWireRowHelpersMatchAppendWire(t *testing.T) {
+	b := testBlock(t, 6, 7)
+	want := b.AppendWire(nil)
+	got := AppendWireHeader(nil, b.Dim, b.Len())
+	for i := range b.Keys {
+		got = AppendWireRow(got, b.Present[i], b.Freq[i], b.WeightsRow(i), b.G2Row(i))
+	}
+	if len(got) != len(want) || len(got) != WireSizeFor(b.Dim, b.Len()) {
+		t.Fatalf("sizes disagree: helpers %d, AppendWire %d, WireSizeFor %d",
+			len(got), len(want), WireSizeFor(b.Dim, b.Len()))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("byte %d differs: %d != %d", i, got[i], want[i])
+		}
+	}
+	// And the helper-built body decodes back to the same block.
+	dec := NewValueBlock(0)
+	if err := dec.DecodeWire(b.Keys, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range b.Keys {
+		if dec.Present[i] != b.Present[i] || dec.Freq[i] != b.Freq[i] {
+			t.Fatalf("row %d metadata differs", i)
+		}
+	}
+}
+
 func TestBlockSetDimMismatchPanics(t *testing.T) {
 	b := NewValueBlock(4)
 	b.Reset(4, []keys.Key{1})

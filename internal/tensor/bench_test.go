@@ -1,0 +1,105 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Two shape regimes: 64x64 panels / 256-wide vectors stay L1-resident, which
+// is the regime the CTR dense tower (a few dozen units per layer) actually
+// runs in, so kernel overhead dominates; 256x256 / 4096-wide streams through
+// L2, so the kernels are bandwidth-bound and the unroll matters less.
+var matShapes = []int{64, 256}
+var vecShapes = []int{256, 4096}
+
+func benchMatrix(rows, cols int) *Matrix {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMatrix(rows, cols)
+	m.FillRandom(rng)
+	return m
+}
+
+func benchVector(n int) []float32 {
+	rng := rand.New(rand.NewSource(2))
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = rng.Float32()*2 - 1
+	}
+	return out
+}
+
+func BenchmarkMatVec(b *testing.B) {
+	for _, n := range matShapes {
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			m := benchMatrix(n, n)
+			x := benchVector(n)
+			out := make([]float32, n)
+			b.SetBytes(int64(4 * n * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatVec(m, x, out)
+			}
+		})
+	}
+}
+
+func BenchmarkMatTVec(b *testing.B) {
+	for _, n := range matShapes {
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			m := benchMatrix(n, n)
+			x := benchVector(n)
+			out := make([]float32, n)
+			b.SetBytes(int64(4 * n * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatTVec(m, x, out)
+			}
+		})
+	}
+}
+
+func BenchmarkOuterAccum(b *testing.B) {
+	for _, n := range matShapes {
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			out := NewMatrix(n, n)
+			a := benchVector(n)
+			v := benchVector(n)
+			b.SetBytes(int64(4 * n * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				OuterAccum(out, a, v)
+			}
+		})
+	}
+}
+
+func BenchmarkAxpy(b *testing.B) {
+	for _, n := range vecShapes {
+		b.Run(fmt.Sprintf("%d", n), func(b *testing.B) {
+			x := benchVector(n)
+			y := benchVector(n)
+			b.SetBytes(int64(4 * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Axpy(0.5, x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkDot(b *testing.B) {
+	for _, n := range vecShapes {
+		b.Run(fmt.Sprintf("%d", n), func(b *testing.B) {
+			x := benchVector(n)
+			y := benchVector(n)
+			b.SetBytes(int64(4 * n))
+			b.ResetTimer()
+			var sink float32
+			for i := 0; i < b.N; i++ {
+				sink += Dot(x, y)
+			}
+			_ = sink
+		})
+	}
+}

@@ -71,6 +71,15 @@ func (m *Matrix) FillRandom(rng *rand.Rand) {
 	}
 }
 
+// The dense inner loops below are unrolled four wide, gonum-style: four
+// independent accumulators (or four independent element updates) per
+// iteration, with re-sliced 4-element windows so the compiler proves the
+// bounds once per iteration instead of once per element. Reductions (Dot,
+// MatVec) therefore sum in a different association order than a scalar loop —
+// every caller in this repo either tolerates that (AUC comparisons) or runs
+// both sides of its comparison through the same kernels (the bit-exactness
+// tests), so the unroll is observationally safe.
+
 // MatVec computes out = M * x where x has length M.Cols and out has length
 // M.Rows. It panics on shape mismatch.
 func MatVec(m *Matrix, x, out []float32) {
@@ -78,17 +87,36 @@ func MatVec(m *Matrix, x, out []float32) {
 		panic(fmt.Sprintf("tensor: MatVec shape mismatch m=%dx%d x=%d out=%d", m.Rows, m.Cols, len(x), len(out)))
 	}
 	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		var sum float32
-		for j, v := range row {
-			sum += v * x[j]
-		}
-		out[i] = sum
+		out[i] = dotUnitary(m.Row(i), x)
 	}
 }
 
+// dotUnitary is the unrolled inner product of two equal-length slices; the
+// caller guarantees len(x) == len(y).
+func dotUnitary(x, y []float32) float32 {
+	var s0, s1, s2, s3 float32
+	i := 0
+	for n := len(x) - 3; i < n; i += 4 {
+		x4 := x[i : i+4 : i+4]
+		y4 := y[i : i+4 : i+4]
+		s0 += x4[0] * y4[0]
+		s1 += x4[1] * y4[1]
+		s2 += x4[2] * y4[2]
+		s3 += x4[3] * y4[3]
+	}
+	sum := (s0 + s2) + (s1 + s3)
+	for ; i < len(x); i++ {
+		sum += x[i] * y[i]
+	}
+	return sum
+}
+
 // MatTVec computes out = Mᵀ * x where x has length M.Rows and out has length
-// M.Cols. It panics on shape mismatch.
+// M.Cols. It panics on shape mismatch. Rows are processed four at a time so
+// out is read and written once per block instead of once per row (the axpy
+// form is store-bound on out); a block of x containing zero coefficients —
+// common when x is a ReLU-masked gradient — accumulates row by row instead,
+// so a zero-coefficient row is always skipped outright.
 func MatTVec(m *Matrix, x, out []float32) {
 	if len(x) != m.Rows || len(out) != m.Cols {
 		panic(fmt.Sprintf("tensor: MatTVec shape mismatch m=%dx%d x=%d out=%d", m.Rows, m.Cols, len(x), len(out)))
@@ -96,14 +124,32 @@ func MatTVec(m *Matrix, x, out []float32) {
 	for j := range out {
 		out[j] = 0
 	}
-	for i := 0; i < m.Rows; i++ {
-		xi := x[i]
-		if xi == 0 {
+	if m.Cols == 0 {
+		return
+	}
+	i := 0
+	for ; i+3 < m.Rows; i += 4 {
+		x0, x1, x2, x3 := x[i], x[i+1], x[i+2], x[i+3]
+		if x0 == 0 || x1 == 0 || x2 == 0 || x3 == 0 {
+			// A zero coefficient must skip its row entirely (0 * Inf or
+			// 0 * NaN in a masked-out row would otherwise poison out), so a
+			// block with any zero lane falls back to per-row accumulation —
+			// the same semantics as the remainder loop.
+			for r := i; r < i+4; r++ {
+				if xi := x[r]; xi != 0 {
+					axpyUnitary(xi, m.Row(r), out)
+				}
+			}
 			continue
 		}
-		row := m.Row(i)
-		for j, v := range row {
-			out[j] += v * xi
+		r0, r1, r2, r3 := m.Row(i), m.Row(i+1), m.Row(i+2), m.Row(i+3)
+		for j, v := range r0 {
+			out[j] += x0*v + x1*r1[j] + x2*r2[j] + x3*r3[j]
+		}
+	}
+	for ; i < m.Rows; i++ {
+		if xi := x[i]; xi != 0 {
+			axpyUnitary(xi, m.Row(i), out)
 		}
 	}
 }
@@ -119,10 +165,7 @@ func OuterAccum(out *Matrix, a, b []float32) {
 		if ai == 0 {
 			continue
 		}
-		row := out.Row(i)
-		for j, bj := range b {
-			row[j] += ai * bj
-		}
+		axpyUnitary(ai, b, out.Row(i))
 	}
 }
 
@@ -131,14 +174,102 @@ func Axpy(alpha float32, x, y []float32) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("tensor: Axpy length mismatch %d != %d", len(x), len(y)))
 	}
-	for i, v := range x {
-		y[i] += alpha * v
+	axpyUnitary(alpha, x, y)
+}
+
+// axpyUnitary is the unrolled y += alpha*x core; the caller guarantees
+// len(x) == len(y). Element updates are independent, so unlike the reduction
+// kernels this is bit-identical to the scalar loop. Eight wide rather than
+// four: the kernel is store-bound, and the wider body amortizes the loop
+// overhead further (measurably, unlike the reduction kernels, which run out
+// of registers first).
+func axpyUnitary(alpha float32, x, y []float32) {
+	i := 0
+	for n := len(x) - 7; i < n; i += 8 {
+		x8 := x[i : i+8 : i+8]
+		y8 := y[i : i+8 : i+8]
+		y8[0] += alpha * x8[0]
+		y8[1] += alpha * x8[1]
+		y8[2] += alpha * x8[2]
+		y8[3] += alpha * x8[3]
+		y8[4] += alpha * x8[4]
+		y8[5] += alpha * x8[5]
+		y8[6] += alpha * x8[6]
+		y8[7] += alpha * x8[7]
 	}
+	for ; i < len(x); i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Add computes y += x element-wise (the alpha == 1 Axpy, kept separate so the
+// slab-merge hot paths skip the multiply). It panics on length mismatch.
+func Add(x, y []float32) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("tensor: Add length mismatch %d != %d", len(x), len(y)))
+	}
+	i := 0
+	for n := len(x) - 7; i < n; i += 8 {
+		x8 := x[i : i+8 : i+8]
+		y8 := y[i : i+8 : i+8]
+		y8[0] += x8[0]
+		y8[1] += x8[1]
+		y8[2] += x8[2]
+		y8[3] += x8[3]
+		y8[4] += x8[4]
+		y8[5] += x8[5]
+		y8[6] += x8[6]
+		y8[7] += x8[7]
+	}
+	for ; i < len(x); i++ {
+		y[i] += x[i]
+	}
+}
+
+// SubAnyNonZero computes dst = a - b element-wise and reports whether any
+// element of the difference is non-zero — the fused subtract-and-test of the
+// delta-collection path (computing the difference and scanning it separately
+// would stream the slab twice). It panics on length mismatch.
+func SubAnyNonZero(dst, a, b []float32) bool {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic(fmt.Sprintf("tensor: SubAnyNonZero length mismatch dst=%d a=%d b=%d", len(dst), len(a), len(b)))
+	}
+	changed := false
+	i := 0
+	for n := len(a) - 3; i < n; i += 4 {
+		a4 := a[i : i+4 : i+4]
+		b4 := b[i : i+4 : i+4]
+		d4 := dst[i : i+4 : i+4]
+		d0 := a4[0] - b4[0]
+		d1 := a4[1] - b4[1]
+		d2 := a4[2] - b4[2]
+		d3 := a4[3] - b4[3]
+		d4[0], d4[1], d4[2], d4[3] = d0, d1, d2, d3
+		if d0 != 0 || d1 != 0 || d2 != 0 || d3 != 0 {
+			changed = true
+		}
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		dst[i] = d
+		if d != 0 {
+			changed = true
+		}
+	}
+	return changed
 }
 
 // Scale multiplies every element of x by alpha.
 func Scale(alpha float32, x []float32) {
-	for i := range x {
+	i := 0
+	for n := len(x) - 3; i < n; i += 4 {
+		x4 := x[i : i+4 : i+4]
+		x4[0] *= alpha
+		x4[1] *= alpha
+		x4[2] *= alpha
+		x4[3] *= alpha
+	}
+	for ; i < len(x); i++ {
 		x[i] *= alpha
 	}
 }
@@ -148,11 +279,7 @@ func Dot(x, y []float32) float32 {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("tensor: Dot length mismatch %d != %d", len(x), len(y)))
 	}
-	var sum float32
-	for i, v := range x {
-		sum += v * y[i]
-	}
-	return sum
+	return dotUnitary(x, y)
 }
 
 // Sigmoid returns 1 / (1 + exp(-x)) computed in a numerically stable way.

@@ -135,6 +135,131 @@ func TestAxpyScaleDot(t *testing.T) {
 	}
 }
 
+// TestMatTVecSkipsZeroCoefficientRows pins the zero-skip contract at every
+// row position: a row whose coefficient is zero must not contribute even
+// when it holds non-finite values (0 * Inf would otherwise poison the
+// output), whether the row lands in the 4-row blocked body or the remainder.
+func TestMatTVecSkipsZeroCoefficientRows(t *testing.T) {
+	const rows, cols = 6, 3
+	for bad := 0; bad < rows; bad++ {
+		m := NewMatrix(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				m.Set(i, j, float32(i+1))
+			}
+		}
+		m.Set(bad, 0, float32(math.Inf(1)))
+		m.Set(bad, 1, float32(math.NaN()))
+		x := make([]float32, rows)
+		want := float32(0)
+		for i := range x {
+			if i == bad {
+				continue // the poisoned row gets coefficient 0
+			}
+			x[i] = 1
+			want += float32(i + 1)
+		}
+		out := make([]float32, cols)
+		MatTVec(m, x, out)
+		for j, v := range out {
+			if v != want {
+				t.Fatalf("bad row %d: out[%d] = %v, want %v", bad, j, v, want)
+			}
+		}
+	}
+}
+
+func TestAdd(t *testing.T) {
+	x := []float32{1, 2, 3, 4, 5}
+	y := []float32{10, 20, 30, 40, 50}
+	Add(x, y)
+	want := []float32{11, 22, 33, 44, 55}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("Add = %v, want %v", y, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected length panic")
+		}
+	}()
+	Add(make([]float32, 2), make([]float32, 3))
+}
+
+func TestSubAnyNonZero(t *testing.T) {
+	a := []float32{1, 2, 3, 4, 5, 6}
+	b := []float32{1, 2, 3, 4, 5, 6}
+	dst := make([]float32, 6)
+	if SubAnyNonZero(dst, a, b) {
+		t.Fatal("identical inputs reported a change")
+	}
+	for _, v := range dst {
+		if v != 0 {
+			t.Fatalf("difference of identical inputs = %v", dst)
+		}
+	}
+	// A change in any lane — unrolled body and remainder alike — is detected.
+	for i := range a {
+		b2 := append([]float32(nil), b...)
+		b2[i] += 0.5
+		if !SubAnyNonZero(dst, a, b2) {
+			t.Fatalf("change at element %d not detected", i)
+		}
+		if dst[i] != -0.5 {
+			t.Fatalf("dst[%d] = %v, want -0.5", i, dst[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected length panic")
+		}
+	}()
+	SubAnyNonZero(make([]float32, 2), make([]float32, 2), make([]float32, 3))
+}
+
+// TestUnrolledKernelsMatchScalar pins the unrolled kernels to naive scalar
+// references at every remainder length (n%4 in 0..3). The element-wise
+// kernels must match bit-for-bit; the reductions (Dot via MatVec too) sum in
+// a different association order, so they get a small tolerance.
+func TestUnrolledKernelsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 15, 16, 33} {
+		x := make([]float32, n)
+		y := make([]float32, n)
+		for i := range x {
+			x[i] = rng.Float32()*2 - 1
+			y[i] = rng.Float32()*2 - 1
+		}
+
+		var scalarDot float64
+		for i := range x {
+			scalarDot += float64(x[i]) * float64(y[i])
+		}
+		if got := float64(Dot(x, y)); !almostEqual(got, scalarDot, 1e-4) {
+			t.Fatalf("n=%d: Dot = %v, scalar = %v", n, got, scalarDot)
+		}
+
+		yAxpy := append([]float32(nil), y...)
+		Axpy(0.25, x, yAxpy)
+		yAdd := append([]float32(nil), y...)
+		Add(x, yAdd)
+		yScale := append([]float32(nil), y...)
+		Scale(0.75, yScale)
+		for i := range y {
+			if yAxpy[i] != y[i]+0.25*x[i] {
+				t.Fatalf("n=%d: Axpy[%d] = %v, want %v", n, i, yAxpy[i], y[i]+0.25*x[i])
+			}
+			if yAdd[i] != y[i]+x[i] {
+				t.Fatalf("n=%d: Add[%d] = %v, want %v", n, i, yAdd[i], y[i]+x[i])
+			}
+			if yScale[i] != y[i]*0.75 {
+				t.Fatalf("n=%d: Scale[%d] = %v, want %v", n, i, yScale[i], y[i]*0.75)
+			}
+		}
+	}
+}
+
 func TestShapePanics(t *testing.T) {
 	m := NewMatrix(2, 3)
 	cases := []func(){

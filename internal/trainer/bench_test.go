@@ -2,10 +2,14 @@ package trainer
 
 import (
 	"context"
+	"math/rand"
 	"testing"
 
 	"hps/internal/cluster"
+	"hps/internal/keys"
+	"hps/internal/memps"
 	"hps/internal/model"
+	"hps/internal/ps"
 )
 
 // BenchmarkTrainerBatch measures the composed hot path — one full
@@ -34,5 +38,81 @@ func BenchmarkTrainerBatch(b *testing.B) {
 	b.ResetTimer()
 	if err := tr.Run(context.Background()); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkStagePushMultiNode measures the block-native push stage on a
+// 2-node cluster: slab-wise sorted-key merge of the per-node delta blocks,
+// the modelled all-reduce charge, and one PushBlock apply per MEM-PS. The
+// per-node blocks are refilled from templates each iteration (a slab copy,
+// standing in for CollectBlock's output) because the stage recycles them into
+// the block pool.
+func BenchmarkStagePushMultiNode(b *testing.B) {
+	const (
+		dim     = 8
+		perNode = 2048
+		overlap = 512 // keys trained by both nodes in the same batch
+	)
+	spec := model.Spec{
+		Name:               "bench-push",
+		NonZerosPerExample: 15,
+		SparseParams:       100000,
+		EmbeddingDim:       dim,
+		HiddenLayers:       []int{32, 16},
+	}
+	tr, err := New(Config{
+		Spec:     spec,
+		Topology: cluster.Topology{Nodes: 2, GPUsPerNode: 2},
+		Batches:  1,
+		Seed:     1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tr.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	fill := func(ks []keys.Key) *ps.ValueBlock {
+		blk := ps.NewValueBlock(dim)
+		blk.Reset(dim, ks)
+		for i := range ks {
+			for j := 0; j < dim; j++ {
+				blk.WeightsRow(i)[j] = rng.Float32()*2 - 1
+				blk.G2Row(i)[j] = rng.Float32()
+			}
+			blk.Freq[i] = 1
+			blk.Present[i] = true
+		}
+		return blk
+	}
+	// Sorted unique per-node key sets sharing `overlap` keys, so the merge
+	// exercises both the disjoint and the summing paths.
+	shared := make([]keys.Key, overlap)
+	for i := range shared {
+		shared[i] = keys.Key(keys.Mix64(uint64(i)))
+	}
+	templates := make([]*ps.ValueBlock, 2)
+	for nid := range templates {
+		ks := append([]keys.Key(nil), shared...)
+		for i := 0; i < perNode-overlap; i++ {
+			ks = append(ks, keys.Key(keys.Mix64(uint64(1000+nid*perNode+i))))
+		}
+		templates[nid] = fill(keys.Dedup(ks))
+	}
+
+	j := &job{index: 0, nodes: []*nodeBatch{
+		{ws: &memps.WorkingSet{}},
+		{ws: &memps.WorkingSet{}},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for nid, nb := range j.nodes {
+			blk := ps.GetBlock(dim, nil)
+			blk.CopyFrom(templates[nid])
+			nb.deltas = blk
+		}
+		if _, err := tr.stagePush(context.Background(), j); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

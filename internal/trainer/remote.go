@@ -24,9 +24,9 @@ type memService interface {
 	// (sorted unique-key order). The returned WorkingSet carries keys, pins
 	// and statistics.
 	PrepareInto(working []keys.Key, dst *ps.ValueBlock) (*memps.WorkingSet, error)
-	// Push merges collected per-key deltas into the authoritative copies of
-	// the shard this node owns.
-	Push(req ps.PushRequest) error
+	// PushBlock merges the collected delta block (flat rows, changed keys
+	// only) into the authoritative copies of the shard this node owns.
+	PushBlock(req ps.PushBlockRequest) error
 	// CompleteBatch releases a prepared working set.
 	CompleteBatch(ws *memps.WorkingSet) error
 	// LookupAll reads current values without materializing missing keys.
@@ -175,45 +175,39 @@ func (r *remoteMem) PrepareInto(working []keys.Key, dst *ps.ValueBlock) (*memps.
 	return ws, nil
 }
 
-// Push implements memService: it sends this node's shard partition of the
-// global deltas to the owning shard process. Every virtual node pushes only
-// its own partition, so each shard applies the global sum exactly once per
-// batch — the same once-per-owner discipline as the in-process MEM-PS. Over
-// a block-capable transport the partition travels as one flat frame in
-// sorted key order (deterministic payloads, one encode pass).
-func (r *remoteMem) Push(req ps.PushRequest) error {
-	owned := make([]keys.Key, 0, len(req.Deltas))
-	for k := range req.Deltas {
-		if r.topo.NodeOf(k) == r.node {
-			owned = append(owned, k)
+// PushBlock implements memService: it sends this node's shard partition of
+// the global delta block to the owning shard process. Every virtual node
+// pushes only its own partition, so each shard applies the global sum exactly
+// once per batch — the same once-per-owner discipline as the in-process
+// MEM-PS. The owned rows are sliced out of the (sorted) global block into a
+// pooled sub-block slab-wise and travel as one flat wire frame; transports
+// without block support fall back to a map push of the same partition.
+func (r *remoteMem) PushBlock(req ps.PushBlockRequest) error {
+	blk := req.Block
+	sub := ps.GetBlock(r.dim, nil)
+	defer ps.PutBlock(sub)
+	sub.Grow(blk.Len())
+	for i, k := range blk.Keys {
+		if blk.Present[i] && r.topo.NodeOf(k) == r.node {
+			sub.AppendRow(k, blk.WeightsRow(i), blk.G2Row(i), blk.Freq[i])
 		}
 	}
-	if len(owned) == 0 {
+	if sub.Len() == 0 {
 		return nil
 	}
-	owned = keys.Dedup(owned)
 	bt, _ := r.transport.(cluster.BlockTransport)
 	start := time.Now()
 	var bytes int64
 	var err error
 	if bt != nil {
-		blk := ps.GetBlock(r.dim, owned)
-		for i, k := range owned {
-			blk.Set(i, req.Deltas[k])
-		}
-		bytes, err = bt.PushBlock(r.node, blk)
-		ps.PutBlock(blk)
+		bytes, err = bt.PushBlock(r.node, sub)
 	} else {
-		deltas := make(map[keys.Key]*embedding.Value, len(owned))
-		for _, k := range owned {
-			deltas[k] = req.Deltas[k]
-		}
-		bytes, err = r.transport.Push(r.node, deltas)
+		bytes, err = r.transport.Push(r.node, sub.Deltas())
 	}
 	if err != nil {
 		return fmt.Errorf("trainer: remote push: %w", err)
 	}
-	r.net.recordPush(len(owned), bytes, time.Since(start))
+	r.net.recordPush(sub.Len(), bytes, time.Since(start))
 	return nil
 }
 

@@ -68,6 +68,7 @@ import (
 	"hps/internal/ps"
 	"hps/internal/simtime"
 	"hps/internal/ssdps"
+	"hps/internal/tensor"
 )
 
 // Stage names of the 4-stage batch pipeline.
@@ -175,8 +176,11 @@ type nodeBatch struct {
 	// block holds the working-set values (flat rows, sorted unique-key
 	// order) between the pull and train stages; it is returned to the block
 	// pool as soon as the HBM-PS has loaded it.
-	block  *ps.ValueBlock
-	deltas map[keys.Key]*embedding.Value
+	block *ps.ValueBlock
+	// deltas holds the node's collected update deltas (flat rows, changed
+	// keys only, in working-set order) between the train and push stages;
+	// pooled like block.
+	deltas *ps.ValueBlock
 }
 
 // job is one batch index flowing through the pipeline (all nodes process
@@ -229,6 +233,13 @@ type Trainer struct {
 	// scratch pools per-GPU-worker training buffers (activations, gradients,
 	// offset/stamp scratch) across shards and batches.
 	scratch sync.Pool
+
+	// mergeScratch reuses the delta-merge state across batches; it is only
+	// touched by stagePush, which the pipeline runs on a single goroutine.
+	mergeScratch struct {
+		blocks  []*ps.ValueBlock
+		cursors []int
+	}
 
 	mu            sync.Mutex
 	stageModelled map[string]time.Duration
@@ -570,7 +581,8 @@ func (t *Trainer) stageTrain(_ context.Context, j *job) (*job, error) {
 		if err := t.trainOnGPUs(n, nb.batch); err != nil {
 			return err
 		}
-		nb.deltas = n.hbm.CollectUpdates()
+		nb.deltas = ps.GetBlock(t.cfg.Spec.EmbeddingDim, nil)
+		n.hbm.CollectBlock(nb.deltas)
 		if _, err := n.hbm.Evict(nil); err != nil { // release HBM for the next batch
 			return err
 		}
@@ -785,34 +797,90 @@ func (t *Trainer) trainShardPerExample(n *node, gpuID int, shard *dataset.Batch)
 	return nil
 }
 
+// sumDeltaBlocks merges the per-node delta blocks — sorted unique keys, all
+// rows present — into dst by sorted-key union, summing coincident rows
+// slab-wise with the unrolled tensor kernels. Contributions for a shared key
+// combine in node order, exactly like the map-based merge this replaces.
+func sumDeltaBlocks(dst *ps.ValueBlock, dim int, blocks []*ps.ValueBlock, cursors []int) {
+	dst.Reset(dim, nil)
+	total := 0
+	for bi, b := range blocks {
+		total += b.Len()
+		cursors[bi] = 0
+	}
+	dst.Grow(total)
+	for {
+		var best keys.Key
+		found := false
+		for bi, b := range blocks {
+			if cursors[bi] < b.Len() {
+				if k := b.Keys[cursors[bi]]; !found || k < best {
+					best, found = k, true
+				}
+			}
+		}
+		if !found {
+			return
+		}
+		row := dst.GrowRow(best)
+		dw, dg := dst.WeightsRow(row), dst.G2Row(row)
+		for bi, b := range blocks {
+			if i := cursors[bi]; i < b.Len() && b.Keys[i] == best {
+				tensor.Add(b.WeightsRow(i), dw)
+				tensor.Add(b.G2Row(i), dg)
+				dst.Freq[row] += b.Freq[i]
+				cursors[bi]++
+			}
+		}
+	}
+}
+
 // stagePush synchronizes the per-node deltas (the hierarchical all-reduce of
 // Appendix C.3), merges them into the owning MEM-PS shards, and completes
-// the batch (unpin, dump evictions, compact — Algorithm 1 lines 16-18).
+// the batch (unpin, dump evictions, compact — Algorithm 1 lines 16-18). The
+// whole stage is block-native: the per-node delta blocks are summed slab-wise
+// into one global block, the modelled all-reduce is charged from its byte
+// size, and each MEM-PS applies it through one PushBlock (one flat wire frame
+// per owned shard partition in multi-process mode) — no per-key value
+// allocation anywhere on the path.
 func (t *Trainer) stagePush(_ context.Context, j *job) (*job, error) {
 	t.maybeDelay(StagePush)
+	dim := t.cfg.Spec.EmbeddingDim
 
 	// Sum the deltas of all nodes: the inter-node synchronization delivers
 	// every delta everywhere, and each owner applies the global sum once.
 	global := j.nodes[0].deltas
 	if len(t.nodes) > 1 {
-		global = make(map[keys.Key]*embedding.Value)
+		global = ps.GetBlock(dim, nil)
+		t.mergeScratch.blocks = t.mergeScratch.blocks[:0]
 		for _, nb := range j.nodes {
-			for k, d := range nb.deltas {
-				if acc, ok := global[k]; ok {
-					acc.Add(d)
-				} else {
-					global[k] = d.Clone()
-				}
-			}
+			t.mergeScratch.blocks = append(t.mergeScratch.blocks, nb.deltas)
+		}
+		if cap(t.mergeScratch.cursors) < len(t.nodes) {
+			t.mergeScratch.cursors = make([]int, len(t.nodes))
+		}
+		sumDeltaBlocks(global, dim, t.mergeScratch.blocks, t.mergeScratch.cursors[:len(t.nodes)])
+	}
+	releaseBlocks := func() {
+		for _, nb := range j.nodes {
+			ps.PutBlock(nb.deltas)
+			nb.deltas = nil
+		}
+		if len(t.nodes) > 1 {
+			ps.PutBlock(global)
 		}
 	}
+	defer releaseBlocks()
 
 	// Charge the modelled all-reduce: every GPU contributes its partition of
 	// the deltas, inter-node rounds over RDMA, intra-node rounds over NVLink.
+	// The volume is the global block's payload size (every row is a changed
+	// key, so rows x encoded-row-size is exactly what the synchronization
+	// moves).
 	var syncTime time.Duration
 	totalGPUs := t.cfg.Topology.TotalGPUs()
 	if totalGPUs > 1 {
-		deltaBytes := int64(len(global)) * int64(8+embedding.EncodedSize(t.cfg.Spec.EmbeddingDim))
+		deltaBytes := int64(global.Len()) * int64(8+embedding.EncodedSize(dim))
 		bytesPerGPU := deltaBytes / int64(totalGPUs)
 		syncTime = interconnect.HierarchicalAllReduceTime(
 			bytesPerGPU, t.cfg.Topology.Nodes, t.cfg.Topology.GPUsPerNode,
@@ -834,14 +902,14 @@ func (t *Trainer) stagePush(_ context.Context, j *job) (*job, error) {
 			// Multi-process mode: the push crosses a real socket; its wall
 			// time is the batch's push cost.
 			start := time.Now()
-			if err := n.mem.Push(ps.PushRequest{Shard: ps.NoShard, Deltas: global}); err != nil {
+			if err := n.mem.PushBlock(ps.PushBlockRequest{Shard: ps.NoShard, Block: global}); err != nil {
 				return err
 			}
 			d = time.Since(start)
 		} else {
 			memBefore := n.mem.TierStats().PushTime
 			ssdBefore := n.store.TierStats().PushTime
-			if err := n.mem.Push(ps.PushRequest{Shard: ps.NoShard, Deltas: global}); err != nil {
+			if err := n.mem.PushBlock(ps.PushBlockRequest{Shard: ps.NoShard, Block: global}); err != nil {
 				return err
 			}
 			if err := n.mem.CompleteBatch(nb.ws); err != nil {
