@@ -64,18 +64,25 @@ func runDriver(args []string) error {
 	}
 	data := dataset.ForModel(spec.SparseParams, spec.NonZerosPerExample)
 	cfg := trainer.Config{
-		Spec:         spec,
-		Data:         data,
-		Topology:     cluster.Topology{Nodes: shards, GPUsPerNode: *fs.gpus},
-		BatchSize:    *fs.batchSize,
-		Batches:      *fs.batches,
-		MaxInFlight:  *fs.inFlight,
-		Profile:      hw.DefaultGPUNode(),
-		Seed:         *fs.seed,
-		RemoteShards: addrs,
+		Spec:          spec,
+		Data:          data,
+		Topology:      cluster.Topology{Nodes: shards, GPUsPerNode: *fs.gpus},
+		BatchSize:     *fs.batchSize,
+		Batches:       *fs.batches,
+		MaxInFlight:   *fs.inFlight,
+		Profile:       hw.DefaultGPUNode(),
+		Seed:          *fs.seed,
+		RemoteShards:  addrs,
+		WirePrecision: *fs.wirePrec,
+		QuantizePush:  *fs.quantPush,
+		PullPipeline:  *fs.pullPipe,
 	}
-	fmt.Printf("training model %s against %d MEM-PS shard process(es), %d GPU(s)/node, %d batches x %d examples/node\n\n",
-		spec.Name, shards, *fs.gpus, *fs.batches, *fs.batchSize)
+	wire := *fs.wirePrec
+	if *fs.quantPush {
+		wire += "+push"
+	}
+	fmt.Printf("training model %s against %d MEM-PS shard process(es), %d GPU(s)/node, %d batches x %d examples/node (wire %s, pull pipeline %d)\n\n",
+		spec.Name, shards, *fs.gpus, *fs.batches, *fs.batchSize, wire, *fs.pullPipe)
 
 	tr, err := trainer.New(cfg)
 	if err != nil {

@@ -95,6 +95,28 @@ func (c *Combined[V]) Get(key uint64) (V, bool) {
 	return zero, false
 }
 
+// GetApply looks the key up in both levels without updating recency, visit
+// frequency, or level placement — the read path for applying writes. A push
+// always follows the pull that already counted the visit and refreshed the
+// entry's recency, so counting it again would double-weight write traffic in
+// the eviction policy (and pay two extra map updates per key for it). Hit and
+// miss statistics are still recorded.
+func (c *Combined[V]) GetApply(key uint64) (V, bool) {
+	if v, ok := c.lru.Peek(key); ok {
+		c.stats.Hits++
+		c.stats.LRUHits++
+		return v, true
+	}
+	if v, ok := c.lfu.Peek(key); ok {
+		c.stats.Hits++
+		c.stats.LFUHits++
+		return v, true
+	}
+	c.stats.Misses++
+	var zero V
+	return zero, false
+}
+
 // Contains reports whether either level holds the key, without promoting it.
 func (c *Combined[V]) Contains(key uint64) bool {
 	return c.lru.Contains(key) || c.lfu.Contains(key)

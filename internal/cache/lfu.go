@@ -78,6 +78,15 @@ func (c *LFU[V]) Get(key uint64) (V, bool) {
 	return zero, false
 }
 
+// Peek returns the value for key without touching its frequency.
+func (c *LFU[V]) Peek(key uint64) (V, bool) {
+	if e, ok := c.items[key]; ok {
+		return e.value, true
+	}
+	var zero V
+	return zero, false
+}
+
 // Contains reports whether key is cached without touching its frequency.
 func (c *LFU[V]) Contains(key uint64) bool {
 	_, ok := c.items[key]

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"testing"
+
+	"hps/internal/keys"
+	"hps/internal/ps"
+)
+
+// pushSink gives the wire fixture a block push path so a benchmark can drive
+// full pull+push cycles; the deltas themselves are discarded — the benchmark
+// measures the wire, not the apply.
+type pushSink struct {
+	*wireHandler
+}
+
+func (pushSink) HandlePushBlock(*ps.ValueBlock) error { return nil }
+
+// BenchmarkWireBytesPerBatch measures the bytes one batch-shaped block cycle
+// actually puts on the socket: a 2048-key block pull plus a 2048-row fp32
+// push at dim 8 (BenchmarkStagePushMultiNode's per-shard shape), under each
+// wire mode. gob-fp32 is the pre-raw-frame wire (the PR 5 baseline, forced by
+// downgrading the negotiated connections); the raw modes carry the negotiated
+// pull precision, with push bodies at fp32 unless the -push variants opt the
+// push direction into the same precision. The wirebytes/op
+// metric is the one BENCH_pr6.json records; ns/op here includes loopback
+// syscalls and is not a transport benchmark.
+func BenchmarkWireBytesPerBatch(b *testing.B) {
+	const (
+		dim  = 8
+		rows = 2048
+	)
+	ks := make([]keys.Key, rows)
+	for i := range ks {
+		ks[i] = keys.Key(keys.Mix64(uint64(i)))
+	}
+	ks = keys.Dedup(ks)
+
+	for _, mode := range []struct {
+		name      string
+		raw       bool
+		prec      ps.Precision
+		quantPush bool
+	}{
+		{"gob-fp32", false, ps.PrecisionFP32, false},
+		{"raw-fp32", true, ps.PrecisionFP32, false},
+		{"raw-fp16", true, ps.PrecisionFP16, false},
+		{"raw-int8", true, ps.PrecisionInt8, false},
+		{"raw-fp16-push", true, ps.PrecisionFP16, true},
+		{"raw-int8-push", true, ps.PrecisionInt8, true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			srv, err := ServeTCP("127.0.0.1:0", pushSink{&wireHandler{mapHandler: newMapHandler(dim)}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			tr := NewTCPTransport(map[int]string{0: srv.Addr()}, dim)
+			defer tr.Close()
+			tr.SetWirePrecision(mode.prec)
+			tr.SetPushQuantization(mode.quantPush)
+
+			dst := ps.NewValueBlock(dim)
+			if _, err := tr.PullBlock(0, ks, dst); err != nil {
+				b.Fatal(err)
+			}
+			push := ps.NewValueBlock(dim)
+			push.CopyFrom(dst)
+			if !mode.raw {
+				// Downgrade the dialed connections to gob frames, as if the
+				// hello had answered wire version 1.
+				tr.mu.Lock()
+				for _, p := range tr.peers {
+					for _, c := range p.conns {
+						c.raw = false
+					}
+				}
+				tr.mu.Unlock()
+			}
+
+			before := tr.Stats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.PullBlock(0, ks, dst); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := tr.PushBlock(0, push); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			after := tr.Stats()
+			wire := (after.WireOut + after.WireIn) - (before.WireOut + before.WireIn)
+			b.ReportMetric(float64(wire)/float64(b.N), "wirebytes/op")
+		})
+	}
+}

@@ -228,14 +228,14 @@ type wireHandler struct {
 	fail  bool
 }
 
-func (h *wireHandler) HandlePullBlockWire(ks []keys.Key, dst []byte) ([]byte, error) {
+func (h *wireHandler) HandlePullBlockWire(ks []keys.Key, dst []byte, prec ps.Precision) ([]byte, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.calls++
 	if h.fail {
 		return dst, errors.New("wire handler broken")
 	}
-	dst = ps.AppendWireHeader(dst, h.dim, len(ks))
+	dst = ps.AppendWireHeaderPrecision(dst, h.dim, len(ks), prec)
 	for _, k := range ks {
 		v, ok := h.vals[k]
 		if !ok {
@@ -243,7 +243,7 @@ func (h *wireHandler) HandlePullBlockWire(ks []keys.Key, dst []byte) ([]byte, er
 			v.Weights[0] = float32(k)
 			h.vals[k] = v
 		}
-		dst = ps.AppendWireRow(dst, true, v.Freq, v.Weights, v.G2Sum)
+		dst = ps.AppendWireRowPrecision(dst, true, v.Freq, v.Weights, v.G2Sum, prec)
 	}
 	return dst, nil
 }

@@ -10,17 +10,19 @@ import (
 )
 
 // FuzzWireCodec feeds arbitrary bytes through the frame reader on both the
-// request (server) and response (client) paths. The codec faces the network,
-// so a malformed, truncated, or hostile frame must come back as an error —
-// never a panic or a runaway allocation. Frames that do decode must pass
-// request validation before a handler would see them, and semantically valid
-// requests must survive the full server dispatch.
+// request (server) and response (client) paths, and — interpreting the same
+// bytes as a raw payload — through the raw dispatch, in every negotiated
+// precision. The codec faces the network, so a malformed, truncated, or
+// hostile frame must come back as an error — never a panic or a runaway
+// allocation. Frames that do decode must pass request validation before a
+// handler would see them, and semantically valid requests must survive the
+// full server dispatch.
 func FuzzWireCodec(f *testing.F) {
 	// Seed with well-formed frames of every operation so the fuzzer mutates
 	// from the real wire format, not just noise.
 	seed := func(req *wireRequest) {
 		var buf bytes.Buffer
-		if err := writeFrame(&buf, req); err != nil {
+		if _, err := writeFrame(&buf, req); err != nil {
 			f.Fatal(err)
 		}
 		f.Add(buf.Bytes())
@@ -39,24 +41,32 @@ func FuzzWireCodec(f *testing.F) {
 	seed(&wireRequest{Op: opPushBlock, Client: 7, Seq: 2, Keys: []keys.Key{9}, Block: blk.AppendWire(nil)})
 	var respBuf bytes.Buffer
 	resp := &wireResponse{Keys: []keys.Key{1}, Values: []*embedding.Value{v}, Name: "mem-ps"}
-	if err := writeFrame(&respBuf, resp); err != nil {
+	if _, err := writeFrame(&respBuf, resp); err != nil {
 		f.Fatal(err)
 	}
 	f.Add(respBuf.Bytes())
 	f.Add([]byte{0, 0, 0, 1, 0})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	// Raw payloads (no stream prefix: dispatchRaw consumes payloads), one per
+	// op, with push bodies in each precision so the quantized row decoders see
+	// mutated input too.
+	f.Add([]byte{rawOpHello, rawWireVersion, byte(ps.PrecisionFP16), 0})
+	f.Add(appendRawPullReq(nil, []keys.Key{2, 4, 6}))
+	for _, p := range []ps.Precision{ps.PrecisionFP32, ps.PrecisionFP16, ps.PrecisionInt8} {
+		f.Add(blk.AppendWirePrecision(appendRawPushReq(nil, 7, 3, []keys.Key{9}), p))
+	}
 
 	srv := &TCPServer{seqs: NewSeqTracker(), handler: fuzzHandler{}}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var req wireRequest
-		if err := readFrame(bytes.NewReader(data), &req); err == nil {
+		if _, err := readFrame(bytes.NewReader(data), &req); err == nil {
 			if req.validate() == nil {
 				// A frame that decodes and validates must dispatch without
 				// panicking, and the reply must encode.
 				var out bytes.Buffer
 				resp, release := srv.dispatch(&req)
-				err := writeFrame(&out, resp)
+				_, err := writeFrame(&out, resp)
 				if release != nil {
 					release()
 				}
@@ -66,8 +76,27 @@ func FuzzWireCodec(f *testing.F) {
 			}
 		}
 		var wresp wireResponse
-		if err := readFrame(bytes.NewReader(data), &wresp); err == nil {
+		if _, err := readFrame(bytes.NewReader(data), &wresp); err == nil {
 			_ = wresp.result() // must tolerate inconsistent key/value slices
+		}
+		// The same bytes as a raw payload, against every negotiated precision:
+		// dispatchRaw must always produce a well-formed response frame.
+		if len(data) > 0 && len(data) <= MaxFrameBytes {
+			for _, p := range []ps.Precision{ps.PrecisionFP32, ps.PrecisionFP16, ps.PrecisionInt8} {
+				prec := p
+				out, buf := srv.dispatchRaw(data, &prec)
+				if len(out) < 8 {
+					t.Fatalf("raw dispatch produced a %d-byte frame", len(out))
+				}
+				*buf = out[:0]
+				putScratch(buf)
+			}
+		}
+		// And through the client-side raw response path: a pull reply body cut
+		// from (or mutated into) arbitrary bytes must fail decode cleanly.
+		if len(data) >= 4 {
+			dst := ps.NewValueBlock(0)
+			_ = dst.DecodeWire([]keys.Key{1, 2}, data[4:])
 		}
 	})
 }

@@ -244,23 +244,156 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		return
 	}
 	defer s.untrack(conn)
+	// prec is the connection's negotiated pull-reply precision: fp32 until a
+	// hello frame raises it, so gob-only clients (and raw clients that skip
+	// the hello) always get bit-exact replies.
+	prec := ps.PrecisionFP32
 	for {
-		var req wireRequest
-		if err := readFrame(conn, &req); err != nil {
+		n, raw, err := readFramePrefix(conn)
+		if err != nil {
 			// A clean EOF is the peer hanging up; anything else means the
 			// stream is corrupt beyond recovery — either way, drop the
 			// connection. The client reconnects and retries.
 			return
 		}
-		resp, release := s.dispatch(&req)
-		err := writeFrame(conn, resp)
-		if release != nil {
-			release() // resp may reference pooled buffers; free after the write
+		if raw {
+			scratch := getScratch()
+			payload, err := readFramePayload(conn, n, scratch)
+			if err != nil {
+				putScratch(scratch)
+				return
+			}
+			out, outBuf := s.dispatchRaw(payload, &prec)
+			putScratch(scratch) // the request (and any body view into it) is consumed
+			_, werr := writeRawFrame(conn, out)
+			*outBuf = out[:0] // keep whatever the handler grew the frame to
+			putScratch(outBuf)
+			if werr != nil {
+				return
+			}
+			continue
 		}
+		var req wireRequest
+		scratch := getScratch()
+		payload, err := readFramePayload(conn, n, scratch)
+		if err == nil {
+			err = decodeFrame(payload, &req)
+		}
+		putScratch(scratch)
 		if err != nil {
 			return
 		}
+		resp, release := s.dispatch(&req)
+		_, werr := writeFrame(conn, resp)
+		if release != nil {
+			release() // resp may reference pooled buffers; free after the write
+		}
+		if werr != nil {
+			return
+		}
 	}
+}
+
+// dispatchRaw executes one raw-framed request and returns the complete
+// response frame (4-byte prefix placeholder included) in a pooled buffer; the
+// caller writes it and returns the buffer to the pool. prec is the
+// connection's negotiated pull-reply precision, updated by hello frames.
+// Handler panics are contained exactly like gob dispatch, including the
+// push-dedup withdrawal.
+func (s *TCPServer) dispatchRaw(payload []byte, prec *ps.Precision) (frame []byte, buf *[]byte) {
+	buf = getScratch()
+	op := payload[0] // frames are never empty: the prefix check rejects length 0
+	respOp := rawRespOp(op)
+	frame = append((*buf)[:0], 0, 0, 0, 0) // length prefix placeholder
+	fail := func(msg string) []byte {
+		f := append(frame[:4], respOp, 1, 0, 0)
+		return append(f, msg...)
+	}
+	var client, seq uint64
+	var isPush bool
+	defer func() {
+		if r := recover(); r != nil {
+			if isPush {
+				s.seqs.forget(client, seq) // the apply did not complete
+			}
+			frame = fail(fmt.Sprintf("%s handler panicked: %v", rawOpName(op), r))
+		}
+	}()
+	switch op {
+	case rawOpHello:
+		if len(payload) != 4 {
+			return fail(fmt.Sprintf("malformed hello of %d bytes", len(payload))), buf
+		}
+		version := min(payload[1], rawWireVersion)
+		p := ps.Precision(payload[2])
+		if version < rawWireVersion || !p.Valid() {
+			p = ps.PrecisionFP32
+		}
+		*prec = p
+		return append(frame, rawOpHelloResp, 0, version, byte(p)), buf
+	case rawOpPullBlock:
+		ks, err := parseRawPullReq(payload)
+		if err != nil {
+			return fail(err.Error()), buf
+		}
+		frame = append(frame, rawOpPullBlockResp, 0, 0, 0)
+		if h, ok := s.handler.(BlockPullWireHandler); ok {
+			// Zero-intermediate path: the handler encodes its value rows
+			// straight into the outgoing frame.
+			out, err := h.HandlePullBlockWire(ks, frame, *prec)
+			if err != nil {
+				return fail(err.Error()), buf
+			}
+			return out, buf
+		}
+		blk := ps.GetBlock(0, nil)
+		defer ps.PutBlock(blk)
+		if h, ok := s.handler.(BlockPullHandler); ok {
+			if err := h.HandlePullBlock(ks, blk); err != nil {
+				return fail(err.Error()), buf
+			}
+		} else {
+			res, err := s.handler.HandlePull(ks)
+			if err != nil {
+				return fail(err.Error()), buf
+			}
+			ps.FillFromPull(blk, 0, ks, ps.Result(res))
+		}
+		return blk.AppendWirePrecision(frame, *prec), buf
+	case rawOpPushBlock:
+		var ks []keys.Key
+		var body []byte
+		var err error
+		client, seq, ks, body, err = parseRawPushReq(payload)
+		if err != nil {
+			return fail(err.Error()), buf
+		}
+		isPush = true
+		frame = append(frame, rawOpPushBlockResp, 0, 0, 0)
+		blk := ps.GetBlock(0, nil)
+		defer ps.PutBlock(blk)
+		if err := blk.DecodeWire(ks, body); err != nil {
+			return fail(err.Error()), buf
+		}
+		if !s.seqs.fresh(client, seq) {
+			return frame, buf // duplicate of an already-applied push: ack, don't re-apply
+		}
+		switch h := s.handler.(type) {
+		case BlockPushHandler:
+			err = h.HandlePushBlock(blk)
+		case PushHandler:
+			err = h.HandlePush(blk.Deltas())
+		default:
+			s.seqs.forget(client, seq)
+			return fail("shard does not accept pushes"), buf
+		}
+		if err != nil {
+			s.seqs.forget(client, seq)
+			return fail(err.Error()), buf
+		}
+		return frame, buf
+	}
+	return fail(fmt.Sprintf("unknown raw operation %d", op)), buf
 }
 
 // dispatch executes one validated request against the handler. Handler
@@ -297,9 +430,10 @@ func (s *TCPServer) dispatch(req *wireRequest) (resp *wireResponse, release func
 	case opPullBlock:
 		if h, ok := s.handler.(BlockPullWireHandler); ok {
 			// Zero-intermediate path: the handler encodes its value rows
-			// straight into the outgoing frame buffer.
+			// straight into the outgoing frame buffer. Gob clients are wire
+			// version 1 and always get fp32 bodies.
 			buf := getScratch()
-			out, err := h.HandlePullBlockWire(req.Keys, (*buf)[:0])
+			out, err := h.HandlePullBlockWire(req.Keys, (*buf)[:0], ps.PrecisionFP32)
 			if err != nil {
 				if out != nil {
 					*buf = out[:0] // keep whatever the handler grew the buffer to
@@ -473,14 +607,21 @@ type TransportStats struct {
 	// the subset established beyond the first per peer (i.e. reconnects
 	// after a drop).
 	Calls, Retries, Dials, Redials int64
-	// BytesOut / BytesIn estimate the payload traffic (8 bytes per key plus
-	// the encoded value size, the same accounting as PayloadBytes).
+	// BytesOut / BytesIn estimate the payload traffic in fp32 terms (8 bytes
+	// per key plus the encoded value size, the same accounting as
+	// PayloadBytes) — the precision-independent "model bytes moved".
 	BytesOut, BytesIn int64
+	// WireOut / WireIn count the bytes that actually crossed the sockets
+	// (frame prefixes included), so the quantized wire's compression is
+	// visible as WireOut+WireIn versus BytesOut+BytesIn.
+	WireOut, WireIn int64
 }
 
-// TCPTransport reaches remote nodes over TCP, holding one persistent
-// connection per peer, transparently reconnecting (with bounded, backed-off
-// retries) when a connection drops. It is safe for concurrent use and
+// TCPTransport reaches remote nodes over TCP, holding a small pool of
+// persistent connections per peer (one by default), transparently
+// reconnecting (with bounded, backed-off retries) when a connection drops.
+// Each connection negotiates the wire version and pull-reply precision with
+// a hello exchange at dial time. It is safe for concurrent use and
 // implements TierTransport.
 type TCPTransport struct {
 	dim    int
@@ -493,14 +634,20 @@ type TCPTransport struct {
 	calls   atomic.Int64
 	retries atomic.Int64
 
-	mu     sync.Mutex
-	addrs  map[int]string
-	conns  map[int]*tcpConn
-	dialed map[int]bool // nodes dialed at least once, for redial counting
+	mu        sync.Mutex
+	addrs     map[int]string
+	peers     map[int]*peerConns
+	dialed    map[int]bool  // nodes dialed at least once, for redial counting
+	prec      ps.Precision  // wire precision requested in hellos and used for push bodies
+	quantPush bool          // quantize push bodies at the negotiated precision
+	maxConns  int           // per-peer connection cap (>= 1)
+	inflight  chan struct{} // global in-flight-RPC semaphore; nil = unbounded
 
 	statMu   sync.Mutex
 	bytesOut int64
 	bytesIn  int64
+	wireOut  int64
+	wireIn   int64
 }
 
 var (
@@ -508,25 +655,35 @@ var (
 	_ BlockTransport = (*TCPTransport)(nil)
 )
 
+// peerConns is one peer's connection pool. Conns are acquired by locking
+// their mutex: an idle conn is one whose TryLock succeeds.
+type peerConns struct {
+	conns []*tcpConn
+	next  int // round-robin cursor for queueing when every conn is busy
+}
+
 type tcpConn struct {
 	mu   sync.Mutex
 	conn net.Conn
+	raw  bool         // hello negotiated wire version 2 (raw block frames)
+	prec ps.Precision // negotiated pull-reply precision
 }
 
 // NewTCPTransport creates a transport that reaches node i at addrs[i], with
-// the default retry policy.
+// the default retry policy, one connection per peer, and fp32 wire bodies.
 func NewTCPTransport(addrs map[int]string, dim int) *TCPTransport {
 	copied := make(map[int]string, len(addrs))
 	for k, v := range addrs {
 		copied[k] = v
 	}
 	return &TCPTransport{
-		dim:    dim,
-		client: rand.Uint64() | 1, // non-zero: 0 would disable push dedup
-		retry:  DefaultRetryPolicy,
-		addrs:  copied,
-		conns:  make(map[int]*tcpConn),
-		dialed: make(map[int]bool),
+		dim:      dim,
+		client:   rand.Uint64() | 1, // non-zero: 0 would disable push dedup
+		retry:    DefaultRetryPolicy,
+		addrs:    copied,
+		peers:    make(map[int]*peerConns),
+		dialed:   make(map[int]bool),
+		maxConns: 1,
 	}
 }
 
@@ -541,10 +698,69 @@ func (t *TCPTransport) SetRetryPolicy(p RetryPolicy) {
 	t.mu.Unlock()
 }
 
+// SetWirePrecision selects the precision of block bodies on the wire: pull
+// replies (negotiated per connection at hello time) and push bodies. Existing
+// connections keep their negotiated precision, so set it before issuing RPCs.
+// PrecisionFP32 — the default — keeps every body bit-exact.
+func (t *TCPTransport) SetWirePrecision(p ps.Precision) {
+	if !p.Valid() {
+		p = ps.PrecisionFP32
+	}
+	t.mu.Lock()
+	t.prec = p
+	t.mu.Unlock()
+}
+
+// SetPushQuantization selects whether push bodies follow the connection's
+// negotiated precision (true) or stay fp32 (false, the default). A pull-side
+// quantization error is self-correcting — the next delta is computed against
+// the quantized values the trainer actually loaded — while a quantized delta
+// perturbs the authoritative copies directly, so pushes only quantize when
+// the caller opts in (gated by the trainer's AUC-parity test).
+func (t *TCPTransport) SetPushQuantization(on bool) {
+	t.mu.Lock()
+	t.quantPush = on
+	t.mu.Unlock()
+}
+
+// WirePrecision returns the configured wire precision.
+func (t *TCPTransport) WirePrecision() ps.Precision {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.prec
+}
+
+// SetMaxConnsPerPeer sets how many concurrent connections the transport may
+// hold per peer (minimum 1). With more than one, concurrent RPCs to the same
+// shard overlap on the wire instead of queueing on a single connection —
+// the transport-level half of pull pipelining.
+func (t *TCPTransport) SetMaxConnsPerPeer(n int) {
+	if n < 1 {
+		n = 1
+	}
+	t.mu.Lock()
+	t.maxConns = n
+	t.mu.Unlock()
+}
+
+// SetMaxInFlightRPCs bounds the number of RPCs in flight across all peers
+// (0 or negative = unbounded). The bound caps the memory pinned by concurrent
+// pull chunks and keeps a wide fan-out from oversubscribing the NIC.
+func (t *TCPTransport) SetMaxInFlightRPCs(n int) {
+	t.mu.Lock()
+	if n <= 0 {
+		t.inflight = nil
+	} else {
+		t.inflight = make(chan struct{}, n)
+	}
+	t.mu.Unlock()
+}
+
 // Stats returns a snapshot of the transport's activity counters.
 func (t *TCPTransport) Stats() TransportStats {
 	t.statMu.Lock()
 	in, out := t.bytesIn, t.bytesOut
+	win, wout := t.wireIn, t.wireOut
 	t.statMu.Unlock()
 	return TransportStats{
 		Calls:    t.calls.Load(),
@@ -553,16 +769,38 @@ func (t *TCPTransport) Stats() TransportStats {
 		Redials:  t.redials.Load(),
 		BytesOut: out,
 		BytesIn:  in,
+		WireOut:  wout,
+		WireIn:   win,
 	}
 }
 
-func (t *TCPTransport) conn(nodeID int, dialTimeout time.Duration) (*tcpConn, error) {
+// acquireConn returns a connection to nodeID with its mutex held: an idle
+// pooled conn when one exists, a queued busy conn when the pool is at its
+// cap, or a freshly dialed (and hello-negotiated) one otherwise. The caller
+// releases it with c.mu.Unlock after its round trip.
+func (t *TCPTransport) acquireConn(nodeID int, policy RetryPolicy) (*tcpConn, error) {
 	t.mu.Lock()
-	if c, ok := t.conns[nodeID]; ok {
-		t.mu.Unlock()
-		return c, nil
+	if p := t.peers[nodeID]; p != nil && len(p.conns) > 0 {
+		for _, c := range p.conns {
+			if c.mu.TryLock() {
+				t.mu.Unlock()
+				return c, nil
+			}
+		}
+		if len(p.conns) >= t.maxConns {
+			// Every conn is busy and the pool is full: queue on one,
+			// round-robin so waiters spread across the pool.
+			c := p.conns[p.next%len(p.conns)]
+			p.next++
+			t.mu.Unlock()
+			c.mu.Lock()
+			// The conn may have been dropped while queueing; the round trip
+			// then fails on the closed socket and the caller retries.
+			return c, nil
+		}
 	}
 	addr, ok := t.addrs[nodeID]
+	maxConns := t.maxConns
 	t.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, nodeID)
@@ -570,44 +808,96 @@ func (t *TCPTransport) conn(nodeID int, dialTimeout time.Duration) (*tcpConn, er
 	// Dial outside the transport lock: a slow or unreachable peer must not
 	// stall RPCs to the healthy ones. The dial deadline keeps a
 	// routing-but-dead peer from hanging this RPC's attempt.
-	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	conn, err := net.DialTimeout("tcp", addr, policy.dial())
 	if err != nil {
 		return nil, fmt.Errorf("dial %s: %w", addr, err)
 	}
-	t.mu.Lock()
-	if existing, ok := t.conns[nodeID]; ok {
-		// A concurrent caller connected first; use its connection.
-		t.mu.Unlock()
+	c := &tcpConn{conn: conn}
+	if err := t.hello(c, policy); err != nil {
 		conn.Close()
-		return existing, nil
+		return nil, fmt.Errorf("hello %s: %w", addr, err)
+	}
+	c.mu.Lock() // uncontended: the conn is not published yet
+	t.mu.Lock()
+	p := t.peers[nodeID]
+	if p == nil {
+		p = &peerConns{}
+		t.peers[nodeID] = p
+	}
+	if len(p.conns) >= maxConns {
+		// Concurrent dialers overfilled the pool; keep the pool bounded and
+		// use ours for this one RPC without publishing it.
+		t.mu.Unlock()
+		return c, nil
 	}
 	t.dials.Add(1)
 	if t.dialed[nodeID] {
 		t.redials.Add(1) // this peer had a connection before: a reconnect
 	}
 	t.dialed[nodeID] = true
-	c := &tcpConn{conn: conn}
-	t.conns[nodeID] = c
+	p.conns = append(p.conns, c)
 	t.mu.Unlock()
 	return c, nil
 }
 
-func (t *TCPTransport) dropConn(nodeID int, c *tcpConn) {
+// hello negotiates the wire version and pull precision on a fresh connection.
+// A peer that answers a lower version (or an I/O failure on a pre-version-2
+// peer) leaves the connection on gob frames; an I/O failure fails the dial so
+// the retry loop treats it like any other connect failure.
+func (t *TCPTransport) hello(c *tcpConn, policy RetryPolicy) error {
 	t.mu.Lock()
-	if cur, ok := t.conns[nodeID]; ok && cur == c {
-		cur.conn.Close()
-		delete(t.conns, nodeID)
-	}
+	prec := t.prec
 	t.mu.Unlock()
+	var frame [8]byte
+	f := append(frame[:0], 0, 0, 0, 0, rawOpHello, rawWireVersion, byte(prec), 0)
+	payload, rbuf, err := t.roundTripRaw(c, f, policy.rpc())
+	if err != nil {
+		return err
+	}
+	defer putScratch(rbuf)
+	if len(payload) != 4 || payload[0] != rawOpHelloResp {
+		return fmt.Errorf("malformed hello response of %d bytes", len(payload))
+	}
+	if payload[1] != 0 {
+		return fmt.Errorf("hello rejected")
+	}
+	if payload[2] >= rawWireVersion {
+		c.raw = true
+		if p := ps.Precision(payload[3]); p.Valid() {
+			c.prec = p
+		}
+	}
+	return nil
 }
 
-// call runs one RPC round trip against nodeID, reconnecting and retrying
-// network failures per the retry policy. Shard-side failures (RemoteError)
-// and unknown nodes are returned immediately — retrying cannot fix them.
-func (t *TCPTransport) call(nodeID int, req *wireRequest) (*wireResponse, error) {
+func (t *TCPTransport) dropConn(nodeID int, c *tcpConn) {
+	t.mu.Lock()
+	if p := t.peers[nodeID]; p != nil {
+		for i, cur := range p.conns {
+			if cur == c {
+				p.conns = append(p.conns[:i], p.conns[i+1:]...)
+				break
+			}
+		}
+	}
+	t.mu.Unlock()
+	c.conn.Close()
+}
+
+// do runs one RPC against nodeID: acquire a connection (dialing if needed),
+// run fn on it with the conn lock held, and reconnect/retry network failures
+// per the retry policy. Shard-side failures (RemoteError) and unknown nodes
+// are returned immediately — retrying cannot fix them. The global in-flight
+// semaphore, when set, is held for the duration.
+func (t *TCPTransport) do(nodeID int, op uint8, fn func(c *tcpConn, timeout time.Duration) error) error {
 	t.mu.Lock()
 	policy := t.retry
+	inflight := t.inflight
 	t.mu.Unlock()
+	if inflight != nil {
+		inflight <- struct{}{}
+		defer func() { <-inflight }()
+	}
 	var lastErr error
 	for attempt := 1; attempt <= policy.Attempts; attempt++ {
 		if attempt > 1 {
@@ -620,59 +910,132 @@ func (t *TCPTransport) call(nodeID int, req *wireRequest) (*wireResponse, error)
 				time.Sleep(backoff)
 			}
 		}
-		c, err := t.conn(nodeID, policy.dial())
+		c, err := t.acquireConn(nodeID, policy)
 		if err != nil {
 			if errors.Is(err, ErrUnknownNode) {
-				return nil, err
+				return err
 			}
 			lastErr = err // dial failure: the peer may be restarting
 			continue
 		}
-		resp, err := t.roundTrip(c, req, policy.rpc())
+		err = fn(c, policy.rpc())
 		if err != nil {
+			var re *RemoteError
+			if errors.As(err, &re) {
+				// The round trip itself was fine; keep the connection.
+				c.mu.Unlock()
+				t.calls.Add(1)
+				return err
+			}
 			t.dropConn(nodeID, c)
+			c.mu.Unlock()
 			lastErr = err
 			continue
 		}
+		c.mu.Unlock()
 		t.calls.Add(1)
-		if resp.Err != "" {
-			return nil, &RemoteError{Node: nodeID, Op: opName(req.Op), Msg: resp.Err}
-		}
-		return resp, nil
+		return nil
 	}
-	return nil, &TransportError{Node: nodeID, Op: opName(req.Op), Attempts: policy.Attempts, Err: lastErr}
+	return &TransportError{Node: nodeID, Op: opName(op), Attempts: policy.Attempts, Err: lastErr}
 }
 
-func (t *TCPTransport) roundTrip(c *tcpConn, req *wireRequest, timeout time.Duration) (*wireResponse, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	// One deadline covers the whole round trip; a peer that accepted the
-	// connection but stopped answering fails the read instead of parking the
-	// RPC forever. The caller drops the connection on any error, so a frame
-	// cut short by the deadline can never desynchronize a reused stream.
-	if timeout > 0 {
-		if err := c.conn.SetDeadline(time.Now().Add(timeout)); err != nil {
-			return nil, fmt.Errorf("set deadline: %w", err)
-		}
-	} else {
-		if err := c.conn.SetDeadline(time.Time{}); err != nil {
-			return nil, fmt.Errorf("clear deadline: %w", err)
-		}
-	}
-	if err := writeFrame(c.conn, req); err != nil {
-		return nil, fmt.Errorf("send: %w", err)
-	}
+// call runs one gob RPC round trip against nodeID through do.
+func (t *TCPTransport) call(nodeID int, req *wireRequest) (*wireResponse, error) {
 	var resp wireResponse
-	if err := readFrame(c.conn, &resp); err != nil {
-		return nil, fmt.Errorf("receive: %w", err)
+	err := t.do(nodeID, req.Op, func(c *tcpConn, timeout time.Duration) error {
+		resp = wireResponse{} // a retried attempt starts from a clean reply
+		if err := t.roundTrip(c, req, &resp, timeout); err != nil {
+			return err
+		}
+		if resp.Err != "" {
+			return &RemoteError{Node: nodeID, Op: opName(req.Op), Msg: resp.Err}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &resp, nil
+}
+
+// setDeadline arms (or clears) the round-trip deadline on c. One deadline
+// covers the whole round trip; a peer that accepted the connection but
+// stopped answering fails the read instead of parking the RPC forever. The
+// caller drops the connection on any error, so a frame cut short by the
+// deadline can never desynchronize a reused stream.
+func setDeadline(c *tcpConn, timeout time.Duration) error {
+	if timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return fmt.Errorf("set deadline: %w", err)
+		}
+		return nil
+	}
+	if err := c.conn.SetDeadline(time.Time{}); err != nil {
+		return fmt.Errorf("clear deadline: %w", err)
+	}
+	return nil
+}
+
+// roundTrip performs one gob exchange on c, whose lock the caller holds.
+func (t *TCPTransport) roundTrip(c *tcpConn, req *wireRequest, resp *wireResponse, timeout time.Duration) error {
+	if err := setDeadline(c, timeout); err != nil {
+		return err
+	}
+	nOut, err := writeFrame(c.conn, req)
+	if err != nil {
+		return fmt.Errorf("send: %w", err)
+	}
+	nIn, err := readFrame(c.conn, resp)
+	if err != nil {
+		return fmt.Errorf("receive: %w", err)
+	}
+	t.addWireBytes(int64(nOut), int64(nIn))
+	return nil
+}
+
+// roundTripRaw writes one raw frame (4-byte prefix placeholder included) and
+// reads the raw response payload into a pooled receive buffer, which it
+// returns along with the payload view; the caller returns the buffer to the
+// pool once the payload is consumed — for pull replies that is after
+// DecodeWire has scattered the body into the destination block's slabs,
+// making the pooled buffer the only stop between socket and slab. The caller
+// holds c.mu.
+func (t *TCPTransport) roundTripRaw(c *tcpConn, frame []byte, timeout time.Duration) ([]byte, *[]byte, error) {
+	if err := setDeadline(c, timeout); err != nil {
+		return nil, nil, err
+	}
+	nOut, err := writeRawFrame(c.conn, frame)
+	if err != nil {
+		return nil, nil, fmt.Errorf("send: %w", err)
+	}
+	n, raw, err := readFramePrefix(c.conn)
+	if err != nil {
+		return nil, nil, fmt.Errorf("receive: %w", err)
+	}
+	if !raw {
+		return nil, nil, fmt.Errorf("receive: gob frame where a raw frame was expected")
+	}
+	rbuf := getScratch()
+	payload, err := readFramePayload(c.conn, n, rbuf)
+	if err != nil {
+		putScratch(rbuf)
+		return nil, nil, fmt.Errorf("receive: %w", err)
+	}
+	t.addWireBytes(int64(nOut), int64(4+n))
+	return payload, rbuf, nil
 }
 
 func (t *TCPTransport) addBytes(out, in int64) {
 	t.statMu.Lock()
 	t.bytesOut += out
 	t.bytesIn += in
+	t.statMu.Unlock()
+}
+
+func (t *TCPTransport) addWireBytes(out, in int64) {
+	t.statMu.Lock()
+	t.wireOut += out
+	t.wireIn += in
 	t.statMu.Unlock()
 }
 
@@ -716,19 +1079,44 @@ func (t *TCPTransport) Push(nodeID int, deltas map[keys.Key]*embedding.Value) (i
 
 // PullBlock implements BlockTransport: the reply arrives as one flat block
 // body (encoded in a single pass server-side) and is decoded straight into
-// dst, in request-key order — no per-value gob decoding.
+// dst, in request-key order — no per-value gob decoding. On a raw-negotiated
+// connection the request is a length-prefixed key frame and the reply body is
+// decoded directly out of the pooled receive buffer, in the negotiated
+// precision; otherwise the exchange falls back to gob. The returned byte
+// count stays the fp32-equivalent model traffic (the PayloadBytes accounting
+// every transport shares); Stats().WireIn/WireOut expose what actually
+// crossed the socket.
 func (t *TCPTransport) PullBlock(nodeID int, ks []keys.Key, dst *ps.ValueBlock) (int64, error) {
-	resp, err := t.call(nodeID, &wireRequest{Op: opPullBlock, Keys: ks})
+	err := t.do(nodeID, opPullBlock, func(c *tcpConn, timeout time.Duration) error {
+		if c.raw {
+			buf := getScratch()
+			frame := appendRawPullReq(append((*buf)[:0], 0, 0, 0, 0), ks)
+			payload, rbuf, err := t.roundTripRaw(c, frame, timeout)
+			*buf = frame[:0]
+			putScratch(buf)
+			if err != nil {
+				return err
+			}
+			defer putScratch(rbuf)
+			if len(payload) < 4 || payload[0] != rawOpPullBlockResp {
+				return fmt.Errorf("malformed pull-block response of %d bytes", len(payload))
+			}
+			if payload[1] != 0 {
+				return &RemoteError{Node: nodeID, Op: opName(opPullBlock), Msg: string(payload[4:])}
+			}
+			return dst.DecodeWire(ks, payload[4:])
+		}
+		var resp wireResponse
+		if err := t.roundTrip(c, &wireRequest{Op: opPullBlock, Keys: ks}, &resp, timeout); err != nil {
+			return err
+		}
+		if resp.Err != "" {
+			return &RemoteError{Node: nodeID, Op: opName(opPullBlock), Msg: resp.Err}
+		}
+		return dst.DecodeWire(ks, resp.Block)
+	})
 	if err != nil {
 		return 0, err
-	}
-	if err := dst.DecodeWire(ks, resp.Block); err != nil {
-		// The frame itself decoded, so the stream is still synchronized —
-		// only the block body inside was malformed. No connection to drop;
-		// classify it as a retryable transport failure (errors.go: "a
-		// malformed reply"), letting the caller retry against a peer that
-		// may answer sanely next time.
-		return 0, &TransportError{Node: nodeID, Op: opName(opPullBlock), Attempts: 1, Err: err}
 	}
 	if dst.Dim == 0 && t.dim > 0 {
 		// An all-missing reply from a map-based handler carries no dimension
@@ -743,19 +1131,63 @@ func (t *TCPTransport) PullBlock(nodeID int, ks []keys.Key, dst *ps.ValueBlock) 
 
 // PushBlock implements BlockTransport: the block's delta rows travel as one
 // flat frame, stamped with a dedup sequence exactly like a map push, so a
-// push-block retried across a reconnect is applied exactly once.
+// push-block retried across a reconnect is applied exactly once (the sequence
+// is assigned once, before the retry loop, for that reason). Push bodies stay
+// fp32 even on quantized connections unless SetPushQuantization opted in:
+// a pull-side quantization error is corrected by the next delta (the delta is
+// computed against the quantized values the trainer actually loaded), while a
+// quantized delta perturbs the authoritative copies directly.
 func (t *TCPTransport) PushBlock(nodeID int, blk *ps.ValueBlock) (int64, error) {
-	buf := getScratch()
-	defer putScratch(buf)
-	req := &wireRequest{
-		Op:     opPushBlock,
-		Client: t.client,
-		Seq:    t.seq.Add(1),
-		Keys:   blk.Keys,
-		Block:  blk.AppendWire((*buf)[:0]),
-	}
-	defer func() { *buf = req.Block[:0] }()
-	if _, err := t.call(nodeID, req); err != nil {
+	client, seq := t.client, t.seq.Add(1)
+	t.mu.Lock()
+	quantPush := t.quantPush
+	t.mu.Unlock()
+	err := t.do(nodeID, opPushBlock, func(c *tcpConn, timeout time.Duration) error {
+		if c.raw {
+			pushPrec := ps.PrecisionFP32
+			if quantPush {
+				pushPrec = c.prec
+			}
+			buf := getScratch()
+			frame := appendRawPushReq(append((*buf)[:0], 0, 0, 0, 0), client, seq, blk.Keys)
+			frame = blk.AppendWirePrecision(frame, pushPrec)
+			payload, rbuf, err := t.roundTripRaw(c, frame, timeout)
+			*buf = frame[:0]
+			putScratch(buf)
+			if err != nil {
+				return err
+			}
+			defer putScratch(rbuf)
+			if len(payload) < 4 || payload[0] != rawOpPushBlockResp {
+				return fmt.Errorf("malformed push-block response of %d bytes", len(payload))
+			}
+			if payload[1] != 0 {
+				return &RemoteError{Node: nodeID, Op: opName(opPushBlock), Msg: string(payload[4:])}
+			}
+			return nil
+		}
+		buf := getScratch()
+		req := &wireRequest{
+			Op:     opPushBlock,
+			Client: client,
+			Seq:    seq,
+			Keys:   blk.Keys,
+			Block:  blk.AppendWire((*buf)[:0]),
+		}
+		defer func() {
+			*buf = req.Block[:0]
+			putScratch(buf)
+		}()
+		var resp wireResponse
+		if err := t.roundTrip(c, req, &resp, timeout); err != nil {
+			return err
+		}
+		if resp.Err != "" {
+			return &RemoteError{Node: nodeID, Op: opName(opPushBlock), Msg: resp.Err}
+		}
+		return nil
+	})
+	if err != nil {
 		return 0, err
 	}
 	bytes := int64(blk.PresentCount()) * int64(8+embedding.EncodedSize(t.dim))
@@ -798,8 +1230,10 @@ func (t *TCPTransport) Lookup(nodeID int, ks []keys.Key) (PullResult, int64, err
 func (t *TCPTransport) Close() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for id, c := range t.conns {
-		c.conn.Close()
-		delete(t.conns, id)
+	for id, p := range t.peers {
+		for _, c := range p.conns {
+			c.conn.Close()
+		}
+		delete(t.peers, id)
 	}
 }

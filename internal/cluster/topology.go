@@ -105,14 +105,15 @@ type BlockPushHandler interface {
 
 // BlockPullWireHandler is the zero-intermediate form of BlockPullHandler: the
 // handler appends the encoded block body for ks (the exact bytes
-// ps.ValueBlock.AppendWire would produce — ps.AppendWireHeader then one
-// ps.AppendWireRow per requested key) directly onto dst and returns the
-// extended slice. A serving tier that implements it copies each value row
-// once, from its own storage into the outgoing frame, instead of staging the
-// reply through an intermediate block; the TCP server prefers it for
-// pull-block RPCs.
+// ps.ValueBlock.AppendWirePrecision would produce — ps.AppendWireHeaderPrecision
+// then one ps.AppendWireRowPrecision per requested key, in the connection's
+// negotiated precision) directly onto dst and returns the extended slice. A
+// serving tier that implements it copies (or quantizes) each value row once,
+// from its own storage into the outgoing frame, instead of staging the reply
+// through an intermediate block; the TCP server prefers it for pull-block
+// RPCs.
 type BlockPullWireHandler interface {
-	HandlePullBlockWire(ks []keys.Key, dst []byte) ([]byte, error)
+	HandlePullBlockWire(ks []keys.Key, dst []byte, prec ps.Precision) ([]byte, error)
 }
 
 // EvictHandler demotes parameters out of the serving tier. ps.Tier's Evict

@@ -13,12 +13,24 @@ import (
 	"hps/internal/ps"
 )
 
-// The wire protocol between nodes is a stream of length-prefixed gob frames:
-// a 4-byte big-endian payload length followed by one gob-encoded wireRequest
-// (client to server) or wireResponse (server to client). The explicit frame
-// boundary is what keeps a malformed or truncated payload contained — the
-// server can reject a frame without losing stream synchronization, and the
-// length cap bounds how much memory a single frame may ask it to allocate.
+// The wire protocol between nodes is a stream of length-prefixed frames: a
+// 4-byte big-endian prefix followed by one payload. Two frame families share
+// the stream, distinguished by the prefix's top bit (payloads are capped far
+// below it, so gob traffic can never set it by accident):
+//
+//   - gob frames (bit 31 clear): one gob-encoded wireRequest (client to
+//     server) or wireResponse (server to client) — wire version 1, the
+//     fallback every peer speaks.
+//   - raw frames (bit 31 set): a fixed binary layout for the block hot path —
+//     wire version 2 — that skips gob entirely in both directions: keys and
+//     block bodies are appended straight into the frame and decoded straight
+//     out of it (ps.ValueBlock.DecodeWire lands rows in the destination
+//     slabs, no intermediate copy).
+//
+// The explicit frame boundary is what keeps a malformed or truncated payload
+// contained — the server can reject a frame without losing stream
+// synchronization, and the length cap bounds how much memory a single frame
+// may ask it to allocate.
 
 // RPC operations.
 const (
@@ -30,6 +42,51 @@ const (
 	opPullBlock uint8 = 6 // pull whose reply is one flat value block
 	opPushBlock uint8 = 7 // push whose deltas arrive as one flat value block
 )
+
+// rawMagicBit marks a length prefix as introducing a raw (non-gob) frame.
+const rawMagicBit uint32 = 1 << 31
+
+// rawWireVersion is the highest wire version this build speaks: version 1 is
+// gob-only, version 2 adds the raw block frames. A hello exchange pins the
+// version (and the pull-reply precision) per connection; a peer that answers
+// with a lower version keeps the connection on gob frames.
+const rawWireVersion = 2
+
+// Raw frame operations. Every raw payload starts with the op byte; requests
+// and responses are distinct ops so a desynchronized stream is detected
+// instead of misparsed.
+const (
+	rawOpHello         uint8 = 1 // negotiate wire version + pull precision
+	rawOpHelloResp     uint8 = 2
+	rawOpPullBlock     uint8 = 3 // pull-block request: keys only
+	rawOpPullBlockResp uint8 = 4 // pull-block reply: encoded block body
+	rawOpPushBlock     uint8 = 5 // push-block request: dedup stamp, keys, body
+	rawOpPushBlockResp uint8 = 6
+)
+
+func rawRespOp(op uint8) uint8 {
+	switch op {
+	case rawOpHello:
+		return rawOpHelloResp
+	case rawOpPullBlock:
+		return rawOpPullBlockResp
+	case rawOpPushBlock:
+		return rawOpPushBlockResp
+	}
+	return 0
+}
+
+func rawOpName(op uint8) string {
+	switch op {
+	case rawOpHello, rawOpHelloResp:
+		return "hello"
+	case rawOpPullBlock, rawOpPullBlockResp:
+		return "pull-block"
+	case rawOpPushBlock, rawOpPushBlockResp:
+		return "push-block"
+	}
+	return fmt.Sprintf("raw-op#%d", op)
+}
 
 func opName(op uint8) string {
 	switch op {
@@ -187,8 +244,9 @@ func putScratch(b *[]byte) {
 	scratchPool.Put(b)
 }
 
-// writeFrame gob-encodes v and writes it as one length-prefixed frame.
-func writeFrame(w io.Writer, v any) error {
+// writeFrame gob-encodes v and writes it as one length-prefixed frame,
+// returning the bytes written (the actual on-wire cost of the frame).
+func writeFrame(w io.Writer, v any) (int, error) {
 	buf := frameBufPool.Get().(*bytes.Buffer)
 	defer func() {
 		if buf.Cap() > maxPooledScratch {
@@ -199,43 +257,86 @@ func writeFrame(w io.Writer, v any) error {
 	}()
 	buf.Write([]byte{0, 0, 0, 0}) // length prefix placeholder
 	if err := gob.NewEncoder(buf).Encode(v); err != nil {
-		return fmt.Errorf("cluster: encode frame: %w", err)
+		return 0, fmt.Errorf("cluster: encode frame: %w", err)
 	}
 	payload := buf.Len() - 4
 	if payload > MaxFrameBytes {
-		return fmt.Errorf("cluster: frame of %d bytes exceeds limit %d", payload, MaxFrameBytes)
+		return 0, fmt.Errorf("cluster: frame of %d bytes exceeds limit %d", payload, MaxFrameBytes)
 	}
 	b := buf.Bytes()
 	binary.BigEndian.PutUint32(b[:4], uint32(payload))
-	_, err := w.Write(b)
-	return err
+	return w.Write(b)
 }
 
-// readFrame reads one length-prefixed frame from r and gob-decodes it into v.
-// It returns io.EOF unwrapped when the stream ends cleanly between frames so
-// connection loops can distinguish shutdown from corruption.
-func readFrame(r io.Reader, v any) error {
+// writeRawFrame stamps the raw length prefix into frame's reserved first four
+// bytes and writes the whole frame in one call, returning the bytes written.
+// The builder appends the payload after a 4-byte placeholder so the frame
+// goes out in a single Write — no separate prefix write, no concatenation.
+func writeRawFrame(w io.Writer, frame []byte) (int, error) {
+	payload := len(frame) - 4
+	if payload <= 0 || payload > MaxFrameBytes {
+		return 0, fmt.Errorf("cluster: raw frame of %d bytes out of range (limit %d)", payload, MaxFrameBytes)
+	}
+	binary.BigEndian.PutUint32(frame[:4], rawMagicBit|uint32(payload))
+	return w.Write(frame)
+}
+
+// readFramePrefix reads one frame's length prefix, reporting whether the
+// frame is raw and how long its payload is. It returns io.EOF unwrapped when
+// the stream ends cleanly between frames so connection loops can distinguish
+// shutdown from corruption.
+func readFramePrefix(r io.Reader) (n uint32, raw bool, err error) {
 	var prefix [4]byte
 	if _, err := io.ReadFull(r, prefix[:]); err != nil {
 		if err == io.EOF {
-			return io.EOF
+			return 0, false, io.EOF
 		}
-		return fmt.Errorf("cluster: read frame prefix: %w", err)
+		return 0, false, fmt.Errorf("cluster: read frame prefix: %w", err)
 	}
-	n := binary.BigEndian.Uint32(prefix[:])
+	n = binary.BigEndian.Uint32(prefix[:])
+	raw = n&rawMagicBit != 0
+	n &^= rawMagicBit
 	if n == 0 || n > MaxFrameBytes {
-		return fmt.Errorf("cluster: frame length %d out of range (limit %d)", n, MaxFrameBytes)
+		return 0, false, fmt.Errorf("cluster: frame length %d out of range (limit %d)", n, MaxFrameBytes)
 	}
-	scratch := getScratch()
-	defer putScratch(scratch)
+	return n, raw, nil
+}
+
+// readFramePayload fills the pooled scratch slice with a frame's n payload
+// bytes and returns the filled view. The caller returns scratch to the pool
+// when it is done with the view — for raw block replies that is after
+// DecodeWire has landed the rows in their destination slabs, which is what
+// makes the receive buffer a reusable landing zone instead of a per-reply
+// allocation.
+func readFramePayload(r io.Reader, n uint32, scratch *[]byte) ([]byte, error) {
 	if cap(*scratch) < int(n) {
 		*scratch = make([]byte, n)
 	}
 	payload := (*scratch)[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return fmt.Errorf("cluster: read frame payload: %w", err)
+		return nil, fmt.Errorf("cluster: read frame payload: %w", err)
 	}
-	return decodeFrame(payload, v)
+	return payload, nil
+}
+
+// readFrame reads one length-prefixed gob frame from r and decodes it into v,
+// returning the total bytes read. A raw frame in gob position is rejected —
+// the families never interleave inside one RPC exchange.
+func readFrame(r io.Reader, v any) (int, error) {
+	n, raw, err := readFramePrefix(r)
+	if err != nil {
+		return 0, err
+	}
+	if raw {
+		return 0, fmt.Errorf("cluster: raw frame where a gob frame was expected")
+	}
+	scratch := getScratch()
+	defer putScratch(scratch)
+	payload, err := readFramePayload(r, n, scratch)
+	if err != nil {
+		return 0, err
+	}
+	return 4 + int(n), decodeFrame(payload, v)
 }
 
 // decodeFrame gob-decodes one frame payload, converting any decoder panic
@@ -251,4 +352,92 @@ func decodeFrame(payload []byte, v any) (err error) {
 		return fmt.Errorf("cluster: decode frame: %w", err)
 	}
 	return nil
+}
+
+// Raw payload layouts (all integers little-endian, after the 4-byte
+// big-endian stream prefix):
+//
+//	hello  req : op, version, precision, pad
+//	hello  resp: op, status, version, precision
+//	pull   req : op, pad[3], nkeys u32, keys u64...
+//	pull   resp: op, status, pad[2], then the block body (ok) or message (err)
+//	push   req : op, pad[3], client u64, seq u64, nkeys u32, keys u64..., body
+//	push   resp: op, status, pad[2], then nothing (ok) or message (err)
+//
+// Keys travel as fixed 8-byte words and bodies as ps wire bytes, so both ends
+// move them with append/DecodeWire instead of an encoder.
+
+// appendRawPullReq appends a pull-block request payload to dst.
+func appendRawPullReq(dst []byte, ks []keys.Key) []byte {
+	dst = append(dst, rawOpPullBlock, 0, 0, 0)
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(len(ks)))
+	dst = append(dst, b[:]...)
+	return appendRawKeys(dst, ks)
+}
+
+// appendRawPushReq appends a push-block request payload up to the keys; the
+// caller appends the encoded block body behind it.
+func appendRawPushReq(dst []byte, client, seq uint64, ks []keys.Key) []byte {
+	dst = append(dst, rawOpPushBlock, 0, 0, 0)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], client)
+	dst = append(dst, b[:]...)
+	binary.LittleEndian.PutUint64(b[:], seq)
+	dst = append(dst, b[:]...)
+	binary.LittleEndian.PutUint32(b[:4], uint32(len(ks)))
+	dst = append(dst, b[:4]...)
+	return appendRawKeys(dst, ks)
+}
+
+func appendRawKeys(dst []byte, ks []keys.Key) []byte {
+	var b [8]byte
+	for _, k := range ks {
+		binary.LittleEndian.PutUint64(b[:], uint64(k))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+// parseRawPullReq validates and decodes a pull-block request payload. The
+// payload may come from a hostile peer: the key count must account for the
+// payload exactly.
+func parseRawPullReq(payload []byte) ([]keys.Key, error) {
+	if len(payload) < 8 {
+		return nil, fmt.Errorf("cluster: raw pull-block request of %d bytes", len(payload))
+	}
+	n := int(binary.LittleEndian.Uint32(payload[4:8]))
+	if n*8 != len(payload)-8 {
+		return nil, fmt.Errorf("cluster: raw pull-block request: %d keys in %d payload bytes", n, len(payload))
+	}
+	return parseRawKeys(payload[8:], n), nil
+}
+
+// parseRawPushReq validates and decodes a push-block request payload. The
+// returned keys are freshly allocated; body aliases the payload, so the
+// caller must finish with it before recycling the receive buffer.
+func parseRawPushReq(payload []byte) (client, seq uint64, ks []keys.Key, body []byte, err error) {
+	if len(payload) < 24 {
+		return 0, 0, nil, nil, fmt.Errorf("cluster: raw push-block request of %d bytes", len(payload))
+	}
+	client = binary.LittleEndian.Uint64(payload[4:12])
+	seq = binary.LittleEndian.Uint64(payload[12:20])
+	n := int(binary.LittleEndian.Uint32(payload[20:24]))
+	if n < 0 || n > (len(payload)-24)/8 {
+		return 0, 0, nil, nil, fmt.Errorf("cluster: raw push-block request: %d keys in %d payload bytes", n, len(payload))
+	}
+	ks = parseRawKeys(payload[24:], n)
+	body = payload[24+8*n:]
+	if len(body) == 0 {
+		return 0, 0, nil, nil, fmt.Errorf("cluster: raw push-block request carries no block")
+	}
+	return client, seq, ks, body, nil
+}
+
+func parseRawKeys(b []byte, n int) []keys.Key {
+	ks := make([]keys.Key, n)
+	for i := range ks {
+		ks[i] = keys.Key(binary.LittleEndian.Uint64(b[8*i : 8*i+8]))
+	}
+	return ks
 }

@@ -15,7 +15,7 @@ import (
 func encodeRequestFrame(t *testing.T, req *wireRequest) []byte {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := writeFrame(&buf, req); err != nil {
+	if _, err := writeFrame(&buf, req); err != nil {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
@@ -34,7 +34,7 @@ func TestWireRoundTrip(t *testing.T) {
 	}
 	frame := encodeRequestFrame(t, req)
 	var got wireRequest
-	if err := readFrame(bytes.NewReader(frame), &got); err != nil {
+	if _, err := readFrame(bytes.NewReader(frame), &got); err != nil {
 		t.Fatal(err)
 	}
 	if err := got.validate(); err != nil {
@@ -50,28 +50,28 @@ func TestWireRoundTrip(t *testing.T) {
 
 func TestWireRejectsBadFrames(t *testing.T) {
 	// Truncated prefix.
-	if err := readFrame(bytes.NewReader([]byte{0, 0}), &wireRequest{}); err == nil {
+	if _, err := readFrame(bytes.NewReader([]byte{0, 0}), &wireRequest{}); err == nil {
 		t.Fatal("truncated prefix must fail")
 	}
 	// Clean EOF between frames is io.EOF exactly.
-	if err := readFrame(bytes.NewReader(nil), &wireRequest{}); err != io.EOF {
+	if _, err := readFrame(bytes.NewReader(nil), &wireRequest{}); err != io.EOF {
 		t.Fatalf("empty stream error = %v, want io.EOF", err)
 	}
 	// Zero and oversized lengths.
-	if err := readFrame(bytes.NewReader([]byte{0, 0, 0, 0}), &wireRequest{}); err == nil {
+	if _, err := readFrame(bytes.NewReader([]byte{0, 0, 0, 0}), &wireRequest{}); err == nil {
 		t.Fatal("zero-length frame must fail")
 	}
-	if err := readFrame(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff}), &wireRequest{}); err == nil {
+	if _, err := readFrame(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff}), &wireRequest{}); err == nil {
 		t.Fatal("oversized frame must fail")
 	}
 	// Truncated payload.
 	frame := encodeRequestFrame(t, &wireRequest{Op: opPull, Keys: []keys.Key{1}})
-	if err := readFrame(bytes.NewReader(frame[:len(frame)-3]), &wireRequest{}); err == nil {
+	if _, err := readFrame(bytes.NewReader(frame[:len(frame)-3]), &wireRequest{}); err == nil {
 		t.Fatal("truncated payload must fail")
 	}
 	// Garbage gob payload.
 	garbage := append([]byte{0, 0, 0, 4}, 1, 2, 3, 4)
-	if err := readFrame(bytes.NewReader(garbage), &wireRequest{}); err == nil {
+	if _, err := readFrame(bytes.NewReader(garbage), &wireRequest{}); err == nil {
 		t.Fatal("garbage payload must fail")
 	}
 }
@@ -182,11 +182,11 @@ func TestServerDedupsReplayedPushFrame(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer conn.Close()
-		if err := writeFrame(conn, req); err != nil {
+		if _, err := writeFrame(conn, req); err != nil {
 			t.Fatal(err)
 		}
 		var resp wireResponse
-		if err := readFrame(conn, &resp); err != nil {
+		if _, err := readFrame(conn, &resp); err != nil {
 			t.Fatal(err)
 		}
 		if resp.Err != "" {
@@ -227,11 +227,11 @@ func TestServerRetriesFailedPushApply(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer conn.Close()
-		if err := writeFrame(conn, req); err != nil {
+		if _, err := writeFrame(conn, req); err != nil {
 			t.Fatal(err)
 		}
 		var resp wireResponse
-		if err := readFrame(conn, &resp); err != nil {
+		if _, err := readFrame(conn, &resp); err != nil {
 			t.Fatal(err)
 		}
 		return resp.Err

@@ -81,11 +81,16 @@ func (v *Value) AddFlat(weights, g2sum []float32, freq uint32) {
 		panic(fmt.Sprintf("embedding: Add dimension mismatch: delta %d/%d into value %d/%d",
 			len(weights), len(g2sum), len(v.Weights), len(v.G2Sum)))
 	}
+	// Reslicing to the delta's length lets the compiler drop the per-element
+	// bounds checks in these hot loops (the guard above proved the lengths
+	// match, but the prove pass cannot carry that through the field loads).
+	vw := v.Weights[:len(weights)]
 	for i, w := range weights {
-		v.Weights[i] += w
+		vw[i] += w
 	}
+	vg := v.G2Sum[:len(g2sum)]
 	for i, g := range g2sum {
-		v.G2Sum[i] += g
+		vg[i] += g
 	}
 	v.Freq += freq
 }

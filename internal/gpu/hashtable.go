@@ -194,6 +194,51 @@ func (t *HashTable) View(k keys.Key, fn func(v *embedding.Value)) bool {
 	return true
 }
 
+// gatherScratch is the pooled per-call bucket scratch of GatherBatch: request
+// indices grouped by table shard.
+type gatherScratch struct {
+	buckets [tableShards][]int32
+}
+
+var gatherPool = sync.Pool{New: func() any { return new(gatherScratch) }}
+
+// GatherBatch calls visit(i, v) under the shard's read lock for every ks[i]
+// stored in the table — View's contract, batched: the requested keys are
+// bucketed by shard first, so each shard's lock is taken once for all of its
+// keys instead of once per key. Visits are grouped by shard, not in request
+// order; i is always the index into ks. On the first missing key it stops and
+// returns that key with ok=false (the working-set contract makes a miss a
+// bug, so there is nothing partial to salvage).
+func (t *HashTable) GatherBatch(ks []keys.Key, visit func(i int, v *embedding.Value)) (missing keys.Key, ok bool) {
+	sc := gatherPool.Get().(*gatherScratch)
+	defer gatherPool.Put(sc)
+	for b := range sc.buckets {
+		sc.buckets[b] = sc.buckets[b][:0]
+	}
+	for i, k := range ks {
+		b := keys.Mix64(k.Hash()) % tableShards
+		sc.buckets[b] = append(sc.buckets[b], int32(i))
+	}
+	for b := range sc.buckets {
+		idxs := sc.buckets[b]
+		if len(idxs) == 0 {
+			continue
+		}
+		s := &t.shards[b]
+		s.mu.RLock()
+		for _, i := range idxs {
+			idx, found, _ := s.probe(ks[i])
+			if !found {
+				s.mu.RUnlock()
+				return ks[i], false
+			}
+			visit(int(i), s.slots[idx].value)
+		}
+		s.mu.RUnlock()
+	}
+	return 0, true
+}
+
 // Accumulate adds delta element-wise onto the embedding weights stored under
 // key and increments the value's reference counter — the accumulate
 // operation of Algorithm 2. It returns ErrKeyNotFound for unknown keys.

@@ -21,6 +21,7 @@ package hbmps
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
 	"time"
 
@@ -128,6 +129,14 @@ type HBMPS struct {
 	parts   [][]int32
 	keyBuf  []keys.Key
 	stats   Stats
+
+	// Staged GPU partition computed by StagePartition while the pull stage is
+	// still fetching values. Guarded by its own lock, not h.mu: with pipelining,
+	// the pull stage of batch j+1 stages its partition while the train stage of
+	// batch j still holds h.mu inside LoadBlock.
+	stageMu     sync.Mutex
+	stagedKeys  []keys.Key
+	stagedParts [][]int32
 }
 
 var (
@@ -207,16 +216,20 @@ func (h *HBMPS) loadLocked(ks []keys.Key, row func(i int) ([]float32, []float32,
 	}
 	dim := h.cfg.Dim
 
-	// Partition key indices across GPUs (buffers recycled across batches).
-	if len(h.parts) != len(h.devices) {
-		h.parts = make([][]int32, len(h.devices))
-	}
-	for g := range h.parts {
-		h.parts[g] = h.parts[g][:0]
-	}
-	for i, k := range ks {
-		g := h.gpuOf(k)
-		h.parts[g] = append(h.parts[g], int32(i))
+	// Partition key indices across GPUs (buffers recycled across batches). If
+	// StagePartition already bucketed exactly this key sequence during the pull
+	// stage, adopt its buckets instead of re-partitioning.
+	if !h.adoptStagedPartition(ks) {
+		if len(h.parts) != len(h.devices) {
+			h.parts = make([][]int32, len(h.devices))
+		}
+		for g := range h.parts {
+			h.parts[g] = h.parts[g][:0]
+		}
+		for i, k := range ks {
+			g := h.gpuOf(k)
+			h.parts[g] = append(h.parts[g], int32(i))
+		}
 	}
 
 	loadStart := h.cfg.Clock.Total(simtime.ResourcePCIe) + h.cfg.Clock.Total(simtime.ResourceHBM)
@@ -275,6 +288,44 @@ func (h *HBMPS) loadLocked(ks []keys.Key, row func(i int) ([]float32, []float32,
 	return nil
 }
 
+// StagePartition buckets the given keys by owning GPU ahead of the LoadBlock
+// that will load them, so the partitioning runs concurrently with the network
+// pull of the values instead of serially after it. The keys are copied; a
+// later LoadBlock/LoadWorkingSet whose key sequence matches exactly adopts the
+// staged buckets, any other load ignores them. Safe to call while a previous
+// batch is still resident or training.
+func (h *HBMPS) StagePartition(ks []keys.Key) {
+	h.stageMu.Lock()
+	defer h.stageMu.Unlock()
+	h.stagedKeys = append(h.stagedKeys[:0], ks...)
+	if len(h.stagedParts) != len(h.devices) {
+		h.stagedParts = make([][]int32, len(h.devices))
+	}
+	for g := range h.stagedParts {
+		h.stagedParts[g] = h.stagedParts[g][:0]
+	}
+	for i, k := range ks {
+		g := h.gpuOf(k)
+		h.stagedParts[g] = append(h.stagedParts[g], int32(i))
+	}
+}
+
+// adoptStagedPartition swaps the staged buckets into h.parts when they were
+// computed for exactly the key sequence now being loaded. Caller holds h.mu.
+func (h *HBMPS) adoptStagedPartition(ks []keys.Key) bool {
+	h.stageMu.Lock()
+	defer h.stageMu.Unlock()
+	if len(h.stagedParts) != len(h.devices) || !slices.Equal(h.stagedKeys, ks) {
+		return false
+	}
+	h.parts, h.stagedParts = h.stagedParts, h.parts
+	h.stagedKeys = h.stagedKeys[:0]
+	if len(h.stagedParts) != len(h.devices) {
+		h.stagedParts = make([][]int32, len(h.devices))
+	}
+	return true
+}
+
 // Loaded reports whether a working set is currently resident.
 func (h *HBMPS) Loaded() bool {
 	h.mu.Lock()
@@ -311,34 +362,68 @@ func (h *HBMPS) PullInto(req ps.PullRequest, dst *ps.ValueBlock) error {
 	})
 }
 
+// pullScratch is the pooled per-call grouping scratch of pull: the request
+// keys and their original indices, partitioned by owning GPU. Pull runs
+// concurrently on every worker goroutine, so the scratch is pooled rather
+// than stored on the HBMPS.
+type pullScratch struct {
+	keys [][]keys.Key
+	idx  [][]int32
+}
+
+var pullScratchPool = sync.Pool{New: func() any { return new(pullScratch) }}
+
 // pull is the shared read path behind Pull and PullInto: visit copies each
 // requested value (under its table's shard lock) into the caller's
-// representation.
+// representation. The request is grouped by owning GPU and served with one
+// batched gather per device — each hash-table shard's lock is taken once per
+// mini-batch instead of once per key.
 func (h *HBMPS) pull(req ps.PullRequest, visit func(i int, k keys.Key, v *embedding.Value)) error {
 	gpuID := req.Shard
 	if gpuID < 0 || gpuID >= len(h.devices) {
 		return fmt.Errorf("hbmps: invalid gpu id %d", gpuID)
 	}
+	sc := pullScratchPool.Get().(*pullScratch)
+	defer pullScratchPool.Put(sc)
+	if len(sc.keys) < len(h.devices) {
+		sc.keys = make([][]keys.Key, len(h.devices))
+		sc.idx = make([][]int32, len(h.devices))
+	}
+	for g := range h.devices {
+		sc.keys[g] = sc.keys[g][:0]
+		sc.idx[g] = sc.idx[g][:0]
+	}
+	for i, k := range req.Keys {
+		g := h.gpuOf(k)
+		sc.keys[g] = append(sc.keys[g], k)
+		sc.idx[g] = append(sc.idx[g], int32(i))
+	}
 	var localBytes, remoteBytes int64
 	var localCount, remoteCount int64
 	valueBytes := int64(embedding.EncodedSize(h.cfg.Dim))
-	for i, k := range req.Keys {
-		owner := h.gpuOf(k)
+	for owner := range h.devices {
+		sub := sc.keys[owner]
+		if len(sub) == 0 {
+			continue
+		}
 		table := h.devices[owner].Table()
 		if table == nil {
 			return fmt.Errorf("hbmps: gpu %d has no working set loaded", owner)
 		}
-		// Copy under the table's shard lock: concurrent workers update the
-		// stored values in place.
-		if !table.View(k, func(v *embedding.Value) { visit(i, k, v) }) {
-			return fmt.Errorf("hbmps: key %d not in the working set", k)
+		origIdx := sc.idx[owner]
+		missing, ok := table.GatherBatch(sub, func(j int, v *embedding.Value) {
+			visit(int(origIdx[j]), sub[j], v)
+		})
+		if !ok {
+			return fmt.Errorf("hbmps: key %d not in the working set", missing)
 		}
+		n := int64(len(sub))
 		if owner == gpuID {
-			localBytes += valueBytes
-			localCount++
+			localBytes += n * valueBytes
+			localCount += n
 		} else {
-			remoteBytes += valueBytes
-			remoteCount++
+			remoteBytes += n * valueBytes
+			remoteCount += n
 		}
 	}
 	// Local reads stream through HBM; remote reads cross NVLink.

@@ -127,6 +127,11 @@ type MemPS struct {
 	pendingDump map[keys.Key]*embedding.Value
 	rng         *rand.Rand
 	stats       Stats
+
+	// applyBlock scratch, reused across batches (safe: applyBlock holds m.mu).
+	applyOrder []int
+	applyMiss  []int
+	applyLoad  []keys.Key
 }
 
 var (
@@ -663,30 +668,126 @@ func (m *MemPS) ApplyUpdates(deltas map[keys.Key]*embedding.Value) error {
 
 // applyBlock is ApplyUpdates over a flat delta block: the owned rows are
 // merged into the authoritative copies in sorted key order, loading cold
-// parameters from the SSD-PS in one batched pass first.
+// parameters from the SSD-PS in one batched pass first. The selection and
+// miss scratch lives on the MemPS (it runs under m.mu), and each row costs
+// exactly one cache probe: hits merge on the spot, misses defer to the
+// batched load — in the steady hot-push state the whole apply allocates
+// nothing.
 func (m *MemPS) applyBlock(blk *ps.ValueBlock) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	order := make([]int, 0, len(blk.Keys))
-	for i := range blk.Keys {
-		if blk.Present[i] && m.ownsKey(blk.Keys[i]) {
+	order := m.applyOrder[:0]
+	sorted := true
+	var prev keys.Key
+	ks, present := blk.Keys, blk.Present
+	for i, k := range ks {
+		if present[i] && m.ownsKey(k) {
+			if len(order) > 0 && k < prev {
+				sorted = false
+			}
+			prev = k
 			order = append(order, i)
 		}
 	}
-	slices.SortFunc(order, func(a, b int) int { return cmp.Compare(blk.Keys[a], blk.Keys[b]) })
-	ownedKeys := make([]keys.Key, len(order))
-	for j, i := range order {
-		ownedKeys[j] = blk.Keys[i]
+	if !sorted {
+		// Push blocks arrive in sorted key order (the merged working set is
+		// sorted); only an arbitrary caller pays for the sort.
+		slices.SortFunc(order, func(a, b int) int { return cmp.Compare(blk.Keys[a], blk.Keys[b]) })
 	}
-	loaded, loadTime, err := m.loadUncached(ownedKeys)
-	if err != nil {
-		return fmt.Errorf("memps: apply updates: %w", err)
-	}
+	m.applyOrder = order
+	missIdx := m.applyMiss[:0]
+	toLoad := m.applyLoad[:0]
 	for _, i := range order {
+		k := ks[i]
+		// GetApply: a write-path read — the pull that assembled this working
+		// set already refreshed recency and visit counts for these keys.
+		if v, ok := m.cache.GetApply(uint64(k)); ok {
+			v.AddFlat(blk.WeightsRow(i), blk.G2Row(i), blk.Freq[i])
+			continue
+		}
+		missIdx = append(missIdx, i)
+		if _, pending := m.pendingDump[k]; !pending {
+			// order is sorted here, so duplicate keys are adjacent.
+			if len(toLoad) == 0 || toLoad[len(toLoad)-1] != k {
+				toLoad = append(toLoad, k)
+			}
+		}
+	}
+	m.applyMiss = missIdx
+	m.applyLoad = toLoad
+	var loaded map[keys.Key]*embedding.Value // nil reads as empty in resolveMiss
+	var loadTime time.Duration
+	if len(toLoad) > 0 {
+		var err error
+		loaded, loadTime, err = m.cfg.Store.LoadTimed(toLoad)
+		if err != nil {
+			return fmt.Errorf("memps: apply updates: %w", err)
+		}
+	}
+	for _, i := range missIdx {
 		k := blk.Keys[i]
+		// localLookup rather than resolveMiss: an earlier duplicate row may
+		// have resolved k into the cache already.
 		m.localLookup(k, loaded, nil).AddFlat(blk.WeightsRow(i), blk.G2Row(i), blk.Freq[i])
 	}
 	m.rec.RecordPush(len(order), loadTime)
+	return nil
+}
+
+// PushBlockPair applies a pre-merged pair of delta blocks to the owned
+// shard — the in-process push path for two-node topologies. mk lists the
+// merged keys this shard owns (sorted, unique — the caller partitioned the
+// key-wise merge of a and b by owner); sa[x] and sb[x] are key mk[x]'s row
+// in a and b, -1 when that node did not touch it. It is equivalent to
+// merging the blocks into a global block and applying it through PushBlock,
+// without materializing the merged slabs: a key both nodes updated simply
+// applies both source rows to the same value (the floating-point rounding
+// can differ from the summed-first order by an ulp; both orders are
+// deterministic). Ownership of mk is the caller's contract and is not
+// re-checked.
+func (m *MemPS) PushBlockPair(a, b *ps.ValueBlock, mk []keys.Key, sa, sb []int32) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	missIdx := m.applyMiss[:0]
+	toLoad := m.applyLoad[:0]
+	for x, k := range mk {
+		// GetApply: a write-path read — see applyBlock.
+		if v, ok := m.cache.GetApply(uint64(k)); ok {
+			if ai := sa[x]; ai >= 0 {
+				v.AddFlat(a.WeightsRow(int(ai)), a.G2Row(int(ai)), a.Freq[ai])
+			}
+			if bi := sb[x]; bi >= 0 {
+				v.AddFlat(b.WeightsRow(int(bi)), b.G2Row(int(bi)), b.Freq[bi])
+			}
+			continue
+		}
+		missIdx = append(missIdx, x)
+		if _, pending := m.pendingDump[k]; !pending {
+			// mk is sorted unique, so no duplicate-key dedup is needed here.
+			toLoad = append(toLoad, k)
+		}
+	}
+	m.applyMiss = missIdx
+	m.applyLoad = toLoad
+	var loaded map[keys.Key]*embedding.Value
+	var loadTime time.Duration
+	if len(toLoad) > 0 {
+		var err error
+		loaded, loadTime, err = m.cfg.Store.LoadTimed(toLoad)
+		if err != nil {
+			return fmt.Errorf("memps: apply updates: %w", err)
+		}
+	}
+	for _, x := range missIdx {
+		v := m.localLookup(mk[x], loaded, nil)
+		if ai := sa[x]; ai >= 0 {
+			v.AddFlat(a.WeightsRow(int(ai)), a.G2Row(int(ai)), a.Freq[ai])
+		}
+		if bi := sb[x]; bi >= 0 {
+			v.AddFlat(b.WeightsRow(int(bi)), b.G2Row(int(bi)), b.Freq[bi])
+		}
+	}
+	m.rec.RecordPush(len(mk), loadTime)
 	return nil
 }
 
@@ -708,15 +809,16 @@ func (m *MemPS) HandlePullBlock(ks []keys.Key, dst *ps.ValueBlock) error {
 
 // HandlePullBlockWire implements cluster.BlockPullWireHandler —
 // HandlePullBlock's contract with the reply encoded straight into the
-// outgoing frame: each served value's rows are copied exactly once, from the
-// cache's own storage into dst's wire bytes, under the MEM-PS lock. Hot keys
-// (the steady state, where the cache holds the whole working set) therefore
-// cross neither an intermediate embedding.Value nor an intermediate
-// ValueBlock on their way to the socket.
-func (m *MemPS) HandlePullBlockWire(ks []keys.Key, dst []byte) ([]byte, error) {
-	out := ps.AppendWireHeader(dst, m.cfg.Dim, len(ks))
+// outgoing frame: each served value's rows are copied (or quantized, when the
+// connection negotiated a reduced precision) exactly once, from the cache's
+// own storage into dst's wire bytes, under the MEM-PS lock. Hot keys (the
+// steady state, where the cache holds the whole working set) therefore cross
+// neither an intermediate embedding.Value nor an intermediate ValueBlock on
+// their way to the socket.
+func (m *MemPS) HandlePullBlockWire(ks []keys.Key, dst []byte, prec ps.Precision) ([]byte, error) {
+	out := ps.AppendWireHeaderPrecision(dst, m.cfg.Dim, len(ks), prec)
 	loadTime, err := m.servePull(ks, func(_ int, _ keys.Key, v *embedding.Value) {
-		out = ps.AppendWireRow(out, true, v.Freq, v.Weights, v.G2Sum)
+		out = ps.AppendWireRowPrecision(out, true, v.Freq, v.Weights, v.G2Sum, prec)
 	})
 	if err != nil {
 		return out, err // the caller discards the content, not the buffer

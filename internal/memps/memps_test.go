@@ -375,7 +375,7 @@ func TestHandlePullBlockWireMatchesBlock(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	wire, err := m.HandlePullBlockWire(ks, nil)
+	wire, err := m.HandlePullBlockWire(ks, nil, ps.PrecisionFP32)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -408,7 +408,7 @@ func TestHandlePullBlockWireMatchesBlock(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := multi.HandlePullBlockWire([]keys.Key{1}, nil); err == nil { // odd keys belong to node 1
+	if _, err := multi.HandlePullBlockWire([]keys.Key{1}, nil, ps.PrecisionFP32); err == nil { // odd keys belong to node 1
 		t.Fatal("expected foreign-key rejection")
 	}
 }

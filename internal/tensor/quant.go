@@ -1,0 +1,230 @@
+// Quantization kernels for the compressed wire formats: IEEE-754 binary16
+// (half precision) conversion with round-to-nearest-even, and symmetric int8
+// with a per-row scale. These back the ps wire codec's fp16/int8 row
+// encodings; the scalar conversions are the reference semantics and the slice
+// kernels must match them bit for bit (see quant_test.go).
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// F16Bits converts a float32 to IEEE-754 binary16 bits, rounding to nearest
+// even. Values above the half range become infinities, tiny values flush
+// through the half subnormal range to signed zero, and every NaN maps to a
+// quiet NaN (payloads are not preserved — the wire does not need them).
+func F16Bits(f float32) uint16 {
+	u := math.Float32bits(f)
+	sign := uint16(u>>16) & 0x8000
+	u &^= 0x80000000
+	if u >= 0x7f800000 { // Inf or NaN
+		if u > 0x7f800000 {
+			return sign | 0x7e00 // quiet NaN
+		}
+		return sign | 0x7c00
+	}
+	exp := int32(u>>23) - 127 + 15
+	mant := u & 0x7fffff
+	if exp >= 0x1f {
+		return sign | 0x7c00 // overflow to infinity
+	}
+	if exp <= 0 {
+		if exp < -10 {
+			return sign // underflows even the subnormal range
+		}
+		// Subnormal half: shift the mantissa (with its implicit bit) into
+		// place, rounding to nearest even on the dropped bits.
+		mant |= 0x800000
+		shift := uint32(14 - exp)
+		half := uint32(1) << (shift - 1)
+		rounded := mant >> shift
+		if rem := mant & (1<<shift - 1); rem > half || (rem == half && rounded&1 == 1) {
+			rounded++ // may carry into the exponent; 0x400 encodes 2^-14 exactly
+		}
+		return sign | uint16(rounded)
+	}
+	rounded := mant >> 13
+	if rem := mant & 0x1fff; rem > 0x1000 || (rem == 0x1000 && rounded&1 == 1) {
+		rounded++
+		if rounded == 0x400 { // mantissa carry bumps the exponent
+			rounded = 0
+			exp++
+			if exp >= 0x1f {
+				return sign | 0x7c00
+			}
+		}
+	}
+	return sign | uint16(exp)<<10 | uint16(rounded)
+}
+
+// F16FromBits converts IEEE-754 binary16 bits to the float32 with the same
+// value. Every half value is exactly representable in float32, so this
+// direction is lossless.
+func F16FromBits(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h>>10) & 0x1f
+	mant := uint32(h & 0x3ff)
+	switch {
+	case exp == 0x1f:
+		return math.Float32frombits(sign | 0x7f800000 | mant<<13)
+	case exp != 0:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | mant<<13)
+	case mant == 0:
+		return math.Float32frombits(sign) // signed zero
+	}
+	// Subnormal half: value = mant * 2^-24, normalized in float32.
+	k := uint32(31 - bits.LeadingZeros32(mant)) // highest set bit, 0..9
+	fmant := (mant << (10 - k)) & 0x3ff
+	return math.Float32frombits(sign | (k+103)<<23 | fmant<<13)
+}
+
+// AppendF16 appends the little-endian binary16 encoding of src (2 bytes per
+// element) to dst and returns the extended slice.
+func AppendF16(dst []byte, src []float32) []byte {
+	i := 0
+	for n := len(src) - 3; i < n; i += 4 {
+		s4 := src[i : i+4 : i+4]
+		h0 := F16Bits(s4[0])
+		h1 := F16Bits(s4[1])
+		h2 := F16Bits(s4[2])
+		h3 := F16Bits(s4[3])
+		dst = append(dst,
+			byte(h0), byte(h0>>8), byte(h1), byte(h1>>8),
+			byte(h2), byte(h2>>8), byte(h3), byte(h3>>8))
+	}
+	for ; i < len(src); i++ {
+		h := F16Bits(src[i])
+		dst = append(dst, byte(h), byte(h>>8))
+	}
+	return dst
+}
+
+// DecodeF16 fills dst from the little-endian binary16 encoding in src. It
+// panics unless src is exactly 2 bytes per destination element.
+func DecodeF16(dst []float32, src []byte) {
+	if len(src) != 2*len(dst) {
+		panic(fmt.Sprintf("tensor: DecodeF16 length mismatch src=%d dst=%d", len(src), len(dst)))
+	}
+	i := 0
+	for n := len(dst) - 3; i < n; i += 4 {
+		s8 := src[2*i : 2*i+8 : 2*i+8]
+		d4 := dst[i : i+4 : i+4]
+		d4[0] = F16FromBits(binary.LittleEndian.Uint16(s8[0:2]))
+		d4[1] = F16FromBits(binary.LittleEndian.Uint16(s8[2:4]))
+		d4[2] = F16FromBits(binary.LittleEndian.Uint16(s8[4:6]))
+		d4[3] = F16FromBits(binary.LittleEndian.Uint16(s8[6:8]))
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = F16FromBits(binary.LittleEndian.Uint16(src[2*i : 2*i+2]))
+	}
+}
+
+// MaxAbs returns the largest absolute value in x (0 for an empty slice).
+// NaNs are ignored so one poisoned element cannot zero a whole row's scale.
+func MaxAbs(x []float32) float32 {
+	var m0, m1, m2, m3 float32
+	i := 0
+	for n := len(x) - 3; i < n; i += 4 {
+		x4 := x[i : i+4 : i+4]
+		if a := abs32(x4[0]); a > m0 {
+			m0 = a
+		}
+		if a := abs32(x4[1]); a > m1 {
+			m1 = a
+		}
+		if a := abs32(x4[2]); a > m2 {
+			m2 = a
+		}
+		if a := abs32(x4[3]); a > m3 {
+			m3 = a
+		}
+	}
+	if m1 > m0 {
+		m0 = m1
+	}
+	if m3 > m2 {
+		m2 = m3
+	}
+	if m2 > m0 {
+		m0 = m2
+	}
+	for ; i < len(x); i++ {
+		if a := abs32(x[i]); a > m0 {
+			m0 = a
+		}
+	}
+	return m0
+}
+
+func abs32(v float32) float32 {
+	return math.Float32frombits(math.Float32bits(v) &^ 0x80000000)
+}
+
+// I8Quant returns the symmetric int8 quantization of v under scale: round
+// half away from zero, clamped to [-127, 127]. A zero, non-finite or negative
+// scale quantizes everything to 0 (the row is all zeros, or unencodable).
+func I8Quant(v, scale float32) int8 {
+	if !(scale > 0) || scale > math.MaxFloat32 {
+		return 0
+	}
+	return i8round(v * (1 / scale))
+}
+
+// AppendI8 appends the symmetric int8 quantization of src under scale (1 byte
+// per element) to dst and returns the extended slice.
+func AppendI8(dst []byte, scale float32, src []float32) []byte {
+	if !(scale > 0) || scale > math.MaxFloat32 {
+		for range src {
+			dst = append(dst, 0)
+		}
+		return dst
+	}
+	inv := 1 / scale
+	i := 0
+	for n := len(src) - 3; i < n; i += 4 {
+		s4 := src[i : i+4 : i+4]
+		dst = append(dst,
+			byte(i8round(s4[0]*inv)), byte(i8round(s4[1]*inv)),
+			byte(i8round(s4[2]*inv)), byte(i8round(s4[3]*inv)))
+	}
+	for ; i < len(src); i++ {
+		dst = append(dst, byte(i8round(src[i]*inv)))
+	}
+	return dst
+}
+
+func i8round(r float32) int8 {
+	switch {
+	case r >= 127:
+		return 127
+	case r <= -127:
+		return -127
+	case r >= 0:
+		return int8(r + 0.5)
+	default:
+		return int8(r - 0.5)
+	}
+}
+
+// DecodeI8 fills dst with int8(src[i]) * scale. It panics unless src is
+// exactly 1 byte per destination element.
+func DecodeI8(dst []float32, scale float32, src []byte) {
+	if len(src) != len(dst) {
+		panic(fmt.Sprintf("tensor: DecodeI8 length mismatch src=%d dst=%d", len(src), len(dst)))
+	}
+	i := 0
+	for n := len(dst) - 3; i < n; i += 4 {
+		s4 := src[i : i+4 : i+4]
+		d4 := dst[i : i+4 : i+4]
+		d4[0] = float32(int8(s4[0])) * scale
+		d4[1] = float32(int8(s4[1])) * scale
+		d4[2] = float32(int8(s4[2])) * scale
+		d4[3] = float32(int8(s4[3])) * scale
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = float32(int8(src[i])) * scale
+	}
+}

@@ -1,0 +1,242 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// scalarF16Bits is the naive reference conversion: find the nearest binary16
+// value by exhaustive comparison over the candidate neighborhood. Instead of
+// re-deriving the bit algorithm, it uses the round-trip identity on a dense
+// probe: for finite inputs, the correctly rounded half is one of the two
+// halves bracketing the value.
+func scalarF16Roundtrip(t *testing.T, f float32) {
+	t.Helper()
+	h := F16Bits(f)
+	g := F16FromBits(h)
+	if math.IsNaN(float64(f)) {
+		if !math.IsNaN(float64(g)) {
+			t.Fatalf("F16Bits(NaN) round-tripped to %v", g)
+		}
+		return
+	}
+	// The decoded half must be within half a ULP of the input (round to
+	// nearest), and exactly representable halves must round-trip exactly.
+	if F16Bits(g) != h {
+		t.Fatalf("F16 re-encode not idempotent: %v -> %#04x -> %v -> %#04x", f, h, g, F16Bits(g))
+	}
+}
+
+func TestF16ExactValues(t *testing.T) {
+	cases := []struct {
+		f float32
+		h uint16
+	}{
+		{0, 0x0000},
+		{float32(math.Copysign(0, -1)), 0x8000},
+		{1, 0x3c00},
+		{-1, 0xbc00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7bff}, // largest finite half
+		{-65504, 0xfbff},
+		{6.103515625e-05, 0x0400},       // smallest normal half
+		{5.960464477539063e-08, 0x0001}, // smallest subnormal half
+		{float32(math.Inf(1)), 0x7c00},
+		{float32(math.Inf(-1)), 0xfc00},
+		{65536, 0x7c00},  // overflow -> +inf
+		{1e-10, 0x0000},  // underflow -> +0
+		{-1e-10, 0x8000}, // underflow -> -0
+	}
+	for _, c := range cases {
+		if got := F16Bits(c.f); got != c.h {
+			t.Errorf("F16Bits(%v) = %#04x, want %#04x", c.f, got, c.h)
+		}
+		if c.h&0x7c00 != 0x7c00 || c.h&0x3ff == 0 { // finite or inf: exact decode
+			back := F16FromBits(c.h)
+			want := c.f
+			if c.h == 0x7c00 {
+				want = float32(math.Inf(1))
+			}
+			if c.h == 0xfc00 {
+				want = float32(math.Inf(-1))
+			}
+			if c.h == 0x0000 && c.f != 0 {
+				want = 0
+			}
+			if c.h == 0x8000 && c.f != 0 {
+				want = float32(math.Copysign(0, -1))
+			}
+			if math.Float32bits(back) != math.Float32bits(want) {
+				t.Errorf("F16FromBits(%#04x) = %v (bits %#08x), want %v", c.h, back, math.Float32bits(back), want)
+			}
+		}
+	}
+	if h := F16Bits(float32(math.NaN())); h&0x7c00 != 0x7c00 || h&0x3ff == 0 {
+		t.Errorf("F16Bits(NaN) = %#04x, not a NaN encoding", h)
+	}
+	if g := F16FromBits(0x7e00); !math.IsNaN(float64(g)) {
+		t.Errorf("F16FromBits(quiet NaN) = %v, want NaN", g)
+	}
+}
+
+// TestF16RoundToNearestEven pins the tie-breaking behavior: a value exactly
+// between two representable halves rounds to the one with an even mantissa.
+func TestF16RoundToNearestEven(t *testing.T) {
+	cases := []struct {
+		f    float32
+		want uint16
+	}{
+		// 1 + 2^-11 is exactly halfway between 1.0 (mantissa 0, even) and
+		// the next half up (mantissa 1, odd) -> rounds down to 1.0.
+		{1 + 0x1p-11, 0x3c00},
+		// 1 + 3*2^-11 is halfway between mantissa 1 (odd) and 2 (even) ->
+		// rounds up to mantissa 2.
+		{1 + 3*0x1p-11, 0x3c02},
+		// Just above the halfway point always rounds up.
+		{1 + 0x1p-11 + 0x1p-20, 0x3c01},
+	}
+	for _, c := range cases {
+		if got := F16Bits(c.f); got != c.want {
+			t.Errorf("F16Bits(%v) = %#04x, want %#04x", c.f, got, c.want)
+		}
+	}
+}
+
+// TestF16AllBitsRoundTrip decodes every one of the 65536 half encodings and
+// re-encodes it; every non-NaN value must round-trip to the same bits, which
+// exercises every normal, subnormal, zero and infinity case.
+func TestF16AllBitsRoundTrip(t *testing.T) {
+	for u := 0; u < 1<<16; u++ {
+		h := uint16(u)
+		f := F16FromBits(h)
+		if math.IsNaN(float64(f)) {
+			if h&0x7c00 != 0x7c00 || h&0x3ff == 0 {
+				t.Fatalf("F16FromBits(%#04x) = NaN for a non-NaN encoding", h)
+			}
+			continue
+		}
+		if got := F16Bits(f); got != h {
+			t.Fatalf("round trip %#04x -> %v -> %#04x", h, f, got)
+		}
+	}
+}
+
+func TestF16RandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100000; i++ {
+		f := float32(rng.NormFloat64() * math.Pow(10, rng.Float64()*10-5))
+		scalarF16Roundtrip(t, f)
+	}
+}
+
+// TestAppendDecodeF16MatchesScalar checks the slice kernels against the
+// scalar conversions at lengths that cover every remainder lane.
+func TestAppendDecodeF16MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 31, 64, 129} {
+		src := make([]float32, n)
+		for i := range src {
+			src[i] = float32(rng.NormFloat64())
+		}
+		enc := AppendF16([]byte{0xAA}, src) // non-empty dst: must append, not overwrite
+		if enc[0] != 0xAA || len(enc) != 1+2*n {
+			t.Fatalf("n=%d: AppendF16 wrote %d bytes (prefix %x)", n, len(enc)-1, enc[0])
+		}
+		for i, v := range src {
+			h := F16Bits(v)
+			if enc[1+2*i] != byte(h) || enc[2+2*i] != byte(h>>8) {
+				t.Fatalf("n=%d i=%d: encoded %02x%02x, scalar %#04x", n, i, enc[1+2*i], enc[2+2*i], h)
+			}
+		}
+		dec := make([]float32, n)
+		DecodeF16(dec, enc[1:])
+		for i := range dec {
+			want := F16FromBits(F16Bits(src[i]))
+			if math.Float32bits(dec[i]) != math.Float32bits(want) {
+				t.Fatalf("n=%d i=%d: decoded %v, want %v", n, i, dec[i], want)
+			}
+		}
+	}
+}
+
+func TestMaxAbsMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 13, 64, 127} {
+		x := make([]float32, n)
+		for i := range x {
+			x[i] = float32(rng.NormFloat64())
+		}
+		var want float32
+		for _, v := range x {
+			if a := float32(math.Abs(float64(v))); a > want {
+				want = a
+			}
+		}
+		if got := MaxAbs(x); got != want {
+			t.Fatalf("n=%d: MaxAbs=%v, scalar=%v", n, got, want)
+		}
+	}
+	if got := MaxAbs([]float32{-3, 2, float32(math.Copysign(0, -1))}); got != 3 {
+		t.Fatalf("MaxAbs sign handling: got %v, want 3", got)
+	}
+}
+
+func TestAppendDecodeI8MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 13, 64, 127} {
+		src := make([]float32, n)
+		for i := range src {
+			src[i] = float32(rng.NormFloat64() * 3)
+		}
+		scale := MaxAbs(src) / 127
+		enc := AppendI8([]byte{0x55}, scale, src)
+		if enc[0] != 0x55 || len(enc) != 1+n {
+			t.Fatalf("n=%d: AppendI8 wrote %d bytes", n, len(enc)-1)
+		}
+		for i, v := range src {
+			if int8(enc[1+i]) != I8Quant(v, scale) {
+				t.Fatalf("n=%d i=%d: encoded %d, scalar %d (v=%v scale=%v)", n, i, int8(enc[1+i]), I8Quant(v, scale), v, scale)
+			}
+		}
+		dec := make([]float32, n)
+		DecodeI8(dec, scale, enc[1:])
+		for i := range dec {
+			want := float32(I8Quant(src[i], scale)) * scale
+			if dec[i] != want {
+				t.Fatalf("n=%d i=%d: decoded %v, want %v", n, i, dec[i], want)
+			}
+		}
+		// Quantization error bound: at most half a step.
+		if scale > 0 {
+			for i := range dec {
+				if err := math.Abs(float64(dec[i] - src[i])); err > float64(scale)*0.5001 {
+					t.Fatalf("n=%d i=%d: |%v - %v| = %v exceeds scale/2 = %v", n, i, dec[i], src[i], err, scale/2)
+				}
+			}
+		}
+	}
+}
+
+func TestI8QuantEdgeCases(t *testing.T) {
+	if got := I8Quant(5, 0); got != 0 {
+		t.Errorf("I8Quant(5, 0) = %d, want 0", got)
+	}
+	if got := I8Quant(5, float32(math.NaN())); got != 0 {
+		t.Errorf("I8Quant(5, NaN) = %d, want 0", got)
+	}
+	if got := I8Quant(1e30, 1); got != 127 {
+		t.Errorf("I8Quant(1e30, 1) = %d, want 127", got)
+	}
+	if got := I8Quant(-1e30, 1); got != -127 {
+		t.Errorf("I8Quant(-1e30, 1) = %d, want -127", got)
+	}
+	// All-zero source must encode to all zero bytes regardless of scale.
+	enc := AppendI8(nil, 0, []float32{0, 0, 0, 0, 0})
+	for i, b := range enc {
+		if b != 0 {
+			t.Errorf("zero row byte %d = %#02x", i, b)
+		}
+	}
+}

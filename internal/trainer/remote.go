@@ -81,7 +81,16 @@ type remoteMem struct {
 	dim       int
 	topo      cluster.Topology
 	net       *remoteNet
+	// pipeline is the per-shard pull fan-out (Config.PullPipeline): when > 1,
+	// PrepareInto splits each shard's key partition into up to pipeline chunks
+	// and pulls them as concurrent RPCs over the transport's extra
+	// connections.
+	pipeline int
 }
+
+// pullChunkMin is the smallest key chunk PrepareInto will split a shard
+// partition into: below this the per-RPC overhead outweighs the overlap.
+const pullChunkMin = 64
 
 var _ memService = (*remoteMem)(nil)
 
@@ -121,30 +130,46 @@ func (r *remoteMem) PrepareInto(working []keys.Key, dst *ps.ValueBlock) (*memps.
 		err error
 	}
 	parts := r.topo.SplitByNode(working)
+	fanOut := r.pipeline
+	if fanOut < 1 || bt == nil {
+		fanOut = 1
+	}
 	start := time.Now()
-	resultCh := make(chan pullResult, len(parts))
+	resultCh := make(chan pullResult, len(parts)*fanOut)
 	inFlight := 0
 	for nodeID, ks := range parts {
 		if len(ks) == 0 {
 			continue
 		}
-		inFlight++
-		go func(nodeID int, ks []keys.Key) {
-			if bt != nil {
-				sub := ps.GetBlock(r.dim, ks)
-				bytes, err := bt.PullBlock(nodeID, ks, sub)
+		// Pipelined pulls: split the shard's partition into up to fanOut
+		// chunks and issue each as its own RPC, so the chunks stream over the
+		// transport's extra connections concurrently and decode overlaps
+		// network wait.
+		chunks := 1
+		if fanOut > 1 {
+			chunks = min(fanOut, (len(ks)+pullChunkMin-1)/pullChunkMin)
+		}
+		size := (len(ks) + chunks - 1) / chunks
+		for off := 0; off < len(ks); off += size {
+			sub := ks[off:min(off+size, len(ks))]
+			inFlight++
+			go func(nodeID int, ks []keys.Key) {
+				if bt != nil {
+					sub := ps.GetBlock(r.dim, ks)
+					bytes, err := bt.PullBlock(nodeID, ks, sub)
+					if err == nil {
+						r.net.recordPull(len(ks), bytes, time.Since(start))
+					}
+					resultCh <- pullResult{sub: sub, err: err}
+					return
+				}
+				res, bytes, err := r.transport.Pull(nodeID, ks)
 				if err == nil {
 					r.net.recordPull(len(ks), bytes, time.Since(start))
 				}
-				resultCh <- pullResult{sub: sub, err: err}
-				return
-			}
-			res, bytes, err := r.transport.Pull(nodeID, ks)
-			if err == nil {
-				r.net.recordPull(len(ks), bytes, time.Since(start))
-			}
-			resultCh <- pullResult{res: res, err: err}
-		}(nodeID, ks)
+				resultCh <- pullResult{res: res, err: err}
+			}(nodeID, sub)
+		}
 	}
 	var firstErr error
 	for i := 0; i < inFlight; i++ {
@@ -244,8 +269,15 @@ type RemoteNetReport struct {
 	// parameters they moved.
 	Pulls, Pushes          int64
 	KeysPulled, KeysPushed int64
-	// PayloadBytes estimates the traffic that crossed the sockets.
+	// PayloadBytes is the fp32-equivalent payload volume of the parameter
+	// RPCs — the bytes the run would have moved without quantization.
 	PayloadBytes int64
+	// WireBytes counts the bytes that actually crossed the sockets (raw
+	// frames, quantized rows); zero when the transport only spoke gob.
+	// Comparing it with PayloadBytes shows the quantization saving.
+	WireBytes int64
+	// Precision names the negotiated on-wire row encoding (fp32/fp16/int8).
+	Precision string
 	// PullWall / PushWall are cumulative wall-clock times of the RPCs (the
 	// real network component of the batch breakdown).
 	PullWall, PushWall time.Duration

@@ -144,10 +144,82 @@ func TestRemoteShardsMatchLocalAUC(t *testing.T) {
 	}
 }
 
+// TestQuantizedWireMatchesFP32AUC is the accuracy gate of the quantized
+// transport: the same multi-process workload trained with fp16 and int8 wire
+// rows must converge within 0.1% AUC of the fp32-wire run. Anything larger
+// means the row codec is losing information training actually needs. Pull
+// pipelining stays at 1 here so the runs share parameter initialization
+// order and the band measures the codec alone (chunked pulls reshuffle
+// first-reference init; see Config.PullPipeline).
+func TestQuantizedWireMatchesFP32AUC(t *testing.T) {
+	data := testData()
+	spec := testSpec()
+	const seed = 7
+	topo := cluster.Topology{Nodes: 2, GPUsPerNode: 1}
+
+	base := Config{
+		Spec:        spec,
+		Data:        data,
+		Topology:    topo,
+		BatchSize:   128,
+		Batches:     30,
+		MaxInFlight: 1,
+		Seed:        seed,
+	}
+	runAUC := func(cfg Config) float64 {
+		t.Helper()
+		_, addrs := startShards(t, topo, spec.EmbeddingDim, seed, 0, 0)
+		cfg.RemoteShards = addrs
+		tr, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { tr.Close() })
+		tr.sequential = true
+		if err := tr.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if r := tr.Report(); r.Remote == nil || r.Remote.WireBytes == 0 {
+			t.Fatalf("run reported no raw wire traffic: %+v", r.Remote)
+		}
+		// The 6000-example eval keeps sampling noise well under the 0.1%
+		// gate; smaller eval sets turn benign trajectory jitter into flakes.
+		return evalAUC(t, tr, dataset.NewGenerator(data, 999), 6000)
+	}
+
+	fp32 := runAUC(base)
+	if fp32 < 0.6 {
+		t.Fatalf("fp32-wire run failed to learn (AUC %.4f)", fp32)
+	}
+	for _, tc := range []struct {
+		prec      string
+		quantPush bool
+	}{
+		{"fp16", false},
+		{"int8", false},
+		{"fp16", true},
+		{"int8", true},
+	} {
+		cfg := base
+		cfg.WirePrecision = tc.prec
+		cfg.QuantizePush = tc.quantPush
+		name := tc.prec
+		if tc.quantPush {
+			name += "+push"
+		}
+		auc := runAUC(cfg)
+		t.Logf("fp32 AUC = %.4f, %s AUC = %.4f", fp32, name, auc)
+		if diff := math.Abs(fp32 - auc); diff > 0.001 {
+			t.Fatalf("%s wire diverged: |%.4f - %.4f| = %.4f > 0.001", name, auc, fp32, diff)
+		}
+	}
+}
+
 // TestRemoteShardFailureRecovers kills a shard server mid-epoch and restarts
 // it on the same address with the same shard state: the trainer's transport
 // must reconnect and training must complete and converge, with no corrupted
-// parameters.
+// parameters. The run uses quantized frames and pipelined chunked pulls, so
+// the reconnect tears down multiple raw-negotiated connections per peer.
 func TestRemoteShardFailureRecovers(t *testing.T) {
 	data := testData()
 	spec := testSpec()
@@ -155,15 +227,17 @@ func TestRemoteShardFailureRecovers(t *testing.T) {
 	shards, addrs := startShards(t, topo, spec.EmbeddingDim, 3, 96, 96)
 
 	tr, err := New(Config{
-		Spec:         spec,
-		Data:         data,
-		Topology:     topo,
-		BatchSize:    128,
-		Batches:      20,
-		MaxInFlight:  2,
-		Seed:         3,
-		RemoteShards: addrs,
-		RemoteRetry:  cluster.RetryPolicy{Attempts: 8, Backoff: 10 * time.Millisecond},
+		Spec:          spec,
+		Data:          data,
+		Topology:      topo,
+		BatchSize:     128,
+		Batches:       20,
+		MaxInFlight:   2,
+		Seed:          3,
+		RemoteShards:  addrs,
+		RemoteRetry:   cluster.RetryPolicy{Attempts: 8, Backoff: 10 * time.Millisecond},
+		WirePrecision: "fp16",
+		PullPipeline:  2,
 	})
 	if err != nil {
 		t.Fatal(err)

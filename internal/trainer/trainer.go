@@ -125,6 +125,28 @@ type Config struct {
 	// RemoteRetry overrides the TCP transport's retry policy in
 	// multi-process mode; the zero value keeps the default.
 	RemoteRetry cluster.RetryPolicy
+	// WirePrecision selects the on-wire embedding row encoding in
+	// multi-process mode: "fp32" (the default, bit-exact), "fp16", or "int8"
+	// (quantized, smaller frames, approximate values). Peers that did not
+	// negotiate raw framing fall back to bit-exact gob frames regardless.
+	WirePrecision string
+	// QuantizePush additionally encodes push deltas at WirePrecision instead
+	// of fp32 — the full-compression mode. Pull-side quantization error is
+	// self-correcting (the next delta is computed against the values the
+	// trainer actually loaded), while a quantized delta perturbs the
+	// authoritative copies directly, so this is a separate opt-in; the
+	// quantized-wire AUC-parity test gates both modes.
+	QuantizePush bool
+	// PullPipeline bounds how many block RPCs each node keeps in flight per
+	// shard during the pull stage (multi-process mode). 1 (the default) issues
+	// one RPC per owning shard; larger values split each shard's partition
+	// into chunks pulled concurrently over multiple connections, overlapping
+	// network wait with HBM working-set staging. Concurrent chunks can reach
+	// the shard in either order, so the random initialization of
+	// never-before-seen parameters is no longer bit-reproducible across runs
+	// (it stays statistically identical); keep the default where exact
+	// reproducibility matters.
+	PullPipeline int
 }
 
 func (c Config) withDefaults() Config {
@@ -148,6 +170,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ParamsPerFile <= 0 {
 		c.ParamsPerFile = 256
+	}
+	if c.PullPipeline <= 0 {
+		c.PullPipeline = 1
 	}
 	if c.Data.NumFeatures == 0 {
 		c.Data = dataset.ForModel(c.Spec.SparseParams, c.Spec.NonZerosPerExample)
@@ -239,6 +264,11 @@ type Trainer struct {
 	mergeScratch struct {
 		blocks  []*ps.ValueBlock
 		cursors []int
+		// Fused two-node push: per-owner merged keys with each key's source
+		// row in either delta block (-1 when that node did not touch it).
+		pairKeys [2][]keys.Key
+		pairA    [2][]int32
+		pairB    [2][]int32
 	}
 
 	mu            sync.Mutex
@@ -314,6 +344,16 @@ func New(cfg Config) (*Trainer, error) {
 		if cfg.RemoteRetry.Attempts > 0 {
 			t.remote.SetRetryPolicy(cfg.RemoteRetry)
 		}
+		prec, err := ps.ParsePrecision(cfg.WirePrecision)
+		if err != nil {
+			return nil, fmt.Errorf("trainer: %w", err)
+		}
+		t.remote.SetWirePrecision(prec)
+		t.remote.SetPushQuantization(cfg.QuantizePush)
+		if cfg.PullPipeline > 1 {
+			t.remote.SetMaxConnsPerPeer(cfg.PullPipeline)
+			t.remote.SetMaxInFlightRPCs(cfg.PullPipeline * cfg.Topology.Nodes)
+		}
 		t.remoteNet = &remoteNet{}
 	}
 	cleanup := func() {
@@ -347,7 +387,7 @@ func (t *Trainer) buildNode(id int, root string) (*node, error) {
 	if t.remote != nil {
 		// Multi-process mode: the MEM-PS/SSD-PS of this node live in the
 		// shard-server process; this node only keeps the RPC-backed view.
-		mem = &remoteMem{transport: t.remote, node: id, dim: cfg.Spec.EmbeddingDim, topo: cfg.Topology, net: t.remoteNet}
+		mem = &remoteMem{transport: t.remote, node: id, dim: cfg.Spec.EmbeddingDim, topo: cfg.Topology, net: t.remoteNet, pipeline: cfg.PullPipeline}
 	} else {
 		dev, err = blockio.NewDevice(filepath.Join(root, fmt.Sprintf("node-%d", id)), cfg.Profile.SSD, t.clock)
 		if err != nil {
@@ -538,7 +578,25 @@ func (t *Trainer) stagePull(_ context.Context, j *job) (*job, error) {
 	err := t.eachNode(func(n *node) error {
 		nb := j.nodes[n.id]
 		blk := ps.GetBlock(t.cfg.Spec.EmbeddingDim, nil)
-		ws, err := n.mem.PrepareInto(nb.batch.Keys(), blk)
+		// Stage the HBM partition of the batch's key set while the values are
+		// still in flight from the MEM-PS: stageTrain's LoadBlock adopts the
+		// buckets instead of re-partitioning after the pull. Only the
+		// multi-process path overlaps — it genuinely waits on sockets; the
+		// in-process pull is pure CPU, so a staging goroutine would just add
+		// scheduling overhead.
+		ks := nb.batch.Keys()
+		var staged chan struct{}
+		if t.remote != nil {
+			staged = make(chan struct{})
+			go func() {
+				n.hbm.StagePartition(ks)
+				close(staged)
+			}()
+		}
+		ws, err := n.mem.PrepareInto(ks, blk)
+		if staged != nil {
+			<-staged
+		}
 		if err != nil {
 			ps.PutBlock(blk)
 			return err
@@ -809,6 +867,10 @@ func sumDeltaBlocks(dst *ps.ValueBlock, dim int, blocks []*ps.ValueBlock, cursor
 		cursors[bi] = 0
 	}
 	dst.Grow(total)
+	if len(blocks) == 2 {
+		sumDeltaBlocks2(dst, blocks[0], blocks[1])
+		return
+	}
 	for {
 		var best keys.Key
 		found := false
@@ -835,6 +897,108 @@ func sumDeltaBlocks(dst *ps.ValueBlock, dim int, blocks []*ps.ValueBlock, cursor
 	}
 }
 
+// sumDeltaBlocks2 is the two-contributor fast path of sumDeltaBlocks: a
+// straight two-cursor merge. Runs of keys only one node touched are copied
+// slab-wise in one shot; the add kernel runs only for keys both nodes
+// updated. The generic loop above pays a per-key contributor scan and a
+// zero-fill-plus-two-adds even for exclusive keys, which dominates the push
+// stage once everything around it is batched.
+func sumDeltaBlocks2(dst *ps.ValueBlock, a, b *ps.ValueBlock) {
+	i, j := 0, 0
+	an, bn := a.Len(), b.Len()
+	for i < an && j < bn {
+		ka, kb := a.Keys[i], b.Keys[j]
+		switch {
+		case ka < kb:
+			run := i
+			for i++; i < an && a.Keys[i] < kb; i++ {
+			}
+			dst.AppendRows(a, run, i)
+		case kb < ka:
+			run := j
+			for j++; j < bn && b.Keys[j] < ka; j++ {
+			}
+			dst.AppendRows(b, run, j)
+		default:
+			row := dst.GrowRowUninit(ka)
+			dw, dg := dst.WeightsRow(row), dst.G2Row(row)
+			copy(dw, a.WeightsRow(i))
+			copy(dg, a.G2Row(i))
+			tensor.Add(b.WeightsRow(j), dw)
+			tensor.Add(b.G2Row(j), dg)
+			dst.Freq[row] = a.Freq[i] + b.Freq[j]
+			i++
+			j++
+		}
+	}
+	dst.AppendRows(a, i, an)
+	dst.AppendRows(b, j, bn)
+}
+
+// mergePairParts merges the two nodes' sorted delta blocks key-wise and
+// partitions the result by owning node into mergeScratch: per owner, the
+// merged keys plus each key's source row in either block (-1 when that node
+// did not touch it) — the inputs MemPS.PushBlockPair applies without a
+// materialized global block. One scan serves both shards, replacing two
+// per-shard ownership scans and the merged-slab copies. It returns the
+// merged row count (for the all-reduce charge).
+func (t *Trainer) mergePairParts(a, b *ps.ValueBlock) int {
+	s := &t.mergeScratch
+	for o := range s.pairKeys {
+		s.pairKeys[o] = s.pairKeys[o][:0]
+		s.pairA[o] = s.pairA[o][:0]
+		s.pairB[o] = s.pairB[o][:0]
+	}
+	topo := t.cfg.Topology
+	emit := func(k keys.Key, ai, bi int32) {
+		o := topo.NodeOf(k)
+		s.pairKeys[o] = append(s.pairKeys[o], k)
+		s.pairA[o] = append(s.pairA[o], ai)
+		s.pairB[o] = append(s.pairB[o], bi)
+	}
+	an, bn := a.Len(), b.Len()
+	i, j := 0, 0
+	for i < an && j < bn {
+		ka, kb := a.Keys[i], b.Keys[j]
+		switch {
+		case ka < kb:
+			if a.Present[i] {
+				emit(ka, int32(i), -1)
+			}
+			i++
+		case kb < ka:
+			if b.Present[j] {
+				emit(kb, -1, int32(j))
+			}
+			j++
+		default:
+			if a.Present[i] || b.Present[j] {
+				ai, bi := int32(i), int32(j)
+				if !a.Present[i] {
+					ai = -1
+				}
+				if !b.Present[j] {
+					bi = -1
+				}
+				emit(ka, ai, bi)
+			}
+			i++
+			j++
+		}
+	}
+	for ; i < an; i++ {
+		if a.Present[i] {
+			emit(a.Keys[i], int32(i), -1)
+		}
+	}
+	for ; j < bn; j++ {
+		if b.Present[j] {
+			emit(b.Keys[j], -1, int32(j))
+		}
+	}
+	return len(s.pairKeys[0]) + len(s.pairKeys[1])
+}
+
 // stagePush synchronizes the per-node deltas (the hierarchical all-reduce of
 // Appendix C.3), merges them into the owning MEM-PS shards, and completes
 // the batch (unpin, dump evictions, compact — Algorithm 1 lines 16-18). The
@@ -848,25 +1012,36 @@ func (t *Trainer) stagePush(_ context.Context, j *job) (*job, error) {
 	dim := t.cfg.Spec.EmbeddingDim
 
 	// Sum the deltas of all nodes: the inter-node synchronization delivers
-	// every delta everywhere, and each owner applies the global sum once.
-	global := j.nodes[0].deltas
-	if len(t.nodes) > 1 {
-		global = ps.GetBlock(dim, nil)
-		t.mergeScratch.blocks = t.mergeScratch.blocks[:0]
-		for _, nb := range j.nodes {
-			t.mergeScratch.blocks = append(t.mergeScratch.blocks, nb.deltas)
+	// every delta everywhere, and each owner applies the global sum once. The
+	// two-node in-process case skips the materialized merge entirely — each
+	// MEM-PS sums the pair on the fly in PushBlockPair — so only the merged
+	// row count (for the all-reduce charge) is computed here.
+	fused := t.remote == nil && len(t.nodes) == 2
+	var global *ps.ValueBlock
+	mergedRows := 0
+	if fused {
+		mergedRows = t.mergePairParts(j.nodes[0].deltas, j.nodes[1].deltas)
+	} else {
+		global = j.nodes[0].deltas
+		if len(t.nodes) > 1 {
+			global = ps.GetBlock(dim, nil)
+			t.mergeScratch.blocks = t.mergeScratch.blocks[:0]
+			for _, nb := range j.nodes {
+				t.mergeScratch.blocks = append(t.mergeScratch.blocks, nb.deltas)
+			}
+			if cap(t.mergeScratch.cursors) < len(t.nodes) {
+				t.mergeScratch.cursors = make([]int, len(t.nodes))
+			}
+			sumDeltaBlocks(global, dim, t.mergeScratch.blocks, t.mergeScratch.cursors[:len(t.nodes)])
 		}
-		if cap(t.mergeScratch.cursors) < len(t.nodes) {
-			t.mergeScratch.cursors = make([]int, len(t.nodes))
-		}
-		sumDeltaBlocks(global, dim, t.mergeScratch.blocks, t.mergeScratch.cursors[:len(t.nodes)])
+		mergedRows = global.Len()
 	}
 	releaseBlocks := func() {
 		for _, nb := range j.nodes {
 			ps.PutBlock(nb.deltas)
 			nb.deltas = nil
 		}
-		if len(t.nodes) > 1 {
+		if global != nil && len(t.nodes) > 1 {
 			ps.PutBlock(global)
 		}
 	}
@@ -880,7 +1055,7 @@ func (t *Trainer) stagePush(_ context.Context, j *job) (*job, error) {
 	var syncTime time.Duration
 	totalGPUs := t.cfg.Topology.TotalGPUs()
 	if totalGPUs > 1 {
-		deltaBytes := int64(global.Len()) * int64(8+embedding.EncodedSize(dim))
+		deltaBytes := int64(mergedRows) * int64(8+embedding.EncodedSize(dim))
 		bytesPerGPU := deltaBytes / int64(totalGPUs)
 		syncTime = interconnect.HierarchicalAllReduceTime(
 			bytesPerGPU, t.cfg.Topology.Nodes, t.cfg.Topology.GPUsPerNode,
@@ -909,8 +1084,16 @@ func (t *Trainer) stagePush(_ context.Context, j *job) (*job, error) {
 		} else {
 			memBefore := n.mem.TierStats().PushTime
 			ssdBefore := n.store.TierStats().PushTime
-			if err := n.mem.PushBlock(ps.PushBlockRequest{Shard: ps.NoShard, Block: global}); err != nil {
-				return err
+			var pushErr error
+			if fused {
+				s := &t.mergeScratch
+				pushErr = n.local.PushBlockPair(j.nodes[0].deltas, j.nodes[1].deltas,
+					s.pairKeys[n.id], s.pairA[n.id], s.pairB[n.id])
+			} else {
+				pushErr = n.mem.PushBlock(ps.PushBlockRequest{Shard: ps.NoShard, Block: global})
+			}
+			if pushErr != nil {
+				return pushErr
 			}
 			if err := n.mem.CompleteBatch(nb.ws); err != nil {
 				return err
