@@ -12,6 +12,7 @@ import (
 	"hps/internal/cluster"
 	"hps/internal/dataset"
 	"hps/internal/hw"
+	"hps/internal/loadgen"
 	"hps/internal/trainer"
 )
 
@@ -27,6 +28,10 @@ type shardProc struct {
 func runDriver(args []string) error {
 	fs := newTrainFlags("driver")
 	shardsFlag := fs.fs.Int("shards", 2, "number of MEM-PS shard processes to spawn")
+	lg := fs.fs.Bool("loadgen", false, "serve predictions while training: replay a zipfian query stream against the shards and print the serving report")
+	lgDuration := fs.fs.Duration("loadgen-duration", 3*time.Second, "how long the concurrent load generation runs")
+	lgConcurrency := fs.fs.Int("loadgen-concurrency", 4, "closed-loop loadgen clients")
+	lgBatch := fs.fs.Int("loadgen-batch", 16, "examples per loadgen predict request")
 	if err := fs.fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,6 +81,7 @@ func runDriver(args []string) error {
 		WirePrecision: *fs.wirePrec,
 		QuantizePush:  *fs.quantPush,
 		PullPipeline:  *fs.pullPipe,
+		Serve:         *lg,
 	}
 	wire := *fs.wirePrec
 	if *fs.quantPush {
@@ -90,15 +96,48 @@ func runDriver(args []string) error {
 	}
 	defer tr.Close()
 
+	// With -loadgen, the query stream runs concurrently with training — the
+	// serving-under-training scenario the serving tier is built for. The
+	// loadgen gets its own transport so serving traffic never queues behind
+	// training pulls on the driver side either.
+	var lgRep loadgen.Report
+	var lgErr error
+	lgDone := make(chan struct{})
+	if *lg {
+		lgTransport := cluster.NewTCPTransport(addrs, spec.EmbeddingDim)
+		defer lgTransport.Close()
+		go func() {
+			defer close(lgDone)
+			lgRep, lgErr = loadgen.Run(context.Background(), loadgen.Config{
+				Transport:   lgTransport,
+				Nodes:       shards,
+				Data:        data,
+				Seed:        *fs.seed + 777,
+				Duration:    *lgDuration,
+				Concurrency: *lgConcurrency,
+				BatchSize:   *lgBatch,
+			})
+		}()
+	} else {
+		close(lgDone)
+	}
+
 	wallStart := time.Now()
 	if err := tr.Run(context.Background()); err != nil {
 		return err
 	}
 	wall := time.Since(wallStart)
+	<-lgDone
 
 	report := tr.Report()
 	fmt.Print(report.String())
 	fmt.Printf("(driver wall time %v)\n", wall.Round(time.Millisecond))
+	if *lg {
+		if lgErr != nil {
+			return fmt.Errorf("loadgen: %w", lgErr)
+		}
+		fmt.Printf("\n%s", lgRep.String())
+	}
 
 	if *fs.evalN > 0 {
 		auc, err := tr.Evaluate(dataset.NewGenerator(data, *fs.seed+424243), *fs.evalN)

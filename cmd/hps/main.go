@@ -4,12 +4,17 @@
 // training -> synchronized push — and prints the Fig-4-style throughput and
 // latency breakdown, optionally alongside the MPI-cluster baseline.
 //
-// Three modes:
+// Four modes:
 //
 //	hps [train flags]      in-process: every simulated node in one process
-//	hps serve  -shard i    host one MEM-PS shard behind a TCP server
+//	hps serve  -shard i    host one MEM-PS shard (training + online serving)
+//	                       behind a TCP server
 //	hps driver -shards n   spawn n `hps serve` processes and train against
-//	                       them over real sockets
+//	                       them over real sockets; -loadgen additionally
+//	                       replays a zipfian query stream against the shards
+//	                       while they train and prints the serving report
+//	hps loadgen -addrs a,b replay a zipfian query stream against an already
+//	                       running cluster's serving tier
 //
 // Examples:
 //
@@ -17,6 +22,8 @@
 //	go run ./cmd/hps -model C -nodes 4 -gpus 8
 //	go run ./cmd/hps -model tiny -batches 50 -baseline
 //	go run ./cmd/hps driver -model tiny -shards 2 -batches 20
+//	go run ./cmd/hps driver -model tiny -shards 2 -batches 40 -loadgen
+//	go run ./cmd/hps loadgen -model tiny -addrs 127.0.0.1:7001,127.0.0.1:7002
 package main
 
 import (
@@ -84,11 +91,13 @@ func main() {
 		err = runServe(args[1:])
 	case len(args) > 0 && args[0] == "driver":
 		err = runDriver(args[1:])
+	case len(args) > 0 && args[0] == "loadgen":
+		err = runLoadgen(args[1:])
 	case len(args) > 0 && !strings.HasPrefix(args[0], "-"):
 		// A bare word that is not a known subcommand is almost certainly a
 		// typo for one; running a full default training instead would be a
 		// silent surprise.
-		err = fmt.Errorf("unknown subcommand %q (want serve, driver, or train flags)", args[0])
+		err = fmt.Errorf("unknown subcommand %q (want serve, driver, loadgen, or train flags)", args[0])
 	default:
 		err = runTrain(args)
 	}

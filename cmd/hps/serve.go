@@ -13,6 +13,7 @@ import (
 	"hps/internal/embedding"
 	"hps/internal/hw"
 	"hps/internal/memps"
+	"hps/internal/serving"
 	"hps/internal/simtime"
 	"hps/internal/ssdps"
 )
@@ -36,6 +37,11 @@ func runServe(args []string) error {
 		cacheFrac = fs.Float64("cache-frac", 0.25, "MEM-PS cache capacity as a fraction of this shard's parameters")
 		dir       = fs.String("dir", "", "SSD-PS directory (empty: a temporary one, removed on exit)")
 		seed      = fs.Int64("seed", 1, "random seed (must match the driver's)")
+
+		hotCache     = fs.Int("serve-hot-cache", 4096, "serving hot-key replica cache capacity (keys)")
+		serveQueue   = fs.Int("serve-queue", 64, "serving admission-queue depth (requests beyond it are rejected as overloaded)")
+		serveWorkers = fs.Int("serve-workers", 2, "serving scoring workers")
+		serveBatch   = fs.Int("serve-batch", 512, "max examples coalesced into one scoring pass")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,7 +106,25 @@ func runServe(args []string) error {
 		return err
 	}
 
-	srv, err := cluster.ServeTCPOptions(*addr, mem, cluster.ServerOptions{Seqs: cluster.NewSeqTracker()})
+	// The serving tier is always armed: it costs two idle goroutines until a
+	// driver started with serving enabled publishes the peer addresses and
+	// dense parameters (predicts fail cleanly before that).
+	serveSrv, err := serving.New(serving.Config{
+		NodeID:        *shard,
+		Topology:      cluster.Topology{Nodes: *shards, GPUsPerNode: 1},
+		Dim:           spec.EmbeddingDim,
+		Hidden:        spec.HiddenLayers,
+		Local:         mem,
+		HotKeyEntries: *hotCache,
+		MaxQueue:      *serveQueue,
+		Workers:       *serveWorkers,
+		CoalesceBatch: *serveBatch,
+	})
+	if err != nil {
+		return err
+	}
+
+	srv, err := cluster.ServeTCPOptions(*addr, serving.NewHandler(mem, serveSrv), cluster.ServerOptions{Seqs: cluster.NewSeqTracker()})
 	if err != nil {
 		return err
 	}
@@ -117,11 +141,16 @@ func runServe(args []string) error {
 	// would be silently lost on restart, because the client never resends a
 	// push it got a reply for.
 	closeErr := srv.Close()
+	serveSrv.Close()
 	if err := mem.Flush(); err != nil {
 		fmt.Fprintf(os.Stderr, "hps-shard %d: flush: %v\n", *shard, err)
 	}
 	st := mem.TierStats()
 	fmt.Fprintf(os.Stderr, "hps-shard %d: served %d pulls (%d keys) and %d pushes (%d keys); flushed in %v\n",
 		*shard, st.Pulls, st.KeysPulled, st.Pushes, st.KeysPushed, time.Since(start).Round(time.Millisecond))
+	if sv := serveSrv.ServingStats(); sv.Requests > 0 || sv.Rejected > 0 {
+		fmt.Fprintf(os.Stderr, "hps-shard %d: served %d predicts (%d examples, %d rejected), cache hit rate %.1f%%\n",
+			*shard, sv.Requests, sv.Examples, sv.Rejected, 100*sv.CacheHitRate())
+	}
 	return closeErr
 }

@@ -24,6 +24,7 @@ type TransportError struct {
 	Err error
 }
 
+// Error formats the failure with the node, op, and attempt count.
 func (e *TransportError) Error() string {
 	return fmt.Sprintf("cluster: %s node %d failed after %d attempt(s): %v", e.Op, e.Node, e.Attempts, e.Err)
 }
@@ -44,14 +45,38 @@ type RemoteError struct {
 	Msg string
 }
 
+// Error formats the shard-side failure with the node and op.
 func (e *RemoteError) Error() string {
 	return fmt.Sprintf("cluster: node %d failed %s: %s", e.Node, e.Op, e.Msg)
 }
 
-// Retryable reports whether err is a transient network failure that a caller
-// (or the transport itself) may retry, as opposed to a shard-side failure or
-// a configuration error.
+// OverloadError reports that a shard's serving admission queue was full: the
+// request was rejected before any work was done on it. Unlike a RemoteError
+// it is retryable — the shard is healthy, just saturated — but unlike a
+// TransportError the transport does not retry it internally: the whole point
+// of admission control is to shed load back to the caller, who should back
+// off before resubmitting.
+type OverloadError struct {
+	// Node is the overloaded node id.
+	Node int
+	// Op names the rejected RPC ("predict").
+	Op string
+}
+
+// Error formats the rejection with the node and op.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("cluster: node %d overloaded, %s rejected (retry after backoff)", e.Node, e.Op)
+}
+
+// Retryable reports whether err may be retried by the caller: a transient
+// network failure (the transport retries those itself first) or an admission
+// rejection from an overloaded shard (the caller should back off, then
+// resubmit). Shard-side failures and configuration errors are not retryable.
 func Retryable(err error) bool {
 	var te *TransportError
-	return errors.As(err, &te)
+	if errors.As(err, &te) {
+		return true
+	}
+	var oe *OverloadError
+	return errors.As(err, &oe)
 }

@@ -127,7 +127,9 @@ type ServerOptions struct {
 // nodes exchange MEM-PS parameters over the data-center network; this server
 // plays that role when the nodes run as separate processes. The handler's
 // optional interfaces (PushHandler, LookupHandler, EvictHandler,
-// StatsHandler) decide which operations beyond pull the server supports.
+// StatsHandler, and the serving-tier trio PredictHandler /
+// ServeConfigHandler / ServingStatsHandler) decide which operations beyond
+// pull the server supports.
 type TCPServer struct {
 	ln      net.Listener
 	handler PullHandler
@@ -392,6 +394,28 @@ func (s *TCPServer) dispatchRaw(payload []byte, prec *ps.Precision) (frame []byt
 			return fail(err.Error()), buf
 		}
 		return frame, buf
+	case rawOpPredict:
+		req, err := parseRawPredictReq(payload)
+		if err != nil {
+			return fail(err.Error()), buf
+		}
+		h, ok := s.handler.(PredictHandler)
+		if !ok {
+			return fail("shard does not serve predictions"), buf
+		}
+		scores, err := h.HandlePredict(req)
+		if err != nil {
+			var oe *OverloadError
+			if errors.As(err, &oe) {
+				// Admission rejection: a distinct status byte, so the client
+				// rebuilds the typed, retryable error instead of a RemoteError.
+				f := append(frame[:4], respOp, rawStatusOverloaded, 0, 0)
+				return append(f, err.Error()...), buf
+			}
+			return fail(err.Error()), buf
+		}
+		frame = append(frame, rawOpPredictResp, rawStatusOK, 0, 0)
+		return appendRawScores(frame, scores), buf
 	}
 	return fail(fmt.Sprintf("unknown raw operation %d", op)), buf
 }
@@ -542,6 +566,36 @@ func (s *TCPServer) dispatch(req *wireRequest) (resp *wireResponse, release func
 			return resp, nil
 		}
 		resp.setResult(res)
+	case opPredict:
+		h, ok := s.handler.(PredictHandler)
+		if !ok {
+			resp.Err = "shard does not serve predictions"
+			return resp, nil
+		}
+		scores, err := h.HandlePredict(PredictRequest{Counts: req.Counts, Keys: req.Keys})
+		if err != nil {
+			resp.Err = err.Error()
+			var oe *OverloadError
+			resp.Overloaded = errors.As(err, &oe)
+			return resp, nil
+		}
+		resp.Scores = scores
+	case opServeConfig:
+		h, ok := s.handler.(ServeConfigHandler)
+		if !ok {
+			resp.Err = "shard does not serve predictions"
+			return resp, nil
+		}
+		if err := h.HandleServeConfig(req.Serve); err != nil {
+			resp.Err = err.Error()
+		}
+	case opServeStats:
+		h, ok := s.handler.(ServingStatsHandler)
+		if !ok {
+			resp.Err = "shard does not report serving stats"
+			return resp, nil
+		}
+		resp.Serving = h.ServingStats()
 	}
 	return resp, release
 }
@@ -921,8 +975,12 @@ func (t *TCPTransport) do(nodeID int, op uint8, fn func(c *tcpConn, timeout time
 		err = fn(c, policy.rpc())
 		if err != nil {
 			var re *RemoteError
-			if errors.As(err, &re) {
-				// The round trip itself was fine; keep the connection.
+			var oe *OverloadError
+			if errors.As(err, &re) || errors.As(err, &oe) {
+				// The round trip itself was fine; keep the connection. An
+				// overload rejection is deliberately not retried here either:
+				// admission control sheds load back to the caller, and an
+				// internal retry loop would defeat that.
 				c.mu.Unlock()
 				t.calls.Add(1)
 				return err
@@ -948,6 +1006,9 @@ func (t *TCPTransport) call(nodeID int, req *wireRequest) (*wireResponse, error)
 			return err
 		}
 		if resp.Err != "" {
+			if resp.Overloaded {
+				return &OverloadError{Node: nodeID, Op: opName(req.Op)}
+			}
 			return &RemoteError{Node: nodeID, Op: opName(req.Op), Msg: resp.Err}
 		}
 		return nil
@@ -1224,6 +1285,78 @@ func (t *TCPTransport) Lookup(nodeID int, ks []keys.Key) (PullResult, int64, err
 	bytes := PayloadBytes(len(ks), result, t.dim)
 	t.addBytes(int64(len(ks))*8, bytes-int64(len(ks))*8)
 	return result, bytes, nil
+}
+
+// Predict scores one batched inference request against nodeID's shard. On a
+// raw-negotiated connection the request travels as a fixed-layout predict
+// frame (counts + keys out, scores back, no gob on either side); otherwise it
+// falls back to gob. An admission rejection surfaces as a typed
+// *OverloadError: retryable by the caller after backoff, but never retried
+// internally — admission control exists to shed load to the caller, and an
+// internal retry loop would defeat it.
+func (t *TCPTransport) Predict(nodeID int, req PredictRequest) ([]float32, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	var scores []float32
+	err := t.do(nodeID, opPredict, func(c *tcpConn, timeout time.Duration) error {
+		if c.raw {
+			buf := getScratch()
+			frame := appendRawPredictReq(append((*buf)[:0], 0, 0, 0, 0), req)
+			payload, rbuf, err := t.roundTripRaw(c, frame, timeout)
+			*buf = frame[:0]
+			putScratch(buf)
+			if err != nil {
+				return err
+			}
+			defer putScratch(rbuf)
+			if len(payload) < 4 || payload[0] != rawOpPredictResp {
+				return fmt.Errorf("malformed predict response of %d bytes", len(payload))
+			}
+			switch payload[1] {
+			case rawStatusOK:
+				scores, err = parseRawScores(payload[4:])
+				return err
+			case rawStatusOverloaded:
+				return &OverloadError{Node: nodeID, Op: opName(opPredict)}
+			default:
+				return &RemoteError{Node: nodeID, Op: opName(opPredict), Msg: string(payload[4:])}
+			}
+		}
+		var resp wireResponse
+		greq := &wireRequest{Op: opPredict, Counts: req.Counts, Keys: req.Keys}
+		if err := t.roundTrip(c, greq, &resp, timeout); err != nil {
+			return err
+		}
+		if resp.Err != "" {
+			if resp.Overloaded {
+				return &OverloadError{Node: nodeID, Op: opName(opPredict)}
+			}
+			return &RemoteError{Node: nodeID, Op: opName(opPredict), Msg: resp.Err}
+		}
+		scores = resp.Scores
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return scores, nil
+}
+
+// PublishServeConfig sends serving-tier configuration (peer addresses and/or
+// refreshed dense parameters) to nodeID's shard.
+func (t *TCPTransport) PublishServeConfig(nodeID int, cfg ServeConfig) error {
+	_, err := t.call(nodeID, &wireRequest{Op: opServeConfig, Serve: cfg})
+	return err
+}
+
+// ServingStats reads nodeID's serving-tier counters.
+func (t *TCPTransport) ServingStats(nodeID int) (ServingStats, error) {
+	resp, err := t.call(nodeID, &wireRequest{Op: opServeStats})
+	if err != nil {
+		return ServingStats{}, err
+	}
+	return resp.Serving, nil
 }
 
 // Close closes every open connection.

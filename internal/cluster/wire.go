@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 	"sync"
 
 	"hps/internal/embedding"
@@ -41,6 +42,11 @@ const (
 	opLookup    uint8 = 5 // read values without materializing missing keys
 	opPullBlock uint8 = 6 // pull whose reply is one flat value block
 	opPushBlock uint8 = 7 // push whose deltas arrive as one flat value block
+
+	// Serving-tier operations (see serving.go for the handler contracts).
+	opPredict     uint8 = 8  // score feature-key batches against live parameters
+	opServeConfig uint8 = 9  // activate/refresh the serving tier (addrs, dense params)
+	opServeStats  uint8 = 10 // read the serving-tier counters
 )
 
 // rawMagicBit marks a length prefix as introducing a raw (non-gob) frame.
@@ -62,6 +68,15 @@ const (
 	rawOpPullBlockResp uint8 = 4 // pull-block reply: encoded block body
 	rawOpPushBlock     uint8 = 5 // push-block request: dedup stamp, keys, body
 	rawOpPushBlockResp uint8 = 6
+	rawOpPredict       uint8 = 7 // predict request: per-example counts + flat keys
+	rawOpPredictResp   uint8 = 8 // predict reply: one float32 score per example
+)
+
+// rawStatus values of a raw response's second byte.
+const (
+	rawStatusOK         uint8 = 0
+	rawStatusErr        uint8 = 1 // payload carries the error message
+	rawStatusOverloaded uint8 = 2 // admission queue full: typed, retryable
 )
 
 func rawRespOp(op uint8) uint8 {
@@ -72,6 +87,8 @@ func rawRespOp(op uint8) uint8 {
 		return rawOpPullBlockResp
 	case rawOpPushBlock:
 		return rawOpPushBlockResp
+	case rawOpPredict:
+		return rawOpPredictResp
 	}
 	return 0
 }
@@ -84,6 +101,8 @@ func rawOpName(op uint8) string {
 		return "pull-block"
 	case rawOpPushBlock, rawOpPushBlockResp:
 		return "push-block"
+	case rawOpPredict, rawOpPredictResp:
+		return "predict"
 	}
 	return fmt.Sprintf("raw-op#%d", op)
 }
@@ -104,6 +123,12 @@ func opName(op uint8) string {
 		return "pull-block"
 	case opPushBlock:
 		return "push-block"
+	case opPredict:
+		return "predict"
+	case opServeConfig:
+		return "serve-config"
+	case opServeStats:
+		return "serve-stats"
 	}
 	return fmt.Sprintf("op#%d", op)
 }
@@ -133,6 +158,11 @@ type wireRequest struct {
 	// All marks an evict of everything evictable (the nil-slice form of
 	// ps.Tier.Evict, which gob cannot distinguish from an empty slice).
 	All bool
+	// Counts is a predict request's per-example feature counts; Keys then
+	// holds every example's features concatenated (PredictRequest's layout).
+	Counts []uint32
+	// Serve is a serve-config request's payload.
+	Serve ServeConfig
 }
 
 // wireResponse is the reply to one wireRequest.
@@ -148,8 +178,15 @@ type wireResponse struct {
 	// Name / Stats carry a stats reply.
 	Name  string
 	Stats ps.Stats
+	// Scores carries a predict reply: one click probability per example.
+	Scores []float32
+	// Serving carries a serve-stats reply.
+	Serving ServingStats
 	// Err is the shard-side failure, empty on success.
 	Err string
+	// Overloaded marks Err as an admission rejection, so the client rebuilds
+	// the typed, retryable OverloadError instead of a generic RemoteError.
+	Overloaded bool
 }
 
 // validate rejects requests that decoded cleanly but are semantically
@@ -173,6 +210,15 @@ func (r *wireRequest) validate() error {
 		}
 		if len(r.Block) == 0 {
 			return fmt.Errorf("cluster: push-block carries no block")
+		}
+	case opPredict:
+		if len(r.Values) != 0 || len(r.Block) != 0 {
+			return fmt.Errorf("cluster: predict carries push payload")
+		}
+		return PredictRequest{Counts: r.Counts, Keys: r.Keys}.Validate()
+	case opServeConfig, opServeStats:
+		if len(r.Keys) != 0 || len(r.Values) != 0 || len(r.Block) != 0 {
+			return fmt.Errorf("cluster: %s carries a parameter payload", opName(r.Op))
 		}
 	default:
 		return fmt.Errorf("cluster: unknown operation %d", r.Op)
@@ -363,6 +409,9 @@ func decodeFrame(payload []byte, v any) (err error) {
 //	pull   resp: op, status, pad[2], then the block body (ok) or message (err)
 //	push   req : op, pad[3], client u64, seq u64, nkeys u32, keys u64..., body
 //	push   resp: op, status, pad[2], then nothing (ok) or message (err)
+//	predict req : op, pad[3], nexamples u32, counts u32..., keys u64...
+//	predict resp: op, status, pad[2], nscores u32, scores f32... (ok) or
+//	              message (err / overloaded)
 //
 // Keys travel as fixed 8-byte words and bodies as ps wire bytes, so both ends
 // move them with append/DecodeWire instead of an encoder.
@@ -440,4 +489,75 @@ func parseRawKeys(b []byte, n int) []keys.Key {
 		ks[i] = keys.Key(binary.LittleEndian.Uint64(b[8*i : 8*i+8]))
 	}
 	return ks
+}
+
+// appendRawPredictReq appends a predict request payload to dst: the CSR
+// layout of PredictRequest as per-example counts followed by the flat keys.
+func appendRawPredictReq(dst []byte, req PredictRequest) []byte {
+	dst = append(dst, rawOpPredict, 0, 0, 0)
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(len(req.Counts)))
+	dst = append(dst, b[:]...)
+	for _, c := range req.Counts {
+		binary.LittleEndian.PutUint32(b[:], c)
+		dst = append(dst, b[:]...)
+	}
+	return appendRawKeys(dst, req.Keys)
+}
+
+// parseRawPredictReq validates and decodes a predict request payload. The
+// payload may come from a hostile peer: the example count and per-example
+// feature counts must account for the payload exactly.
+func parseRawPredictReq(payload []byte) (PredictRequest, error) {
+	if len(payload) < 8 {
+		return PredictRequest{}, fmt.Errorf("cluster: raw predict request of %d bytes", len(payload))
+	}
+	n := int(binary.LittleEndian.Uint32(payload[4:8]))
+	if n < 0 || n > (len(payload)-8)/4 {
+		return PredictRequest{}, fmt.Errorf("cluster: raw predict request: %d examples in %d payload bytes", n, len(payload))
+	}
+	counts := make([]uint32, n)
+	total := 0
+	for i := range counts {
+		counts[i] = binary.LittleEndian.Uint32(payload[8+4*i:])
+		total += int(counts[i])
+		if total > MaxFrameBytes {
+			return PredictRequest{}, fmt.Errorf("cluster: raw predict request: counts overflow")
+		}
+	}
+	rest := payload[8+4*n:]
+	if total*8 != len(rest) {
+		return PredictRequest{}, fmt.Errorf("cluster: raw predict request: counts sum to %d keys but %d key bytes given", total, len(rest))
+	}
+	return PredictRequest{Counts: counts, Keys: parseRawKeys(rest, total)}, nil
+}
+
+// appendRawScores appends a predict response's score vector to dst, behind
+// the 4-byte response header the caller already wrote.
+func appendRawScores(dst []byte, scores []float32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(len(scores)))
+	dst = append(dst, b[:]...)
+	for _, s := range scores {
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(s))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+// parseRawScores validates and decodes a predict response body (the bytes
+// after the 4-byte response header).
+func parseRawScores(body []byte) ([]float32, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("cluster: raw predict response of %d body bytes", len(body))
+	}
+	n := int(binary.LittleEndian.Uint32(body))
+	if n*4 != len(body)-4 {
+		return nil, fmt.Errorf("cluster: raw predict response: %d scores in %d body bytes", n, len(body))
+	}
+	scores := make([]float32, n)
+	for i := range scores {
+		scores[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[4+4*i:]))
+	}
+	return scores, nil
 }

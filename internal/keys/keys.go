@@ -62,11 +62,13 @@ func PartitionByShard(ks []Key, n int) [][]Key {
 	return out
 }
 
-// Dedup sorts and deduplicates ks in place, returning the shortened slice.
-// The union of referenced parameters of a batch (Algorithm 1 line 3-4) is
-// produced this way — it runs once per shard per batch on the hot path, so
-// it uses the non-reflective sort and skips sorting entirely for
-// already-sorted input (re-deduplicating a batch's key union is common).
+// Dedup sorts and deduplicates ks in place — the caller's backing array is
+// mutated and no copy is ever made — returning the shortened slice. The
+// union of referenced parameters of a batch (Algorithm 1 line 3-4) is
+// produced this way; it runs once per shard per batch on the hot path, so it
+// uses the non-reflective slices.Sort and, when the input is already sorted
+// (a batch's key union is re-deduplicated at several tiers), skips the sort
+// entirely and degenerates to one compaction sweep.
 func Dedup(ks []Key) []Key {
 	if len(ks) < 2 {
 		return ks
@@ -85,9 +87,10 @@ func Dedup(ks []Key) []Key {
 }
 
 // SortedUnique reports whether ks is strictly increasing — i.e. already in
-// Dedup's output form. Hot paths use it to skip the defensive copy-and-sort
-// when a key set has already been deduplicated upstream (a batch's key union
-// flows through several tiers).
+// Dedup's output form. Hot paths check it before touching a key set they do
+// not own: input already deduplicated upstream (a batch's key union flows
+// through several tiers) is used as-is, and only arbitrary caller-supplied
+// key sets pay for a defensive copy plus Dedup.
 func SortedUnique(ks []Key) bool {
 	for i := 1; i < len(ks); i++ {
 		if ks[i] <= ks[i-1] {

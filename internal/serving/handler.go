@@ -1,0 +1,61 @@
+package serving
+
+import (
+	"hps/internal/cluster"
+	"hps/internal/embedding"
+	"hps/internal/keys"
+	"hps/internal/memps"
+	"hps/internal/ps"
+)
+
+// Handler grafts a serving Server onto a MEM-PS behind one TCP server: the
+// training operations (pull, push, lookup, ...) promote from the embedded
+// MEM-PS, the serving operations forward to the Server, and the push
+// handlers are overridden to advance the Server's push-epoch clock after
+// each successfully applied push — the hook that invalidates the replica
+// cache and bounds serving staleness to one push epoch.
+type Handler struct {
+	*memps.MemPS
+	Serving *Server
+}
+
+// NewHandler wraps mem and srv into one TCP-servable handler.
+func NewHandler(mem *memps.MemPS, srv *Server) *Handler {
+	return &Handler{MemPS: mem, Serving: srv}
+}
+
+// HandlePush implements cluster.PushHandler: the MEM-PS applies the deltas,
+// then the serving epoch advances so replica-cache entries filled before
+// this push stop being served.
+func (h *Handler) HandlePush(deltas map[keys.Key]*embedding.Value) error {
+	if err := h.MemPS.HandlePush(deltas); err != nil {
+		return err
+	}
+	h.Serving.BumpEpoch()
+	return nil
+}
+
+// HandlePushBlock implements cluster.BlockPushHandler, with the same
+// epoch-advance as HandlePush.
+func (h *Handler) HandlePushBlock(blk *ps.ValueBlock) error {
+	if err := h.MemPS.HandlePushBlock(blk); err != nil {
+		return err
+	}
+	h.Serving.BumpEpoch()
+	return nil
+}
+
+// HandlePredict implements cluster.PredictHandler.
+func (h *Handler) HandlePredict(req cluster.PredictRequest) ([]float32, error) {
+	return h.Serving.HandlePredict(req)
+}
+
+// HandleServeConfig implements cluster.ServeConfigHandler.
+func (h *Handler) HandleServeConfig(cfg cluster.ServeConfig) error {
+	return h.Serving.HandleServeConfig(cfg)
+}
+
+// ServingStats implements cluster.ServingStatsHandler.
+func (h *Handler) ServingStats() cluster.ServingStats {
+	return h.Serving.ServingStats()
+}

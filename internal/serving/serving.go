@@ -1,0 +1,465 @@
+// Package serving implements the online-inference tier of a shard server:
+// the read path that answers Predict RPCs against the live, still-training
+// parameters.
+//
+// The paper's models exist to serve CTR predictions; training is only half
+// the system. This package is the other half, colocated with the MEM-PS so
+// a shard serves the embeddings it owns without a network hop:
+//
+//   - Embeddings owned by this shard are read straight from the local
+//     MEM-PS (cache, dump buffer, or SSD-PS — LookupAll's read path).
+//   - Embeddings owned by peer shards go through a read-through hot-key
+//     replica cache (an LFU over the zipfian-hot heads of the key
+//     distribution), falling back to the peers' lookup RPC on a miss.
+//   - The dense tower runs on a local replica of the parameters, which the
+//     driver republishes after every push epoch (see ServeConfig).
+//
+// Freshness is bounded by push-epoch invalidation: every cached replica row
+// is stamped with the local push epoch at fill time and ignored as soon as
+// the shard applies the next training push. Training pushes arrive once per
+// batch, so a served score is never computed against embeddings more than
+// one push epoch behind the authoritative copies — the same bound the dense
+// replica obeys.
+//
+// Serving must degrade before it can stall training: requests pass an
+// admission queue of fixed depth, and a request that finds the queue full is
+// rejected immediately with a typed, retryable *cluster.OverloadError
+// instead of waiting. Workers drain the queue greedily, coalescing queued
+// requests into one scoring pass so concurrent callers share a single
+// cross-shard fetch round.
+package serving
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hps/internal/cache"
+	"hps/internal/cluster"
+	"hps/internal/embedding"
+	"hps/internal/keys"
+	"hps/internal/nn"
+)
+
+// LocalReader reads this shard's own embeddings without materializing
+// missing keys (implemented by memps.MemPS.LookupAll).
+type LocalReader interface {
+	LookupAll(ks []keys.Key) (map[keys.Key]*embedding.Value, error)
+}
+
+// PeerReader reads embeddings from a peer shard by node id (implemented by
+// cluster.TCPTransport.Lookup and cluster.LocalTransport.Lookup).
+type PeerReader interface {
+	Lookup(nodeID int, ks []keys.Key) (cluster.PullResult, int64, error)
+}
+
+// Config configures a serving Server.
+type Config struct {
+	// NodeID is this shard's node id (names the node in overload errors and
+	// decides which keys are local).
+	NodeID int
+	// Topology routes every feature key to its owning shard.
+	Topology cluster.Topology
+	// Dim is the embedding dimension (the dense tower's input width).
+	Dim int
+	// Hidden is the dense tower's hidden-layer widths (model.Spec.HiddenLayers).
+	Hidden []int
+	// Local reads this shard's own embeddings.
+	Local LocalReader
+	// Peers reads remote-owned embeddings on replica-cache misses. Nil means
+	// the server dials peers itself from the addresses in the first
+	// ServeConfig (the usual multiprocess arrangement); tests inject a
+	// LocalTransport here.
+	Peers PeerReader
+	// HotKeyEntries is the replica-cache capacity in keys (default 4096).
+	HotKeyEntries int
+	// MaxQueue is the admission-queue depth in requests (default 64).
+	// Requests beyond it are rejected with *cluster.OverloadError.
+	MaxQueue int
+	// Workers is the number of scoring workers draining the queue
+	// (default 2).
+	Workers int
+	// CoalesceBatch caps how many examples one worker merges into a single
+	// scoring pass (default 512).
+	CoalesceBatch int
+}
+
+// hotRow is one replica-cache entry: a cloned embedding vector (nil when the
+// owner reported the key absent — a negative entry, so untrained hot keys
+// don't re-fetch every request) stamped with the push epoch it was read at.
+type hotRow struct {
+	weights []float32
+	epoch   uint64
+}
+
+// result carries one scored request back to its waiting caller.
+type result struct {
+	scores []float32
+	err    error
+}
+
+// job is one admitted request waiting for a scoring worker.
+type job struct {
+	req  cluster.PredictRequest
+	done chan result
+}
+
+// Server answers Predict requests for one shard. It implements
+// cluster.PredictHandler, cluster.ServeConfigHandler and
+// cluster.ServingStatsHandler; wrap it with Handler to graft it onto a
+// MEM-PS behind one TCP server. Safe for concurrent use.
+type Server struct {
+	cfg   Config
+	queue chan *job
+	stop  chan struct{}
+	wg    sync.WaitGroup
+	once  sync.Once
+
+	// pushEpoch counts training pushes applied by the colocated MEM-PS
+	// (bumped by Handler); it is the freshness clock for the replica cache.
+	pushEpoch atomic.Uint64
+
+	// netMu guards the dense replica: SetParams writes under the write lock,
+	// scoring reads under RLock, so a republish never tears a forward pass.
+	netMu      sync.RWMutex
+	net        *nn.Network
+	denseEpoch uint64
+
+	// peerMu guards lazy peer-transport creation from the first ServeConfig.
+	peerMu sync.Mutex
+	peers  PeerReader
+	owned  *cluster.TCPTransport // set when the server dialed peers itself
+
+	// hotMu guards the replica cache (cache.LFU is not concurrency-safe).
+	hotMu sync.Mutex
+	hot   *cache.LFU[hotRow]
+
+	// Counters behind ServingStats.
+	requests, examples, rejected, coalesced atomic.Int64
+	localKeys, cacheHits, cacheMisses       atomic.Int64
+	peerFetches, peerKeys                   atomic.Int64
+	stalenessMax                            atomic.Uint64
+}
+
+// New starts a serving server: its workers are running and its queue is
+// accepting, but predicts fail until the first ServeConfig delivers the
+// dense parameters. Close releases the workers.
+func New(cfg Config) (*Server, error) {
+	if cfg.Local == nil {
+		return nil, errors.New("serving: nil local reader")
+	}
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Dim <= 0 {
+		return nil, fmt.Errorf("serving: embedding dimension %d", cfg.Dim)
+	}
+	if cfg.HotKeyEntries <= 0 {
+		cfg.HotKeyEntries = 4096
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.CoalesceBatch <= 0 {
+		cfg.CoalesceBatch = 512
+	}
+	s := &Server{
+		cfg:   cfg,
+		queue: make(chan *job, cfg.MaxQueue),
+		stop:  make(chan struct{}),
+		peers: cfg.Peers,
+		hot:   cache.NewLFU[hotRow](cfg.HotKeyEntries, nil),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Close stops the scoring workers and fails whatever is still queued. The
+// peer transport is closed only if the server dialed it itself.
+func (s *Server) Close() {
+	s.once.Do(func() {
+		close(s.stop)
+		s.wg.Wait()
+		for {
+			select {
+			case j := <-s.queue:
+				j.done <- result{err: errors.New("serving: server closed")}
+			default:
+				if s.owned != nil {
+					s.owned.Close()
+				}
+				return
+			}
+		}
+	})
+}
+
+// BumpEpoch advances the push-epoch freshness clock, invalidating every
+// replica-cache entry filled before it. Handler calls it after each
+// successfully applied training push.
+func (s *Server) BumpEpoch() { s.pushEpoch.Add(1) }
+
+// HandleServeConfig implements cluster.ServeConfigHandler: the first call
+// carries peer addresses (dialed lazily) and the initial dense parameters;
+// subsequent calls refresh just the dense replica after each push epoch.
+func (s *Server) HandleServeConfig(cfg cluster.ServeConfig) error {
+	if cfg.Addrs != nil {
+		s.peerMu.Lock()
+		if s.peers == nil {
+			t := cluster.NewTCPTransport(cfg.Addrs, s.cfg.Dim)
+			s.peers = t
+			s.owned = t
+		}
+		s.peerMu.Unlock()
+	}
+	if cfg.Dense != nil {
+		s.netMu.Lock()
+		defer s.netMu.Unlock()
+		if s.net == nil {
+			s.net = nn.New(nn.Config{InputDim: s.cfg.Dim, Hidden: s.cfg.Hidden})
+		}
+		if err := s.net.SetParams(cfg.Dense); err != nil {
+			return fmt.Errorf("serving: dense replica: %w", err)
+		}
+		if cfg.Epoch > s.denseEpoch {
+			s.denseEpoch = cfg.Epoch
+		}
+	}
+	return nil
+}
+
+// HandlePredict implements cluster.PredictHandler: it admits the request
+// into the scoring queue and waits for its scores. A full queue rejects
+// immediately with a typed, retryable *cluster.OverloadError — shedding
+// load to the caller is the mechanism that keeps serving from stalling the
+// colocated training push path.
+func (s *Server) HandlePredict(req cluster.PredictRequest) ([]float32, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	j := &job{req: req, done: make(chan result, 1)}
+	select {
+	case s.queue <- j:
+	default:
+		s.rejected.Add(1)
+		return nil, &cluster.OverloadError{Node: s.cfg.NodeID, Op: "predict"}
+	}
+	r := <-j.done
+	return r.scores, r.err
+}
+
+// ServingStats implements cluster.ServingStatsHandler.
+func (s *Server) ServingStats() cluster.ServingStats {
+	s.netMu.RLock()
+	denseEpoch := s.denseEpoch
+	s.netMu.RUnlock()
+	return cluster.ServingStats{
+		Requests:     s.requests.Load(),
+		Examples:     s.examples.Load(),
+		Rejected:     s.rejected.Load(),
+		Coalesced:    s.coalesced.Load(),
+		LocalKeys:    s.localKeys.Load(),
+		CacheHits:    s.cacheHits.Load(),
+		CacheMisses:  s.cacheMisses.Load(),
+		PeerFetches:  s.peerFetches.Load(),
+		PeerKeys:     s.peerKeys.Load(),
+		PushEpoch:    s.pushEpoch.Load(),
+		DenseEpoch:   denseEpoch,
+		StalenessMax: s.stalenessMax.Load(),
+	}
+}
+
+// worker drains the admission queue. After blocking for one job it greedily
+// absorbs whatever else is already queued (up to CoalesceBatch examples), so
+// a burst of small requests shares one embedding-fetch round and one pass
+// over the dense replica instead of paying the fetch per request.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case j := <-s.queue:
+			batch := []*job{j}
+			n := j.req.Examples()
+		drain:
+			for n < s.cfg.CoalesceBatch {
+				select {
+				case j2 := <-s.queue:
+					batch = append(batch, j2)
+					n += j2.req.Examples()
+				default:
+					break drain
+				}
+			}
+			if len(batch) > 1 {
+				s.coalesced.Add(int64(len(batch)))
+			}
+			s.score(batch)
+		}
+	}
+}
+
+// score runs one merged scoring pass: fetch every distinct embedding the
+// batch references (local shard, replica cache, then peers), pool per
+// example, and run the dense replica. Every job gets its reply, error or
+// scores.
+func (s *Server) score(batch []*job) {
+	var total int
+	for _, j := range batch {
+		total += len(j.req.Keys)
+	}
+	all := make([]keys.Key, 0, total)
+	for _, j := range batch {
+		all = append(all, j.req.Keys...)
+	}
+	all = keys.Dedup(all)
+
+	vecs, err := s.gather(all)
+	if err != nil {
+		for _, j := range batch {
+			j.done <- result{err: err}
+		}
+		return
+	}
+
+	s.netMu.RLock()
+	net := s.net
+	denseEpoch := s.denseEpoch
+	s.netMu.RUnlock()
+	if net == nil {
+		for _, j := range batch {
+			j.done <- result{err: errors.New("serving: no dense parameters published yet")}
+		}
+		return
+	}
+	// The replica may lag the authoritative parameters by the pushes applied
+	// since the driver last republished; record the worst lag observed.
+	if e := s.pushEpoch.Load(); e > denseEpoch {
+		lag := e - denseEpoch
+		for {
+			cur := s.stalenessMax.Load()
+			if lag <= cur || s.stalenessMax.CompareAndSwap(cur, lag) {
+				break
+			}
+		}
+	}
+
+	// Forward only reads the network (SetParams holds the write lock), so
+	// scoring the whole merged batch under one RLock keeps a mid-batch
+	// republish from mixing two epochs within a single request.
+	s.netMu.RLock()
+	acts := net.NewActivations()
+	pooled := make([][]float32, 0, 64)
+	for _, j := range batch {
+		scores := make([]float32, len(j.req.Counts))
+		off := 0
+		for i, c := range j.req.Counts {
+			pooled = pooled[:0]
+			for _, k := range j.req.Keys[off : off+int(c)] {
+				if v := vecs[k]; v != nil {
+					pooled = append(pooled, v)
+				}
+			}
+			off += int(c)
+			nn.PoolSum(acts.Input(), pooled)
+			scores[i] = net.Forward(acts)
+		}
+		s.requests.Add(1)
+		s.examples.Add(int64(len(j.req.Counts)))
+		j.done <- result{scores: scores}
+	}
+	s.netMu.RUnlock()
+}
+
+// gather resolves every key to its current embedding vector (nil for keys no
+// shard has trained yet): local keys from the shard's own MEM-PS, remote
+// keys from the replica cache, and cache misses from the owning peers —
+// filling the cache on the way back.
+func (s *Server) gather(all []keys.Key) (map[keys.Key][]float32, error) {
+	vecs := make(map[keys.Key][]float32, len(all))
+	var local, remote []keys.Key
+	for _, k := range all {
+		if s.cfg.Topology.NodeOf(k) == s.cfg.NodeID {
+			local = append(local, k)
+		} else {
+			remote = append(remote, k)
+		}
+	}
+	if len(local) > 0 {
+		vals, err := s.cfg.Local.LookupAll(local)
+		if err != nil {
+			return nil, fmt.Errorf("serving: local lookup: %w", err)
+		}
+		s.localKeys.Add(int64(len(local)))
+		for k, v := range vals {
+			if v != nil {
+				vecs[k] = v.Weights
+			}
+		}
+	}
+	if len(remote) == 0 {
+		return vecs, nil
+	}
+
+	// Replica cache: entries are valid only for the push epoch they were
+	// filled in — one training push anywhere invalidates the lot, which is
+	// what bounds staleness to a single push epoch.
+	epoch := s.pushEpoch.Load()
+	var miss []keys.Key
+	s.hotMu.Lock()
+	for _, k := range remote {
+		if row, ok := s.hot.Get(uint64(k)); ok && row.epoch == epoch {
+			if row.weights != nil {
+				vecs[k] = row.weights
+			}
+			continue // nil weights: a fresh negative entry, key untrained
+		}
+		miss = append(miss, k)
+	}
+	s.hotMu.Unlock()
+	s.cacheHits.Add(int64(len(remote) - len(miss)))
+	s.cacheMisses.Add(int64(len(miss)))
+	if len(miss) == 0 {
+		return vecs, nil
+	}
+
+	s.peerMu.Lock()
+	peers := s.peers
+	s.peerMu.Unlock()
+	if peers == nil {
+		return nil, errors.New("serving: no peer transport configured yet")
+	}
+	byOwner := s.cfg.Topology.SplitByNode(miss)
+	for owner, ks := range byOwner {
+		if len(ks) == 0 {
+			continue
+		}
+		vals, _, err := peers.Lookup(owner, ks)
+		if err != nil {
+			return nil, fmt.Errorf("serving: peer %d lookup: %w", owner, err)
+		}
+		s.peerFetches.Add(1)
+		s.peerKeys.Add(int64(len(ks)))
+		s.hotMu.Lock()
+		for _, k := range ks {
+			var w []float32
+			if v := vals[k]; v != nil {
+				w = v.Weights
+				vecs[k] = w
+			}
+			// Absent keys are cached too (w == nil): a hot untrained key must
+			// not re-fetch on every request.
+			s.hot.Put(uint64(k), hotRow{weights: w, epoch: epoch})
+		}
+		s.hotMu.Unlock()
+	}
+	return vecs, nil
+}

@@ -147,6 +147,12 @@ type Config struct {
 	// (it stays statistically identical); keep the default where exact
 	// reproducibility matters.
 	PullPipeline int
+	// Serve activates the shard servers' online-serving tier (multi-process
+	// mode only): the trainer publishes the peer address map and the dense
+	// tower to every shard at startup, then republishes the dense parameters
+	// after every push epoch so served scores track the training run with at
+	// most one push epoch of staleness.
+	Serve bool
 }
 
 func (c Config) withDefaults() Config {
@@ -259,6 +265,10 @@ type Trainer struct {
 	// offset/stamp scratch) across shards and batches.
 	scratch sync.Pool
 
+	// denseFlat is the reused dense-parameter flatten buffer for serving
+	// republish; only stagePush (single pipeline goroutine) and New touch it.
+	denseFlat []float32
+
 	// mergeScratch reuses the delta-merge state across batches; it is only
 	// touched by stagePush, which the pipeline runs on a single goroutine.
 	mergeScratch struct {
@@ -370,6 +380,25 @@ func New(cfg Config) (*Trainer, error) {
 		t.nodes = append(t.nodes, n)
 		if n.local != nil {
 			t.transport.Register(id, n.local)
+		}
+	}
+	if cfg.Serve {
+		if t.remote == nil {
+			cleanup()
+			return nil, fmt.Errorf("trainer: Serve requires multi-process mode (RemoteShards)")
+		}
+		// Activate the serving tier: the first (and only full) ServeConfig
+		// carries the peer address map — so each shard can read remote-owned
+		// embeddings on replica-cache misses — plus the initial dense tower.
+		// Failing here is deliberate: a shard that cannot serve should fail
+		// the run at startup, not at first query.
+		t.denseFlat = t.net.FlattenParams(t.denseFlat[:0])
+		scfg := cluster.ServeConfig{Addrs: cfg.RemoteShards, Dense: t.denseFlat, Epoch: 0}
+		for id := range t.nodes {
+			if err := t.remote.PublishServeConfig(id, scfg); err != nil {
+				cleanup()
+				return nil, fmt.Errorf("trainer: activate serving on shard %d: %w", id, err)
+			}
 		}
 	}
 	return t, nil
@@ -737,6 +766,8 @@ func (t *Trainer) trainShard(n *node, gpuID int, shard *dataset.Batch) error {
 	defer t.scratch.Put(sc)
 
 	// The shard's unique key set, sorted: row offsets are binary searches.
+	// Dedup sorts the concatenated features in place inside the reused
+	// scratch slice — no copy is taken, and pre-sorted input skips the sort.
 	kb := sc.keys[:0]
 	for i := range shard.Examples {
 		kb = append(kb, shard.Examples[i].Features...)
@@ -1109,6 +1140,20 @@ func (t *Trainer) stagePush(_ context.Context, j *job) (*job, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if t.remote != nil && t.cfg.Serve {
+		// Refresh every shard's dense replica now that this epoch's pushes
+		// have been applied: shards stamp the parameters with the epoch and
+		// bound their reported serving staleness against it.
+		t.denseMu.Lock()
+		t.denseFlat = t.net.FlattenParams(t.denseFlat[:0])
+		t.denseMu.Unlock()
+		scfg := cluster.ServeConfig{Dense: t.denseFlat, Epoch: uint64(j.index) + 1}
+		for id := range t.nodes {
+			if err := t.remote.PublishServeConfig(id, scfg); err != nil {
+				return nil, fmt.Errorf("trainer: refresh dense on shard %d: %w", id, err)
+			}
+		}
 	}
 	t.addStageModelled(StagePush, modelled+syncTime)
 	return j, nil

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# lint-doc-comments.sh [pkg dir ...] — fail if an exported top-level
+# identifier in the given package directories lacks a doc comment.
+#
+# go vet does not enforce doc comments, and the usual linters (revive,
+# golint) are external modules this repo does not vendor, so this is the
+# dependency-free subset: a declaration starting at column 0 with an
+# exported name (func/type/var/const, including methods) must be preceded
+# by a // comment line. Grouped declarations (`var (` blocks) and test
+# files are out of scope.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pkgs=("$@")
+if [ ${#pkgs[@]} -eq 0 ]; then
+  pkgs=(internal/serving internal/loadgen)
+fi
+
+fail=0
+for pkg in "${pkgs[@]}"; do
+  for f in "$pkg"/*.go; do
+    case "$f" in
+    *_test.go) continue ;;
+    esac
+    awk -v file="$f" '
+      /^(func|type|var|const) [A-Z]/ || /^func \([^)]*\) [A-Z]/ {
+        if (prev !~ /^\/\//) {
+          printf "%s:%d: exported declaration has no doc comment: %s\n", file, NR, substr($0, 1, 60)
+          bad = 1
+        }
+      }
+      { prev = $0 }
+      END { exit bad }
+    ' "$f" || fail=1
+  done
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "doc-comment lint failed" >&2
+  exit 1
+fi
+echo "doc-comment lint ok: ${pkgs[*]}"
