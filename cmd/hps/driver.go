@@ -3,10 +3,13 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"hps/internal/cluster"
@@ -16,15 +19,156 @@ import (
 	"hps/internal/trainer"
 )
 
-// shardProc is one spawned `hps serve` child process.
+// shardProc is one spawned `hps serve` child process. done is closed after
+// the child has exited and been reaped; the spawn goroutine owns Wait.
 type shardProc struct {
 	cmd  *exec.Cmd
 	addr string
+	done chan struct{}
+}
+
+// shardSet owns and supervises the spawned shard processes. Each shard has a
+// durable state directory under root; a shard that dies while the set is not
+// stopping is restarted over that directory with -restore (SSD-PS recovery
+// plus the replayed push-dedup log), and every registered transport is
+// repointed at the restarted shard's new address.
+type shardSet struct {
+	exe    string
+	shards int
+	fs     *trainFlags
+	root   string
+
+	mu       sync.Mutex
+	procs    []*shardProc
+	stopping bool
+	onMove   []func(shard int, addr string)
+	wg       sync.WaitGroup
+}
+
+// dir returns shard i's durable state directory.
+func (s *shardSet) dir(i int) string {
+	return filepath.Join(s.root, fmt.Sprintf("shard-%d", i))
+}
+
+// dirs returns every shard's state directory (the manifest's Shards map).
+func (s *shardSet) dirs() map[int]string {
+	out := make(map[int]string, s.shards)
+	for i := 0; i < s.shards; i++ {
+		out[i] = s.dir(i)
+	}
+	return out
+}
+
+// addrs returns the current shard addresses.
+func (s *shardSet) addrs() map[int]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[int]string, len(s.procs))
+	for i, p := range s.procs {
+		out[i] = p.addr
+	}
+	return out
+}
+
+// notifyMove registers a callback for shard restarts (transport repointing).
+func (s *shardSet) notifyMove(f func(shard int, addr string)) {
+	s.mu.Lock()
+	s.onMove = append(s.onMove, f)
+	s.mu.Unlock()
+}
+
+// start spawns every shard and begins supervising them.
+func (s *shardSet) start(restore bool) error {
+	s.procs = make([]*shardProc, s.shards)
+	for i := 0; i < s.shards; i++ {
+		p, err := spawnShard(s.exe, i, s.shards, s.fs, s.dir(i), restore)
+		if err != nil {
+			return err
+		}
+		s.procs[i] = p
+		fmt.Printf("shard %d up: pid %d at %s\n", i, p.cmd.Process.Pid, p.addr)
+	}
+	for i := 0; i < s.shards; i++ {
+		s.wg.Add(1)
+		go s.supervise(i)
+	}
+	return nil
+}
+
+// supervise watches one shard slot: whenever its process exits unexpectedly,
+// it is relaunched with -restore over the same state directory (on a fresh
+// port — the old one may linger in TIME_WAIT) and the transports are
+// repointed. In-flight RPCs against the dead shard fail and ride the retry
+// policy across the outage.
+func (s *shardSet) supervise(i int) {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		p := s.procs[i]
+		s.mu.Unlock()
+		<-p.done
+		s.mu.Lock()
+		stopping := s.stopping
+		s.mu.Unlock()
+		if stopping {
+			return
+		}
+		fmt.Printf("shard %d died (%v); restarting with -restore\n", i, p.cmd.ProcessState)
+		np, err := spawnShard(s.exe, i, s.shards, s.fs, s.dir(i), true)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "driver: restart shard %d: %v\n", i, err)
+			return
+		}
+		s.mu.Lock()
+		s.procs[i] = np
+		stopping = s.stopping
+		moves := append([]func(int, string){}, s.onMove...)
+		s.mu.Unlock()
+		if stopping {
+			// Shutdown won the race: the restarted shard is not needed.
+			np.cmd.Process.Signal(os.Interrupt)
+			<-np.done
+			return
+		}
+		for _, f := range moves {
+			f(i, np.addr)
+		}
+		fmt.Printf("shard %d restarted: pid %d at %s\n", i, np.cmd.Process.Pid, np.addr)
+	}
+}
+
+// stop asks every child to shut down cleanly (flush to SSD-PS, sync the seq
+// log), kills stragglers, and waits for the supervisors to wind down.
+func (s *shardSet) stop() {
+	s.mu.Lock()
+	s.stopping = true
+	procs := append([]*shardProc{}, s.procs...)
+	s.mu.Unlock()
+	for _, p := range procs {
+		if p != nil && p.cmd.Process != nil {
+			p.cmd.Process.Signal(os.Interrupt)
+		}
+	}
+	for _, p := range procs {
+		if p == nil {
+			continue
+		}
+		select {
+		case <-p.done:
+		case <-time.After(10 * time.Second):
+			p.cmd.Process.Kill()
+			<-p.done
+		}
+	}
+	s.wg.Wait()
 }
 
 // runDriver is the `hps driver` subcommand: spawn one `hps serve` process
 // per MEM-PS shard, train the model against them over real TCP sockets, and
-// print the Fig-4-style breakdown including the measured network time.
+// print the Fig-4-style breakdown including the measured network time. The
+// driver supervises its shards: a shard that crashes mid-run is restarted
+// with -restore over its durable state directory, and training rides the
+// outage on the transport's retry policy.
 func runDriver(args []string) error {
 	fs := newTrainFlags("driver")
 	shardsFlag := fs.fs.Int("shards", 2, "number of MEM-PS shard processes to spawn")
@@ -55,18 +199,27 @@ func runDriver(args []string) error {
 		return err
 	}
 
-	procs := make([]*shardProc, 0, shards)
-	defer func() { stopShards(procs) }()
-	addrs := make(map[int]string, shards)
-	for i := 0; i < shards; i++ {
-		p, err := spawnShard(exe, i, shards, fs)
+	// Every shard gets a durable state directory under one root: the SSD-PS
+	// flush target, the push-dedup seq log, and the -restore source after a
+	// crash. Without -state-dir the root is temporary — restarts still work
+	// within the run, but nothing survives the driver.
+	root := *fs.stateDir
+	if root == "" {
+		d, err := os.MkdirTemp("", "hps-driver-*")
 		if err != nil {
 			return err
 		}
-		procs = append(procs, p)
-		addrs[i] = p.addr
-		fmt.Printf("shard %d up: pid %d at %s\n", i, p.cmd.Process.Pid, p.addr)
+		root = d
+		defer os.RemoveAll(d)
 	}
+
+	set := &shardSet{exe: exe, shards: shards, fs: fs, root: root}
+	defer set.stop()
+	if err := set.start(*fs.restore); err != nil {
+		return err
+	}
+	addrs := set.addrs()
+
 	data := dataset.ForModel(spec.SparseParams, spec.NonZerosPerExample)
 	cfg := trainer.Config{
 		Spec:          spec,
@@ -82,6 +235,14 @@ func runDriver(args []string) error {
 		QuantizePush:  *fs.quantPush,
 		PullPipeline:  *fs.pullPipe,
 		Serve:         *lg,
+		// A crashed shard is gone for however long respawn + recovery takes;
+		// the widened retry window is what lets in-flight batches ride a
+		// restart instead of failing the run.
+		RemoteRetry:        cluster.RetryPolicy{Attempts: 10, Backoff: 50 * time.Millisecond},
+		CheckpointPath:     fs.checkpointPath(),
+		CheckpointInterval: *fs.ckptInterval,
+		BatchPause:         *fs.batchPause,
+		ShardState:         set.dirs(),
 	}
 	wire := *fs.wirePrec
 	if *fs.quantPush {
@@ -95,20 +256,34 @@ func runDriver(args []string) error {
 		return err
 	}
 	defer tr.Close()
+	set.notifyMove(tr.SetShardAddr)
+	if *fs.restore {
+		if cfg.CheckpointPath == "" {
+			return fmt.Errorf("-restore needs -checkpoint or -state-dir")
+		}
+		done, err := tr.Restore(cfg.CheckpointPath)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("restored checkpoint %s: resuming at batch %d/%d\n", cfg.CheckpointPath, done, *fs.batches)
+	}
 
 	// With -loadgen, the query stream runs concurrently with training — the
 	// serving-under-training scenario the serving tier is built for. The
 	// loadgen gets its own transport so serving traffic never queues behind
 	// training pulls on the driver side either.
+	ctx, cancel := signalContext()
+	defer cancel()
 	var lgRep loadgen.Report
 	var lgErr error
 	lgDone := make(chan struct{})
 	if *lg {
 		lgTransport := cluster.NewTCPTransport(addrs, spec.EmbeddingDim)
 		defer lgTransport.Close()
+		set.notifyMove(lgTransport.SetAddr)
 		go func() {
 			defer close(lgDone)
-			lgRep, lgErr = loadgen.Run(context.Background(), loadgen.Config{
+			lgRep, lgErr = loadgen.Run(ctx, loadgen.Config{
 				Transport:   lgTransport,
 				Nodes:       shards,
 				Data:        data,
@@ -123,11 +298,16 @@ func runDriver(args []string) error {
 	}
 
 	wallStart := time.Now()
-	if err := tr.Run(context.Background()); err != nil {
-		return err
+	runErr := tr.Run(ctx)
+	if runErr != nil && !errors.Is(runErr, context.Canceled) {
+		return runErr
 	}
 	wall := time.Since(wallStart)
 	<-lgDone
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "hps: interrupted; flushing checkpoint")
+		return tr.Close()
+	}
 
 	report := tr.Report()
 	fmt.Print(report.String())
@@ -153,9 +333,10 @@ func runDriver(args []string) error {
 	return nil
 }
 
-// spawnShard launches one `hps serve` child and waits for its ready line.
-func spawnShard(exe string, shard, shards int, fs *trainFlags) (*shardProc, error) {
-	cmd := exec.Command(exe, "serve",
+// spawnShard launches one `hps serve` child over the given state directory
+// and waits for its ready line.
+func spawnShard(exe string, shard, shards int, fs *trainFlags, dir string, restore bool) (*shardProc, error) {
+	args := []string{"serve",
 		"-addr", "127.0.0.1:0",
 		"-shard", fmt.Sprint(shard),
 		"-shards", fmt.Sprint(shards),
@@ -163,7 +344,12 @@ func spawnShard(exe string, shard, shards int, fs *trainFlags) (*shardProc, erro
 		"-scale", fmt.Sprint(*fs.scale),
 		"-cache-frac", fmt.Sprint(*fs.cacheFrac),
 		"-seed", fmt.Sprint(*fs.seed),
-	)
+		"-dir", dir,
+	}
+	if restore {
+		args = append(args, "-restore")
+	}
+	cmd := exec.Command(exe, args...)
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -173,11 +359,12 @@ func spawnShard(exe string, shard, shards int, fs *trainFlags) (*shardProc, erro
 		return nil, fmt.Errorf("spawn shard %d: %w", shard, err)
 	}
 
+	p := &shardProc{cmd: cmd, done: make(chan struct{})}
 	addrCh := make(chan string, 1)
 	go func() {
-		// The goroutine owns the pipe for the child's lifetime: it delivers
-		// the ready line, then keeps draining so the child never blocks on a
-		// full pipe.
+		// The goroutine owns the pipe (and the final Wait) for the child's
+		// lifetime: it delivers the ready line, keeps draining so the child
+		// never blocks on a full pipe, and reaps the child at EOF.
 		scanner := bufio.NewScanner(stdout)
 		for scanner.Scan() {
 			line := scanner.Text()
@@ -191,42 +378,22 @@ func spawnShard(exe string, shard, shards int, fs *trainFlags) (*shardProc, erro
 			}
 		}
 		close(addrCh)
+		cmd.Wait()
+		close(p.done)
 	}()
 
 	select {
 	case addr, ok := <-addrCh:
 		if !ok || addr == "" {
 			cmd.Process.Kill()
-			cmd.Wait()
+			<-p.done
 			return nil, fmt.Errorf("shard %d exited before becoming ready", shard)
 		}
-		return &shardProc{cmd: cmd, addr: addr}, nil
+		p.addr = addr
+		return p, nil
 	case <-time.After(15 * time.Second):
 		cmd.Process.Kill()
-		cmd.Wait()
+		<-p.done
 		return nil, fmt.Errorf("shard %d did not become ready within 15s", shard)
-	}
-}
-
-// stopShards asks every child to shut down cleanly (flush to SSD-PS), then
-// kills stragglers.
-func stopShards(procs []*shardProc) {
-	for _, p := range procs {
-		if p.cmd.Process != nil {
-			p.cmd.Process.Signal(os.Interrupt)
-		}
-	}
-	for _, p := range procs {
-		done := make(chan struct{})
-		go func(p *shardProc) {
-			p.cmd.Wait()
-			close(done)
-		}(p)
-		select {
-		case <-done:
-		case <-time.After(10 * time.Second):
-			p.cmd.Process.Kill()
-			<-done
-		}
 	}
 }

@@ -23,15 +23,21 @@
 //	go run ./cmd/hps -model tiny -batches 50 -baseline
 //	go run ./cmd/hps driver -model tiny -shards 2 -batches 20
 //	go run ./cmd/hps driver -model tiny -shards 2 -batches 40 -loadgen
+//	go run ./cmd/hps driver -model tiny -shards 2 -state-dir /data/run -checkpoint-interval 10
+//	go run ./cmd/hps driver -model tiny -shards 2 -state-dir /data/run -restore  # resume
 //	go run ./cmd/hps loadgen -model tiny -addrs 127.0.0.1:7001,127.0.0.1:7002
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"hps/internal/cluster"
@@ -62,6 +68,25 @@ type trainFlags struct {
 	wirePrec  *string
 	quantPush *bool
 	pullPipe  *int
+
+	stateDir     *string
+	checkpoint   *string
+	ckptInterval *int
+	restore      *bool
+	batchPause   *time.Duration
+}
+
+// checkpointPath resolves the effective manifest path: -checkpoint wins, and
+// a durable -state-dir implies a default manifest inside it (durable state
+// without a resumable cursor would be a trap).
+func (f *trainFlags) checkpointPath() string {
+	if *f.checkpoint != "" {
+		return *f.checkpoint
+	}
+	if *f.stateDir != "" {
+		return filepath.Join(*f.stateDir, "checkpoint.json")
+	}
+	return ""
 }
 
 func newTrainFlags(name string) *trainFlags {
@@ -80,6 +105,12 @@ func newTrainFlags(name string) *trainFlags {
 		wirePrec:  fs.String("wire-precision", "fp32", "on-wire embedding row encoding in multi-process mode: fp32, fp16 or int8"),
 		quantPush: fs.Bool("quantize-push", false, "also encode push deltas at -wire-precision instead of fp32 (multi-process mode)"),
 		pullPipe:  fs.Int("pull-pipeline", 1, "concurrent block RPCs per shard during the pull stage (multi-process mode)"),
+
+		stateDir:     fs.String("state-dir", "", "durable state root: SSD-PS shard directories and the default checkpoint manifest (empty: temporary, removed on exit)"),
+		checkpoint:   fs.String("checkpoint", "", "checkpoint manifest path (default <state-dir>/checkpoint.json when -state-dir is set)"),
+		ckptInterval: fs.Int("checkpoint-interval", 0, "also write a checkpoint every N trained batches (0: only at flush/shutdown)"),
+		restore:      fs.Bool("restore", false, "resume from the checkpoint manifest and the recovered shard state before training"),
+		batchPause:   fs.Duration("batch-pause", 0, "artificial pause after every trained batch (stretches runs for crash drills)"),
 	}
 }
 
@@ -119,8 +150,7 @@ func runTrain(args []string) error {
 	if rest := fs.fs.Args(); len(rest) > 0 {
 		return fmt.Errorf("unexpected argument %q", rest[0])
 	}
-	return run(*fs.modelName, *fs.scale, *nodes, *fs.gpus, *fs.batches, *fs.batchSize,
-		*fs.inFlight, *fs.cacheFrac, *fs.evalN, *fs.seed, *baseline)
+	return run(fs, *nodes, *baseline)
 }
 
 func resolveSpec(name string, scale int64) (model.Spec, error) {
@@ -134,22 +164,23 @@ func resolveSpec(name string, scale int64) (model.Spec, error) {
 	return spec.Scaled(scale), nil
 }
 
-func run(modelName string, scale int64, nodes, gpus, batches, batchSize, inFlight int, cacheFrac float64, evalN int, seed int64, baseline bool) error {
-	spec, err := resolveSpec(modelName, scale)
+func run(fs *trainFlags, nodes int, baseline bool) error {
+	spec, err := resolveSpec(*fs.modelName, *fs.scale)
 	if err != nil {
 		return err
 	}
-	topo := cluster.Topology{Nodes: nodes, GPUsPerNode: gpus}
+	topo := cluster.Topology{Nodes: nodes, GPUsPerNode: *fs.gpus}
 	if err := topo.Validate(); err != nil {
 		return err
 	}
 	data := dataset.ForModel(spec.SparseParams, spec.NonZerosPerExample)
+	batches, batchSize, seed := *fs.batches, *fs.batchSize, *fs.seed
 
 	// Size each node's MEM-PS cache relative to its parameter shard so the
 	// memory hierarchy actually works: the hot set stays resident, the cold
 	// tail lives on the SSD-PS.
 	shard := spec.SparseParams / int64(nodes)
-	cacheEntries := int(float64(shard) * cacheFrac)
+	cacheEntries := int(float64(shard) * *fs.cacheFrac)
 	if cacheEntries < 128 {
 		cacheEntries = 128
 	}
@@ -157,45 +188,70 @@ func run(modelName string, scale int64, nodes, gpus, batches, batchSize, inFligh
 	liveBytes := shard * int64(8+embedding.EncodedSize(spec.EmbeddingDim))
 
 	cfg := trainer.Config{
-		Spec:              spec,
-		Data:              data,
-		Topology:          topo,
-		BatchSize:         batchSize,
-		Batches:           batches,
-		MaxInFlight:       inFlight,
-		Profile:           hw.DefaultGPUNode(),
-		LRUEntries:        cacheEntries / 2,
-		LFUEntries:        cacheEntries - cacheEntries/2,
-		SSDThresholdBytes: 2 * liveBytes,
-		Seed:              seed,
+		Spec:               spec,
+		Data:               data,
+		Topology:           topo,
+		BatchSize:          batchSize,
+		Batches:            batches,
+		MaxInFlight:        *fs.inFlight,
+		Profile:            hw.DefaultGPUNode(),
+		LRUEntries:         cacheEntries / 2,
+		LFUEntries:         cacheEntries - cacheEntries/2,
+		SSDThresholdBytes:  2 * liveBytes,
+		Seed:               seed,
+		Dir:                *fs.stateDir,
+		CheckpointPath:     fs.checkpointPath(),
+		CheckpointInterval: *fs.ckptInterval,
+		BatchPause:         *fs.batchPause,
 	}
 	fmt.Printf("training model %s: %d sparse params, dim %d, %d non-zeros/example, dense %v\n",
 		spec.Name, spec.SparseParams, spec.EmbeddingDim, spec.NonZerosPerExample, spec.HiddenLayers)
 	fmt.Printf("topology: %d node(s) x %d GPU(s), %d batches x %d examples/node, pipeline depth %d\n\n",
-		nodes, gpus, batches, batchSize, inFlight)
+		nodes, *fs.gpus, batches, batchSize, *fs.inFlight)
 
 	tr, err := trainer.New(cfg)
 	if err != nil {
 		return err
 	}
 	defer tr.Close()
+	if *fs.restore {
+		if cfg.CheckpointPath == "" {
+			return fmt.Errorf("-restore needs -checkpoint or -state-dir")
+		}
+		done, err := tr.Restore(cfg.CheckpointPath)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("restored checkpoint %s: resuming at batch %d/%d\n", cfg.CheckpointPath, done, batches)
+	}
 
+	// SIGINT/SIGTERM cut the run short but not dirty: Run unwinds, and the
+	// deferred Close flushes every shard and publishes a final checkpoint
+	// manifest — the resumable-training half of the crash story (kill -9 is
+	// the other half, covered by the shards' own durability).
+	ctx, cancel := signalContext()
+	defer cancel()
 	wallStart := time.Now()
-	if err := tr.Run(context.Background()); err != nil {
-		return err
+	runErr := tr.Run(ctx)
+	if runErr != nil && !errors.Is(runErr, context.Canceled) {
+		return runErr
 	}
 	wall := time.Since(wallStart)
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "hps: interrupted; flushing checkpoint")
+		return tr.Close()
+	}
 
 	report := tr.Report()
 	fmt.Print(report.String())
 	fmt.Printf("(simulation wall time %v)\n", wall.Round(time.Millisecond))
 
-	if evalN > 0 {
-		auc, err := tr.Evaluate(dataset.NewGenerator(data, seed+424243), evalN)
+	if *fs.evalN > 0 {
+		auc, err := tr.Evaluate(dataset.NewGenerator(data, seed+424243), *fs.evalN)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\nAUC over %d held-out examples: %.4f\n", evalN, auc)
+		fmt.Printf("\nAUC over %d held-out examples: %.4f\n", *fs.evalN, auc)
 	}
 
 	if baseline {
@@ -204,6 +260,25 @@ func run(modelName string, scale int64, nodes, gpus, batches, batchSize, inFligh
 		}
 	}
 	return nil
+}
+
+// signalContext returns a context cancelled by SIGINT/SIGTERM. The second
+// signal is left to the default handler, so a stuck shutdown can still be
+// killed interactively.
+func signalContext() (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		select {
+		case <-sigCh:
+			signal.Stop(sigCh)
+			cancel()
+		case <-ctx.Done():
+			signal.Stop(sigCh)
+		}
+	}()
+	return ctx, cancel
 }
 
 // runBaseline trains the MPI-cluster baseline on the same workload and

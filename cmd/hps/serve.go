@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -36,6 +37,7 @@ func runServe(args []string) error {
 		scale     = fs.Int64("scale", defaultScale, "down-scaling factor applied to the paper models")
 		cacheFrac = fs.Float64("cache-frac", 0.25, "MEM-PS cache capacity as a fraction of this shard's parameters")
 		dir       = fs.String("dir", "", "SSD-PS directory (empty: a temporary one, removed on exit)")
+		restore   = fs.Bool("restore", false, "recover the SSD-PS state already in -dir before serving")
 		seed      = fs.Int64("seed", 1, "random seed (must match the driver's)")
 
 		hotCache     = fs.Int("serve-hot-cache", 4096, "serving hot-key replica cache capacity (keys)")
@@ -90,6 +92,16 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *restore {
+		// Crash restart: rebuild the key->file mapping from whatever the
+		// previous incarnation flushed. The recovery report goes to stderr —
+		// the driver passes stderr through, so operators (and the CI smoke
+		// test) can see how much state survived.
+		if err := store.Recover(); err != nil {
+			return fmt.Errorf("recover ssd-ps in %s: %w", root, err)
+		}
+		fmt.Fprintf(os.Stderr, "hps-shard %d: restored %d parameters from %s\n", *shard, store.Len(), root)
+	}
 	mem, err := memps.New(memps.Config{
 		NodeID:     *shard,
 		Dim:        spec.EmbeddingDim,
@@ -124,7 +136,23 @@ func runServe(args []string) error {
 		return err
 	}
 
-	srv, err := cluster.ServeTCPOptions(*addr, serving.NewHandler(mem, serveSrv), cluster.ServerOptions{Seqs: cluster.NewSeqTracker()})
+	// The dedup tracker persists its applied (client, seq) records next to
+	// the SSD-PS: after a crash restart the reloaded log keeps a retried push
+	// that was already applied (and acked) by the previous incarnation from
+	// being merged a second time.
+	seqs := cluster.NewSeqTracker()
+	seqLogPath := filepath.Join(root, "seqlog")
+	seqLog, replayed, err := cluster.OpenSeqLog(seqLogPath, seqs)
+	if err != nil {
+		return fmt.Errorf("open seq log: %w", err)
+	}
+	defer seqLog.Close()
+	seqs.AttachLog(seqLog)
+	if replayed > 0 {
+		fmt.Fprintf(os.Stderr, "hps-shard %d: replayed %d applied-push records from %s\n", *shard, replayed, seqLogPath)
+	}
+
+	srv, err := cluster.ServeTCPOptions(*addr, serving.NewHandler(mem, serveSrv), cluster.ServerOptions{Seqs: seqs})
 	if err != nil {
 		return err
 	}
@@ -144,6 +172,12 @@ func runServe(args []string) error {
 	serveSrv.Close()
 	if err := mem.Flush(); err != nil {
 		fmt.Fprintf(os.Stderr, "hps-shard %d: flush: %v\n", *shard, err)
+	}
+	// Sync the seq log last: every push acked before srv.Close returned has
+	// its record appended, and fsyncing once at shutdown (not per push) is
+	// what keeps the dedup log off the push hot path.
+	if err := seqLog.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "hps-shard %d: seq log: %v\n", *shard, err)
 	}
 	st := mem.TierStats()
 	fmt.Fprintf(os.Stderr, "hps-shard %d: served %d pulls (%d keys) and %d pushes (%d keys); flushed in %v\n",

@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// SeqLog persists the (client, sequence) pairs of successfully applied pushes
+// as fixed-size append-only records, closing the at-least-once window that an
+// in-memory SeqTracker leaves open across process restarts: without it, a
+// shard that crashes after applying a push but before the client reads the
+// ack would re-apply the client's retry on restart — a twice-applied
+// gradient. The log lives alongside the shard's SSD-PS directory and is
+// replayed into a fresh tracker by OpenSeqLog.
+//
+// Records are appended after the apply succeeds and before the ack is
+// written (see SeqTracker.commit for why that order is the correct one).
+// Appends rely on the OS page cache for durability: a process crash (the
+// failure mode shard supervision restarts from) loses nothing, while a whole-
+// machine power loss may lose the tail — the same budget the SSD-PS dump
+// path already runs on, and one that fsync-per-push would pay for with a
+// synchronous disk flush on the training hot path.
+//
+// A SeqLog is safe for concurrent use.
+type SeqLog struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// seqLogRecordSize is the fixed on-disk record size: client and sequence,
+// each 8 bytes little-endian.
+const seqLogRecordSize = 16
+
+// OpenSeqLog opens (creating if absent) the applied-push log at path and
+// replays every complete record into tracker, returning the log positioned
+// for appends and the number of records replayed. A truncated tail record —
+// a crash mid-append — is discarded, not an error: the push it belonged to
+// was never acked, so the client re-applies it anyway. Pair the returned log
+// with the tracker via tracker.AttachLog.
+func OpenSeqLog(path string, tracker *SeqTracker) (*SeqLog, int, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cluster: open seq log: %w", err)
+	}
+	records, replayed := 0, 0
+	var rec [seqLogRecordSize]byte
+	for {
+		if _, err := io.ReadFull(f, rec[:]); err != nil {
+			break // EOF, or a torn tail record discarded by the truncate below
+		}
+		records++
+		client := binary.LittleEndian.Uint64(rec[0:8])
+		seq := binary.LittleEndian.Uint64(rec[8:16])
+		// fresh both records the pair in the tracker and dedups records the
+		// log may hold more than once.
+		if tracker.fresh(client, seq) {
+			replayed++
+		}
+	}
+	// Truncate to the last complete record so new appends never interleave
+	// with a torn tail.
+	if err := f.Truncate(int64(records) * seqLogRecordSize); err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("cluster: truncate seq log tail: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("cluster: seek seq log: %w", err)
+	}
+	return &SeqLog{f: f}, replayed, nil
+}
+
+// Append records one applied (client, seq) pair. Failures are returned but
+// callers on the ack path deliberately ignore them (see SeqTracker.commit).
+func (l *SeqLog) Append(client, seq uint64) error {
+	var rec [seqLogRecordSize]byte
+	binary.LittleEndian.PutUint64(rec[0:8], client)
+	binary.LittleEndian.PutUint64(rec[8:16], seq)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("cluster: seq log closed")
+	}
+	if _, err := l.f.Write(rec[:]); err != nil {
+		return fmt.Errorf("cluster: append seq log: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes the log to stable storage (power-loss durability); shard
+// shutdown calls it once rather than paying an fsync per push.
+func (l *SeqLog) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	return l.f.Sync()
+}
+
+// Close syncs and closes the log. Further appends fail.
+func (l *SeqLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}

@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hps/internal/embedding"
+	"hps/internal/keys"
+)
+
+// TestSeqTrackerEvictsLeastRecentlyActive checks the maxClients eviction
+// policy: when the tracker is full, the client that has been quiet longest
+// loses its dedup state — never a client that pushed moments ago, whose
+// in-flight retries would otherwise be re-admitted as duplicates.
+func TestSeqTrackerEvictsLeastRecentlyActive(t *testing.T) {
+	s := NewSeqTracker()
+	for c := uint64(1); c <= maxClients; c++ {
+		if !s.fresh(c, 1) {
+			t.Fatalf("client %d seq 1 must be fresh", c)
+		}
+	}
+	// Client 1 is now the most recently active; client 2 the least.
+	if s.fresh(1, 1) {
+		t.Fatal("client 1 replay must still dedup before eviction")
+	}
+	// A new client forces one eviction: it must hit client 2, not client 1.
+	if !s.fresh(maxClients+1, 1) {
+		t.Fatal("new client must be admitted")
+	}
+	if s.fresh(1, 1) {
+		t.Fatal("recently-active client 1 lost its dedup state to eviction")
+	}
+	if !s.fresh(2, 1) {
+		t.Fatal("least-recently-active client 2 should have been evicted (its replay re-admits as fresh)")
+	}
+}
+
+// pushFrame sends one explicit (client, seq) push to addr over a fresh
+// connection — the byte-identical retry a transport produces after a lost
+// reply — and returns the response error string.
+func pushFrame(t *testing.T, addr string, client, seq uint64) string {
+	t.Helper()
+	req := &wireRequest{
+		Op:     opPush,
+		Client: client,
+		Seq:    seq,
+		Keys:   []keys.Key{1},
+		Values: []*embedding.Value{embedding.NewValue(2)},
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := writeFrame(conn, req); err != nil {
+		t.Fatal(err)
+	}
+	var resp wireResponse
+	if _, err := readFrame(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp.Err
+}
+
+// TestSeqLogDedupsReplayAcrossRestart is the crash-window test: a push
+// applied and logged by one server incarnation must be acked-without-reapply
+// by the next incarnation, which reloaded its tracker from the log — the
+// in-memory tracker alone would re-apply it.
+func TestSeqLogDedupsReplayAcrossRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seqlog")
+	h := &dedupHandler{}
+
+	incarnation := func(replayWant int) (*TCPServer, *SeqLog) {
+		t.Helper()
+		seqs := NewSeqTracker()
+		log, replayed, err := OpenSeqLog(path, seqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if replayed != replayWant {
+			t.Fatalf("replayed %d records, want %d", replayed, replayWant)
+		}
+		seqs.AttachLog(log)
+		srv, err := ServeTCPOptions("127.0.0.1:0", h, ServerOptions{Seqs: seqs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv, log
+	}
+
+	srv1, log1 := incarnation(0)
+	if errMsg := pushFrame(t, srv1.Addr(), 77, 1); errMsg != "" {
+		t.Fatalf("push rejected: %s", errMsg)
+	}
+	// Crash: the server goes away without any orderly tracker handoff. (The
+	// file close stands in for the page cache surviving a killed process.)
+	srv1.Close()
+	log1.Close()
+
+	srv2, log2 := incarnation(1)
+	defer srv2.Close()
+	defer log2.Close()
+	if errMsg := pushFrame(t, srv2.Addr(), 77, 1); errMsg != "" {
+		t.Fatalf("replayed push rejected instead of acked: %s", errMsg)
+	}
+	h.mu.Lock()
+	pushes := h.pushes
+	h.mu.Unlock()
+	if pushes != 1 {
+		t.Fatalf("push applied %d times across restart, want 1", pushes)
+	}
+	// New sequences still flow, and land in the log for the next restart.
+	if errMsg := pushFrame(t, srv2.Addr(), 77, 2); errMsg != "" {
+		t.Fatalf("fresh push rejected: %s", errMsg)
+	}
+	srv2.Close()
+	log2.Close()
+
+	srv3, log3 := incarnation(2)
+	defer srv3.Close()
+	defer log3.Close()
+}
+
+// TestSeqLogSkipsFailedApply checks the log records only applied pushes: an
+// apply that failed must not be committed, so the client's retry re-applies
+// it even across a restart.
+func TestSeqLogSkipsFailedApply(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seqlog")
+	h := &dedupHandler{failPushes: 1}
+	seqs := NewSeqTracker()
+	log, _, err := OpenSeqLog(path, seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs.AttachLog(log)
+	srv, err := ServeTCPOptions("127.0.0.1:0", h, ServerOptions{Seqs: seqs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errMsg := pushFrame(t, srv.Addr(), 9, 1); errMsg == "" {
+		t.Fatal("first push should have failed to apply")
+	}
+	srv.Close()
+	log.Close()
+
+	// Restart: the failed apply left no record, so the retry is fresh.
+	seqs2 := NewSeqTracker()
+	log2, replayed, err := OpenSeqLog(path, seqs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	if replayed != 0 {
+		t.Fatalf("failed apply was committed: %d records", replayed)
+	}
+	seqs2.AttachLog(log2)
+	srv2, err := ServeTCPOptions("127.0.0.1:0", h, ServerOptions{Seqs: seqs2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if errMsg := pushFrame(t, srv2.Addr(), 9, 1); errMsg != "" {
+		t.Fatalf("retry after failed apply rejected: %s", errMsg)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.pushes != 1 {
+		t.Fatalf("retry applied %d times, want 1", h.pushes)
+	}
+}
+
+// TestSeqLogToleratesTornTail simulates a crash mid-append: a trailing
+// partial record must be discarded on open (the push it belonged to was
+// never acked), with complete records intact and appends still working.
+func TestSeqLogToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seqlog")
+	seqs := NewSeqTracker()
+	log, _, err := OpenSeqLog(path, seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Append(5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("torn!")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	seqs2 := NewSeqTracker()
+	log2, replayed, err := OpenSeqLog(path, seqs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	if replayed != 1 {
+		t.Fatalf("replayed %d records past the torn tail, want 1", replayed)
+	}
+	if seqs2.fresh(5, 1) {
+		t.Fatal("replayed record must dedup")
+	}
+	if err := log2.Append(5, 2); err != nil {
+		t.Fatal(err)
+	}
+	// The torn bytes are gone: a third open sees exactly two clean records.
+	seqs3 := NewSeqTracker()
+	log3, replayed, err := OpenSeqLog(path, seqs3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log3.Close()
+	if replayed != 2 {
+		t.Fatalf("replayed %d records after torn-tail truncation, want 2", replayed)
+	}
+}

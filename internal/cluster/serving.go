@@ -89,6 +89,9 @@ type ServingStats struct {
 	// PeerFetches / PeerKeys count the lookup RPCs (and keys) that went to
 	// peer shards on replica-cache misses.
 	PeerFetches, PeerKeys int64
+	// Degraded counts peer fetches that failed (owner down or unreachable)
+	// and were answered from stale hot-key replica rows instead.
+	Degraded int64
 	// PushEpoch is how many training pushes this shard has applied;
 	// DenseEpoch is the epoch of the dense replica it scores with.
 	PushEpoch, DenseEpoch uint64
@@ -110,6 +113,7 @@ func (s ServingStats) Add(o ServingStats) ServingStats {
 	s.CacheMisses += o.CacheMisses
 	s.PeerFetches += o.PeerFetches
 	s.PeerKeys += o.PeerKeys
+	s.Degraded += o.Degraded
 	s.PushEpoch = max(s.PushEpoch, o.PushEpoch)
 	s.DenseEpoch = max(s.DenseEpoch, o.DenseEpoch)
 	s.StalenessMax = max(s.StalenessMax, o.StalenessMax)

@@ -35,11 +35,19 @@ import (
 type SeqTracker struct {
 	mu      sync.Mutex
 	clients map[uint64]*clientSeqs
+	// tick is a monotonic activity counter; every fresh call stamps the
+	// client, so eviction at the maxClients cap can pick the
+	// least-recently-active client instead of an arbitrary one.
+	tick uint64
+	// log, when attached, persists applied records so dedup survives a
+	// process restart (see AttachLog / Commit).
+	log *SeqLog
 }
 
 type clientSeqs struct {
-	max  uint64
-	seen map[uint64]struct{}
+	max    uint64
+	seen   map[uint64]struct{}
+	active uint64 // tracker tick of this client's latest push
 }
 
 // seqWindow bounds the per-client seen-set: a sequence more than this many
@@ -68,17 +76,28 @@ func (s *SeqTracker) fresh(client, seq uint64) bool {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.tick++
 	cs, ok := s.clients[client]
 	if !ok {
 		for len(s.clients) >= maxClients {
-			for other := range s.clients {
-				delete(s.clients, other)
-				break
+			// Evict the least-recently-active client: an arbitrary choice
+			// could drop a live client's dedup state and re-admit a duplicate
+			// push it retries moments later.
+			var (
+				victim uint64
+				oldest = ^uint64(0)
+			)
+			for other, ocs := range s.clients {
+				if ocs.active < oldest {
+					victim, oldest = other, ocs.active
+				}
 			}
+			delete(s.clients, victim)
 		}
 		cs = &clientSeqs{seen: make(map[uint64]struct{})}
 		s.clients[client] = cs
 	}
+	cs.active = s.tick
 	if cs.max >= seqWindow && seq <= cs.max-seqWindow {
 		return false // fell out of the window: stale duplicate
 	}
@@ -113,6 +132,38 @@ func (s *SeqTracker) forget(client, seq uint64) {
 		delete(cs.seen, seq)
 	}
 	s.mu.Unlock()
+}
+
+// AttachLog makes the tracker persist every committed record to l, so dedup
+// survives a process restart (reload the log into a fresh tracker with
+// OpenSeqLog). A nil log detaches.
+func (s *SeqTracker) AttachLog(l *SeqLog) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.log = l
+	s.mu.Unlock()
+}
+
+// commit persists (client, seq) after its apply succeeded and before the ack
+// is written. The order matters for exactly-once across a crash: a record
+// appended before the apply would dedup — and therefore drop — the client's
+// retry of a push that was never merged, while a record appended after the
+// ack could miss a push the client will never resend. An append failure is
+// deliberately swallowed: dedup degrades from crash-durable to
+// process-lifetime, which is the pre-log behavior, not a correctness loss
+// within this incarnation.
+func (s *SeqTracker) commit(client, seq uint64) {
+	if s == nil || seq == 0 {
+		return
+	}
+	s.mu.Lock()
+	l := s.log
+	s.mu.Unlock()
+	if l != nil {
+		l.Append(client, seq)
+	}
 }
 
 // ServerOptions tune a TCPServer beyond its handler.
@@ -393,6 +444,7 @@ func (s *TCPServer) dispatchRaw(payload []byte, prec *ps.Precision) (frame []byt
 			s.seqs.forget(client, seq)
 			return fail(err.Error()), buf
 		}
+		s.seqs.commit(client, seq) // applied: persist before the ack leaves
 		return frame, buf
 	case rawOpPredict:
 		req, err := parseRawPredictReq(payload)
@@ -504,6 +556,8 @@ func (s *TCPServer) dispatch(req *wireRequest) (resp *wireResponse, release func
 			// instead of being acked as a duplicate of nothing.
 			s.seqs.forget(req.Client, req.Seq)
 			resp.Err = err.Error()
+		} else {
+			s.seqs.commit(req.Client, req.Seq)
 		}
 	case opPushBlock:
 		blk := ps.GetBlock(0, nil)
@@ -529,6 +583,8 @@ func (s *TCPServer) dispatch(req *wireRequest) (resp *wireResponse, release func
 		if err != nil {
 			s.seqs.forget(req.Client, req.Seq)
 			resp.Err = err.Error()
+		} else {
+			s.seqs.commit(req.Client, req.Seq)
 		}
 	case opEvict:
 		h, ok := s.handler.(EvictHandler)
@@ -738,6 +794,25 @@ func NewTCPTransport(addrs map[int]string, dim int) *TCPTransport {
 		peers:    make(map[int]*peerConns),
 		dialed:   make(map[int]bool),
 		maxConns: 1,
+	}
+}
+
+// SetAddr repoints nodeID at a new address and drops its pooled connections,
+// so the next RPC dials the new incarnation. This is how a supervisor hands
+// the transport a restarted shard that came back on a different port;
+// in-flight RPCs on the old connections fail and retry against the new
+// address. The client identity is unchanged, so the restarted shard's
+// (possibly reloaded) dedup state still recognizes this transport's retries.
+func (t *TCPTransport) SetAddr(nodeID int, addr string) {
+	t.mu.Lock()
+	t.addrs[nodeID] = addr
+	p := t.peers[nodeID]
+	delete(t.peers, nodeID)
+	t.mu.Unlock()
+	if p != nil {
+		for _, c := range p.conns {
+			c.conn.Close()
+		}
 	}
 }
 

@@ -49,6 +49,21 @@ func NewRandomValue(dim int, rng *rand.Rand) *Value {
 	return v
 }
 
+// NewKeyedValue returns the deterministic initial value of a feature key
+// under the given seed: the same (seed, key) pair always produces the same
+// weights, regardless of the order in which keys are first encountered. A
+// restarted or restored parameter server therefore re-initializes a key it
+// never flushed exactly as the original process would have, which is what
+// lets a resumed training run reproduce a straight one bit for bit.
+func NewKeyedValue(dim int, seed int64, key uint64) *Value {
+	// splitmix64-style finalizer so adjacent keys decorrelate before seeding.
+	h := uint64(seed) ^ (key+1)*0x9E3779B97F4A7C15
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	return NewRandomValue(dim, rand.New(rand.NewSource(int64(h))))
+}
+
 // Dim returns the embedding dimension.
 func (v *Value) Dim() int { return len(v.Weights) }
 

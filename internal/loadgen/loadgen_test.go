@@ -1,0 +1,224 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"hps/internal/cluster"
+	"hps/internal/dataset"
+	"hps/internal/keys"
+)
+
+// TestPercentileNearestRank pins the nearest-rank percentile arithmetic,
+// including the clamping edges: a single sample answers every percentile,
+// and no p within (0, 1] can index past either end of the slice.
+func TestPercentileNearestRank(t *testing.T) {
+	if got := percentile(nil, 0.99); got != 0 {
+		t.Fatalf("percentile of no samples = %v, want 0", got)
+	}
+
+	one := []time.Duration{7 * time.Millisecond}
+	for _, p := range []float64{0.01, 0.50, 0.99, 1.0} {
+		if got := percentile(one, p); got != one[0] {
+			t.Fatalf("p%v of a single sample = %v, want %v", p, got, one[0])
+		}
+	}
+
+	// 1..100ms: nearest rank of p over n=100 is sample ceil(p*100).
+	hundred := make([]time.Duration, 100)
+	for i := range hundred {
+		hundred[i] = time.Duration(i+1) * time.Millisecond
+	}
+	for _, tc := range []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.90, 90 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{1.00, 100 * time.Millisecond},
+	} {
+		if got := percentile(hundred, tc.p); got != tc.want {
+			t.Fatalf("p%v over 1..100ms = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+
+	// Tiny sets: p99 of two samples must clamp to the last one, never index
+	// out of range, and the percentiles must stay monotone.
+	two := []time.Duration{time.Millisecond, 2 * time.Millisecond}
+	p50, p90, p99 := percentile(two, 0.50), percentile(two, 0.90), percentile(two, 0.99)
+	if p99 != two[1] {
+		t.Fatalf("p99 of two samples = %v, want the max %v", p99, two[1])
+	}
+	if p50 > p90 || p90 > p99 {
+		t.Fatalf("percentiles not monotone: p50=%v p90=%v p99=%v", p50, p90, p99)
+	}
+}
+
+// recordingPredictor is a Predictor that scores everything 0.5 instantly and
+// records the keys and targets of every request.
+type recordingPredictor struct {
+	mu       sync.Mutex
+	keyCount map[keys.Key]int
+	perNode  map[int]int64
+	requests int64
+	examples int64
+	fail     error // returned by every Predict when set
+}
+
+func newRecordingPredictor() *recordingPredictor {
+	return &recordingPredictor{keyCount: make(map[keys.Key]int), perNode: make(map[int]int64)}
+}
+
+func (p *recordingPredictor) Predict(nodeID int, req cluster.PredictRequest) ([]float32, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fail != nil {
+		return nil, p.fail
+	}
+	for _, k := range req.Keys {
+		p.keyCount[k]++
+	}
+	p.perNode[nodeID]++
+	p.requests++
+	p.examples += int64(len(req.Counts))
+	scores := make([]float32, len(req.Counts))
+	for i := range scores {
+		scores[i] = 0.5
+	}
+	return scores, nil
+}
+
+func (p *recordingPredictor) ServingStats(nodeID int) (cluster.ServingStats, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return cluster.ServingStats{Requests: p.perNode[nodeID]}, nil
+}
+
+// TestRunZipfianShapeAndAccounting drives a short closed-loop run against a
+// recording predictor and checks the two things the loadgen exists to
+// produce: a query stream with the paper's zipfian key skew (the hot head
+// the replica cache lives off), and a report whose client-side accounting
+// matches what the predictor actually saw.
+func TestRunZipfianShapeAndAccounting(t *testing.T) {
+	pred := newRecordingPredictor()
+	data := dataset.Config{NumFeatures: 3000, NonZerosPerExample: 15}
+	rep, err := Run(context.Background(), Config{
+		Transport:   pred,
+		Nodes:       2,
+		Data:        data,
+		Seed:        42,
+		Duration:    150 * time.Millisecond,
+		Concurrency: 3,
+		BatchSize:   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Accounting: the report and the predictor must agree exactly — a
+	// closed-loop client counts a request if and only if it got scores back.
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if rep.Requests != pred.requests {
+		t.Fatalf("report counts %d requests, predictor served %d", rep.Requests, pred.requests)
+	}
+	if rep.Examples != pred.examples {
+		t.Fatalf("report counts %d examples, predictor served %d", rep.Examples, pred.examples)
+	}
+	if rep.Errors != 0 || rep.Rejections != 0 {
+		t.Fatalf("clean run reports %d errors, %d rejections", rep.Errors, rep.Rejections)
+	}
+	if rep.MinScore != 0.5 || rep.MaxScore != 0.5 {
+		t.Fatalf("score range [%v, %v], predictor always returns 0.5", rep.MinScore, rep.MaxScore)
+	}
+	if rep.P50 <= 0 || rep.P50 > rep.P90 || rep.P90 > rep.P99 {
+		t.Fatalf("latency percentiles implausible: p50=%v p90=%v p99=%v", rep.P50, rep.P90, rep.P99)
+	}
+	// Clients round-robin, so both shards must have been queried.
+	if rep.Serving.Requests != pred.requests || len(pred.perNode) != 2 {
+		t.Fatalf("aggregated serving stats %d over %d nodes, want %d over 2",
+			rep.Serving.Requests, len(pred.perNode), pred.requests)
+	}
+
+	// Zipfian shape: rank the distinct keys by reference count; the hot head
+	// must dominate. With the default skew (s=1.2) the top 1% of distinct
+	// keys draw well over a quarter of all references — a uniform stream
+	// would give them 1%.
+	var total, distinct int
+	counts := make([]int, 0, len(pred.keyCount))
+	for _, c := range pred.keyCount {
+		counts = append(counts, c)
+		total += c
+		distinct++
+	}
+	if distinct < 100 {
+		t.Fatalf("only %d distinct keys referenced; stream too small to test shape", distinct)
+	}
+	// Selection: count references carried by the top 1% most-frequent keys.
+	topN := distinct / 100
+	if topN < 1 {
+		topN = 1
+	}
+	for i := 0; i < topN; i++ { // partial selection sort of the head
+		maxAt := i
+		for j := i + 1; j < len(counts); j++ {
+			if counts[j] > counts[maxAt] {
+				maxAt = j
+			}
+		}
+		counts[i], counts[maxAt] = counts[maxAt], counts[i]
+	}
+	var head int
+	for i := 0; i < topN; i++ {
+		head += counts[i]
+	}
+	share := float64(head) / float64(total)
+	t.Logf("%d distinct keys, top 1%% (%d keys) draw %.1f%% of %d references", distinct, topN, 100*share, total)
+	if share < 0.25 {
+		t.Fatalf("top 1%% of keys draw only %.1f%% of references: stream is not zipfian", 100*share)
+	}
+}
+
+// TestRunRetriesOverloadAndCountsErrors pins the closed-loop error contract:
+// overload rejections are retried and counted as rejections (not errors or
+// failures), while other errors are counted and survived.
+func TestRunRetriesOverloadAndCountsErrors(t *testing.T) {
+	data := dataset.Config{NumFeatures: 500, NonZerosPerExample: 5}
+
+	overloaded := newRecordingPredictor()
+	overloaded.fail = &cluster.OverloadError{Node: 0, Op: "predict"}
+	rep, err := Run(context.Background(), Config{
+		Transport: overloaded,
+		Nodes:     1,
+		Data:      data,
+		Duration:  30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 0 || rep.Rejections == 0 || rep.Errors != 0 {
+		t.Fatalf("all-overload run: requests=%d rejections=%d errors=%d, want 0/>0/0",
+			rep.Requests, rep.Rejections, rep.Errors)
+	}
+
+	broken := newRecordingPredictor()
+	broken.fail = errors.New("wire torn")
+	rep, err = Run(context.Background(), Config{
+		Transport: broken,
+		Nodes:     1,
+		Data:      data,
+		Duration:  30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 0 || rep.Errors == 0 || rep.Rejections != 0 {
+		t.Fatalf("all-error run: requests=%d rejections=%d errors=%d, want 0/0/>0",
+			rep.Requests, rep.Rejections, rep.Errors)
+	}
+}

@@ -1,0 +1,151 @@
+package memps
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"hps/internal/blockio"
+	"hps/internal/cluster"
+	"hps/internal/hw"
+	"hps/internal/keys"
+	"hps/internal/simtime"
+	"hps/internal/ssdps"
+)
+
+// failableNode builds a single-node MEM-PS whose SSD-PS can be made to fail
+// by removing dir out from under it (blockio writes plain files there).
+func failableNode(t *testing.T, dir string, lru, lfu int) *MemPS {
+	t.Helper()
+	clock := simtime.NewClock()
+	ssd := hw.SSD{
+		ReadBandwidthBytesPerSec:  1 << 30,
+		WriteBandwidthBytesPerSec: 1 << 30,
+		ReadLatency:               10 * time.Microsecond,
+		WriteLatency:              10 * time.Microsecond,
+		BlockBytes:                4096,
+	}
+	dev, err := blockio.NewDevice(dir, ssd, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := ssdps.Open(dev, ssdps.Config{Dim: 4, ParamsPerFile: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{
+		NodeID:     0,
+		Dim:        4,
+		Topology:   cluster.Topology{Nodes: 1, GPUsPerNode: 1},
+		Store:      store,
+		Clock:      clock,
+		LRUEntries: lru,
+		LFUEntries: lfu,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestFlushFailureKeepsParameters is the data-loss regression test for the
+// flush path: when Store.Dump fails, the drained cache and dump buffer must
+// stay reachable in memory — a failed flush that silently discards the only
+// copies turns a transient disk error into permanent parameter loss.
+func TestFlushFailureKeepsParameters(t *testing.T) {
+	dir := t.TempDir()
+	m := failableNode(t, dir, 64, 64)
+
+	ks := []keys.Key{1, 2, 3, 4, 5}
+	ws, err := m.Prepare(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CompleteBatch(ws); err != nil {
+		t.Fatal(err)
+	}
+	before, err := m.LookupAll(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != len(ks) {
+		t.Fatalf("prepared %d keys, lookup found %d", len(ks), len(before))
+	}
+
+	// Break the store: every Dump now fails to write its file.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Flush(); err == nil {
+		t.Fatal("flush over a broken store must fail")
+	}
+
+	// The parameters survived the failed flush in memory.
+	after, err := m.LookupAll(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range ks {
+		if after[k] == nil {
+			t.Fatalf("key %d lost by the failed flush", k)
+		}
+		for i, w := range after[k].Weights {
+			if w != before[k].Weights[i] {
+				t.Fatalf("key %d weight %d changed across failed flush: %v != %v", k, i, w, before[k].Weights[i])
+			}
+		}
+	}
+
+	// Heal the store: the retried flush dumps everything that was buffered.
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatalf("flush after healing the store: %v", err)
+	}
+	if got := m.Store().Len(); got != len(ks) {
+		t.Fatalf("store holds %d parameters after recovered flush, want %d", got, len(ks))
+	}
+}
+
+// TestEvictDumpFailureKeepsBuffer exercises the same bug on the Evict path:
+// a failed dump must leave the demoted values in the dump buffer (reachable
+// and retryable), not vanish them.
+func TestEvictDumpFailureKeepsBuffer(t *testing.T) {
+	dir := t.TempDir()
+	m := failableNode(t, dir, 64, 64)
+
+	ks := []keys.Key{10, 11, 12}
+	ws, err := m.Prepare(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CompleteBatch(ws); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Evict(ks); err == nil {
+		t.Fatal("evict over a broken store must fail")
+	}
+	vals, err := m.LookupAll(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range ks {
+		if vals[k] == nil {
+			t.Fatalf("key %d lost by the failed evict dump", k)
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Evict(ks); err != nil {
+		t.Fatalf("evict after healing the store: %v", err)
+	}
+	if got := m.Store().Len(); got != len(ks) {
+		t.Fatalf("store holds %d parameters after recovered evict, want %d", got, len(ks))
+	}
+}

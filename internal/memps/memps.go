@@ -14,7 +14,6 @@ import (
 	"cmp"
 	"errors"
 	"fmt"
-	"math/rand"
 	"slices"
 	"sync"
 	"time"
@@ -125,7 +124,7 @@ type MemPS struct {
 	mu          sync.Mutex
 	cache       *cache.Combined[*embedding.Value]
 	pendingDump map[keys.Key]*embedding.Value
-	rng         *rand.Rand
+	seed        int64 // keyed-init seed: same (seed, key) -> same initial value
 	stats       Stats
 
 	// applyBlock scratch, reused across batches (safe: applyBlock holds m.mu).
@@ -176,7 +175,7 @@ func New(cfg Config) (*MemPS, error) {
 	m := &MemPS{
 		cfg:         cfg,
 		pendingDump: make(map[keys.Key]*embedding.Value),
-		rng:         rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.NodeID)<<32)),
+		seed:        cfg.Seed ^ int64(cfg.NodeID)<<32,
 	}
 	m.cache = cache.NewCombined[*embedding.Value](lru, lfu, func(k uint64, v *embedding.Value) {
 		// Fully evicted from memory: buffer for a batched SSD dump.
@@ -229,7 +228,7 @@ func (m *MemPS) resolveMiss(k keys.Key, loaded map[keys.Key]*embedding.Value, st
 		m.cache.Put(uint64(k), v)
 		return v
 	}
-	v := embedding.NewRandomValue(m.cfg.Dim, m.rng)
+	v := embedding.NewKeyedValue(m.cfg.Dim, m.seed, uint64(k))
 	if st != nil {
 		st.NewParams++
 	}
@@ -496,9 +495,7 @@ func (m *MemPS) assemble(working []keys.Key, pin bool, dst *ps.ValueBlock) (*Wor
 			missing = !ok
 		}
 		if missing {
-			m.mu.Lock()
-			v := embedding.NewRandomValue(m.cfg.Dim, m.rng)
-			m.mu.Unlock()
+			v := embedding.NewKeyedValue(m.cfg.Dim, m.seed, uint64(k))
 			if dst != nil {
 				if i, ok := dst.Row(k); ok {
 					dst.Set(i, v)
@@ -867,6 +864,10 @@ func (m *MemPS) Evict(ks []keys.Key) (int, error) {
 		dump := m.pendingDump
 		m.pendingDump = make(map[keys.Key]*embedding.Value)
 		if err := m.cfg.Store.Dump(dump); err != nil {
+			// A failed dump must not lose the buffered values: they are the
+			// only copies (already out of the cache). Restore them so the
+			// next dump retries; m.mu is held, so nothing raced the buffer.
+			m.pendingDump = dump
 			return 0, fmt.Errorf("memps: evict: %w", err)
 		}
 		m.stats.Dumped += int64(len(dump))
@@ -905,6 +906,8 @@ func (m *MemPS) Maintain() error {
 		dump := m.pendingDump
 		m.pendingDump = make(map[keys.Key]*embedding.Value)
 		if err := m.cfg.Store.Dump(dump); err != nil {
+			// Keep the buffered values reachable for a retry; see Evict.
+			m.pendingDump = dump
 			m.mu.Unlock()
 			return fmt.Errorf("memps: dump evicted parameters: %w", err)
 		}
@@ -948,6 +951,11 @@ func (m *MemPS) flushAll() (int, error) {
 		return 0, nil
 	}
 	if err := m.cfg.Store.Dump(all); err != nil {
+		// The cache was already drained into all; dropping it here would
+		// silently lose every in-memory parameter. Park everything in the
+		// dump buffer (still reachable by lookups, retried by the next
+		// dump) and surface the error.
+		m.pendingDump = all
 		return 0, fmt.Errorf("memps: flush: %w", err)
 	}
 	m.stats.Dumped += int64(len(all))

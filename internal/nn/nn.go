@@ -254,6 +254,37 @@ func (n *Network) NewDenseState(opt optimizer.Dense) *DenseState {
 	return s
 }
 
+// Flatten appends the optimizer state into dst (weight state then bias
+// state, layer by layer — the checkpointable form, mirroring
+// Network.FlattenParams).
+func (s *DenseState) Flatten(dst []float32) []float32 {
+	for i := range s.w {
+		dst = append(dst, s.w[i]...)
+		dst = append(dst, s.b[i]...)
+	}
+	return dst
+}
+
+// SetFromFlat overwrites the optimizer state from a flattened representation
+// produced by Flatten. It returns an error on length mismatch.
+func (s *DenseState) SetFromFlat(flat []float32) error {
+	off := 0
+	for i := range s.w {
+		nw, nb := len(s.w[i]), len(s.b[i])
+		if off+nw+nb > len(flat) {
+			return fmt.Errorf("nn: flat dense state too short: %d", len(flat))
+		}
+		copy(s.w[i], flat[off:off+nw])
+		off += nw
+		copy(s.b[i], flat[off:off+nb])
+		off += nb
+	}
+	if off != len(flat) {
+		return fmt.Errorf("nn: flat dense state too long: %d != %d", len(flat), off)
+	}
+	return nil
+}
+
 // Apply updates the network parameters with the accumulated gradients,
 // averaged over g.Examples (or applied raw when g.Examples <= 1).
 func (n *Network) Apply(opt optimizer.Dense, state *DenseState, g *Gradients) {

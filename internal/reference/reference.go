@@ -14,7 +14,6 @@ package reference
 
 import (
 	"fmt"
-	"math/rand"
 
 	"hps/internal/dataset"
 	"hps/internal/embedding"
@@ -63,7 +62,6 @@ type Trainer struct {
 	denseOpt   optimizer.Dense
 	acts       *nn.Activations
 	grads      *nn.Gradients
-	rng        *rand.Rand
 	examples   int64
 }
 
@@ -81,7 +79,6 @@ func New(cfg Config) *Trainer {
 		denseOpt:   denseOpt,
 		acts:       net.NewActivations(),
 		grads:      net.NewGradients(),
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
 	}
 	return t
 }
@@ -124,7 +121,7 @@ func (t *Trainer) lookup(k keys.Key) *embedding.Value {
 	if v := t.table.Get(uint64(k)); v != nil {
 		return v
 	}
-	v := embedding.NewRandomValue(t.cfg.EmbeddingDim, t.rng)
+	v := embedding.NewKeyedValue(t.cfg.EmbeddingDim, t.cfg.Seed, uint64(k))
 	t.table.Put(uint64(k), v)
 	return v
 }

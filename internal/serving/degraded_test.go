@@ -1,0 +1,152 @@
+package serving_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hps/internal/cluster"
+	"hps/internal/embedding"
+	"hps/internal/keys"
+	"hps/internal/nn"
+	"hps/internal/serving"
+)
+
+// mapLocal is a LocalReader over a fixed in-memory table.
+type mapLocal map[keys.Key]*embedding.Value
+
+func (m mapLocal) LookupAll(ks []keys.Key) (map[keys.Key]*embedding.Value, error) {
+	out := make(map[keys.Key]*embedding.Value, len(ks))
+	for _, k := range ks {
+		if v, ok := m[k]; ok {
+			out[k] = v
+		}
+	}
+	return out, nil
+}
+
+// flakyPeer is a PeerReader that can be switched into a failing state, the
+// in-test stand-in for a crashed shard.
+type flakyPeer struct {
+	vals map[keys.Key]*embedding.Value
+	down bool
+}
+
+func (p *flakyPeer) Lookup(nodeID int, ks []keys.Key) (cluster.PullResult, int64, error) {
+	if p.down {
+		return nil, 0, errors.New("peer down")
+	}
+	out := make(cluster.PullResult, len(ks))
+	for _, k := range ks {
+		if v, ok := p.vals[k]; ok {
+			out[k] = v
+		}
+	}
+	return out, 0, nil
+}
+
+// TestDegradedServingSurvivesPeerOutage is the availability half of the
+// crash-restart story: when a peer shard dies, this shard keeps answering
+// Predict from the stale hot-key replica rows it already holds — the same
+// score it would have served one push epoch ago — instead of failing the
+// request, and counts the outage in ServingStats.Degraded.
+func TestDegradedServingSurvivesPeerOutage(t *testing.T) {
+	const dim = 4
+	topo := cluster.Topology{Nodes: 2, GPUsPerNode: 1}
+
+	// One key owned by each node.
+	var localKey, remoteKey keys.Key
+	haveLocal, haveRemote := false, false
+	for k := keys.Key(1); !haveLocal || !haveRemote; k++ {
+		switch topo.NodeOf(k) {
+		case 0:
+			if !haveLocal {
+				localKey, haveLocal = k, true
+			}
+		case 1:
+			if !haveRemote {
+				remoteKey, haveRemote = k, true
+			}
+		}
+	}
+	val := func(fill float32) *embedding.Value {
+		v := embedding.NewValue(dim)
+		for i := range v.Weights {
+			v.Weights[i] = fill
+		}
+		return v
+	}
+	peer := &flakyPeer{vals: map[keys.Key]*embedding.Value{remoteKey: val(0.5)}}
+
+	srv, err := serving.New(serving.Config{
+		NodeID:   0,
+		Topology: topo,
+		Dim:      dim,
+		Hidden:   []int{8},
+		Local:    mapLocal{localKey: val(0.25)},
+		Peers:    peer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	dense := nn.New(nn.Config{InputDim: dim, Hidden: []int{8}, Seed: 42})
+	if err := srv.HandleServeConfig(cluster.ServeConfig{Dense: dense.FlattenParams(nil), Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	req := cluster.PredictRequest{Keys: []keys.Key{localKey, remoteKey}, Counts: []uint32{2}}
+	before, err := srv.HandlePredict(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The peer dies and a push epoch passes, staling the replica row it left
+	// behind. Serving must answer from that stale row anyway.
+	peer.down = true
+	srv.BumpEpoch()
+	during, err := srv.HandlePredict(req)
+	if err != nil {
+		t.Fatalf("predict during peer outage: %v", err)
+	}
+	if math.IsNaN(float64(during[0])) || during[0] <= 0 || during[0] >= 1 {
+		t.Fatalf("degraded score %v is not a probability", during[0])
+	}
+	// Nothing moved but the epoch: the stale row holds the same weights, so
+	// the degraded score is exactly the pre-outage score.
+	if during[0] != before[0] {
+		t.Fatalf("degraded score %v != pre-outage score %v (stale replica row not used)", during[0], before[0])
+	}
+	st := srv.ServingStats()
+	if st.Degraded == 0 {
+		t.Fatal("degraded peer fetch was not counted in ServingStats.Degraded")
+	}
+
+	// A remote key with no replica row scores as untrained while the peer is
+	// down — the request still succeeds.
+	var coldKey keys.Key
+	for k := remoteKey + 1; ; k++ {
+		if topo.NodeOf(k) == 1 {
+			coldKey = k
+			break
+		}
+	}
+	cold, err := srv.HandlePredict(cluster.PredictRequest{Keys: []keys.Key{coldKey}, Counts: []uint32{1}})
+	if err != nil {
+		t.Fatalf("predict for uncached key during outage: %v", err)
+	}
+	if math.IsNaN(float64(cold[0])) {
+		t.Fatal("uncached degraded score is NaN")
+	}
+
+	// The peer comes back: fetches succeed again and refresh the cache.
+	peer.down = false
+	peer.vals[remoteKey] = val(0.75)
+	after, err := srv.HandlePredict(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after[0] == during[0] {
+		t.Fatal("recovered fetch did not refresh the stale replica row")
+	}
+}

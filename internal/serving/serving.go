@@ -138,7 +138,7 @@ type Server struct {
 	// Counters behind ServingStats.
 	requests, examples, rejected, coalesced atomic.Int64
 	localKeys, cacheHits, cacheMisses       atomic.Int64
-	peerFetches, peerKeys                   atomic.Int64
+	peerFetches, peerKeys, degraded         atomic.Int64
 	stalenessMax                            atomic.Uint64
 }
 
@@ -270,6 +270,7 @@ func (s *Server) ServingStats() cluster.ServingStats {
 		CacheMisses:  s.cacheMisses.Load(),
 		PeerFetches:  s.peerFetches.Load(),
 		PeerKeys:     s.peerKeys.Load(),
+		Degraded:     s.degraded.Load(),
 		PushEpoch:    s.pushEpoch.Load(),
 		DenseEpoch:   denseEpoch,
 		StalenessMax: s.stalenessMax.Load(),
@@ -444,7 +445,21 @@ func (s *Server) gather(all []keys.Key) (map[keys.Key][]float32, error) {
 		}
 		vals, _, err := peers.Lookup(owner, ks)
 		if err != nil {
-			return nil, fmt.Errorf("serving: peer %d lookup: %w", owner, err)
+			// Degraded mode: the owner is down (crashed, restarting, or
+			// unreachable). Serving stays up on whatever replica rows the
+			// hot-key cache still holds — stale by one or more push epochs,
+			// but a bounded-staleness score beats an outage (the driver is
+			// meanwhile restarting the shard). Keys with no replica row at
+			// all score as untrained, exactly like a never-pushed key.
+			s.degraded.Add(1)
+			s.hotMu.Lock()
+			for _, k := range ks {
+				if row, ok := s.hot.Get(uint64(k)); ok && row.weights != nil {
+					vecs[k] = row.weights
+				}
+			}
+			s.hotMu.Unlock()
+			continue
 		}
 		s.peerFetches.Add(1)
 		s.peerKeys.Add(int64(len(ks)))

@@ -130,6 +130,11 @@ func (s *Store) Recover() error {
 	names := s.dev.ListFiles()
 	sort.Strings(names) // zero-padded ids sort in creation order
 	for _, name := range names {
+		if parseFileID(name) < 0 {
+			// Not a parameter file: the device directory also hosts other
+			// durable state (the shard server's push-dedup seq log).
+			continue
+		}
 		data, err := s.dev.ReadFile(name)
 		if err != nil {
 			return fmt.Errorf("ssdps: recover %s: %w", name, err)

@@ -153,6 +153,23 @@ type Config struct {
 	// after every push epoch so served scores track the training run with at
 	// most one push epoch of staleness.
 	Serve bool
+	// CheckpointPath, when non-empty, is the manifest file the trainer's
+	// durable driver-side state (dense tower, optimizer state, LRs, batch
+	// cursor, shard state locations) is written to — atomically, on every
+	// Flush and every CheckpointInterval batches. See checkpoint.go.
+	CheckpointPath string
+	// CheckpointInterval cuts a full checkpoint (shard flush + manifest)
+	// every N completed batches; 0 checkpoints only on Flush/Close.
+	CheckpointInterval int
+	// ShardState optionally names each shard's durable-state directory for
+	// the manifest (the driver passes the shard servers' -dir roots); when
+	// empty the trainer derives it (local node dirs, or shard addresses).
+	ShardState map[int]string
+	// BatchPause inserts a wall-clock pause after each completed batch. It
+	// exists for crash-restart drills (CI kills a shard mid-run and needs
+	// the run to still be going) and staleness experiments; leave zero for
+	// real training.
+	BatchPause time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -287,6 +304,10 @@ type Trainer struct {
 	loss          metrics.LogLossAccumulator
 	examples      int64
 	batchesDone   int64
+	// restored is the batch cursor loaded by Restore: Run trains only the
+	// remaining cfg.Batches - restored batches, with job indices (and thus
+	// serve epochs) continuing where the checkpointed run stopped.
+	restored int
 
 	tmpDir  string
 	ownsDir bool
@@ -534,9 +555,15 @@ func (t *Trainer) Run(ctx context.Context) error {
 		tokens <- struct{}{}
 	}
 
+	// A restored run trains only the batches the checkpoint does not cover;
+	// job indices continue from the cursor so serve epochs stay monotonic.
+	remaining := t.cfg.Batches - t.restored
+	if remaining <= 0 {
+		return nil // the checkpoint already covers the whole run
+	}
 	next := 0
 	source := func(ctx context.Context) (*job, bool, error) {
-		if next >= t.cfg.Batches {
+		if next >= remaining {
 			return nil, false, nil
 		}
 		select {
@@ -544,7 +571,7 @@ func (t *Trainer) Run(ctx context.Context) error {
 		case <-ctx.Done():
 			return nil, false, ctx.Err()
 		}
-		j := &job{index: next, nodes: make([]*nodeBatch, len(t.nodes))}
+		j := &job{index: next + t.restored, nodes: make([]*nodeBatch, len(t.nodes))}
 		next++
 		return j, true, nil
 	}
@@ -552,10 +579,26 @@ func (t *Trainer) Run(ctx context.Context) error {
 		tokens <- struct{}{}
 		t.mu.Lock()
 		t.batchesDone++
+		done := t.batchesDone
 		for _, nb := range j.nodes {
 			t.examples += int64(nb.batch.Len())
 		}
 		t.mu.Unlock()
+		if iv := int64(t.cfg.CheckpointInterval); iv > 0 && t.cfg.CheckpointPath != "" && done%iv == 0 {
+			// Periodic durability point: flush every shard, then publish the
+			// manifest. Batches still in the pipeline re-train after a
+			// restore from this cut (see checkpoint.go).
+			if err := t.Flush(); err != nil {
+				return fmt.Errorf("trainer: checkpoint at batch %d: %w", done, err)
+			}
+		}
+		if t.cfg.BatchPause > 0 {
+			select {
+			case <-time.After(t.cfg.BatchPause):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
 		return nil
 	}
 
@@ -1245,14 +1288,36 @@ func (t *Trainer) Tiers() []ps.TierInfo {
 	return out
 }
 
-// Flush persists every node's in-memory parameters to its SSD-PS.
+// Flush persists every node's in-memory parameters to its SSD-PS, then
+// writes the checkpoint manifest when one is configured — the flush must
+// come first, so the shard state the manifest describes is on disk before
+// the manifest claims it is.
 func (t *Trainer) Flush() error {
-	return t.eachNode(func(n *node) error { return n.mem.Flush() })
+	if err := t.eachNode(func(n *node) error { return n.mem.Flush() }); err != nil {
+		return err
+	}
+	if t.cfg.CheckpointPath == "" {
+		return nil
+	}
+	return t.writeManifest()
+}
+
+// SetShardAddr repoints shard id's connections at addr. The driver calls it
+// after restarting a crashed shard process on a fresh port; in-flight RPCs to
+// the old address fail and are retried against the new one under the
+// configured retry policy. It is a no-op for in-process shards.
+func (t *Trainer) SetShardAddr(id int, addr string) {
+	if t.remote == nil {
+		return
+	}
+	t.remote.SetAddr(id, addr)
 }
 
 // Close flushes the hierarchy, closes the remote transport (in multi-process
-// mode) and removes the SSD-PS directories the trainer created. It is
-// idempotent.
+// mode) and removes the SSD-PS directories the trainer created. When the
+// flush fails, the directories are preserved — whatever the flush did manage
+// to write is the only durable copy of the model, and the error reports
+// where it lives. Close is idempotent.
 func (t *Trainer) Close() error {
 	if t.closed {
 		return nil
@@ -1263,7 +1328,9 @@ func (t *Trainer) Close() error {
 		t.remote.Close()
 	}
 	if t.ownsDir {
-		if rmErr := os.RemoveAll(t.tmpDir); err == nil {
+		if err != nil {
+			err = fmt.Errorf("%w (SSD-PS state preserved at %s)", err, t.tmpDir)
+		} else if rmErr := os.RemoveAll(t.tmpDir); rmErr != nil {
 			err = rmErr
 		}
 	}

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# crash-restart-smoke.sh [hps-binary] — end-to-end crash drill for the
+# durability path: run the multi-process driver, kill -9 one shard
+# mid-epoch, and assert that the driver restarts it with -restore, that
+# the restarted shard recovers its SSD-PS parameters and replays its
+# push-dedup seq log, and that the run still finishes with a sane AUC.
+#
+# This is the CI twin of TestCrashRestartRecoversDurableState: the test
+# drills the recovery logic in-process; this script drills the actual
+# process supervision (fork/exec, SIGKILL, stderr passthrough, address
+# repointing) that a unit test cannot reach.
+set -euo pipefail
+
+HPS="${1:-/tmp/hps}"
+STATE="$(mktemp -d)"
+OUT="$STATE/driver.out"
+trap 'rm -rf "$STATE"' EXIT
+
+# -batch-pause stretches the run so the kill lands mid-epoch with work in
+# flight; -checkpoint-interval exercises the periodic manifest path while
+# we are at it.
+"$HPS" driver -model tiny -shards 2 -gpus 2 -batches 40 -batch-size 64 \
+  -eval 800 -seed 4 -state-dir "$STATE/run" -checkpoint-interval 5 \
+  -batch-pause 100ms >"$OUT" 2>&1 &
+DRIVER=$!
+
+# Wait for shard 1 to come up, then kill -9 it: no flush, no handoff —
+# only its state directory survives.
+VICTIM=""
+for _ in $(seq 1 100); do
+  VICTIM="$(grep -oP 'shard 1 up: pid \K[0-9]+' "$OUT" 2>/dev/null || true)"
+  [ -n "$VICTIM" ] && break
+  sleep 0.1
+done
+if [ -z "$VICTIM" ]; then
+  echo "shard 1 never came up:" >&2
+  cat "$OUT" >&2
+  exit 1
+fi
+sleep 1 # let it train long enough to have dumped parameters and seq records
+kill -9 "$VICTIM"
+echo "killed shard 1 (pid $VICTIM)"
+
+# The driver is our direct child, so wait is enough; a hung run is caught
+# by the CI step timeout.
+if ! wait "$DRIVER"; then
+  echo "driver did not survive the shard crash:" >&2
+  cat "$OUT" >&2
+  exit 1
+fi
+
+check() {
+  if ! grep -qE "$1" "$OUT"; then
+    echo "missing from driver output: $1" >&2
+    cat "$OUT" >&2
+    exit 1
+  fi
+}
+check 'shard 1 died .*; restarting with -restore'
+check 'shard 1 restarted: pid [0-9]+'
+check 'hps-shard 1: restored [1-9][0-9]* parameters'
+check 'hps-shard 1: replayed [1-9][0-9]* applied-push records'
+check 'AUC over 800'
+test -f "$STATE/run/checkpoint.json" || {
+  echo "no checkpoint manifest written to $STATE/run" >&2
+  exit 1
+}
+
+echo "crash-restart smoke ok:"
+grep -E 'shard 1 (died|restarted)|hps-shard 1: (restored|replayed)|AUC over' "$OUT"
