@@ -8,8 +8,11 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"slices"
+	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"hps/internal/cluster"
@@ -27,19 +30,105 @@ type shardProc struct {
 	done chan struct{}
 }
 
+// ShardLossError is the typed, permanent form of a shard failure: the
+// supervisor either exhausted the restart budget (Restarts attempts within
+// the window, all dead) or — in a replicated ring — treated the death as a
+// promotion trigger and removed the shard from the ring for good.
+type ShardLossError struct {
+	Shard    int
+	Restarts int
+	Promoted bool
+}
+
+func (e *ShardLossError) Error() string {
+	if e.Promoted {
+		return fmt.Sprintf("shard %d lost permanently; its backups were promoted (ring leave)", e.Shard)
+	}
+	return fmt.Sprintf("shard %d lost permanently after %d restarts (budget exhausted)", e.Shard, e.Restarts)
+}
+
+// restartBudget caps how many times a shard slot may be restarted within a
+// sliding window, spacing consecutive restarts with exponential backoff.
+// Beyond the cap the shard is declared permanently lost — a crash loop (bad
+// disk, poisoned state) must surface as a typed failure, not burn the run
+// restarting forever.
+type restartBudget struct {
+	max    int
+	window time.Duration
+	base   time.Duration
+
+	mu   sync.Mutex
+	hist map[int][]time.Time
+}
+
+func newRestartBudget(max int, window, base time.Duration) *restartBudget {
+	return &restartBudget{max: max, window: window, base: base, hist: map[int][]time.Time{}}
+}
+
+// next records a restart attempt for shard i. It returns the backoff to sleep
+// before respawning (zero for the first restart in the window — a lone crash
+// recovers at full speed) and ok=false once the budget is exhausted, with the
+// number of restarts already burned.
+func (b *restartBudget) next(i int) (delay time.Duration, restarts int, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	keep := b.hist[i][:0]
+	for _, t := range b.hist[i] {
+		if now.Sub(t) < b.window {
+			keep = append(keep, t)
+		}
+	}
+	if len(keep) >= b.max {
+		b.hist[i] = keep
+		return 0, len(keep), false
+	}
+	if len(keep) > 0 {
+		delay = b.base << (len(keep) - 1)
+		if cap := 5 * time.Second; delay > cap {
+			delay = cap
+		}
+	}
+	b.hist[i] = append(keep, now)
+	return delay, len(b.hist[i]), true
+}
+
 // shardSet owns and supervises the spawned shard processes. Each shard has a
-// durable state directory under root; a shard that dies while the set is not
-// stopping is restarted over that directory with -restore (SSD-PS recovery
-// plus the replayed push-dedup log), and every registered transport is
-// repointed at the restarted shard's new address.
+// durable state directory under root. What happens when a shard dies depends
+// on the deployment:
+//
+//   - replicated ring (R>1): the backups already hold every acked delta, so
+//     the shard is permanently retired and its key ranges promoted (the
+//     driver broadcasts a Leave ring). Restoring stale disk state instead
+//     would be unsound — transfers skip present keys, so restored rows would
+//     shadow the backups' fresher ones.
+//   - unreplicated: the shard is restarted over its directory with -restore
+//     (SSD-PS recovery plus the replayed push-dedup log), under the restart
+//     budget; exhausting the budget is a permanent, typed loss.
 type shardSet struct {
 	exe    string
 	shards int
 	fs     *trainFlags
 	root   string
 
+	// ring-mode state; ms == nil means legacy modulo placement.
+	ms       *cluster.Membership
+	replicas int
+	vnodes   int
+	budget   *restartBudget
+
+	// onPromote broadcasts the Leave ring after a replicated shard's death;
+	// onRejoin re-broadcasts the current ring (with addresses) to a restarted
+	// shard; onExhausted aborts the run when an unreplicated shard is lost.
+	onPromote   func(shard int)
+	onRejoin    func(shard int)
+	onExhausted func(shard int)
+
 	mu       sync.Mutex
-	procs    []*shardProc
+	procs    map[int]*shardProc
+	removed  map[int]bool
+	losses   []*ShardLossError
+	nextID   int
 	stopping bool
 	onMove   []func(shard int, addr string)
 	wg       sync.WaitGroup
@@ -50,7 +139,9 @@ func (s *shardSet) dir(i int) string {
 	return filepath.Join(s.root, fmt.Sprintf("shard-%d", i))
 }
 
-// dirs returns every shard's state directory (the manifest's Shards map).
+// dirs returns the initial shards' state directories (the manifest's Shards
+// map). Shards joined mid-run hold only re-replicated state and are not part
+// of the checkpoint manifest.
 func (s *shardSet) dirs() map[int]string {
 	out := make(map[int]string, s.shards)
 	for i := 0; i < s.shards; i++ {
@@ -59,7 +150,7 @@ func (s *shardSet) dirs() map[int]string {
 	return out
 }
 
-// addrs returns the current shard addresses.
+// addrs returns the current live shard addresses.
 func (s *shardSet) addrs() map[int]string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -70,18 +161,81 @@ func (s *shardSet) addrs() map[int]string {
 	return out
 }
 
-// notifyMove registers a callback for shard restarts (transport repointing).
+// notifyMove registers a callback for shard address changes (restarts and
+// joins) so every transport can be repointed.
 func (s *shardSet) notifyMove(f func(shard int, addr string)) {
 	s.mu.Lock()
 	s.onMove = append(s.onMove, f)
 	s.mu.Unlock()
 }
 
-// start spawns every shard and begins supervising them.
+// noteLoss records a permanent shard loss for the end-of-run report.
+func (s *shardSet) noteLoss(e *ShardLossError) {
+	s.mu.Lock()
+	s.losses = append(s.losses, e)
+	s.mu.Unlock()
+}
+
+// lossList snapshots the permanent losses so far.
+func (s *shardSet) lossList() []*ShardLossError {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*ShardLossError{}, s.losses...)
+}
+
+// fatalLoss returns the first non-promoted loss — a shard whose keys nobody
+// else holds — or nil. Promotions are survivable; this is not.
+func (s *shardSet) fatalLoss() *ShardLossError {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.losses {
+		if !e.Promoted {
+			return e
+		}
+	}
+	return nil
+}
+
+// ringArgsFor builds the serve-side ring flags for the given member list.
+func (s *shardSet) ringArgsFor(members []int) []string {
+	if s.ms == nil {
+		return nil
+	}
+	ids := make([]string, len(members))
+	for i, m := range members {
+		ids[i] = strconv.Itoa(m)
+	}
+	return []string{
+		"-members", strings.Join(ids, ","),
+		"-replicas", strconv.Itoa(s.replicas),
+		"-vnodes", strconv.Itoa(s.vnodes),
+	}
+}
+
+// ringArgs builds the serve-side ring flags for the current ring.
+func (s *shardSet) ringArgs() []string {
+	if s.ms == nil {
+		return nil
+	}
+	return s.ringArgsFor(s.ms.Ring().Members())
+}
+
+// shardsArg sizes the -shards flag for a child: joiners get ids beyond the
+// initial count, and the child's Topology.Nodes must cover its own id.
+func (s *shardSet) shardsArg(id int) int {
+	if id+1 > s.shards {
+		return id + 1
+	}
+	return s.shards
+}
+
+// start spawns every initial shard and begins supervising them.
 func (s *shardSet) start(restore bool) error {
-	s.procs = make([]*shardProc, s.shards)
+	s.procs = make(map[int]*shardProc, s.shards)
+	s.removed = map[int]bool{}
+	s.nextID = s.shards
 	for i := 0; i < s.shards; i++ {
-		p, err := spawnShard(s.exe, i, s.shards, s.fs, s.dir(i), restore)
+		p, err := spawnShard(s.exe, i, s.shards, s.fs, s.dir(i), restore, s.ringArgs())
 		if err != nil {
 			return err
 		}
@@ -95,36 +249,73 @@ func (s *shardSet) start(restore bool) error {
 	return nil
 }
 
-// supervise watches one shard slot: whenever its process exits unexpectedly,
-// it is relaunched with -restore over the same state directory (on a fresh
-// port — the old one may linger in TIME_WAIT) and the transports are
-// repointed. In-flight RPCs against the dead shard fail and ride the retry
-// policy across the outage.
+// supervise watches one shard slot until the set stops or the shard is lost
+// for good. See the shardSet doc comment for the two failure policies.
 func (s *shardSet) supervise(i int) {
 	defer s.wg.Done()
 	for {
 		s.mu.Lock()
 		p := s.procs[i]
 		s.mu.Unlock()
-		<-p.done
-		s.mu.Lock()
-		stopping := s.stopping
-		s.mu.Unlock()
-		if stopping {
+		if p == nil {
 			return
 		}
-		fmt.Printf("shard %d died (%v); restarting with -restore\n", i, p.cmd.ProcessState)
-		np, err := spawnShard(s.exe, i, s.shards, s.fs, s.dir(i), true)
+		<-p.done
+		s.mu.Lock()
+		stop := s.stopping || s.removed[i]
+		s.mu.Unlock()
+		if stop {
+			return
+		}
+
+		if s.ms != nil && s.replicas > 1 && len(s.ms.Ring().Members()) > 1 {
+			// Replicated: every key the dead primary acked also lives on a
+			// backup, so the fastest correct recovery is promotion. Training
+			// continues against the backups without touching the dead shard's
+			// disk.
+			fmt.Printf("shard %d died (%v); promoting its backups instead of restoring\n", i, p.cmd.ProcessState)
+			s.mu.Lock()
+			delete(s.procs, i)
+			s.mu.Unlock()
+			s.noteLoss(&ShardLossError{Shard: i, Promoted: true})
+			if s.onPromote != nil {
+				s.onPromote(i)
+			}
+			return
+		}
+
+		delay, restarts, ok := s.budget.next(i)
+		if !ok {
+			e := &ShardLossError{Shard: i, Restarts: restarts}
+			fmt.Fprintf(os.Stderr, "driver: %v\n", e)
+			s.noteLoss(e)
+			if s.onExhausted != nil {
+				s.onExhausted(i)
+			}
+			return
+		}
+		if delay > 0 {
+			fmt.Printf("shard %d died (%v); restart %d/%d after %v backoff\n",
+				i, p.cmd.ProcessState, restarts, s.budget.max, delay)
+			time.Sleep(delay)
+		} else {
+			fmt.Printf("shard %d died (%v); restarting with -restore\n", i, p.cmd.ProcessState)
+		}
+		np, err := spawnShard(s.exe, i, s.shardsArg(i), s.fs, s.dir(i), true, s.ringArgs())
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "driver: restart shard %d: %v\n", i, err)
+			s.noteLoss(&ShardLossError{Shard: i, Restarts: restarts})
+			if s.onExhausted != nil {
+				s.onExhausted(i)
+			}
 			return
 		}
 		s.mu.Lock()
 		s.procs[i] = np
-		stopping = s.stopping
+		stop = s.stopping
 		moves := append([]func(int, string){}, s.onMove...)
 		s.mu.Unlock()
-		if stopping {
+		if stop {
 			// Shutdown won the race: the restarted shard is not needed.
 			np.cmd.Process.Signal(os.Interrupt)
 			<-np.done
@@ -133,8 +324,89 @@ func (s *shardSet) supervise(i int) {
 		for _, f := range moves {
 			f(i, np.addr)
 		}
+		if s.onRejoin != nil {
+			// Re-teach the restarted shard the current ring and address book
+			// (it boots at membership epoch 0 from its flags).
+			s.onRejoin(i)
+		}
 		fmt.Printf("shard %d restarted: pid %d at %s\n", i, np.cmd.Process.Pid, np.addr)
 	}
+}
+
+// add spawns one fresh shard (empty state directory), teaches every transport
+// its address, then applies the Join ring — in that order, so by the time any
+// peer routes to the joiner it is reachable. The survivors stream the
+// joiner's new key ranges to it in the background (rate-limited transfers).
+func (s *shardSet) add(apply func(next *cluster.Ring)) error {
+	s.mu.Lock()
+	if s.stopping {
+		s.mu.Unlock()
+		return nil
+	}
+	id := s.nextID
+	s.nextID++
+	s.mu.Unlock()
+
+	p, err := spawnShard(s.exe, id, s.shardsArg(id), s.fs, s.dir(id), false,
+		s.ringArgsFor(append(slices.Clone(s.ms.Ring().Members()), id)))
+	if err != nil {
+		return fmt.Errorf("spawn joining shard %d: %w", id, err)
+	}
+	s.mu.Lock()
+	s.procs[id] = p
+	moves := append([]func(int, string){}, s.onMove...)
+	s.mu.Unlock()
+	for _, f := range moves {
+		f(id, p.addr)
+	}
+	apply(s.ms.Ring().Join(id))
+	s.wg.Add(1)
+	go s.supervise(id)
+	fmt.Printf("shard %d joined: pid %d at %s (ring epoch %d)\n",
+		id, p.cmd.Process.Pid, p.addr, s.ms.Epoch())
+	return nil
+}
+
+// remove retires the highest-id ring member: it broadcasts the Leave ring
+// first — the survivors re-replicate among themselves and the leaver hands
+// off every row it holds — then, after a grace period for the handoff to
+// drain, shuts the process down.
+func (s *shardSet) remove(apply func(next *cluster.Ring)) error {
+	ring := s.ms.Ring()
+	members := ring.Members()
+	if len(members) < 2 {
+		return fmt.Errorf("cannot remove a shard: %d ring member(s) left", len(members))
+	}
+	id := members[0]
+	for _, m := range members {
+		if m > id {
+			id = m
+		}
+	}
+	fmt.Printf("shard %d leaving the ring (epoch %d -> %d)\n", id, ring.Epoch(), ring.Epoch()+1)
+	apply(ring.Leave(id))
+
+	// Grace: the leaver's handoff transfers are rate-limited background work;
+	// killing the process under them would lose whatever had not streamed out
+	// yet (with R=1 nobody else holds those rows).
+	time.Sleep(3 * time.Second)
+
+	s.mu.Lock()
+	s.removed[id] = true
+	p := s.procs[id]
+	delete(s.procs, id)
+	s.mu.Unlock()
+	if p != nil {
+		p.cmd.Process.Signal(syscall.SIGTERM)
+		select {
+		case <-p.done:
+		case <-time.After(10 * time.Second):
+			p.cmd.Process.Kill()
+			<-p.done
+		}
+	}
+	fmt.Printf("shard %d left and shut down\n", id)
+	return nil
 }
 
 // stop asks every child to shut down cleanly (flush to SSD-PS, sync the seq
@@ -142,7 +414,10 @@ func (s *shardSet) supervise(i int) {
 func (s *shardSet) stop() {
 	s.mu.Lock()
 	s.stopping = true
-	procs := append([]*shardProc{}, s.procs...)
+	procs := make([]*shardProc, 0, len(s.procs))
+	for _, p := range s.procs {
+		procs = append(procs, p)
+	}
 	s.mu.Unlock()
 	for _, p := range procs {
 		if p != nil && p.cmd.Process != nil {
@@ -166,9 +441,9 @@ func (s *shardSet) stop() {
 // runDriver is the `hps driver` subcommand: spawn one `hps serve` process
 // per MEM-PS shard, train the model against them over real TCP sockets, and
 // print the Fig-4-style breakdown including the measured network time. The
-// driver supervises its shards: a shard that crashes mid-run is restarted
-// with -restore over its durable state directory, and training rides the
-// outage on the transport's retry policy.
+// driver supervises its shards — crashed shards are restored (unreplicated)
+// or their backups promoted (replicated), under a restart budget — and can
+// reshape the ring mid-run with -add-shard/-remove-shard.
 func runDriver(args []string) error {
 	fs := newTrainFlags("driver")
 	shardsFlag := fs.fs.Int("shards", 2, "number of MEM-PS shard processes to spawn")
@@ -176,6 +451,13 @@ func runDriver(args []string) error {
 	lgDuration := fs.fs.Duration("loadgen-duration", 3*time.Second, "how long the concurrent load generation runs")
 	lgConcurrency := fs.fs.Int("loadgen-concurrency", 4, "closed-loop loadgen clients")
 	lgBatch := fs.fs.Int("loadgen-batch", 16, "examples per loadgen predict request")
+
+	replicasFlag := fs.fs.Int("replicas", 1, "replication factor R: every key lives on its ring primary plus R-1 backups")
+	vnodesFlag := fs.fs.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per ring member")
+	addAfter := fs.fs.Duration("add-shard", 0, "join one fresh shard to the ring this long into the run (0: never)")
+	removeAfter := fs.fs.Duration("remove-shard", 0, "retire the highest-id ring shard this long into the run (0: never)")
+	restartMax := fs.fs.Int("restart-budget", 3, "max restarts per shard per -restart-window before it is declared permanently lost")
+	restartWindow := fs.fs.Duration("restart-window", time.Minute, "sliding window the restart budget is counted over")
 	if err := fs.fs.Parse(args); err != nil {
 		return err
 	}
@@ -186,6 +468,16 @@ func runDriver(args []string) error {
 	if shards < 1 {
 		return fmt.Errorf("need at least one shard, have %d", shards)
 	}
+	if *replicasFlag < 1 {
+		return fmt.Errorf("-replicas must be at least 1, have %d", *replicasFlag)
+	}
+	if *replicasFlag > shards {
+		return fmt.Errorf("-replicas %d exceeds -shards %d", *replicasFlag, shards)
+	}
+	// Ring placement turns on whenever something needs it: replication or a
+	// mid-run membership change. Otherwise the legacy modulo placement keeps
+	// historical runs bit-identical.
+	ringMode := *replicasFlag > 1 || *addAfter > 0 || *removeAfter > 0
 
 	exe, err := os.Executable()
 	if err != nil {
@@ -213,7 +505,19 @@ func runDriver(args []string) error {
 		defer os.RemoveAll(d)
 	}
 
-	set := &shardSet{exe: exe, shards: shards, fs: fs, root: root}
+	var ms *cluster.Membership
+	if ringMode {
+		members := make([]int, shards)
+		for i := range members {
+			members[i] = i
+		}
+		ms = cluster.NewMembership(cluster.NewRing(members, *vnodesFlag))
+	}
+	set := &shardSet{
+		exe: exe, shards: shards, fs: fs, root: root,
+		ms: ms, replicas: *replicasFlag, vnodes: *vnodesFlag,
+		budget: newRestartBudget(*restartMax, *restartWindow, 250*time.Millisecond),
+	}
 	defer set.stop()
 	if err := set.start(*fs.restore); err != nil {
 		return err
@@ -224,7 +528,7 @@ func runDriver(args []string) error {
 	cfg := trainer.Config{
 		Spec:          spec,
 		Data:          data,
-		Topology:      cluster.Topology{Nodes: shards, GPUsPerNode: *fs.gpus},
+		Topology:      cluster.Topology{Nodes: shards, GPUsPerNode: *fs.gpus, Members: ms, Replicas: *replicasFlag},
 		BatchSize:     *fs.batchSize,
 		Batches:       *fs.batches,
 		MaxInFlight:   *fs.inFlight,
@@ -248,8 +552,8 @@ func runDriver(args []string) error {
 	if *fs.quantPush {
 		wire += "+push"
 	}
-	fmt.Printf("training model %s against %d MEM-PS shard process(es), %d GPU(s)/node, %d batches x %d examples/node (wire %s, pull pipeline %d)\n\n",
-		spec.Name, shards, *fs.gpus, *fs.batches, *fs.batchSize, wire, *fs.pullPipe)
+	fmt.Printf("training model %s against %d MEM-PS shard process(es), %d GPU(s)/node, %d batches x %d examples/node (wire %s, pull pipeline %d, replicas %d)\n\n",
+		spec.Name, shards, *fs.gpus, *fs.batches, *fs.batchSize, wire, *fs.pullPipe, *replicasFlag)
 
 	tr, err := trainer.New(cfg)
 	if err != nil {
@@ -257,6 +561,84 @@ func runDriver(args []string) error {
 	}
 	defer tr.Close()
 	set.notifyMove(tr.SetShardAddr)
+
+	ctx, cancel := signalContext()
+	defer cancel()
+
+	if ringMode {
+		// The driver's control transport carries membership broadcasts (and
+		// nothing else) to the shards.
+		ctl := cluster.NewTCPTransport(addrs, spec.EmbeddingDim)
+		defer ctl.Close()
+		set.notifyMove(ctl.SetAddr)
+
+		var ringMu sync.Mutex
+		applyRing := func(next *cluster.Ring) {
+			ringMu.Lock()
+			defer ringMu.Unlock()
+			u := cluster.MembershipUpdate{
+				Epoch:    next.Epoch(),
+				Members:  next.Members(),
+				VNodes:   *vnodesFlag,
+				Replicas: *replicasFlag,
+				Addrs:    set.addrs(),
+			}
+			// Shards first — they must accept forwards and transfers for the
+			// new ring before the trainer repoints its pushes — and the union
+			// of old and new members, so a leaver receives the ring that
+			// starts its handoff.
+			targets := slices.Clone(ms.Ring().Members())
+			for _, id := range next.Members() {
+				if !slices.Contains(targets, id) {
+					targets = append(targets, id)
+				}
+			}
+			for _, id := range targets {
+				if err := ctl.UpdateMembership(id, u); err != nil {
+					fmt.Fprintf(os.Stderr, "driver: membership epoch %d to shard %d: %v\n", u.Epoch, id, err)
+				}
+			}
+			// The trainer installs the ring into the shared membership view;
+			// the loadgen follows that same view on its next request.
+			if err := tr.UpdateMembership(u); err != nil {
+				fmt.Fprintf(os.Stderr, "driver: membership epoch %d to trainer: %v\n", u.Epoch, err)
+			}
+		}
+		// First broadcast, one epoch above the shards' flag-derived ring:
+		// it carries the address book, which is how shards learn each other.
+		applyRing(ms.Ring().WithEpoch(ms.Ring().Epoch() + 1))
+		set.onPromote = func(dead int) { applyRing(ms.Ring().Leave(dead)) }
+		set.onRejoin = func(int) { applyRing(ms.Ring()) }
+
+		if *addAfter > 0 {
+			go func() {
+				select {
+				case <-time.After(*addAfter):
+				case <-ctx.Done():
+					return
+				}
+				if err := set.add(applyRing); err != nil {
+					fmt.Fprintf(os.Stderr, "driver: add shard: %v\n", err)
+				}
+			}()
+		}
+		if *removeAfter > 0 {
+			go func() {
+				select {
+				case <-time.After(*removeAfter):
+				case <-ctx.Done():
+					return
+				}
+				if err := set.remove(applyRing); err != nil {
+					fmt.Fprintf(os.Stderr, "driver: remove shard: %v\n", err)
+				}
+			}()
+		}
+	}
+	// Losing an unreplicated shard for good means part of the model is gone:
+	// abort the run instead of spinning on dead connections.
+	set.onExhausted = func(int) { cancel() }
+
 	if *fs.restore {
 		if cfg.CheckpointPath == "" {
 			return fmt.Errorf("-restore needs -checkpoint or -state-dir")
@@ -272,8 +654,6 @@ func runDriver(args []string) error {
 	// serving-under-training scenario the serving tier is built for. The
 	// loadgen gets its own transport so serving traffic never queues behind
 	// training pulls on the driver side either.
-	ctx, cancel := signalContext()
-	defer cancel()
 	var lgRep loadgen.Report
 	var lgErr error
 	lgDone := make(chan struct{})
@@ -286,6 +666,7 @@ func runDriver(args []string) error {
 			lgRep, lgErr = loadgen.Run(ctx, loadgen.Config{
 				Transport:   lgTransport,
 				Nodes:       shards,
+				Members:     ms,
 				Data:        data,
 				Seed:        *fs.seed + 777,
 				Duration:    *lgDuration,
@@ -304,6 +685,10 @@ func runDriver(args []string) error {
 	}
 	wall := time.Since(wallStart)
 	<-lgDone
+	if lost := set.fatalLoss(); lost != nil {
+		tr.Close()
+		return fmt.Errorf("training aborted: %w", lost)
+	}
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "hps: interrupted; flushing checkpoint")
 		return tr.Close()
@@ -312,6 +697,15 @@ func runDriver(args []string) error {
 	report := tr.Report()
 	fmt.Print(report.String())
 	fmt.Printf("(driver wall time %v)\n", wall.Round(time.Millisecond))
+	if losses := set.lossList(); len(losses) > 0 {
+		fmt.Printf("\n-- permanent shard losses --\n")
+		for _, e := range losses {
+			fmt.Printf("  %s\n", e.Error())
+		}
+	}
+	if ringMode {
+		fmt.Printf("ring: epoch %d, members %v, replicas %d\n", ms.Epoch(), ms.Ring().Members(), *replicasFlag)
+	}
 	if *lg {
 		if lgErr != nil {
 			return fmt.Errorf("loadgen: %w", lgErr)
@@ -334,8 +728,8 @@ func runDriver(args []string) error {
 }
 
 // spawnShard launches one `hps serve` child over the given state directory
-// and waits for its ready line.
-func spawnShard(exe string, shard, shards int, fs *trainFlags, dir string, restore bool) (*shardProc, error) {
+// and waits for its ready line. extra carries the ring flags in ring mode.
+func spawnShard(exe string, shard, shards int, fs *trainFlags, dir string, restore bool, extra []string) (*shardProc, error) {
 	args := []string{"serve",
 		"-addr", "127.0.0.1:0",
 		"-shard", fmt.Sprint(shard),
@@ -346,6 +740,7 @@ func spawnShard(exe string, shard, shards int, fs *trainFlags, dir string, resto
 		"-seed", fmt.Sprint(*fs.seed),
 		"-dir", dir,
 	}
+	args = append(args, extra...)
 	if restore {
 		args = append(args, "-restore")
 	}

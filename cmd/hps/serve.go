@@ -6,6 +6,9 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"slices"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -22,6 +25,30 @@ import (
 // shardReadyPrefix starts the line a shard server prints on stdout once it
 // is accepting connections; the driver scrapes it for the bound address.
 const shardReadyPrefix = "hps-shard ready"
+
+// parseMembers parses a comma-separated list of shard ids ("0,1,2"); an empty
+// string means no ring (legacy modulo placement) and returns nil.
+func parseMembers(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	ids := make([]int, 0, len(parts))
+	for _, p := range parts {
+		id, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad member id %q: %w", p, err)
+		}
+		if id < 0 {
+			return nil, fmt.Errorf("member id %d is negative", id)
+		}
+		if slices.Contains(ids, id) {
+			return nil, fmt.Errorf("member id %d repeated", id)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
 
 // runServe is the `hps serve` subcommand: host one MEM-PS shard (backed by
 // its own SSD-PS) behind a TCP server, until SIGINT/SIGTERM. On shutdown the
@@ -44,6 +71,10 @@ func runServe(args []string) error {
 		serveQueue   = fs.Int("serve-queue", 64, "serving admission-queue depth (requests beyond it are rejected as overloaded)")
 		serveWorkers = fs.Int("serve-workers", 2, "serving scoring workers")
 		serveBatch   = fs.Int("serve-batch", 512, "max examples coalesced into one scoring pass")
+
+		members  = fs.String("members", "", "comma-separated shard ids on the consistent-hash ring (empty: modulo placement over -shards)")
+		replicas = fs.Int("replicas", 1, "replication factor R: each key lives on its primary plus R-1 backups (needs -members)")
+		vnodes   = fs.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per ring member")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,8 +86,19 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *shard < 0 || *shard >= *shards {
-		return fmt.Errorf("shard %d out of range [0, %d)", *shard, *shards)
+	memberIDs, err := parseMembers(*members)
+	if err != nil {
+		return err
+	}
+	if memberIDs == nil {
+		if *shard < 0 || *shard >= *shards {
+			return fmt.Errorf("shard %d out of range [0, %d)", *shard, *shards)
+		}
+		if *replicas > 1 {
+			return fmt.Errorf("-replicas %d needs -members (replication places keys on the ring)", *replicas)
+		}
+	} else if !slices.Contains(memberIDs, *shard) {
+		return fmt.Errorf("shard %d is not in -members %s", *shard, *members)
 	}
 
 	root := *dir
@@ -102,10 +144,22 @@ func runServe(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "hps-shard %d: restored %d parameters from %s\n", *shard, store.Len(), root)
 	}
+	topo := cluster.Topology{Nodes: *shards, GPUsPerNode: 1}
+	var peerTr *cluster.TCPTransport
+	if memberIDs != nil {
+		topo.Members = cluster.NewMembership(cluster.NewRing(memberIDs, *vnodes))
+		topo.Replicas = *replicas
+		// One shared peer transport: serving failover reads through it, the
+		// replicator forwards and transfers through it, and membership updates
+		// from the driver teach it the peer address book (the empty map — a
+		// shard never knows peer addresses at boot).
+		peerTr = cluster.NewTCPTransport(map[int]string{}, spec.EmbeddingDim)
+		defer peerTr.Close()
+	}
 	mem, err := memps.New(memps.Config{
 		NodeID:     *shard,
 		Dim:        spec.EmbeddingDim,
-		Topology:   cluster.Topology{Nodes: *shards, GPUsPerNode: 1},
+		Topology:   topo,
 		Transport:  cluster.NoRoute{}, // a shard server answers; it never proxies peers
 		Store:      store,
 		LRUEntries: cacheEntries / 2,
@@ -121,9 +175,9 @@ func runServe(args []string) error {
 	// The serving tier is always armed: it costs two idle goroutines until a
 	// driver started with serving enabled publishes the peer addresses and
 	// dense parameters (predicts fail cleanly before that).
-	serveSrv, err := serving.New(serving.Config{
+	serveCfg := serving.Config{
 		NodeID:        *shard,
-		Topology:      cluster.Topology{Nodes: *shards, GPUsPerNode: 1},
+		Topology:      topo,
 		Dim:           spec.EmbeddingDim,
 		Hidden:        spec.HiddenLayers,
 		Local:         mem,
@@ -131,9 +185,29 @@ func runServe(args []string) error {
 		MaxQueue:      *serveQueue,
 		Workers:       *serveWorkers,
 		CoalesceBatch: *serveBatch,
-	})
+	}
+	if peerTr != nil {
+		serveCfg.Peers = peerTr
+	}
+	serveSrv, err := serving.New(serveCfg)
 	if err != nil {
 		return err
+	}
+
+	handler := serving.NewHandler(mem, serveSrv)
+	var repl *memps.Replicator
+	if peerTr != nil {
+		repl = memps.NewReplicator(mem, peerTr, memps.ReplicatorConfig{})
+		handler.Replicator = repl
+		handler.Peers = peerTr
+	}
+	if *restore {
+		// A restarted (or promoted-into) shard boots with a cold serving
+		// cache; prewarm it with the hottest recovered rows so the first
+		// post-failover predicts hit locally instead of stampeding peers.
+		if n := handler.WarmServing(*hotCache); n > 0 {
+			fmt.Fprintf(os.Stderr, "hps-shard %d: warmed serving cache with %d recovered rows\n", *shard, n)
+		}
 	}
 
 	// The dedup tracker persists its applied (client, seq) records next to
@@ -148,11 +222,12 @@ func runServe(args []string) error {
 	}
 	defer seqLog.Close()
 	seqs.AttachLog(seqLog)
+	handler.Seqs = seqs
 	if replayed > 0 {
 		fmt.Fprintf(os.Stderr, "hps-shard %d: replayed %d applied-push records from %s\n", *shard, replayed, seqLogPath)
 	}
 
-	srv, err := cluster.ServeTCPOptions(*addr, serving.NewHandler(mem, serveSrv), cluster.ServerOptions{Seqs: seqs})
+	srv, err := cluster.ServeTCPOptions(*addr, handler, cluster.ServerOptions{Seqs: seqs})
 	if err != nil {
 		return err
 	}
@@ -170,8 +245,23 @@ func runServe(args []string) error {
 	// push it got a reply for.
 	closeErr := srv.Close()
 	serveSrv.Close()
+	if repl != nil {
+		// Flush the forward queue before stopping: a backup must see every
+		// delta its primary acked, or the origin's dedup stamp would mask the
+		// loss forever (the retry is acknowledged as a duplicate).
+		if !repl.Drain(5 * time.Second) {
+			fmt.Fprintf(os.Stderr, "hps-shard %d: replication queue did not drain\n", *shard)
+		}
+		repl.Close()
+	}
 	if err := mem.Flush(); err != nil {
 		fmt.Fprintf(os.Stderr, "hps-shard %d: flush: %v\n", *shard, err)
+	}
+	// The flush made every applied push durable: compact the dedup log down
+	// to its live window so the shard directory does not accrete one record
+	// per push across incarnations.
+	if _, err := seqs.CompactLog(); err != nil {
+		fmt.Fprintf(os.Stderr, "hps-shard %d: compact seq log: %v\n", *shard, err)
 	}
 	// Sync the seq log last: every push acked before srv.Close returned has
 	// its record appended, and fsyncing once at shutdown (not per push) is
@@ -185,6 +275,12 @@ func runServe(args []string) error {
 	if sv := serveSrv.ServingStats(); sv.Requests > 0 || sv.Rejected > 0 {
 		fmt.Fprintf(os.Stderr, "hps-shard %d: served %d predicts (%d examples, %d rejected), cache hit rate %.1f%%\n",
 			*shard, sv.Requests, sv.Examples, sv.Rejected, 100*sv.CacheHitRate())
+	}
+	if repl != nil {
+		if rs := repl.Stats(); rs.Forwarded > 0 || rs.Transferred > 0 {
+			fmt.Fprintf(os.Stderr, "hps-shard %d: replicated %d blocks (%d keys, %d errors, max lag %d blocks); transferred %d blocks (%d keys)\n",
+				*shard, rs.Forwarded, rs.ForwardedKeys, rs.Errors, rs.MaxPending, rs.Transferred, rs.TransferredKeys)
+		}
 	}
 	return closeErr
 }

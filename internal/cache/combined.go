@@ -153,6 +153,21 @@ func (c *Combined[V]) Unpin(key uint64) bool { return c.lru.Unpin(key) }
 // Pinned reports whether the key is currently pinned in the LRU.
 func (c *Combined[V]) Pinned(key uint64) bool { return c.lru.Pinned(key) }
 
+// Range calls fn for every cached entry across both levels until fn returns
+// false. Unlike Flush it does not evict; it is how the replication layer
+// enumerates the keys a shard currently holds in memory.
+func (c *Combined[V]) Range(fn func(key uint64, value V) bool) {
+	cont := true
+	c.lru.Range(func(k uint64, v V) bool {
+		cont = fn(k, v)
+		return cont
+	})
+	if !cont {
+		return
+	}
+	c.lfu.Range(fn)
+}
+
 // Flush evicts every entry from both levels through the eviction callback.
 // It is used at shutdown to persist all cached parameters.
 func (c *Combined[V]) Flush(onEach func(key uint64, value V)) {

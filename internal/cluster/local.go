@@ -113,6 +113,58 @@ func (t *LocalTransport) PushBlock(nodeID int, blk *ps.ValueBlock) (int64, error
 	return int64(blk.PresentCount()) * int64(8+embedding.EncodedSize(t.dim)), nil
 }
 
+// Replicate forwards an applied delta block to nodeID's handler (the
+// in-process analogue of TCPTransport.Replicate). The origin stamp is
+// accepted for interface parity; in-process handlers do their own dedup.
+func (t *LocalTransport) Replicate(nodeID int, client, seq uint64, blk *ps.ValueBlock) (int64, error) {
+	h, err := t.handler(nodeID)
+	if err != nil {
+		return 0, err
+	}
+	rh, ok := h.(ReplicaPushHandler)
+	if !ok {
+		return 0, &RemoteError{Node: nodeID, Op: opName(opReplicate), Msg: "shard does not accept replicated pushes"}
+	}
+	if err := rh.HandleReplicate(blk); err != nil {
+		return 0, fmt.Errorf("cluster: replicate to node %d: %w", nodeID, err)
+	}
+	return int64(blk.PresentCount()) * int64(8+embedding.EncodedSize(t.dim)), nil
+}
+
+// Transfer installs the block's rows on nodeID's handler outright (set
+// semantics) — the in-process analogue of TCPTransport.Transfer.
+func (t *LocalTransport) Transfer(nodeID int, blk *ps.ValueBlock) (int, error) {
+	h, err := t.handler(nodeID)
+	if err != nil {
+		return 0, err
+	}
+	th, ok := h.(TransferHandler)
+	if !ok {
+		return 0, &RemoteError{Node: nodeID, Op: opName(opTransfer), Msg: "shard does not accept transfers"}
+	}
+	n, err := th.HandleTransfer(blk)
+	if err != nil {
+		return n, fmt.Errorf("cluster: transfer to node %d: %w", nodeID, err)
+	}
+	return n, nil
+}
+
+// UpdateMembership delivers a membership change to nodeID's handler.
+func (t *LocalTransport) UpdateMembership(nodeID int, u MembershipUpdate) error {
+	h, err := t.handler(nodeID)
+	if err != nil {
+		return err
+	}
+	mh, ok := h.(MembershipHandler)
+	if !ok {
+		return &RemoteError{Node: nodeID, Op: opName(opMembership), Msg: "shard does not accept membership updates"}
+	}
+	if err := mh.HandleMembership(u); err != nil {
+		return fmt.Errorf("cluster: membership update to node %d: %w", nodeID, err)
+	}
+	return nil
+}
+
 // Push implements TierTransport when node nodeID's handler accepts pushes.
 func (t *LocalTransport) Push(nodeID int, deltas map[keys.Key]*embedding.Value) (int64, error) {
 	h, err := t.handler(nodeID)

@@ -1,0 +1,293 @@
+package cluster
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"sync/atomic"
+
+	"hps/internal/keys"
+)
+
+// DefaultVNodes is the number of virtual nodes each member contributes to a
+// Ring. More virtual nodes smooth the partition balance (stddev shrinks with
+// sqrt(vnodes)) at the cost of a larger, colder lookup table; 64 keeps the
+// per-member imbalance under a few percent while the whole table of a
+// realistic fleet still fits in L1.
+const DefaultVNodes = 64
+
+// DefaultReplicas is the replication factor R used by replicated deployments:
+// every partition has one primary and one backup.
+const DefaultReplicas = 2
+
+// ringPoint is one virtual node on the hash circle.
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+// Ring places keys on members with consistent hashing: every member owns the
+// arcs preceding its virtual nodes on a 64-bit hash circle, so adding or
+// removing one member moves only the arcs adjacent to its own points —
+// roughly 1/N of the key space — instead of reshuffling (N-1)/N of all keys
+// the way the modulo policy does.
+//
+// A Ring is immutable; Join and Leave return a new Ring with the epoch
+// advanced. Placement is a pure function of the member set and the
+// virtual-node count, so two processes that build rings from the same member
+// list agree on every key without exchanging the table itself.
+type Ring struct {
+	epoch   uint64
+	vnodes  int
+	members []int       // sorted member ids
+	points  []ringPoint // sorted by (hash, node)
+}
+
+// NewRing builds a ring over the given member ids (deduplicated, order
+// irrelevant) with vnodes virtual nodes per member (0 means DefaultVNodes).
+// The returned ring is at epoch 0; use WithEpoch to pin a driver-assigned
+// epoch.
+func NewRing(members []int, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	ms := slices.Clone(members)
+	slices.Sort(ms)
+	ms = slices.Compact(ms)
+	r := &Ring{vnodes: vnodes, members: ms}
+	r.points = make([]ringPoint, 0, len(ms)*vnodes)
+	for _, m := range ms {
+		for i := 0; i < vnodes; i++ {
+			// Each virtual node hashes its (member, index) pair through the
+			// same SplitMix64 finalizer keys use, so the points are spread
+			// uniformly no matter how structured the member ids are.
+			h := keys.Mix64(keys.Mix64(uint64(m))<<32 | uint64(i))
+			r.points = append(r.points, ringPoint{hash: h, node: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// WithEpoch returns a copy of the ring stamped with the given epoch. The
+// point table is shared (rings are immutable).
+func (r *Ring) WithEpoch(epoch uint64) *Ring {
+	nr := *r
+	nr.epoch = epoch
+	return &nr
+}
+
+// Epoch returns the membership epoch this ring was stamped with.
+func (r *Ring) Epoch() uint64 { return r.epoch }
+
+// VNodes returns the virtual-node count per member.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Members returns the sorted member ids. The slice is shared; do not mutate.
+func (r *Ring) Members() []int { return r.members }
+
+// Contains reports whether node is a member of the ring.
+func (r *Ring) Contains(node int) bool {
+	_, ok := slices.BinarySearch(r.members, node)
+	return ok
+}
+
+// succ returns the index of the first point at or after hash h, wrapping.
+func (r *Ring) succ(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// Owner returns the member that owns k as primary: the first virtual node at
+// or after k's hash on the circle.
+func (r *Ring) Owner(k keys.Key) int {
+	if len(r.points) == 0 {
+		return 0
+	}
+	return r.points[r.succ(k.Hash())].node
+}
+
+// Replicas returns the first n distinct members clockwise from k's position:
+// index 0 is the primary, the rest are backups in promotion order. Fewer than
+// n members yields all of them.
+func (r *Ring) Replicas(k keys.Key, n int) []int {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	out := make([]int, 0, n)
+	i := r.succ(k.Hash())
+	for scanned := 0; scanned < len(r.points) && len(out) < n; scanned++ {
+		node := r.points[(i+scanned)%len(r.points)].node
+		if !slices.Contains(out, node) {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// Backup returns k's first backup — the first distinct member clockwise after
+// the owner — or -1 when the ring has fewer than two members. It walks the
+// circle without allocating, so the replication forwarder can partition a push
+// block's rows per backup on the hot path.
+func (r *Ring) Backup(k keys.Key) int {
+	if len(r.members) < 2 {
+		return -1
+	}
+	i := r.succ(k.Hash())
+	owner := r.points[i].node
+	for scanned := 1; scanned < len(r.points); scanned++ {
+		if n := r.points[(i+scanned)%len(r.points)].node; n != owner {
+			return n
+		}
+	}
+	return -1
+}
+
+// ReplicaRank returns node's position in k's replica set limited to n
+// replicas (0 = primary, 1 = first backup, ...) or -1 if node is not among
+// them. It walks the circle without allocating, so ownership checks can run
+// per key on the push/pull hot path.
+func (r *Ring) ReplicaRank(k keys.Key, node, n int) int {
+	if len(r.points) == 0 || n <= 0 {
+		return -1
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	var seen [8]int
+	if n > len(seen) { // beyond any sane R; fall back to the allocating form
+		for rank, m := range r.Replicas(k, n) {
+			if m == node {
+				return rank
+			}
+		}
+		return -1
+	}
+	found := 0
+	i := r.succ(k.Hash())
+	for scanned := 0; scanned < len(r.points) && found < n; scanned++ {
+		m := r.points[(i+scanned)%len(r.points)].node
+		dup := false
+		for j := 0; j < found; j++ {
+			if seen[j] == m {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		if m == node {
+			return found
+		}
+		seen[found] = m
+		found++
+	}
+	return -1
+}
+
+// Join returns a new ring with node added and the epoch advanced by one.
+// Joining an existing member only advances the epoch.
+func (r *Ring) Join(node int) *Ring {
+	ms := slices.Clone(r.members)
+	if !slices.Contains(ms, node) {
+		ms = append(ms, node)
+	}
+	return NewRing(ms, r.vnodes).WithEpoch(r.epoch + 1)
+}
+
+// Leave returns a new ring with node removed and the epoch advanced by one.
+// Every key the node owned as primary is inherited by its first backup (the
+// next distinct member clockwise), which is what makes promotion a pure
+// membership change. Removing the last member is refused (the ring would
+// place nothing); the caller gets the same membership back at a new epoch.
+func (r *Ring) Leave(node int) *Ring {
+	ms := slices.Clone(r.members)
+	if i := slices.Index(ms, node); i >= 0 && len(ms) > 1 {
+		ms = slices.Delete(ms, i, i+1)
+	}
+	return NewRing(ms, r.vnodes).WithEpoch(r.epoch + 1)
+}
+
+// Membership is an epoch-versioned, atomically swappable view of the ring
+// shared by every component of one process (trainer nodes, serving tier,
+// MEM-PS ownership checks, load generator). A membership update installs a
+// new ring for all of them in one atomic store; stale updates (epoch not
+// newer than the installed one) are rejected, so out-of-order delivery can
+// never roll the view backwards.
+type Membership struct {
+	ring atomic.Pointer[Ring]
+}
+
+// NewMembership returns a membership view holding the given initial ring.
+func NewMembership(r *Ring) *Membership {
+	m := &Membership{}
+	m.ring.Store(r)
+	return m
+}
+
+// Ring returns the currently installed ring. Never nil.
+func (m *Membership) Ring() *Ring { return m.ring.Load() }
+
+// Epoch returns the installed ring's epoch.
+func (m *Membership) Epoch() uint64 { return m.Ring().Epoch() }
+
+// Update installs r if its epoch is newer than the installed ring's,
+// reporting whether the swap happened.
+func (m *Membership) Update(r *Ring) bool {
+	for {
+		cur := m.ring.Load()
+		if cur != nil && r.Epoch() <= cur.Epoch() {
+			return false
+		}
+		if m.ring.CompareAndSwap(cur, r) {
+			return true
+		}
+	}
+}
+
+// MembershipUpdate is the control-plane payload that moves a membership
+// change between processes: the member list and ring geometry (from which
+// every receiver rebuilds an identical ring), the epoch that orders it, and
+// the shard addresses so receivers can (re)point their transports.
+type MembershipUpdate struct {
+	// Epoch orders updates; receivers drop anything not newer than what they
+	// have installed.
+	Epoch uint64
+	// Members are the shard ids in the ring after the change.
+	Members []int
+	// VNodes is the virtual-node count per member (0 = DefaultVNodes).
+	VNodes int
+	// Replicas is the replication factor R (0 or 1 = unreplicated).
+	Replicas int
+	// Addrs maps member ids to their listen addresses.
+	Addrs map[int]string
+}
+
+// BuildRing reconstructs the ring this update describes.
+func (u MembershipUpdate) BuildRing() *Ring {
+	return NewRing(u.Members, u.VNodes).WithEpoch(u.Epoch)
+}
+
+// Validate rejects structurally broken updates before they reach a
+// membership view.
+func (u MembershipUpdate) Validate() error {
+	if len(u.Members) == 0 {
+		return fmt.Errorf("cluster: membership update at epoch %d has no members", u.Epoch)
+	}
+	if u.VNodes < 0 || u.Replicas < 0 {
+		return fmt.Errorf("cluster: membership update has negative geometry (vnodes %d, replicas %d)", u.VNodes, u.Replicas)
+	}
+	return nil
+}

@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"hps/internal/keys"
+)
+
+func ringKeys(n int, seed int64) []keys.Key {
+	rng := rand.New(rand.NewSource(seed))
+	ks := make([]keys.Key, n)
+	for i := range ks {
+		ks[i] = keys.Key(rng.Uint64())
+	}
+	return ks
+}
+
+// TestRingPlacementDeterministic proves placement is a pure function of the
+// member set: two rings built independently — from differently ordered and
+// duplicated member lists — agree on every owner and every replica set. This
+// is what lets the driver, the shards, the trainer, and the load generator
+// each rebuild the ring from a MembershipUpdate instead of shipping the point
+// table around.
+func TestRingPlacementDeterministic(t *testing.T) {
+	a := NewRing([]int{0, 1, 2, 3}, 0)
+	b := NewRing([]int{3, 1, 0, 2, 1, 3}, 0)
+	for _, k := range ringKeys(5000, 1) {
+		if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+			t.Fatalf("key %d: owners disagree across identical member sets (%d vs %d)", k, ao, bo)
+		}
+		ar, br := a.Replicas(k, 2), b.Replicas(k, 2)
+		if len(ar) != 2 || len(br) != 2 || ar[0] != br[0] || ar[1] != br[1] {
+			t.Fatalf("key %d: replica sets disagree (%v vs %v)", k, ar, br)
+		}
+	}
+}
+
+// TestRingReplicaDisjoint proves a replica set never places two copies on the
+// same member, that the primary equals Owner, and that ReplicaRank (the
+// allocation-free hot-path form) agrees with Replicas.
+func TestRingReplicaDisjoint(t *testing.T) {
+	r := NewRing([]int{0, 1, 2, 3, 4}, 0)
+	for _, k := range ringKeys(5000, 2) {
+		reps := r.Replicas(k, 3)
+		if len(reps) != 3 {
+			t.Fatalf("key %d: want 3 replicas, got %v", k, reps)
+		}
+		if reps[0] != r.Owner(k) {
+			t.Fatalf("key %d: primary %d is not Owner %d", k, reps[0], r.Owner(k))
+		}
+		seen := map[int]bool{}
+		for rank, m := range reps {
+			if seen[m] {
+				t.Fatalf("key %d: member %d appears twice in %v", k, m, reps)
+			}
+			seen[m] = true
+			if got := r.ReplicaRank(k, m, 3); got != rank {
+				t.Fatalf("key %d: ReplicaRank(%d) = %d, want %d", k, m, got, rank)
+			}
+		}
+		if r.ReplicaRank(k, reps[2], 2) != -1 {
+			t.Fatalf("key %d: rank-2 member visible with n=2", k)
+		}
+	}
+}
+
+// TestRingBoundedMovement is the consistent-hashing property the tentpole
+// rests on: adding or removing one of N members moves roughly 1/N of the
+// keys (we allow 2x for virtual-node variance), every moved key moves to
+// (join) or away from (leave) the changed member — nothing reshuffles
+// between surviving members — and the small-N cases the smoke tests run with
+// stay within the same bound. Modulo placement would move (N-1)/N of all
+// keys on any size change.
+func TestRingBoundedMovement(t *testing.T) {
+	ks := ringKeys(20000, 3)
+	for _, n := range []int{2, 3, 4, 8} {
+		members := make([]int, n)
+		for i := range members {
+			members[i] = i
+		}
+		before := NewRing(members, 0)
+
+		join := before.Join(n)
+		moved := 0
+		for _, k := range ks {
+			was, is := before.Owner(k), join.Owner(k)
+			if was != is {
+				moved++
+				if is != n {
+					t.Fatalf("n=%d join: key %d moved %d->%d, not to the joining member", n, k, was, is)
+				}
+			}
+		}
+		frac := float64(moved) / float64(len(ks))
+		if bound := 2.0 / float64(n+1); frac > bound {
+			t.Errorf("n=%d join moved %.3f of keys, want <= %.3f (~1/N)", n, frac, bound)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d join moved no keys: the new member owns nothing", n)
+		}
+
+		leave := before.Leave(n - 1)
+		moved = 0
+		for _, k := range ks {
+			was, is := before.Owner(k), leave.Owner(k)
+			if was != is {
+				moved++
+				if was != n-1 {
+					t.Fatalf("n=%d leave: key %d moved %d->%d but member %d left", n, k, was, is, n-1)
+				}
+			}
+		}
+		frac = float64(moved) / float64(len(ks))
+		if bound := 2.0 / float64(n); frac > bound {
+			t.Errorf("n=%d leave moved %.3f of keys, want <= %.3f (~1/N)", n, frac, bound)
+		}
+	}
+}
+
+// TestRingLeavePromotesBackup proves the failover identity: after a member
+// leaves, every key it owned as primary is owned by what was its first
+// backup. Promotion is therefore nothing more than installing the post-Leave
+// ring — the backup already holds the replicated data.
+func TestRingLeavePromotesBackup(t *testing.T) {
+	before := NewRing([]int{0, 1, 2, 3}, 0)
+	after := before.Leave(2)
+	for _, k := range ringKeys(10000, 4) {
+		if before.Owner(k) != 2 {
+			continue
+		}
+		reps := before.Replicas(k, 2)
+		if got := after.Owner(k); got != reps[1] {
+			t.Fatalf("key %d: owner after leave = %d, want old backup %d", k, got, reps[1])
+		}
+	}
+}
+
+// TestMembershipEpochOrdering proves a membership view only moves forward:
+// stale or replayed updates are rejected, so out-of-order control-plane
+// delivery cannot roll placement back.
+func TestMembershipEpochOrdering(t *testing.T) {
+	r0 := NewRing([]int{0, 1}, 0)
+	m := NewMembership(r0)
+	r1 := r0.Join(2) // epoch 1
+	if !m.Update(r1) {
+		t.Fatal("newer epoch rejected")
+	}
+	if m.Update(r0) {
+		t.Fatal("stale epoch accepted")
+	}
+	if m.Update(r1.WithEpoch(1)) {
+		t.Fatal("equal epoch accepted")
+	}
+	if m.Epoch() != 1 || !m.Ring().Contains(2) {
+		t.Fatalf("view rolled back: epoch %d members %v", m.Epoch(), m.Ring().Members())
+	}
+
+	u := MembershipUpdate{Epoch: 2, Members: []int{0, 1, 2, 3}, VNodes: 0, Replicas: 2}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Update(u.BuildRing()) {
+		t.Fatal("rebuilt update rejected")
+	}
+	if got := m.Ring().Members(); len(got) != 4 {
+		t.Fatalf("members after update: %v", got)
+	}
+	if err := (MembershipUpdate{Epoch: 3}).Validate(); err == nil {
+		t.Fatal("empty member list validated")
+	}
+}
+
+// TestTopologyRingFallback proves the Topology surface is ring-aware when a
+// membership view is attached and falls back to the paper's modulo policy
+// when it is not — existing unreplicated deployments keep byte-identical
+// placement.
+func TestTopologyRingFallback(t *testing.T) {
+	ks := ringKeys(2000, 5)
+
+	mod := Topology{Nodes: 3, GPUsPerNode: 1}
+	for _, k := range ks {
+		if mod.NodeOf(k) != k.Shard(3) {
+			t.Fatal("modulo fallback broken")
+		}
+		if !mod.HoldsKey(k, mod.NodeOf(k)) || mod.HoldsKey(k, (mod.NodeOf(k)+1)%3) {
+			t.Fatal("modulo HoldsKey broken")
+		}
+		if mod.BackupOf(k) != -1 {
+			t.Fatal("modulo topology reports a backup")
+		}
+	}
+
+	ring := NewRing([]int{0, 1, 2}, 0)
+	rt := Topology{Nodes: 3, GPUsPerNode: 1, Members: NewMembership(ring), Replicas: 2}
+	split := rt.SplitByNode(ks)
+	total := 0
+	for node, part := range split {
+		total += len(part)
+		for _, k := range part {
+			if ring.Owner(k) != node {
+				t.Fatalf("key %d split to %d, ring owner %d", k, node, ring.Owner(k))
+			}
+		}
+	}
+	if total != len(ks) {
+		t.Fatalf("split dropped keys: %d != %d", total, len(ks))
+	}
+	for _, k := range ks[:200] {
+		reps := rt.ReplicasOf(k)
+		if len(reps) != 2 || reps[0] == reps[1] {
+			t.Fatalf("replica set %v", reps)
+		}
+		if rt.BackupOf(k) != reps[1] {
+			t.Fatal("BackupOf disagrees with ReplicasOf")
+		}
+		if !rt.HoldsKey(k, reps[0]) || !rt.HoldsKey(k, reps[1]) {
+			t.Fatal("replica not recognized as holder")
+		}
+	}
+
+	// A membership change re-points the shared view in place.
+	if !rt.Members.Update(ring.Join(3)) {
+		t.Fatal("join rejected")
+	}
+	found := false
+	for _, k := range ks {
+		if rt.NodeOf(k) == 3 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("joined member owns nothing through Topology")
+	}
+}

@@ -25,9 +25,16 @@ import (
 // synchronous disk flush on the training hot path.
 //
 // A SeqLog is safe for concurrent use.
+//
+// The log is append-only between compactions: Compact rewrites it to just
+// the records still inside the tracker's dedup window (everything older is
+// already refused as a stale duplicate by the window check, so its records
+// are dead weight) — without it the log grows by one record per applied push
+// for the life of the shard directory.
 type SeqLog struct {
-	mu sync.Mutex
-	f  *os.File
+	mu   sync.Mutex
+	f    *os.File
+	path string
 }
 
 // seqLogRecordSize is the fixed on-disk record size: client and sequence,
@@ -70,7 +77,68 @@ func OpenSeqLog(path string, tracker *SeqTracker) (*SeqLog, int, error) {
 		f.Close()
 		return nil, 0, fmt.Errorf("cluster: seek seq log: %w", err)
 	}
-	return &SeqLog{f: f}, replayed, nil
+	return &SeqLog{f: f, path: path}, replayed, nil
+}
+
+// Compact rewrites the log to exactly the records produced by snapshot,
+// which is invoked under the log's lock — concurrent Appends block until the
+// rewrite finishes, so a record committed during compaction lands in the new
+// file instead of being lost with the old one. The rewrite goes through a
+// temp file and a rename: a crash mid-compaction leaves either the old log
+// or the complete new one, never a mix, and a torn tail from an earlier
+// crash (already discarded at open) cannot resurface. It returns the number
+// of records kept.
+func (l *SeqLog) Compact(snapshot func() [][2]uint64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return 0, fmt.Errorf("cluster: seq log closed")
+	}
+	records := snapshot()
+	tmpPath := l.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: compact seq log: %w", err)
+	}
+	buf := make([]byte, 0, len(records)*seqLogRecordSize)
+	var rec [seqLogRecordSize]byte
+	for _, r := range records {
+		binary.LittleEndian.PutUint64(rec[0:8], r[0])
+		binary.LittleEndian.PutUint64(rec[8:16], r[1])
+		buf = append(buf, rec[:]...)
+	}
+	if _, err := tmp.Write(buf); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpPath)
+		return 0, fmt.Errorf("cluster: compact seq log: %w", err)
+	}
+	if err := os.Rename(tmpPath, l.path); err != nil {
+		os.Remove(tmpPath)
+		return 0, fmt.Errorf("cluster: compact seq log: %w", err)
+	}
+	nf, err := os.OpenFile(l.path, os.O_RDWR, 0o644)
+	if err != nil {
+		// The rename succeeded but the reopen failed: the old handle points at
+		// the unlinked pre-compaction inode, whose appends would vanish. Fail
+		// closed rather than silently losing dedup records.
+		l.f.Close()
+		l.f = nil
+		return 0, fmt.Errorf("cluster: reopen compacted seq log: %w", err)
+	}
+	if _, err := nf.Seek(0, io.SeekEnd); err != nil {
+		nf.Close()
+		l.f.Close()
+		l.f = nil
+		return 0, fmt.Errorf("cluster: seek compacted seq log: %w", err)
+	}
+	l.f.Close()
+	l.f = nf
+	return len(records), nil
 }
 
 // Append records one applied (client, seq) pair. Failures are returned but

@@ -171,6 +171,147 @@ func TestSeqLogSkipsFailedApply(t *testing.T) {
 	}
 }
 
+// TestSeqLogCompaction checks the checkpoint-flush compaction: the rewritten
+// log shrinks to the records still inside the dedup window, keeps deduping
+// them across a restart, and stays appendable afterwards.
+func TestSeqLogCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seqlog")
+	seqs := NewSeqTracker()
+	log, _, err := OpenSeqLog(path, seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs.AttachLog(log)
+
+	// Push 2*seqWindow sequences through fresh+commit: the first half falls
+	// out of the dedup window, so compaction must drop its records.
+	total := 2 * seqWindow
+	for seq := uint64(1); seq <= uint64(total); seq++ {
+		if !seqs.fresh(42, seq) {
+			t.Fatalf("seq %d must be fresh", seq)
+		}
+		seqs.commit(42, seq)
+	}
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Size() != int64(total)*seqLogRecordSize {
+		t.Fatalf("pre-compaction size %d, want %d", before.Size(), int64(total)*seqLogRecordSize)
+	}
+
+	kept, err := seqs.CompactLog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept <= 0 || kept > seqWindow {
+		t.Fatalf("kept %d records, want (0, %d]", kept, seqWindow)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != int64(kept)*seqLogRecordSize {
+		t.Fatalf("post-compaction size %d, want %d", after.Size(), int64(kept)*seqLogRecordSize)
+	}
+
+	// Appends keep flowing into the compacted file (not the unlinked one).
+	if !seqs.fresh(42, uint64(total+1)) {
+		t.Fatal("new sequence must be fresh after compaction")
+	}
+	seqs.commit(42, uint64(total+1))
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A restart replays the compacted log: in-window records still dedup,
+	// including the one appended after the compaction.
+	seqs2 := NewSeqTracker()
+	log2, replayed, err := OpenSeqLog(path, seqs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	if replayed != kept+1 {
+		t.Fatalf("replayed %d records, want %d", replayed, kept+1)
+	}
+	if seqs2.fresh(42, uint64(total)) {
+		t.Fatal("compacted log lost an in-window record")
+	}
+	if seqs2.fresh(42, uint64(total+1)) {
+		t.Fatal("post-compaction append lost")
+	}
+	// The expired half stays refused — by the window check, not the log.
+	if seqs2.fresh(42, 1) {
+		t.Fatal("expired sequence re-admitted after compaction")
+	}
+}
+
+// TestSeqLogCompactionPreservesTornTailHandling checks the two crash paths
+// compose: a log carrying a torn tail from one crash is compacted by the
+// next incarnation without resurrecting or tripping over the partial record.
+func TestSeqLogCompactionPreservesTornTailHandling(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seqlog")
+	seqs := NewSeqTracker()
+	log, _, err := OpenSeqLog(path, seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs.AttachLog(log)
+	for seq := uint64(1); seq <= 3; seq++ {
+		seqs.fresh(7, seq)
+		seqs.commit(7, seq)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	seqs2 := NewSeqTracker()
+	log2, replayed, err := OpenSeqLog(path, seqs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 3 {
+		t.Fatalf("replayed %d records, want 3", replayed)
+	}
+	seqs2.AttachLog(log2)
+	kept, err := seqs2.CompactLog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept != 3 {
+		t.Fatalf("kept %d records, want 3", kept)
+	}
+	if err := log2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != 3*seqLogRecordSize {
+		t.Fatalf("compacted size %d, want %d (torn bytes must not survive)", st.Size(), 3*seqLogRecordSize)
+	}
+	seqs3 := NewSeqTracker()
+	log3, replayed, err := OpenSeqLog(path, seqs3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log3.Close()
+	if replayed != 3 {
+		t.Fatalf("replayed %d records after compaction, want 3", replayed)
+	}
+}
+
 // TestSeqLogToleratesTornTail simulates a crash mid-append: a trailing
 // partial record must be discarded on open (the push it belonged to was
 // never acked), with complete records intact and appends still working.

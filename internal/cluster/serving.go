@@ -92,6 +92,10 @@ type ServingStats struct {
 	// Degraded counts peer fetches that failed (owner down or unreachable)
 	// and were answered from stale hot-key replica rows instead.
 	Degraded int64
+	// FailedOver counts peer fetches whose primary was unreachable but whose
+	// keys were answered fresh by their backup shards — the replicated
+	// deployments' alternative to a Degraded (stale) answer.
+	FailedOver int64
 	// PushEpoch is how many training pushes this shard has applied;
 	// DenseEpoch is the epoch of the dense replica it scores with.
 	PushEpoch, DenseEpoch uint64
@@ -114,6 +118,7 @@ func (s ServingStats) Add(o ServingStats) ServingStats {
 	s.PeerFetches += o.PeerFetches
 	s.PeerKeys += o.PeerKeys
 	s.Degraded += o.Degraded
+	s.FailedOver += o.FailedOver
 	s.PushEpoch = max(s.PushEpoch, o.PushEpoch)
 	s.DenseEpoch = max(s.DenseEpoch, o.DenseEpoch)
 	s.StalenessMax = max(s.StalenessMax, o.StalenessMax)

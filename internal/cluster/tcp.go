@@ -146,6 +146,44 @@ func (s *SeqTracker) AttachLog(l *SeqLog) {
 	s.mu.Unlock()
 }
 
+// snapshotRecords collects every (client, seq) pair still inside the dedup
+// window — the live content a compacted log must keep. Records older than
+// the window are refused as stale duplicates by fresh regardless of the log,
+// so dropping them loses nothing.
+func (s *SeqTracker) snapshotRecords() [][2]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out [][2]uint64
+	for client, cs := range s.clients {
+		for seq := range cs.seen {
+			out = append(out, [2]uint64{client, seq})
+		}
+	}
+	return out
+}
+
+// CompactLog rewrites the attached log down to the records still inside the
+// dedup window; see SeqLog.Compact. The shard calls it after a checkpoint
+// flush — the one moment the log is known to only need to cover pushes the
+// flushed state has not yet made durable. Without an attached log it is a
+// no-op. It returns the number of records kept.
+func (s *SeqTracker) CompactLog() (int, error) {
+	if s == nil {
+		return 0, nil
+	}
+	s.mu.Lock()
+	l := s.log
+	s.mu.Unlock()
+	if l == nil {
+		return 0, nil
+	}
+	// The snapshot callback runs under the log's lock: commits racing with
+	// the compaction either happened before it (fresh precedes commit, so the
+	// tracker already holds them — they are in the snapshot) or block on the
+	// lock and append to the rewritten file.
+	return l.Compact(s.snapshotRecords)
+}
+
 // commit persists (client, seq) after its apply succeeded and before the ack
 // is written. The order matters for exactly-once across a crash: a record
 // appended before the apply would dedup — and therefore drop — the client's
@@ -413,7 +451,7 @@ func (s *TCPServer) dispatchRaw(payload []byte, prec *ps.Precision) (frame []byt
 			ps.FillFromPull(blk, 0, ks, ps.Result(res))
 		}
 		return blk.AppendWirePrecision(frame, *prec), buf
-	case rawOpPushBlock:
+	case rawOpPushBlock, rawOpReplicate:
 		var ks []keys.Key
 		var body []byte
 		var err error
@@ -422,7 +460,7 @@ func (s *TCPServer) dispatchRaw(payload []byte, prec *ps.Precision) (frame []byt
 			return fail(err.Error()), buf
 		}
 		isPush = true
-		frame = append(frame, rawOpPushBlockResp, 0, 0, 0)
+		frame = append(frame, respOp, 0, 0, 0)
 		blk := ps.GetBlock(0, nil)
 		defer ps.PutBlock(blk)
 		if err := blk.DecodeWire(ks, body); err != nil {
@@ -431,14 +469,28 @@ func (s *TCPServer) dispatchRaw(payload []byte, prec *ps.Precision) (frame []byt
 		if !s.seqs.fresh(client, seq) {
 			return frame, buf // duplicate of an already-applied push: ack, don't re-apply
 		}
-		switch h := s.handler.(type) {
-		case BlockPushHandler:
-			err = h.HandlePushBlock(blk)
-		case PushHandler:
-			err = h.HandlePush(blk.Deltas())
-		default:
-			s.seqs.forget(client, seq)
-			return fail("shard does not accept pushes"), buf
+		if op == rawOpReplicate {
+			// A replicated block carries the ORIGIN's dedup stamp: committing
+			// it here is what makes the origin's own retry of the same push a
+			// duplicate after this backup is promoted.
+			h, ok := s.handler.(ReplicaPushHandler)
+			if !ok {
+				s.seqs.forget(client, seq)
+				return fail("shard does not accept replicated pushes"), buf
+			}
+			err = h.HandleReplicate(blk)
+		} else {
+			switch h := s.handler.(type) {
+			case StampedBlockPushHandler:
+				err = h.HandlePushBlockStamped(client, seq, blk)
+			case BlockPushHandler:
+				err = h.HandlePushBlock(blk)
+			case PushHandler:
+				err = h.HandlePush(blk.Deltas())
+			default:
+				s.seqs.forget(client, seq)
+				return fail("shard does not accept pushes"), buf
+			}
 		}
 		if err != nil {
 			s.seqs.forget(client, seq)
@@ -485,7 +537,7 @@ func (s *TCPServer) dispatch(req *wireRequest) (resp *wireResponse, release func
 	}
 	defer func() {
 		if r := recover(); r != nil {
-			if req.Op == opPush || req.Op == opPushBlock {
+			if req.Op == opPush || req.Op == opPushBlock || req.Op == opReplicate {
 				s.seqs.forget(req.Client, req.Seq) // the apply did not complete
 			}
 			if release != nil {
@@ -559,7 +611,7 @@ func (s *TCPServer) dispatch(req *wireRequest) (resp *wireResponse, release func
 		} else {
 			s.seqs.commit(req.Client, req.Seq)
 		}
-	case opPushBlock:
+	case opPushBlock, opReplicate:
 		blk := ps.GetBlock(0, nil)
 		defer ps.PutBlock(blk)
 		if err := blk.DecodeWire(req.Keys, req.Block); err != nil {
@@ -570,21 +622,60 @@ func (s *TCPServer) dispatch(req *wireRequest) (resp *wireResponse, release func
 			return resp, nil // duplicate: ack, don't re-apply
 		}
 		var err error
-		switch h := s.handler.(type) {
-		case BlockPushHandler:
-			err = h.HandlePushBlock(blk)
-		case PushHandler:
-			err = h.HandlePush(blk.Deltas())
-		default:
-			s.seqs.forget(req.Client, req.Seq)
-			resp.Err = "shard does not accept pushes"
-			return resp, nil
+		if req.Op == opReplicate {
+			h, ok := s.handler.(ReplicaPushHandler)
+			if !ok {
+				s.seqs.forget(req.Client, req.Seq)
+				resp.Err = "shard does not accept replicated pushes"
+				return resp, nil
+			}
+			err = h.HandleReplicate(blk)
+		} else {
+			switch h := s.handler.(type) {
+			case StampedBlockPushHandler:
+				err = h.HandlePushBlockStamped(req.Client, req.Seq, blk)
+			case BlockPushHandler:
+				err = h.HandlePushBlock(blk)
+			case PushHandler:
+				err = h.HandlePush(blk.Deltas())
+			default:
+				s.seqs.forget(req.Client, req.Seq)
+				resp.Err = "shard does not accept pushes"
+				return resp, nil
+			}
 		}
 		if err != nil {
 			s.seqs.forget(req.Client, req.Seq)
 			resp.Err = err.Error()
 		} else {
 			s.seqs.commit(req.Client, req.Seq)
+		}
+	case opTransfer:
+		h, ok := s.handler.(TransferHandler)
+		if !ok {
+			resp.Err = "shard does not accept state transfers"
+			return resp, nil
+		}
+		blk := ps.GetBlock(0, nil)
+		defer ps.PutBlock(blk)
+		if err := blk.DecodeWire(req.Keys, req.Block); err != nil {
+			resp.Err = err.Error()
+			return resp, nil
+		}
+		n, err := h.HandleTransfer(blk)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp, nil
+		}
+		resp.Count = n
+	case opMembership:
+		h, ok := s.handler.(MembershipHandler)
+		if !ok {
+			resp.Err = "shard does not accept membership updates"
+			return resp, nil
+		}
+		if err := h.HandleMembership(req.Membership); err != nil {
+			resp.Err = err.Error()
 		}
 	case opEvict:
 		h, ok := s.handler.(EvictHandler)
@@ -1274,7 +1365,21 @@ func (t *TCPTransport) PullBlock(nodeID int, ks []keys.Key, dst *ps.ValueBlock) 
 // computed against the quantized values the trainer actually loaded), while a
 // quantized delta perturbs the authoritative copies directly.
 func (t *TCPTransport) PushBlock(nodeID int, blk *ps.ValueBlock) (int64, error) {
-	client, seq := t.client, t.seq.Add(1)
+	client, seq := t.Stamp()
+	return t.PushBlockStamped(nodeID, client, seq, blk)
+}
+
+// Stamp allocates a fresh push dedup stamp. Callers that need to fail a push
+// over to a key's backup take the stamp first, so the failover delivery (via
+// Replicate) carries the same identity as the failed push and a backup that
+// already received the primary's forward of it dedups instead of
+// double-applying.
+func (t *TCPTransport) Stamp() (client, seq uint64) {
+	return t.client, t.seq.Add(1)
+}
+
+// PushBlockStamped is PushBlock under a caller-provided dedup stamp.
+func (t *TCPTransport) PushBlockStamped(nodeID int, client, seq uint64, blk *ps.ValueBlock) (int64, error) {
 	t.mu.Lock()
 	quantPush := t.quantPush
 	t.mu.Unlock()
@@ -1329,6 +1434,87 @@ func (t *TCPTransport) PushBlock(nodeID int, blk *ps.ValueBlock) (int64, error) 
 	bytes := int64(blk.PresentCount()) * int64(8+embedding.EncodedSize(t.dim))
 	t.addBytes(bytes, 0)
 	return bytes, nil
+}
+
+// Replicate forwards an applied delta block to nodeID (a backup of the
+// block's keys), carrying the ORIGIN client's dedup stamp instead of this
+// transport's own — the backup commits (client, seq) to its tracker, so after
+// a promotion the origin's retry of the same push is deduplicated, not
+// double-applied. Bodies always travel fp32: a quantized replica would drift
+// from its primary. Retries are safe for the same reason direct pushes are:
+// the stamp makes the apply exactly-once.
+func (t *TCPTransport) Replicate(nodeID int, client, seq uint64, blk *ps.ValueBlock) (int64, error) {
+	err := t.do(nodeID, opReplicate, func(c *tcpConn, timeout time.Duration) error {
+		if c.raw {
+			buf := getScratch()
+			frame := appendRawReplicateReq(append((*buf)[:0], 0, 0, 0, 0), client, seq, blk.Keys)
+			frame = blk.AppendWire(frame)
+			payload, rbuf, err := t.roundTripRaw(c, frame, timeout)
+			*buf = frame[:0]
+			putScratch(buf)
+			if err != nil {
+				return err
+			}
+			defer putScratch(rbuf)
+			if len(payload) < 4 || payload[0] != rawOpReplicateResp {
+				return fmt.Errorf("malformed replicate response of %d bytes", len(payload))
+			}
+			if payload[1] != 0 {
+				return &RemoteError{Node: nodeID, Op: opName(opReplicate), Msg: string(payload[4:])}
+			}
+			return nil
+		}
+		buf := getScratch()
+		req := &wireRequest{
+			Op:     opReplicate,
+			Client: client,
+			Seq:    seq,
+			Keys:   blk.Keys,
+			Block:  blk.AppendWire((*buf)[:0]),
+		}
+		defer func() {
+			*buf = req.Block[:0]
+			putScratch(buf)
+		}()
+		var resp wireResponse
+		if err := t.roundTrip(c, req, &resp, timeout); err != nil {
+			return err
+		}
+		if resp.Err != "" {
+			return &RemoteError{Node: nodeID, Op: opName(opReplicate), Msg: resp.Err}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	bytes := int64(blk.PresentCount()) * int64(8+embedding.EncodedSize(t.dim))
+	t.addBytes(bytes, 0)
+	return bytes, nil
+}
+
+// Transfer installs the block's rows on nodeID outright (set semantics, not
+// delta merge): the re-replication / resharding data path. It is idempotent,
+// so the transport's normal retries need no dedup stamp. It returns how many
+// rows the receiver accepted.
+func (t *TCPTransport) Transfer(nodeID int, blk *ps.ValueBlock) (int, error) {
+	buf := getScratch()
+	req := &wireRequest{Op: opTransfer, Keys: blk.Keys, Block: blk.AppendWire((*buf)[:0])}
+	resp, err := t.call(nodeID, req)
+	*buf = req.Block[:0]
+	putScratch(buf)
+	if err != nil {
+		return 0, err
+	}
+	bytes := int64(blk.PresentCount()) * int64(8+embedding.EncodedSize(t.dim))
+	t.addBytes(bytes, 0)
+	return resp.Count, nil
+}
+
+// UpdateMembership installs an epoch-versioned membership change on nodeID.
+func (t *TCPTransport) UpdateMembership(nodeID int, u MembershipUpdate) error {
+	_, err := t.call(nodeID, &wireRequest{Op: opMembership, Membership: u})
+	return err
 }
 
 // Evict implements TierTransport.

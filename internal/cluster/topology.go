@@ -22,6 +22,16 @@ type Topology struct {
 	Nodes int
 	// GPUsPerNode is the number of GPUs in each node.
 	GPUsPerNode int
+	// Members, when set, replaces the modulo placement policy with the
+	// consistent-hash ring it holds: NodeOf/SplitByNode follow the ring's
+	// current epoch, so a membership change (shard join/leave, promotion)
+	// re-points every component sharing the view without rebuilding them.
+	// Nil keeps the paper's modulo policy over Nodes.
+	Members *Membership
+	// Replicas is the placement factor R of the replicated MEM-PS: every key
+	// lives on its primary plus R-1 backups in promotion order. Zero or one
+	// means unreplicated (the pre-replication behavior).
+	Replicas int
 }
 
 // Validate returns an error if the topology is degenerate.
@@ -38,16 +48,94 @@ func (t Topology) Validate() error {
 // TotalGPUs returns the total number of GPUs in the cluster.
 func (t Topology) TotalGPUs() int { return t.Nodes * t.GPUsPerNode }
 
-// NodeOf returns the node that owns the parameter shard containing k.
-func (t Topology) NodeOf(k keys.Key) int { return k.Shard(t.Nodes) }
+// ring returns the installed ring, or nil when the topology uses modulo
+// placement.
+func (t Topology) ring() *Ring {
+	if t.Members == nil {
+		return nil
+	}
+	return t.Members.Ring()
+}
+
+// NodeOf returns the node that owns (is primary for) the parameter shard
+// containing k.
+func (t Topology) NodeOf(k keys.Key) int {
+	if r := t.ring(); r != nil {
+		return r.Owner(k)
+	}
+	return k.Shard(t.Nodes)
+}
+
+// ReplicasOf returns k's replica set in promotion order: the primary first,
+// then R-1 backups. Without a ring or with R <= 1 it is just the primary.
+func (t Topology) ReplicasOf(k keys.Key) []int {
+	if r := t.ring(); r != nil && t.Replicas > 1 {
+		return r.Replicas(k, t.Replicas)
+	}
+	return []int{t.NodeOf(k)}
+}
+
+// BackupOf returns k's first backup, or -1 when the deployment has none
+// (unreplicated, or fewer members than R).
+func (t Topology) BackupOf(k keys.Key) int {
+	if r := t.ring(); r != nil && t.Replicas > 1 {
+		return r.Backup(k)
+	}
+	return -1
+}
+
+// HoldsKey reports whether node is in k's replica set — the ownership check
+// of the replicated MEM-PS: a backup legitimately stores and answers for keys
+// whose primary is another node.
+func (t Topology) HoldsKey(k keys.Key, node int) bool {
+	if r := t.ring(); r != nil {
+		n := t.Replicas
+		if n < 1 {
+			n = 1
+		}
+		return r.ReplicaRank(k, node, n) >= 0
+	}
+	return k.Shard(t.Nodes) == node
+}
+
+// MemberIDs returns the current member ids: the ring's members, or 0..Nodes-1
+// under modulo placement.
+func (t Topology) MemberIDs() []int {
+	if r := t.ring(); r != nil {
+		return r.Members()
+	}
+	ids := make([]int, t.Nodes)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
 
 // GPUOf returns the GPU (within its node) that stores k in the HBM-PS
 // partition of the current batch.
 func (t Topology) GPUOf(k keys.Key) int { return k.HashShard(t.GPUsPerNode) }
 
-// SplitByNode partitions ks by owning node. The result has t.Nodes entries.
+// SplitByNode partitions ks by owning node, preserving input order within
+// each group. The result is indexed by node id; under ring placement it is
+// sized to hold the largest member id (vacated ids stay as empty groups), so
+// callers iterate it the same way in both modes.
 func (t Topology) SplitByNode(ks []keys.Key) [][]keys.Key {
-	return keys.PartitionByShard(ks, t.Nodes)
+	r := t.ring()
+	if r == nil {
+		return keys.PartitionByShard(ks, t.Nodes)
+	}
+	n := t.Nodes
+	for _, m := range r.Members() {
+		if m+1 > n {
+			n = m + 1
+		}
+	}
+	out := make([][]keys.Key, n)
+	for _, k := range ks {
+		o := r.Owner(k)
+		out[o] = append(out[o], k)
+	}
+	return out
 }
 
 // SplitByGPU partitions ks by owning GPU within a node.
@@ -114,6 +202,39 @@ type BlockPushHandler interface {
 // RPCs.
 type BlockPullWireHandler interface {
 	HandlePullBlockWire(ks []keys.Key, dst []byte, prec ps.Precision) ([]byte, error)
+}
+
+// StampedBlockPushHandler is the replication-aware form of BlockPushHandler:
+// the server hands the handler the origin client's dedup stamp alongside the
+// block, so a primary that applies the push can forward the same (client, seq)
+// to its backups. Servers prefer it over BlockPushHandler when implemented.
+type StampedBlockPushHandler interface {
+	HandlePushBlockStamped(client, seq uint64, blk *ps.ValueBlock) error
+}
+
+// ReplicaPushHandler applies a delta block a key's primary forwarded after
+// applying it itself (the backup half of primary/backup replication). The
+// block arrives with the origin client's dedup stamp, which the server checks
+// against the same SeqTracker as direct pushes — so after a promotion, the
+// origin's own retry of a push the old primary had already forwarded is
+// acked, never double-applied.
+type ReplicaPushHandler interface {
+	HandleReplicate(blk *ps.ValueBlock) error
+}
+
+// TransferHandler imports a key-range state transfer: the block's rows are
+// authoritative full values (not deltas) and are installed outright,
+// returning how many rows were accepted. Transfers are idempotent — this is
+// the re-replication / resharding data path.
+type TransferHandler interface {
+	HandleTransfer(blk *ps.ValueBlock) (int, error)
+}
+
+// MembershipHandler installs an epoch-versioned membership change (shard
+// join/leave/promotion). Handlers drop updates that are not newer than the
+// view they hold.
+type MembershipHandler interface {
+	HandleMembership(u MembershipUpdate) error
 }
 
 // EvictHandler demotes parameters out of the serving tier. ps.Tier's Evict

@@ -47,6 +47,11 @@ const (
 	opPredict     uint8 = 8  // score feature-key batches against live parameters
 	opServeConfig uint8 = 9  // activate/refresh the serving tier (addrs, dense params)
 	opServeStats  uint8 = 10 // read the serving-tier counters
+
+	// Replication operations (see ring.go for the membership types).
+	opReplicate  uint8 = 11 // primary forwards an applied delta block to a backup
+	opTransfer   uint8 = 12 // key-range state transfer: set rows outright (re-replication/resharding)
+	opMembership uint8 = 13 // install an epoch-versioned membership change
 )
 
 // rawMagicBit marks a length prefix as introducing a raw (non-gob) frame.
@@ -70,6 +75,8 @@ const (
 	rawOpPushBlockResp uint8 = 6
 	rawOpPredict       uint8 = 7 // predict request: per-example counts + flat keys
 	rawOpPredictResp   uint8 = 8 // predict reply: one float32 score per example
+	rawOpReplicate     uint8 = 9 // replicate request: push-block layout with the ORIGIN's dedup stamp
+	rawOpReplicateResp uint8 = 10
 )
 
 // rawStatus values of a raw response's second byte.
@@ -89,6 +96,8 @@ func rawRespOp(op uint8) uint8 {
 		return rawOpPushBlockResp
 	case rawOpPredict:
 		return rawOpPredictResp
+	case rawOpReplicate:
+		return rawOpReplicateResp
 	}
 	return 0
 }
@@ -103,6 +112,8 @@ func rawOpName(op uint8) string {
 		return "push-block"
 	case rawOpPredict, rawOpPredictResp:
 		return "predict"
+	case rawOpReplicate, rawOpReplicateResp:
+		return "replicate"
 	}
 	return fmt.Sprintf("raw-op#%d", op)
 }
@@ -129,6 +140,12 @@ func opName(op uint8) string {
 		return "serve-config"
 	case opServeStats:
 		return "serve-stats"
+	case opReplicate:
+		return "replicate"
+	case opTransfer:
+		return "transfer"
+	case opMembership:
+		return "membership"
 	}
 	return fmt.Sprintf("op#%d", op)
 }
@@ -163,6 +180,11 @@ type wireRequest struct {
 	Counts []uint32
 	// Serve is a serve-config request's payload.
 	Serve ServeConfig
+	// Membership is a membership request's payload. For a replicate request,
+	// Client/Seq carry the ORIGIN client's dedup stamp (the one the primary
+	// applied), not the forwarding transport's — that is what lets a backup
+	// recognize the origin's own retry of the same push after a promotion.
+	Membership MembershipUpdate
 }
 
 // wireResponse is the reply to one wireRequest.
@@ -204,13 +226,18 @@ func (r *wireRequest) validate() error {
 		if len(r.Values) != len(r.Keys) {
 			return fmt.Errorf("cluster: push has %d keys but %d values", len(r.Keys), len(r.Values))
 		}
-	case opPushBlock:
+	case opPushBlock, opReplicate, opTransfer:
 		if len(r.Values) != 0 {
-			return fmt.Errorf("cluster: push-block carries %d gob values", len(r.Values))
+			return fmt.Errorf("cluster: %s carries %d gob values", opName(r.Op), len(r.Values))
 		}
 		if len(r.Block) == 0 {
-			return fmt.Errorf("cluster: push-block carries no block")
+			return fmt.Errorf("cluster: %s carries no block", opName(r.Op))
 		}
+	case opMembership:
+		if len(r.Keys) != 0 || len(r.Values) != 0 || len(r.Block) != 0 {
+			return fmt.Errorf("cluster: membership carries a parameter payload")
+		}
+		return r.Membership.Validate()
 	case opPredict:
 		if len(r.Values) != 0 || len(r.Block) != 0 {
 			return fmt.Errorf("cluster: predict carries push payload")
@@ -428,7 +455,18 @@ func appendRawPullReq(dst []byte, ks []keys.Key) []byte {
 // appendRawPushReq appends a push-block request payload up to the keys; the
 // caller appends the encoded block body behind it.
 func appendRawPushReq(dst []byte, client, seq uint64, ks []keys.Key) []byte {
-	dst = append(dst, rawOpPushBlock, 0, 0, 0)
+	return appendRawBlockReq(dst, rawOpPushBlock, client, seq, ks)
+}
+
+// appendRawReplicateReq is appendRawPushReq with the replicate op: identical
+// layout, but client/seq are the ORIGIN's dedup stamp rather than the sending
+// transport's.
+func appendRawReplicateReq(dst []byte, client, seq uint64, ks []keys.Key) []byte {
+	return appendRawBlockReq(dst, rawOpReplicate, client, seq, ks)
+}
+
+func appendRawBlockReq(dst []byte, op uint8, client, seq uint64, ks []keys.Key) []byte {
+	dst = append(dst, op, 0, 0, 0)
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], client)
 	dst = append(dst, b[:]...)

@@ -40,6 +40,12 @@ type Config struct {
 	Transport Predictor
 	// Nodes is the number of shard servers (queries round-robin over them).
 	Nodes int
+	// Members, when set, replaces the fixed 0..Nodes-1 round-robin with the
+	// membership view's current ring: clients re-read it every request, so a
+	// shard joining or leaving mid-run repoints the query stream at the next
+	// iteration. Shards that drop out between epochs surface as retried
+	// errors, not a run failure.
+	Members *cluster.Membership
 	// Data shapes the query stream (feature count and zipfian skew); use the
 	// training run's dataset config so the stream hits the same hot keys.
 	Data dataset.Config
@@ -159,7 +165,13 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 			// Distinct seeds give distinct (identically distributed) query
 			// streams; the offset keeps them disjoint from training streams.
 			gen := dataset.NewGenerator(cfg.Data, cfg.Seed+int64(client)*7919+104729)
-			target := client % cfg.Nodes
+			rr := client
+			targets := func() []int {
+				if cfg.Members != nil {
+					return cfg.Members.Ring().Members()
+				}
+				return nil
+			}
 			req := cluster.PredictRequest{
 				Counts: make([]uint32, 0, cfg.BatchSize),
 				Keys:   make([]keys.Key, 0, cfg.BatchSize*cfg.Data.NonZerosPerExample),
@@ -172,10 +184,14 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 					req.Counts = append(req.Counts, uint32(len(ex.Features)))
 					req.Keys = append(req.Keys, ex.Features...)
 				}
+				target := rr % cfg.Nodes
+				if ms := targets(); len(ms) > 0 {
+					target = ms[rr%len(ms)]
+				}
 				t0 := time.Now()
 				scores, err := cfg.Transport.Predict(target, req)
 				lat := time.Since(t0)
-				target = (target + 1) % cfg.Nodes
+				rr++
 				if err != nil {
 					if cluster.Retryable(err) {
 						// Admission control shed us: back off, then retry.
@@ -222,9 +238,22 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 	} else {
 		rep.MinScore, rep.MaxScore = 0, 0
 	}
-	for id := 0; id < cfg.Nodes; id++ {
+	ids := make([]int, 0, cfg.Nodes)
+	if cfg.Members != nil {
+		ids = cfg.Members.Ring().Members()
+	} else {
+		for id := 0; id < cfg.Nodes; id++ {
+			ids = append(ids, id)
+		}
+	}
+	for _, id := range ids {
 		s, err := cfg.Transport.ServingStats(id)
 		if err != nil {
+			if cfg.Members != nil {
+				// Membership churned under us (a shard left or died between
+				// epochs); its counters are gone but the run's numbers stand.
+				continue
+			}
 			return rep, fmt.Errorf("loadgen: serving stats from shard %d: %w", id, err)
 		}
 		rep.Serving = rep.Serving.Add(s)

@@ -74,6 +74,9 @@ type Stats struct {
 	NewParams int64
 	// Dumped counts parameters written to the SSD-PS.
 	Dumped int64
+	// Imported counts parameters installed by key-range state transfers
+	// (re-replication / resharding).
+	Imported int64
 	// RemotePulls counts remote pull RPCs issued.
 	RemotePulls int64
 	// LocalPullTime / RemotePullTime are cumulative modelled times of the two
@@ -172,10 +175,20 @@ func New(cfg Config) (*MemPS, error) {
 	if cfg.DumpBatchSize <= 0 {
 		cfg.DumpBatchSize = 256
 	}
+	seed := cfg.Seed ^ int64(cfg.NodeID)<<32
+	if cfg.Topology.Replicas > 1 {
+		// Replicated deployments need a node-INDEPENDENT keyed-init seed: a
+		// backup that first-references a key while applying a replicated
+		// delta must materialize the exact initial value its primary did, or
+		// the replica diverges by the difference of two random inits.
+		// Unreplicated deployments keep the per-node decorrelation (and their
+		// historical trajectories).
+		seed = cfg.Seed
+	}
 	m := &MemPS{
 		cfg:         cfg,
 		pendingDump: make(map[keys.Key]*embedding.Value),
-		seed:        cfg.Seed ^ int64(cfg.NodeID)<<32,
+		seed:        seed,
 	}
 	m.cache = cache.NewCombined[*embedding.Value](lru, lfu, func(k uint64, v *embedding.Value) {
 		// Fully evicted from memory: buffer for a batched SSD dump.
@@ -190,9 +203,13 @@ func (m *MemPS) NodeID() int { return m.cfg.NodeID }
 // Dim returns the embedding dimension.
 func (m *MemPS) Dim() int { return m.cfg.Dim }
 
-// ownsKey reports whether this node owns the parameter shard containing k.
+// ownsKey reports whether this node holds the parameter shard containing k —
+// as its primary, or (in a replicated deployment) as one of its backups. A
+// backup both applies the deltas its primary forwards and answers reads for
+// the keys it replicates, which is what makes promotion a pure membership
+// change.
 func (m *MemPS) ownsKey(k keys.Key) bool {
-	return m.cfg.Topology.NodeOf(k) == m.cfg.NodeID
+	return m.cfg.Topology.HoldsKey(k, m.cfg.NodeID)
 }
 
 // localLookup returns the authoritative in-memory value for a locally-owned

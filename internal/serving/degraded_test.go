@@ -2,6 +2,7 @@ package serving_test
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"testing"
 
@@ -148,5 +149,200 @@ func TestDegradedServingSurvivesPeerOutage(t *testing.T) {
 	}
 	if after[0] == during[0] {
 		t.Fatal("recovered fetch did not refresh the stale replica row")
+	}
+}
+
+// routedPeer is a PeerReader over several per-node tables with per-node
+// failure injection — the in-test stand-in for a partially crashed cluster.
+type routedPeer struct {
+	vals map[int]map[keys.Key]*embedding.Value
+	down map[int]bool
+}
+
+func (p *routedPeer) Lookup(nodeID int, ks []keys.Key) (cluster.PullResult, int64, error) {
+	if p.down[nodeID] {
+		return nil, 0, fmt.Errorf("shard %d down", nodeID)
+	}
+	out := make(cluster.PullResult, len(ks))
+	for _, k := range ks {
+		if v, ok := p.vals[nodeID][k]; ok {
+			out[k] = v
+		}
+	}
+	return out, 0, nil
+}
+
+// TestPredictFailsOverToBackup is the replicated upgrade of degraded serving:
+// with R=2, a predict whose keys' primary is down re-reads them from the
+// backup shard — fresh rows, counted as ServingStats.FailedOver, with the
+// Degraded (stale-answer) counter untouched.
+func TestPredictFailsOverToBackup(t *testing.T) {
+	const dim = 4
+	ring := cluster.NewRing([]int{0, 1, 2}, 8)
+	ms := cluster.NewMembership(ring)
+	topo := cluster.Topology{Nodes: 3, GPUsPerNode: 1, Members: ms, Replicas: 2}
+
+	// A key primaried on shard 1 with its backup on shard 2, so shard 0 holds
+	// no replica and must go over the network for it.
+	var k keys.Key
+	for c := keys.Key(1); ; c++ {
+		if ring.Owner(c) == 1 && ring.Backup(c) == 2 {
+			k = c
+			break
+		}
+	}
+	v := embedding.NewValue(dim)
+	for i := range v.Weights {
+		v.Weights[i] = 0.4
+	}
+	peers := &routedPeer{
+		vals: map[int]map[keys.Key]*embedding.Value{2: {k: v}},
+		down: map[int]bool{1: true}, // the primary is dead; the backup is fine
+	}
+	srv, err := serving.New(serving.Config{
+		NodeID:   0,
+		Topology: topo,
+		Dim:      dim,
+		Hidden:   []int{8},
+		Local:    mapLocal{},
+		Peers:    peers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	dense := nn.New(nn.Config{InputDim: dim, Hidden: []int{8}, Seed: 42})
+	if err := srv.HandleServeConfig(cluster.ServeConfig{Dense: dense.FlattenParams(nil), Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	req := cluster.PredictRequest{Keys: []keys.Key{k}, Counts: []uint32{1}}
+	got, err := srv.HandlePredict(req)
+	if err != nil {
+		t.Fatalf("predict with primary down: %v", err)
+	}
+	// The score must be the backup's fresh row, not an untrained zero-input
+	// score: compare against the same dense tower over the real embedding.
+	peers.down[1] = false
+	want, err := srv.HandlePredict(req) // cache now holds the failover row anyway
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != want[0] {
+		t.Fatalf("failover score %v != healthy score %v", got[0], want[0])
+	}
+	st := srv.ServingStats()
+	if st.FailedOver == 0 {
+		t.Fatal("backup failover was not counted in ServingStats.FailedOver")
+	}
+	if st.Degraded != 0 {
+		t.Fatalf("failover was miscounted as %d degraded (stale) answers", st.Degraded)
+	}
+
+	// Both replicas down: the failover fails too and the request degrades to
+	// the cached row.
+	peers.down[1], peers.down[2] = true, true
+	srv.BumpEpoch() // stale the cached row so gather must miss and re-fetch
+	during, err := srv.HandlePredict(req)
+	if err != nil {
+		t.Fatalf("predict with both replicas down: %v", err)
+	}
+	if during[0] != want[0] {
+		t.Fatalf("degraded score %v != stale-cached score %v", during[0], want[0])
+	}
+	if st := srv.ServingStats(); st.Degraded == 0 {
+		t.Fatal("double failure was not counted in ServingStats.Degraded")
+	}
+}
+
+// TestWarmedCacheImprovesPostFailoverHitRate is the cache-warming half of the
+// failover story: a shard that prewarms its hot-key LFU with the top rows of
+// a recovered shard keeps serving those keys' real scores when their owner
+// dies, where a cold shard scores them as untrained. The warmed server's
+// post-failover hit rate must beat the cold server's.
+func TestWarmedCacheImprovesPostFailoverHitRate(t *testing.T) {
+	const dim = 4
+	topo := cluster.Topology{Nodes: 2, GPUsPerNode: 1}
+
+	// A handful of hot keys, all owned by the peer shard.
+	var hot []keys.Key
+	rows := make(map[keys.Key]*embedding.Value)
+	peerVals := make(map[keys.Key]*embedding.Value)
+	for k := keys.Key(1); len(hot) < 5; k++ {
+		if topo.NodeOf(k) != 1 {
+			continue
+		}
+		v := embedding.NewValue(dim)
+		for i := range v.Weights {
+			v.Weights[i] = 0.1 * float32(len(hot)+1)
+		}
+		v.Freq = uint32(100 - len(hot))
+		hot = append(hot, k)
+		rows[k] = v
+		peerVals[k] = v
+	}
+	req := cluster.PredictRequest{Keys: hot, Counts: []uint32{uint32(len(hot))}}
+
+	newServer := func(peer *flakyPeer) *serving.Server {
+		srv, err := serving.New(serving.Config{
+			NodeID: 0, Topology: topo, Dim: dim, Hidden: []int{8},
+			Local: mapLocal{}, Peers: peer,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dense := nn.New(nn.Config{InputDim: dim, Hidden: []int{8}, Seed: 42})
+		if err := srv.HandleServeConfig(cluster.ServeConfig{Dense: dense.FlattenParams(nil), Epoch: 1}); err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}
+
+	// The healthy baseline: what the scores should be while the peer is up.
+	healthy := newServer(&flakyPeer{vals: peerVals})
+	defer healthy.Close()
+	want, err := healthy.HandlePredict(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The peer is down from the very first request for both servers under
+	// test — a shard that crashed before this (restarted) server saw traffic.
+	cold := newServer(&flakyPeer{vals: peerVals, down: true})
+	defer cold.Close()
+	warmed := newServer(&flakyPeer{vals: peerVals, down: true})
+	defer warmed.Close()
+	if n := warmed.Warm(rows); n != len(rows) {
+		t.Fatalf("Warm installed %d of %d rows", n, len(rows))
+	}
+
+	gotWarm, err := warmed.HandlePredict(req)
+	if err != nil {
+		t.Fatalf("warmed predict during outage: %v", err)
+	}
+	gotCold, err := cold.HandlePredict(req)
+	if err != nil {
+		t.Fatalf("cold predict during outage: %v", err)
+	}
+	if gotWarm[0] != want[0] {
+		t.Fatalf("warmed score %v != healthy score %v", gotWarm[0], want[0])
+	}
+	if gotCold[0] == want[0] {
+		t.Fatal("cold score matched the healthy score; outage not exercised")
+	}
+	ws, cs := warmed.ServingStats(), cold.ServingStats()
+	if ws.CacheHits < int64(len(hot)) {
+		t.Fatalf("warmed cache hits = %d, want >= %d", ws.CacheHits, len(hot))
+	}
+	if cs.CacheHits != 0 {
+		t.Fatalf("cold cache hits = %d, want 0", cs.CacheHits)
+	}
+	warmRate := float64(ws.CacheHits) / float64(ws.CacheHits+ws.CacheMisses)
+	coldRate := float64(cs.CacheHits) / float64(cs.CacheHits+cs.CacheMisses)
+	if warmRate <= coldRate {
+		t.Fatalf("post-failover hit rate: warmed %.2f <= cold %.2f", warmRate, coldRate)
+	}
+	if cs.Degraded == 0 {
+		t.Fatal("cold server's failed peer fetch was not counted as degraded")
 	}
 }

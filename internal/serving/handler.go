@@ -1,6 +1,9 @@
 package serving
 
 import (
+	"fmt"
+	"sync"
+
 	"hps/internal/cluster"
 	"hps/internal/embedding"
 	"hps/internal/keys"
@@ -14,9 +17,29 @@ import (
 // handlers are overridden to advance the Server's push-epoch clock after
 // each successfully applied push — the hook that invalidates the replica
 // cache and bounds serving staleness to one push epoch.
+//
+// In a replicated deployment the Handler is also where the write path meets
+// replication: an applied training push is handed to the Replicator (still
+// under the origin client's dedup stamp) for asynchronous forwarding to the
+// keys' backups, and a membership update installs the new ring and kicks off
+// background re-replication.
 type Handler struct {
 	*memps.MemPS
 	Serving *Server
+	// Replicator, when set, forwards applied pushes to each key's backups and
+	// re-replicates key ranges after membership changes.
+	Replicator *memps.Replicator
+	// Peers, when set, learns the address book carried by membership updates
+	// (a joining shard's address must be installed before the first transfer
+	// or replica forward is sent to it). cluster.TCPTransport implements it.
+	Peers interface{ SetAddr(nodeID int, addr string) }
+	// Seqs, when set, is the shard's push-dedup tracker; its log is compacted
+	// after every checkpoint flush (see Evict).
+	Seqs *cluster.SeqTracker
+
+	// reshardMu serializes background re-replication runs so overlapping
+	// membership changes stream their transfers one at a time.
+	reshardMu sync.Mutex
 }
 
 // NewHandler wraps mem and srv into one TCP-servable handler.
@@ -43,6 +66,97 @@ func (h *Handler) HandlePushBlock(blk *ps.ValueBlock) error {
 	}
 	h.Serving.BumpEpoch()
 	return nil
+}
+
+// HandlePushBlockStamped implements cluster.StampedBlockPushHandler, the form
+// the TCP server prefers: the MEM-PS applies the delta block, the serving
+// epoch advances, and the Replicator forwards the applied rows to each key's
+// backups — still under the origin's (client, seq) stamp, so a backup that
+// later takes over acknowledges the origin's own retry as a duplicate.
+func (h *Handler) HandlePushBlockStamped(client, seq uint64, blk *ps.ValueBlock) error {
+	if err := h.MemPS.HandlePushBlock(blk); err != nil {
+		return err
+	}
+	h.Serving.BumpEpoch()
+	if h.Replicator != nil {
+		h.Replicator.Forward(client, seq, blk)
+	}
+	return nil
+}
+
+// HandleReplicate implements cluster.ReplicaPushHandler: a delta block some
+// primary already applied and forwarded here. It advances the serving epoch
+// like a direct push but is never re-forwarded — replication is one hop.
+func (h *Handler) HandleReplicate(blk *ps.ValueBlock) error {
+	if err := h.MemPS.HandleReplicate(blk); err != nil {
+		return err
+	}
+	h.Serving.BumpEpoch()
+	return nil
+}
+
+// HandleTransfer implements cluster.TransferHandler: imported rows are
+// authoritative full values, so any replica-cache entries for them are stale
+// the moment they land.
+func (h *Handler) HandleTransfer(blk *ps.ValueBlock) (int, error) {
+	n, err := h.MemPS.HandleTransfer(blk)
+	if err == nil && n > 0 {
+		h.Serving.BumpEpoch()
+	}
+	return n, err
+}
+
+// HandleMembership implements cluster.MembershipHandler: it learns the new
+// members' addresses, installs the ring in the shared membership view (stale
+// epochs are dropped), and re-replicates in the background — streaming every
+// key range the new ring assigns to members that do not hold it yet.
+func (h *Handler) HandleMembership(u cluster.MembershipUpdate) error {
+	topo := h.MemPS.Topology()
+	if topo.Members == nil {
+		return fmt.Errorf("memps shard %d: no membership view to update", h.MemPS.NodeID())
+	}
+	if err := u.Validate(); err != nil {
+		return err
+	}
+	if h.Peers != nil {
+		for id, addr := range u.Addrs {
+			h.Peers.SetAddr(id, addr)
+		}
+	}
+	old := topo.Members.Ring()
+	next := u.BuildRing()
+	if !topo.Members.Update(next) {
+		return nil // not newer than the installed ring: already seen
+	}
+	if h.Replicator != nil {
+		go func() {
+			h.reshardMu.Lock()
+			defer h.reshardMu.Unlock()
+			h.Replicator.Reconcile(old, next)
+		}()
+	}
+	return nil
+}
+
+// WarmServing pre-fills the serving tier's hot-key cache from the top-K rows
+// of the local (typically just-recovered) MEM-PS shard; see Server.Warm.
+func (h *Handler) WarmServing(topK int) int {
+	return h.Serving.Warm(h.MemPS.HotRows(topK))
+}
+
+// Evict implements cluster.EvictHandler over the embedded MemPS. An
+// evict-everything call (nil ks) is the trainer's checkpoint flush: once it
+// returns, every applied push is durable in the SSD-PS, so the push-dedup
+// log is compacted down to the records still inside the dedup window — the
+// only ones the tracker would consult anyway. A compaction failure degrades
+// the log (it keeps growing, or dedup drops to process lifetime), it does
+// not fail the flush.
+func (h *Handler) Evict(ks []keys.Key) (int, error) {
+	n, err := h.MemPS.Evict(ks)
+	if err == nil && ks == nil && h.Seqs != nil {
+		h.Seqs.CompactLog()
+	}
+	return n, err
 }
 
 // HandlePredict implements cluster.PredictHandler.

@@ -139,6 +139,7 @@ type Server struct {
 	requests, examples, rejected, coalesced atomic.Int64
 	localKeys, cacheHits, cacheMisses       atomic.Int64
 	peerFetches, peerKeys, degraded         atomic.Int64
+	failedOver                              atomic.Int64
 	stalenessMax                            atomic.Uint64
 }
 
@@ -216,6 +217,12 @@ func (s *Server) HandleServeConfig(cfg cluster.ServeConfig) error {
 			t := cluster.NewTCPTransport(cfg.Addrs, s.cfg.Dim)
 			s.peers = t
 			s.owned = t
+		} else if st, ok := s.peers.(interface{ SetAddr(nodeID int, addr string) }); ok {
+			// An injected shared transport (the replicated-shard wiring)
+			// learns the address book instead of being replaced.
+			for id, a := range cfg.Addrs {
+				st.SetAddr(id, a)
+			}
 		}
 		s.peerMu.Unlock()
 	}
@@ -271,6 +278,7 @@ func (s *Server) ServingStats() cluster.ServingStats {
 		PeerFetches:  s.peerFetches.Load(),
 		PeerKeys:     s.peerKeys.Load(),
 		Degraded:     s.degraded.Load(),
+		FailedOver:   s.failedOver.Load(),
 		PushEpoch:    s.pushEpoch.Load(),
 		DenseEpoch:   denseEpoch,
 		StalenessMax: s.stalenessMax.Load(),
@@ -388,7 +396,11 @@ func (s *Server) gather(all []keys.Key) (map[keys.Key][]float32, error) {
 	vecs := make(map[keys.Key][]float32, len(all))
 	var local, remote []keys.Key
 	for _, k := range all {
-		if s.cfg.Topology.NodeOf(k) == s.cfg.NodeID {
+		// HoldsKey, not NodeOf: under replication a backup stores live rows
+		// for keys whose primary is another node, and serves them locally —
+		// the shard keeps answering for its replica ranges even while their
+		// primary is down.
+		if s.cfg.Topology.HoldsKey(k, s.cfg.NodeID) {
 			local = append(local, k)
 		} else {
 			remote = append(remote, k)
@@ -444,13 +456,24 @@ func (s *Server) gather(all []keys.Key) (map[keys.Key][]float32, error) {
 			continue
 		}
 		vals, _, err := peers.Lookup(owner, ks)
+		if err != nil && s.cfg.Topology.Replicas > 1 {
+			// Replicated deployment: the primary is down but every key has a
+			// live backup. Re-split this owner's keys by backup shard and
+			// read there — the rows are fresh (the backup applies the same
+			// replicated deltas), so this is a failover, not a degradation.
+			if bvals, berr := s.backupLookup(peers, ks); berr == nil {
+				s.failedOver.Add(1)
+				vals, err = bvals, nil
+			}
+		}
 		if err != nil {
 			// Degraded mode: the owner is down (crashed, restarting, or
-			// unreachable). Serving stays up on whatever replica rows the
-			// hot-key cache still holds — stale by one or more push epochs,
-			// but a bounded-staleness score beats an outage (the driver is
-			// meanwhile restarting the shard). Keys with no replica row at
-			// all score as untrained, exactly like a never-pushed key.
+			// unreachable) and no backup could answer. Serving stays up on
+			// whatever replica rows the hot-key cache still holds — stale by
+			// one or more push epochs, but a bounded-staleness score beats an
+			// outage (the driver is meanwhile restarting the shard). Keys
+			// with no replica row at all score as untrained, exactly like a
+			// never-pushed key.
 			s.degraded.Add(1)
 			s.hotMu.Lock()
 			for _, k := range ks {
@@ -477,4 +500,58 @@ func (s *Server) gather(all []keys.Key) (map[keys.Key][]float32, error) {
 		s.hotMu.Unlock()
 	}
 	return vecs, nil
+}
+
+// backupLookup re-reads ks — all owned by one unreachable primary — from each
+// key's backup shard. It fails whole if any key has no backup or any backup
+// read fails; the caller then falls back to the stale-cache degraded path.
+func (s *Server) backupLookup(peers PeerReader, ks []keys.Key) (cluster.PullResult, error) {
+	byBackup := make(map[int][]keys.Key)
+	for _, k := range ks {
+		b := s.cfg.Topology.BackupOf(k)
+		if b < 0 || b == s.cfg.NodeID {
+			// No backup, or the backup is this shard — but then HoldsKey
+			// would have served the key locally, so the replica set is out of
+			// step with the membership view; don't loop the lookup onto
+			// ourselves.
+			return nil, fmt.Errorf("serving: key %d has no reachable backup", k)
+		}
+		byBackup[b] = append(byBackup[b], k)
+	}
+	out := make(cluster.PullResult, len(ks))
+	for b, part := range byBackup {
+		vals, _, err := peers.Lookup(b, part)
+		if err != nil {
+			return nil, fmt.Errorf("serving: backup shard %d: %w", b, err)
+		}
+		for k, v := range vals {
+			out[k] = v
+		}
+	}
+	return out, nil
+}
+
+// Warm pre-fills the hot-key replica cache: every non-nil row is installed at
+// the current push epoch, seeded with its training-observed frequency so warm
+// rows out-compete cold fills for LFU residency. A restarted or newly promoted
+// shard warms its cache from the top-K rows of the recovered MEM-PS shard
+// (see memps.MemPS.HotRows); until organic traffic refills the cache, those
+// rows are what the degraded path serves if another shard dies first. Rows
+// are cloned, so callers may pass live MEM-PS values. Returns the number of
+// rows installed.
+func (s *Server) Warm(rows map[keys.Key]*embedding.Value) int {
+	epoch := s.pushEpoch.Load()
+	n := 0
+	s.hotMu.Lock()
+	defer s.hotMu.Unlock()
+	for k, v := range rows {
+		if v == nil || len(v.Weights) == 0 {
+			continue
+		}
+		w := make([]float32, len(v.Weights))
+		copy(w, v.Weights)
+		s.hot.PutWithFreq(uint64(k), hotRow{weights: w, epoch: epoch}, int64(v.Freq))
+		n++
+	}
+	return n
 }

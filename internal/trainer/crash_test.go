@@ -11,7 +11,9 @@ import (
 	"hps/internal/cluster"
 	"hps/internal/dataset"
 	"hps/internal/hw"
+	"hps/internal/keys"
 	"hps/internal/memps"
+	"hps/internal/serving"
 	"hps/internal/simtime"
 	"hps/internal/ssdps"
 )
@@ -63,6 +65,222 @@ func durableShard(t *testing.T, dir string, topo cluster.Topology, id, dim int, 
 	sh := &shardServer{mem: mem, seqs: seqs, srv: srv}
 	t.Cleanup(func() { sh.srv.Close() })
 	return sh, replayed
+}
+
+// replTestShard is one replicated shard server: the full serve-side stack —
+// MEM-PS, serving handler, replicator, push-dedup tracker — wired the way
+// `hps serve -members ... -replicas 2` arranges it, with the shard's own
+// membership view updated over the wire by membership broadcasts.
+type replTestShard struct {
+	mem  *memps.MemPS
+	repl *memps.Replicator
+	srv  *cluster.TCPServer
+}
+
+func replShard(t *testing.T, dir string, id, nodes, dim int, seed int64, members []int, vnodes int) *replTestShard {
+	t.Helper()
+	dev, err := blockio.NewDevice(dir, hw.DefaultGPUNode().SSD, simtime.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := ssdps.Open(dev, ssdps.Config{Dim: dim, ParamsPerFile: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := cluster.NewMembership(cluster.NewRing(members, vnodes))
+	topo := cluster.Topology{Nodes: nodes, GPUsPerNode: 1, Members: ms, Replicas: 2}
+	mem, err := memps.New(memps.Config{
+		NodeID:     id,
+		Dim:        dim,
+		Topology:   topo,
+		Transport:  cluster.NoRoute{},
+		Store:      store,
+		LRUEntries: 96,
+		LFUEntries: 96,
+		Seed:       seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerTr := cluster.NewTCPTransport(map[int]string{}, dim)
+	t.Cleanup(peerTr.Close)
+	serveSrv, err := serving.New(serving.Config{
+		NodeID:   id,
+		Topology: topo,
+		Dim:      dim,
+		Hidden:   []int{8},
+		Local:    mem,
+		Peers:    peerTr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(serveSrv.Close)
+	h := serving.NewHandler(mem, serveSrv)
+	repl := memps.NewReplicator(mem, peerTr, memps.ReplicatorConfig{TransferPause: time.Millisecond})
+	t.Cleanup(repl.Close)
+	h.Replicator = repl
+	h.Peers = peerTr
+	seqs := cluster.NewSeqTracker()
+	seqLog, _, err := cluster.OpenSeqLog(filepath.Join(dir, "seqlog"), seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { seqLog.Close() })
+	seqs.AttachLog(seqLog)
+	h.Seqs = seqs
+	srv, err := cluster.ServeTCPOptions("127.0.0.1:0", h, cluster.ServerOptions{Seqs: seqs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := &replTestShard{mem: mem, repl: repl, srv: srv}
+	t.Cleanup(func() { sh.srv.Close() })
+	return sh
+}
+
+// TestKillPrimaryMidEpochPromotesBackup is the replicated counterpart of the
+// crash drill below: a primary is killed mid-epoch with R=2 and is NEVER
+// restarted or restored from disk. The supervisor's response is a membership
+// broadcast that removes the dead shard — promoting, for every key it owned,
+// the backup that already holds every acked delta — after which the
+// survivors re-replicate among themselves back to R=2. Training must ride
+// the outage on pull/push failover and land within the same AUC tolerance as
+// the restore-based drill, with the origin dedup stamps keeping retried
+// in-flight pushes from being applied twice.
+func TestKillPrimaryMidEpochPromotesBackup(t *testing.T) {
+	data := testData()
+	spec := testSpec()
+	const seed = 5
+	const vnodes = 16
+	members := []int{0, 1, 2}
+	batches, batchSize, evalN := 20, 128, 1500
+
+	base := Config{
+		Spec:        spec,
+		Data:        data,
+		BatchSize:   batchSize,
+		Batches:     batches,
+		MaxInFlight: 2,
+		Seed:        seed,
+		RemoteRetry: cluster.RetryPolicy{Attempts: 10, Backoff: 10 * time.Millisecond},
+	}
+
+	// run brings up a full replicated deployment — three shard servers, a
+	// driver-side membership view, a control transport for broadcasts — and
+	// trains over it, killing shard 1 mid-epoch when kill is set. It returns
+	// the held-out AUC and the surviving shards.
+	run := func(kill bool) (float64, map[int]*replTestShard) {
+		t.Helper()
+		shards := map[int]*replTestShard{}
+		addrs := map[int]string{}
+		for _, id := range members {
+			shards[id] = replShard(t, t.TempDir(), id, len(members), spec.EmbeddingDim, seed, members, vnodes)
+			addrs[id] = shards[id].srv.Addr()
+		}
+		ms := cluster.NewMembership(cluster.NewRing(members, vnodes))
+		ctl := cluster.NewTCPTransport(addrs, spec.EmbeddingDim)
+		t.Cleanup(ctl.Close)
+
+		cfg := base
+		cfg.Topology = cluster.Topology{Nodes: len(members), GPUsPerNode: 1, Members: ms, Replicas: 2}
+		cfg.RemoteShards = addrs
+		tr, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { tr.Close() })
+
+		applyRing := func(next *cluster.Ring) {
+			u := cluster.MembershipUpdate{
+				Epoch: next.Epoch(), Members: next.Members(),
+				VNodes: vnodes, Replicas: 2, Addrs: addrs,
+			}
+			for _, id := range next.Members() {
+				if err := ctl.UpdateMembership(id, u); err != nil {
+					t.Errorf("membership epoch %d to shard %d: %v", u.Epoch, id, err)
+				}
+			}
+			if err := tr.UpdateMembership(u); err != nil {
+				t.Errorf("membership epoch %d to trainer: %v", u.Epoch, err)
+			}
+		}
+		// The driver's first broadcast: one epoch above the shards' boot rings.
+		applyRing(ms.Ring().WithEpoch(ms.Ring().Epoch() + 1))
+
+		if !kill {
+			if err := tr.Run(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			return evalAUC(t, tr, dataset.NewGenerator(data, 999), evalN), shards
+		}
+
+		// Stretch the run so the kill lands mid-epoch with work in flight.
+		tr.stageDelay = map[string]time.Duration{StageTrain: 10 * time.Millisecond}
+		runDone := make(chan error, 1)
+		go func() { runDone <- tr.Run(context.Background()) }()
+
+		time.Sleep(120 * time.Millisecond)
+		// kill -9: the process image — cache, dedup map, sockets — is gone.
+		// Nothing is flushed, and nothing will ever be restored from dir 1.
+		if err := shards[1].srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// The supervisor needs time to observe the death; training meanwhile
+		// rides per-key failover to the backups on the OLD ring.
+		time.Sleep(80 * time.Millisecond)
+		applyRing(ms.Ring().Leave(1))
+		delete(shards, 1)
+
+		if err := <-runDone; err != nil {
+			t.Fatalf("training did not survive the kill + promotion: %v", err)
+		}
+		return evalAUC(t, tr, dataset.NewGenerator(data, 999), evalN), shards
+	}
+
+	baseAUC, _ := run(false)
+	if baseAUC < 0.6 {
+		t.Fatalf("undisturbed replicated run failed to learn (AUC %.4f)", baseAUC)
+	}
+
+	auc, survivors := run(true)
+	t.Logf("undisturbed AUC = %.4f, kill-promotion AUC = %.4f", baseAUC, auc)
+	if auc < 0.6 {
+		t.Fatalf("post-promotion AUC = %.4f: parameters corrupted", auc)
+	}
+	if diff := math.Abs(baseAUC - auc); diff > 0.03 {
+		t.Fatalf("kill-promotion run diverged from undisturbed run: |%.4f - %.4f| = %.4f > 0.03", auc, baseAUC, diff)
+	}
+
+	// Re-replication restored R=2: the Leave broadcast made the survivors
+	// reconcile, so the dead shard's keys — whose only fresh copy was the
+	// promoted backup — must be held by BOTH survivors again.
+	transferred := int64(0)
+	for _, sh := range survivors {
+		if !sh.repl.Drain(2 * time.Second) {
+			t.Fatal("survivor replication queue did not drain")
+		}
+		transferred += sh.repl.Stats().TransferredKeys
+	}
+	if transferred == 0 {
+		t.Fatal("survivors transferred nothing: re-replication after the promotion never ran")
+	}
+	oldRing := cluster.NewRing(members, vnodes)
+	checked := 0
+	for _, k := range survivors[0].mem.LocalKeys() {
+		if oldRing.Owner(k) != 1 || checked >= 64 {
+			continue
+		}
+		checked++
+		for id, sh := range survivors {
+			vals, _ := sh.mem.LookupAll([]keys.Key{k})
+			if _, ok := vals[k]; !ok {
+				t.Fatalf("key %d (owned by the dead shard) missing from survivor %d: R=2 not restored", k, id)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no promoted keys found on the survivors")
+	}
 }
 
 // TestCrashRestartRecoversDurableState is the end-to-end crash drill behind

@@ -51,6 +51,15 @@ type remoteNet struct {
 	bytes      int64
 	pullWall   time.Duration
 	pushWall   time.Duration
+	// failovers counts operations that only succeeded against a backup after
+	// the primary was unreachable — the degraded-window marker of a run.
+	failovers int64
+}
+
+func (r *remoteNet) recordFailover() {
+	r.mu.Lock()
+	r.failovers++
+	r.mu.Unlock()
 }
 
 func (r *remoteNet) recordPull(nkeys int, bytes int64, wall time.Duration) {
@@ -81,11 +90,43 @@ type remoteMem struct {
 	dim       int
 	topo      cluster.Topology
 	net       *remoteNet
+	// vnodes is the number of trainer virtual nodes; shard partitions are
+	// assigned to virtual nodes round-robin over the sorted member list, so a
+	// ring with more (or fewer) shards than virtual nodes still has every
+	// partition pushed by exactly one node per batch.
+	vnodes int
 	// pipeline is the per-shard pull fan-out (Config.PullPipeline): when > 1,
 	// PrepareInto splits each shard's key partition into up to pipeline chunks
 	// and pulls them as concurrent RPCs over the transport's extra
 	// connections.
 	pipeline int
+}
+
+// stampedPusher is the transport surface of push failover: take a dedup stamp
+// up front, push under it, and on primary outage deliver the same rows to the
+// backups via the replicate op under the SAME stamp — identical to the
+// forward the primary would have sent, so it dedups against it.
+type stampedPusher interface {
+	Stamp() (client, seq uint64)
+	PushBlockStamped(nodeID int, client, seq uint64, blk *ps.ValueBlock) (int64, error)
+	Replicate(nodeID int, client, seq uint64, blk *ps.ValueBlock) (int64, error)
+}
+
+// assigned returns the member shards whose push partitions this virtual node
+// is responsible for: sorted member j goes to virtual node j mod vnodes.
+// Without a ring the mapping is the original one-to-one node id.
+func (r *remoteMem) assigned() []int {
+	if r.topo.Members == nil {
+		return []int{r.node}
+	}
+	members := r.topo.MemberIDs()
+	out := make([]int, 0, len(members)/r.vnodes+1)
+	for j, m := range members {
+		if j%r.vnodes == r.node {
+			out = append(out, m)
+		}
+	}
+	return out
 }
 
 // pullChunkMin is the smallest key chunk PrepareInto will split a shard
@@ -97,16 +138,20 @@ var _ memService = (*remoteMem)(nil)
 // Name implements memService; the remote tier is still the MEM-PS.
 func (r *remoteMem) Name() string { return "mem-ps" }
 
-// TierStats fetches the serving shard's own uniform statistics. An
+// TierStats fetches the assigned shards' own uniform statistics. An
 // unreachable shard reports zero statistics — reports are best-effort and
 // must not fail a run that already completed; the RemoteNetReport's
 // retry/reconnect counters record that the run had connectivity trouble.
 func (r *remoteMem) TierStats() ps.Stats {
-	info, err := r.transport.TierStats(r.node)
-	if err != nil {
-		return ps.Stats{}
+	var sum ps.Stats
+	for _, m := range r.assigned() {
+		info, err := r.transport.TierStats(m)
+		if err != nil {
+			continue
+		}
+		sum = sum.Add(info.Stats)
 	}
-	return info.Stats
+	return sum
 }
 
 // PrepareInto implements memService: the working set is assembled by
@@ -157,6 +202,15 @@ func (r *remoteMem) PrepareInto(working []keys.Key, dst *ps.ValueBlock) (*memps.
 				if bt != nil {
 					sub := ps.GetBlock(r.dim, ks)
 					bytes, err := bt.PullBlock(nodeID, ks, sub)
+					if err != nil && r.topo.Replicas > 1 {
+						// Primary outage: re-pull this partition from each
+						// key's backup, which holds (or identically
+						// materializes) the replicated rows.
+						bytes, err = r.pullFailover(bt, ks, sub)
+						if err == nil {
+							r.net.recordFailover()
+						}
+					}
 					if err == nil {
 						r.net.recordPull(len(ks), bytes, time.Since(start))
 					}
@@ -200,20 +254,66 @@ func (r *remoteMem) PrepareInto(working []keys.Key, dst *ps.ValueBlock) (*memps.
 	return ws, nil
 }
 
-// PushBlock implements memService: it sends this node's shard partition of
-// the global delta block to the owning shard process. Every virtual node
-// pushes only its own partition, so each shard applies the global sum exactly
-// once per batch — the same once-per-owner discipline as the in-process
-// MEM-PS. The owned rows are sliced out of the (sorted) global block into a
-// pooled sub-block slab-wise and travel as one flat wire frame; transports
-// without block support fall back to a map push of the same partition.
+// pullFailover re-pulls a primary's partition from each key's backup and
+// scatters the rows into dst. Backups legitimately answer for the keys they
+// replicate, and first references materialize identically everywhere (the
+// keyed init is node-independent), so the assembled working set matches what
+// the primary would have served up to the bounded replication lag.
+func (r *remoteMem) pullFailover(bt cluster.BlockTransport, ks []keys.Key, dst *ps.ValueBlock) (int64, error) {
+	parts := make(map[int][]keys.Key, 2)
+	for _, k := range ks {
+		b := r.topo.BackupOf(k)
+		if b < 0 {
+			return 0, fmt.Errorf("key %d has no backup", k)
+		}
+		parts[b] = append(parts[b], k)
+	}
+	dst.Reset(r.dim, ks)
+	var total int64
+	for b, bks := range parts {
+		sub := ps.GetBlock(r.dim, bks)
+		bytes, err := bt.PullBlock(b, bks, sub)
+		if err != nil {
+			ps.PutBlock(sub)
+			return 0, fmt.Errorf("backup %d: %w", b, err)
+		}
+		dst.ScatterRows(sub)
+		ps.PutBlock(sub)
+		total += bytes
+	}
+	return total, nil
+}
+
+// PushBlock implements memService: it sends each assigned member shard's
+// partition of the global delta block to its owning shard process. Every
+// partition is pushed by exactly one virtual node per batch, so each shard
+// applies the global sum exactly once — the same once-per-owner discipline as
+// the in-process MEM-PS. The owned rows are sliced out of the (sorted) global
+// block into a pooled sub-block slab-wise and travel as one flat wire frame;
+// transports without block support fall back to a map push of the same
+// partition.
 func (r *remoteMem) PushBlock(req ps.PushBlockRequest) error {
-	blk := req.Block
+	for _, m := range r.assigned() {
+		if err := r.pushOwned(m, req.Block); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pushOwned pushes member's partition of blk. When the member is unreachable
+// and the deployment is replicated, the partition fails over: its rows are
+// re-split per key by backup and delivered through the replicate op under the
+// push's ORIGINAL dedup stamp — byte-for-byte the forwards the dead primary
+// would have sent, so a backup that already received them acks duplicates
+// instead of double-applying, and one that did not applies them fresh. Either
+// way no applied push is lost and none is applied twice.
+func (r *remoteMem) pushOwned(member int, blk *ps.ValueBlock) error {
 	sub := ps.GetBlock(r.dim, nil)
 	defer ps.PutBlock(sub)
 	sub.Grow(blk.Len())
 	for i, k := range blk.Keys {
-		if blk.Present[i] && r.topo.NodeOf(k) == r.node {
+		if blk.Present[i] && r.topo.NodeOf(k) == member {
 			sub.AppendRow(k, blk.WeightsRow(i), blk.G2Row(i), blk.Freq[i])
 		}
 	}
@@ -221,13 +321,24 @@ func (r *remoteMem) PushBlock(req ps.PushBlockRequest) error {
 		return nil
 	}
 	bt, _ := r.transport.(cluster.BlockTransport)
+	sp, _ := r.transport.(stampedPusher)
 	start := time.Now()
 	var bytes int64
 	var err error
-	if bt != nil {
-		bytes, err = bt.PushBlock(r.node, sub)
-	} else {
-		bytes, err = r.transport.Push(r.node, sub.Deltas())
+	switch {
+	case sp != nil:
+		client, seq := sp.Stamp()
+		bytes, err = sp.PushBlockStamped(member, client, seq, sub)
+		if err != nil && r.topo.Replicas > 1 {
+			bytes, err = r.pushFailover(sp, client, seq, sub)
+			if err == nil {
+				r.net.recordFailover()
+			}
+		}
+	case bt != nil:
+		bytes, err = bt.PushBlock(member, sub)
+	default:
+		bytes, err = r.transport.Push(member, sub.Deltas())
 	}
 	if err != nil {
 		return fmt.Errorf("trainer: remote push: %w", err)
@@ -236,25 +347,100 @@ func (r *remoteMem) PushBlock(req ps.PushBlockRequest) error {
 	return nil
 }
 
+// pushFailover delivers sub's rows to each key's backup under the failed
+// push's stamp (see pushOwned).
+func (r *remoteMem) pushFailover(sp stampedPusher, client, seq uint64, sub *ps.ValueBlock) (int64, error) {
+	parts := make(map[int]*ps.ValueBlock, 2)
+	defer func() {
+		for _, p := range parts {
+			ps.PutBlock(p)
+		}
+	}()
+	for i, k := range sub.Keys {
+		if !sub.Present[i] {
+			continue
+		}
+		b := r.topo.BackupOf(k)
+		if b < 0 {
+			return 0, fmt.Errorf("key %d has no backup", k)
+		}
+		p := parts[b]
+		if p == nil {
+			p = ps.GetBlock(r.dim, nil)
+			parts[b] = p
+		}
+		p.AppendRow(k, sub.WeightsRow(i), sub.G2Row(i), sub.Freq[i])
+	}
+	var total int64
+	for b, p := range parts {
+		n, err := sp.Replicate(b, client, seq, p)
+		if err != nil {
+			return 0, fmt.Errorf("backup %d: %w", b, err)
+		}
+		total += n
+	}
+	return total, nil
+}
+
 // CompleteBatch implements memService. Nothing was pinned driver-side, and
 // the shard server runs its own housekeeping from the push RPC.
 func (r *remoteMem) CompleteBatch(*memps.WorkingSet) error { return nil }
 
-// LookupAll implements memService with the no-create lookup RPC.
+// LookupAll implements memService with the no-create lookup RPC, split by
+// owning member and failing over to each key's backup when an owner is
+// unreachable.
 func (r *remoteMem) LookupAll(ks []keys.Key) (map[keys.Key]*embedding.Value, error) {
-	res, _, err := r.transport.Lookup(r.node, ks)
-	if err != nil {
-		return nil, fmt.Errorf("trainer: remote lookup: %w", err)
+	out := make(map[keys.Key]*embedding.Value, len(ks))
+	for owner, part := range r.topo.SplitByNode(ks) {
+		if len(part) == 0 {
+			continue
+		}
+		res, _, err := r.transport.Lookup(owner, part)
+		if err != nil && r.topo.Replicas > 1 {
+			res, err = r.lookupFailover(part, err)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trainer: remote lookup: %w", err)
+		}
+		for k, v := range res {
+			out[k] = v
+		}
 	}
-	return res, nil
+	return out, nil
 }
 
-// Flush implements memService: an evict-everything RPC, which demotes the
-// shard's entire in-memory state to its SSD-PS.
+// lookupFailover reads part from each key's backup after its owner failed
+// with primErr.
+func (r *remoteMem) lookupFailover(part []keys.Key, primErr error) (cluster.PullResult, error) {
+	parts := make(map[int][]keys.Key, 2)
+	for _, k := range part {
+		b := r.topo.BackupOf(k)
+		if b < 0 {
+			return nil, primErr
+		}
+		parts[b] = append(parts[b], k)
+	}
+	out := make(cluster.PullResult, len(part))
+	for b, bks := range parts {
+		res, _, err := r.transport.Lookup(b, bks)
+		if err != nil {
+			return nil, fmt.Errorf("%v; backup %d: %w", primErr, b, err)
+		}
+		for k, v := range res {
+			out[k] = v
+		}
+	}
+	r.net.recordFailover()
+	return out, nil
+}
+
+// Flush implements memService: an evict-everything RPC against each assigned
+// member shard, which demotes its entire in-memory state to its SSD-PS.
 func (r *remoteMem) Flush() error {
-	_, err := r.transport.Evict(r.node, nil)
-	if err != nil {
-		return fmt.Errorf("trainer: remote flush: %w", err)
+	for _, m := range r.assigned() {
+		if _, err := r.transport.Evict(m, nil); err != nil {
+			return fmt.Errorf("trainer: remote flush shard %d: %w", m, err)
+		}
 	}
 	return nil
 }
@@ -284,4 +470,8 @@ type RemoteNetReport struct {
 	// Calls / Retries / Redials are the transport's connection counters;
 	// non-zero Redials means the run rode out at least one reconnect.
 	Calls, Retries, Redials int64
+	// Failovers counts operations served by a backup shard because the
+	// primary was unreachable — non-zero means the run trained (or read)
+	// through a degraded window.
+	Failovers int64
 }

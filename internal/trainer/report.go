@@ -167,6 +167,7 @@ func (t *Trainer) Report() Report {
 			PayloadBytes: net.bytes,
 			PullWall:     net.pullWall,
 			PushWall:     net.pushWall,
+			Failovers:    net.failovers,
 		}
 		net.mu.Unlock()
 		ts := t.remote.Stats()

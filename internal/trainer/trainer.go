@@ -330,13 +330,13 @@ func New(cfg Config) (*Trainer, error) {
 	dim := cfg.Spec.EmbeddingDim
 	remoteMode := len(cfg.RemoteShards) > 0
 	if remoteMode {
-		if len(cfg.RemoteShards) != cfg.Topology.Nodes {
+		if cfg.Topology.Members == nil && len(cfg.RemoteShards) != cfg.Topology.Nodes {
 			return nil, fmt.Errorf("trainer: %d remote shards for %d nodes (need one per node)",
 				len(cfg.RemoteShards), cfg.Topology.Nodes)
 		}
-		for id := 0; id < cfg.Topology.Nodes; id++ {
+		for _, id := range cfg.Topology.MemberIDs() {
 			if _, ok := cfg.RemoteShards[id]; !ok {
-				return nil, fmt.Errorf("trainer: no remote shard address for node %d", id)
+				return nil, fmt.Errorf("trainer: no remote shard address for member %d", id)
 			}
 		}
 	}
@@ -415,7 +415,7 @@ func New(cfg Config) (*Trainer, error) {
 		// the run at startup, not at first query.
 		t.denseFlat = t.net.FlattenParams(t.denseFlat[:0])
 		scfg := cluster.ServeConfig{Addrs: cfg.RemoteShards, Dense: t.denseFlat, Epoch: 0}
-		for id := range t.nodes {
+		for _, id := range cfg.Topology.MemberIDs() {
 			if err := t.remote.PublishServeConfig(id, scfg); err != nil {
 				cleanup()
 				return nil, fmt.Errorf("trainer: activate serving on shard %d: %w", id, err)
@@ -437,7 +437,8 @@ func (t *Trainer) buildNode(id int, root string) (*node, error) {
 	if t.remote != nil {
 		// Multi-process mode: the MEM-PS/SSD-PS of this node live in the
 		// shard-server process; this node only keeps the RPC-backed view.
-		mem = &remoteMem{transport: t.remote, node: id, dim: cfg.Spec.EmbeddingDim, topo: cfg.Topology, net: t.remoteNet, pipeline: cfg.PullPipeline}
+		mem = &remoteMem{transport: t.remote, node: id, dim: cfg.Spec.EmbeddingDim, topo: cfg.Topology,
+			net: t.remoteNet, vnodes: cfg.Topology.Nodes, pipeline: cfg.PullPipeline}
 	} else {
 		dev, err = blockio.NewDevice(filepath.Join(root, fmt.Sprintf("node-%d", id)), cfg.Profile.SSD, t.clock)
 		if err != nil {
@@ -1192,8 +1193,14 @@ func (t *Trainer) stagePush(_ context.Context, j *job) (*job, error) {
 		t.denseFlat = t.net.FlattenParams(t.denseFlat[:0])
 		t.denseMu.Unlock()
 		scfg := cluster.ServeConfig{Dense: t.denseFlat, Epoch: uint64(j.index) + 1}
-		for id := range t.nodes {
+		for _, id := range t.cfg.Topology.MemberIDs() {
 			if err := t.remote.PublishServeConfig(id, scfg); err != nil {
+				// A member mid-failover misses this epoch's dense refresh; it
+				// catches up on the next one. Failing the run here would turn
+				// a survivable shard outage into a training abort.
+				if t.cfg.Topology.Replicas > 1 {
+					continue
+				}
 				return nil, fmt.Errorf("trainer: refresh dense on shard %d: %w", id, err)
 			}
 		}
@@ -1209,20 +1216,34 @@ func (t *Trainer) stagePush(_ context.Context, j *job) (*job, error) {
 // fails if a shard's parameters cannot be read: a prediction computed with a
 // shard's embeddings missing would be silently wrong.
 func (t *Trainer) Predict(features []keys.Key) (float32, error) {
-	byOwner := t.cfg.Topology.SplitByNode(features)
-	vals := make([]map[keys.Key]*embedding.Value, len(t.nodes))
-	for owner, ks := range byOwner {
-		if len(ks) > 0 {
+	var vals map[keys.Key]*embedding.Value
+	if t.remote != nil {
+		// The remote memService splits by owning member itself (owner ids
+		// under a ring need not be virtual-node indices) and fails over to
+		// backups on a primary outage; any virtual node's view will do.
+		v, err := t.nodes[0].mem.LookupAll(features)
+		if err != nil {
+			return 0, fmt.Errorf("trainer: predict: %w", err)
+		}
+		vals = v
+	} else {
+		vals = make(map[keys.Key]*embedding.Value, len(features))
+		for owner, ks := range t.cfg.Topology.SplitByNode(features) {
+			if len(ks) == 0 {
+				continue
+			}
 			v, err := t.nodes[owner].mem.LookupAll(ks)
 			if err != nil {
 				return 0, fmt.Errorf("trainer: predict: node %d: %w", owner, err)
 			}
-			vals[owner] = v
+			for k, val := range v {
+				vals[k] = val
+			}
 		}
 	}
 	vecs := make([][]float32, 0, len(features))
 	for _, k := range features {
-		if v := vals[t.cfg.Topology.NodeOf(k)][k]; v != nil {
+		if v := vals[k]; v != nil {
 			vecs = append(vecs, v.Weights)
 		}
 	}
@@ -1246,6 +1267,27 @@ func (t *Trainer) Evaluate(gen *dataset.Generator, n int) (float64, error) {
 		labels = append(labels, float64(ex.Label))
 	}
 	return metrics.AUC(scores, labels), nil
+}
+
+// UpdateMembership installs a membership change into the trainer's shared
+// topology view and (re)points the remote transport at the member addresses
+// it carries: the next batch's pulls and pushes follow the new ring. Stale
+// epochs are dropped by the membership view itself, so out-of-order delivery
+// is harmless.
+func (t *Trainer) UpdateMembership(u cluster.MembershipUpdate) error {
+	if t.cfg.Topology.Members == nil {
+		return fmt.Errorf("trainer: topology has no membership view to update")
+	}
+	if err := u.Validate(); err != nil {
+		return err
+	}
+	if t.remote != nil {
+		for id, addr := range u.Addrs {
+			t.remote.SetAddr(id, addr)
+		}
+	}
+	t.cfg.Topology.Members.Update(u.BuildRing())
+	return nil
 }
 
 // Examples returns the number of examples trained across all nodes.

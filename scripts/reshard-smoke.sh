@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# reshard-smoke.sh [hps-binary] — end-to-end resharding drill for the
+# replicated ring: run the multi-process driver with R=2 and concurrent
+# serving load, join a fresh shard mid-run (-add-shard), then kill -9 a
+# primary and assert that the driver promotes its backups instead of
+# restoring it, that the run finishes on the reshaped ring [0 2 3] with a
+# sane AUC, and that the loadgen kept serving (nonzero qps) across both
+# membership changes.
+#
+# This is the CI twin of TestKillPrimaryMidEpochPromotesBackup: the test
+# drills promotion and re-replication in-process; this script drills the
+# real thing — process supervision, the Leave/Join membership broadcasts
+# over TCP, and serving traffic riding through the reshard.
+set -euo pipefail
+
+HPS="${1:-/tmp/hps}"
+STATE="$(mktemp -d)"
+OUT="$STATE/driver.out"
+trap 'rm -rf "$STATE"' EXIT
+
+# -batch-pause stretches the run so the join (2s in) and the kill (after
+# the join) both land with training and serving traffic in flight.
+"$HPS" driver -model tiny -shards 3 -gpus 2 -batches 120 -batch-size 64 \
+  -eval 800 -seed 4 -state-dir "$STATE/run" -batch-pause 50ms \
+  -replicas 2 -add-shard 2s \
+  -loadgen -loadgen-duration 6s >"$OUT" 2>&1 &
+DRIVER=$!
+
+# Wait for shard 1 (a primary we will murder) to come up.
+VICTIM=""
+for _ in $(seq 1 100); do
+  VICTIM="$(grep -oP 'shard 1 up: pid \K[0-9]+' "$OUT" 2>/dev/null || true)"
+  [ -n "$VICTIM" ] && break
+  sleep 0.1
+done
+if [ -z "$VICTIM" ]; then
+  echo "shard 1 never came up:" >&2
+  cat "$OUT" >&2
+  exit 1
+fi
+
+# Let the join happen first, so the kill exercises promotion on the grown
+# ring — two membership epochs in one run.
+JOINED=""
+for _ in $(seq 1 150); do
+  JOINED="$(grep -o 'shard 3 joined: pid [0-9]*' "$OUT" 2>/dev/null || true)"
+  [ -n "$JOINED" ] && break
+  sleep 0.1
+done
+if [ -z "$JOINED" ]; then
+  echo "shard 3 never joined the ring:" >&2
+  cat "$OUT" >&2
+  exit 1
+fi
+sleep 0.5 # give the join's re-replication a head start, then strike
+kill -9 "$VICTIM"
+echo "killed shard 1 (pid $VICTIM) after the join"
+
+# Promotion (not restore) must keep the run alive: the driver is our
+# direct child, so wait is enough; a hung run is caught by the CI step
+# timeout.
+if ! wait "$DRIVER"; then
+  echo "driver did not survive the primary kill:" >&2
+  cat "$OUT" >&2
+  exit 1
+fi
+
+check() {
+  if ! grep -qE "$1" "$OUT"; then
+    echo "missing from driver output: $1" >&2
+    cat "$OUT" >&2
+    exit 1
+  fi
+}
+check 'shard 3 joined: pid [0-9]+ at .* \(ring epoch [0-9]+\)'
+check 'shard 1 died .*; promoting its backups instead of restoring'
+check 'shard 1 lost permanently; its backups were promoted'
+check 'ring: epoch [0-9]+, members \[0 2 3\], replicas 2'
+# replication actually moved bytes: every surviving shard forwarded
+# applied deltas to backups and/or streamed transfer blocks
+check 'hps-shard [0-9]+: replicated [1-9][0-9]* blocks'
+# serving stayed up through both membership changes
+check 'qps +[1-9][0-9.]* req/s'
+check 'AUC over 800'
+
+echo "reshard smoke ok:"
+grep -E 'shard 3 joined|shard 1 (died|lost)|ring: epoch|qps|AUC over' "$OUT"
