@@ -505,6 +505,55 @@ func runDriver(args []string) error {
 		defer os.RemoveAll(d)
 	}
 
+	// Driver-mode depth ablation: each depth gets its own shard processes over
+	// a fresh subdirectory of root, so no state leaks between sweep points and
+	// every depth pays the same real-socket costs.
+	if *fs.ablate != "" {
+		depths, err := parseDepths(*fs.ablate)
+		if err != nil {
+			return err
+		}
+		if *lg || ringMode || *fs.restore || *fs.checkpoint != "" {
+			return errors.New("-ablate-depth sweeps fresh runs; it cannot combine with -loadgen, ring flags, -checkpoint or -restore")
+		}
+		data := dataset.ForModel(spec.SparseParams, spec.NonZerosPerExample)
+		return runAblate(fs, spec, data, depths, func(depth int) (*trainer.Trainer, func(), error) {
+			set := &shardSet{
+				exe: exe, shards: shards, fs: fs,
+				root:   filepath.Join(root, fmt.Sprintf("ablate-%d", depth)),
+				budget: newRestartBudget(*restartMax, *restartWindow, 250*time.Millisecond),
+			}
+			if err := set.start(false); err != nil {
+				set.stop()
+				return nil, nil, err
+			}
+			cfg := trainer.Config{
+				Spec:          spec,
+				Data:          data,
+				Topology:      cluster.Topology{Nodes: shards, GPUsPerNode: *fs.gpus},
+				BatchSize:     *fs.batchSize,
+				Batches:       *fs.batches,
+				Profile:       hw.DefaultGPUNode(),
+				Seed:          *fs.seed,
+				RemoteShards:  set.addrs(),
+				WirePrecision: *fs.wirePrec,
+				QuantizePush:  *fs.quantPush,
+				PullPipeline:  *fs.pullPipe,
+				RemoteRetry:   cluster.RetryPolicy{Attempts: 10, Backoff: 50 * time.Millisecond},
+			}
+			fs.applyPipeline(&cfg)
+			cfg.MaxInFlight = depth
+			cfg.AutoTune = false // the sweep pins the depth being measured
+			tr, err := trainer.New(cfg)
+			if err != nil {
+				set.stop()
+				return nil, nil, err
+			}
+			set.notifyMove(tr.SetShardAddr)
+			return tr, set.stop, nil
+		})
+	}
+
 	var ms *cluster.Membership
 	if ringMode {
 		members := make([]int, shards)
@@ -531,7 +580,6 @@ func runDriver(args []string) error {
 		Topology:      cluster.Topology{Nodes: shards, GPUsPerNode: *fs.gpus, Members: ms, Replicas: *replicasFlag},
 		BatchSize:     *fs.batchSize,
 		Batches:       *fs.batches,
-		MaxInFlight:   *fs.inFlight,
 		Profile:       hw.DefaultGPUNode(),
 		Seed:          *fs.seed,
 		RemoteShards:  addrs,
@@ -548,6 +596,7 @@ func runDriver(args []string) error {
 		BatchPause:         *fs.batchPause,
 		ShardState:         set.dirs(),
 	}
+	fs.applyPipeline(&cfg)
 	wire := *fs.wirePrec
 	if *fs.quantPush {
 		wire += "+push"

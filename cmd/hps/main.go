@@ -74,6 +74,25 @@ type trainFlags struct {
 	ckptInterval *int
 	restore      *bool
 	batchPause   *time.Duration
+
+	maxInFlight *int
+	asyncPush   *bool
+	pushLag     *int
+	ablate      *string
+}
+
+// applyPipeline wires the adaptive/async pipeline flags into a trainer
+// config: -max-in-flight > 0 arms the auto-tuner with that ceiling
+// (overriding the static -inflight depth), and -async-push/-push-lag
+// configure the background push committer.
+func (f *trainFlags) applyPipeline(cfg *trainer.Config) {
+	cfg.MaxInFlight = *f.inFlight
+	if *f.maxInFlight > 0 {
+		cfg.MaxInFlight = *f.maxInFlight
+		cfg.AutoTune = true
+	}
+	cfg.AsyncPush = *f.asyncPush
+	cfg.PushLag = *f.pushLag
 }
 
 // checkpointPath resolves the effective manifest path: -checkpoint wins, and
@@ -111,6 +130,11 @@ func newTrainFlags(name string) *trainFlags {
 		ckptInterval: fs.Int("checkpoint-interval", 0, "also write a checkpoint every N trained batches (0: only at flush/shutdown)"),
 		restore:      fs.Bool("restore", false, "resume from the checkpoint manifest and the recovered shard state before training"),
 		batchPause:   fs.Duration("batch-pause", 0, "artificial pause after every trained batch (stretches runs for crash drills)"),
+
+		maxInFlight: fs.Int("max-in-flight", 0, "auto-tune per-stage queues and pipeline depth from measured stage times, up to this ceiling (0: static -inflight depth)"),
+		asyncPush:   fs.Bool("async-push", false, "apply merged pushes on a bounded background committer so the pipeline slot frees before the MEM-PS round trip"),
+		pushLag:     fs.Int("push-lag", 2, "max outstanding background pushes with -async-push"),
+		ablate:      fs.String("ablate-depth", "", "comma-separated pipeline depths (e.g. 1,2,4,8): train the same seeded workload at each depth and print the AUC-vs-depth table"),
 	}
 }
 
@@ -193,7 +217,6 @@ func run(fs *trainFlags, nodes int, baseline bool) error {
 		Topology:           topo,
 		BatchSize:          batchSize,
 		Batches:            batches,
-		MaxInFlight:        *fs.inFlight,
 		Profile:            hw.DefaultGPUNode(),
 		LRUEntries:         cacheEntries / 2,
 		LFUEntries:         cacheEntries - cacheEntries/2,
@@ -204,10 +227,32 @@ func run(fs *trainFlags, nodes int, baseline bool) error {
 		CheckpointInterval: *fs.ckptInterval,
 		BatchPause:         *fs.batchPause,
 	}
+	fs.applyPipeline(&cfg)
+
+	if *fs.ablate != "" {
+		depths, err := parseDepths(*fs.ablate)
+		if err != nil {
+			return err
+		}
+		if *fs.stateDir != "" || *fs.restore || *fs.checkpoint != "" {
+			return fmt.Errorf("-ablate-depth sweeps fresh runs; it cannot combine with -state-dir/-checkpoint/-restore")
+		}
+		return runAblate(fs, spec, data, depths, func(depth int) (*trainer.Trainer, func(), error) {
+			c := cfg
+			c.MaxInFlight = depth
+			c.AutoTune = false // the sweep pins the depth being measured
+			c.Dir = ""
+			c.CheckpointPath = ""
+			c.CheckpointInterval = 0
+			tr, err := trainer.New(c)
+			return tr, nil, err
+		})
+	}
+
 	fmt.Printf("training model %s: %d sparse params, dim %d, %d non-zeros/example, dense %v\n",
 		spec.Name, spec.SparseParams, spec.EmbeddingDim, spec.NonZerosPerExample, spec.HiddenLayers)
 	fmt.Printf("topology: %d node(s) x %d GPU(s), %d batches x %d examples/node, pipeline depth %d\n\n",
-		nodes, *fs.gpus, batches, batchSize, *fs.inFlight)
+		nodes, *fs.gpus, batches, batchSize, cfg.MaxInFlight)
 
 	tr, err := trainer.New(cfg)
 	if err != nil {

@@ -191,11 +191,14 @@ func TestServeConfigAndStatsRPC(t *testing.T) {
 // TestServingStatsAdd checks the aggregate: counters sum, watermarks take
 // the max.
 func TestServingStatsAdd(t *testing.T) {
-	a := ServingStats{Requests: 1, CacheHits: 2, PushEpoch: 5, StalenessMax: 1}
-	b := ServingStats{Requests: 2, CacheHits: 3, PushEpoch: 4, StalenessMax: 2}
+	a := ServingStats{Requests: 1, CacheHits: 2, PushEpoch: 5, StalenessMax: 1, PushEpochLag: 3}
+	b := ServingStats{Requests: 2, CacheHits: 3, PushEpoch: 4, StalenessMax: 2, PushEpochLag: 1}
 	got := a.Add(b)
 	if got.Requests != 3 || got.CacheHits != 5 || got.PushEpoch != 5 || got.StalenessMax != 2 {
 		t.Fatalf("aggregate %+v", got)
+	}
+	if got.PushEpochLag != 3 {
+		t.Fatalf("push epoch lag should take the max, got %+v", got)
 	}
 }
 

@@ -65,6 +65,12 @@ type ServeConfig struct {
 	// Epoch is the training push epoch the dense parameters belong to; the
 	// shard reports serving staleness against it.
 	Epoch uint64
+	// TrainedEpoch is the trainer's trained-batch watermark when this config
+	// was published. With async push it runs ahead of Epoch by the pushes
+	// still parked in the trainer's committer; shards report the gap between
+	// it and their own applied-push clock as PushEpochLag — the freshness
+	// cost of the asynchronous pipeline, surfaced to serving.
+	TrainedEpoch uint64
 }
 
 // ServeConfigHandler receives serving-tier configuration from the driver.
@@ -103,6 +109,11 @@ type ServingStats struct {
 	// observed at scoring time (bounded by one epoch when the driver
 	// republishes after every push).
 	StalenessMax uint64
+	// PushEpochLag is how many batches the trainer has trained beyond the
+	// pushes this shard has applied (trained watermark minus PushEpoch) — 0
+	// in synchronous mode, bounded by pipeline depth-1 plus the push-lag
+	// budget in async-push mode.
+	PushEpochLag uint64
 }
 
 // Add returns the element-wise aggregate of two shards' serving stats
@@ -122,6 +133,7 @@ func (s ServingStats) Add(o ServingStats) ServingStats {
 	s.PushEpoch = max(s.PushEpoch, o.PushEpoch)
 	s.DenseEpoch = max(s.DenseEpoch, o.DenseEpoch)
 	s.StalenessMax = max(s.StalenessMax, o.StalenessMax)
+	s.PushEpochLag = max(s.PushEpochLag, o.PushEpochLag)
 	return s
 }
 

@@ -194,10 +194,12 @@ func (t *HashTable) View(k keys.Key, fn func(v *embedding.Value)) bool {
 	return true
 }
 
-// gatherScratch is the pooled per-call bucket scratch of GatherBatch: request
-// indices grouped by table shard.
+// gatherScratch is the pooled per-call scratch of GatherBatch: request
+// indices grouped by table shard, plus the resolved slot indices of the
+// shard currently being probed.
 type gatherScratch struct {
 	buckets [tableShards][]int32
+	slots   []int32
 }
 
 var gatherPool = sync.Pool{New: func() any { return new(gatherScratch) }}
@@ -226,13 +228,21 @@ func (t *HashTable) GatherBatch(ks []keys.Key, visit func(i int, v *embedding.Va
 		}
 		s := &t.shards[b]
 		s.mu.RLock()
+		// Two passes under the one lock: probe every key to its slot first —
+		// a tight loop over the slot array while its lines are hot — then run
+		// the visits, whose row copies would otherwise churn the cache between
+		// consecutive probes.
+		sc.slots = sc.slots[:0]
 		for _, i := range idxs {
 			idx, found, _ := s.probe(ks[i])
 			if !found {
 				s.mu.RUnlock()
 				return ks[i], false
 			}
-			visit(int(i), s.slots[idx].value)
+			sc.slots = append(sc.slots, int32(idx))
+		}
+		for j, i := range idxs {
+			visit(int(i), s.slots[sc.slots[j]].value)
 		}
 		s.mu.RUnlock()
 	}

@@ -115,6 +115,8 @@ func (r Report) String() string {
 	fmt.Fprintf(&b, "  coalesced requests  %10d of %d served\n", s.Coalesced, s.Requests)
 	fmt.Fprintf(&b, "  staleness           %10d push epoch(s) max (push epoch %d, dense epoch %d)\n",
 		s.StalenessMax, s.PushEpoch, s.DenseEpoch)
+	fmt.Fprintf(&b, "  push epoch lag      %10d batch(es) trained beyond applied pushes\n",
+		s.PushEpochLag)
 	return b.String()
 }
 

@@ -130,10 +130,11 @@ type MemPS struct {
 	seed        int64 // keyed-init seed: same (seed, key) -> same initial value
 	stats       Stats
 
-	// applyBlock scratch, reused across batches (safe: applyBlock holds m.mu).
+	// applyBlock/ApplyUpdates scratch, reused across batches (safe: both hold m.mu).
 	applyOrder []int
 	applyMiss  []int
 	applyLoad  []keys.Key
+	applyOwned []keys.Key
 }
 
 var (
@@ -659,12 +660,13 @@ func (m *MemPS) HandleLookup(ks []keys.Key) (cluster.PullResult, error) {
 func (m *MemPS) ApplyUpdates(deltas map[keys.Key]*embedding.Value) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	owned := make([]keys.Key, 0, len(deltas))
+	owned := m.applyOwned[:0]
 	for k := range deltas {
 		if m.ownsKey(k) {
 			owned = append(owned, k)
 		}
 	}
+	m.applyOwned = owned
 	loaded, loadTime, err := m.loadUncached(owned)
 	if err != nil {
 		return fmt.Errorf("memps: apply updates: %w", err)

@@ -9,6 +9,13 @@
 // queue is full, and the steady-state batch latency is governed by the
 // slowest stage rather than the sum of all stages.
 //
+// Queue capacities are either fixed (Stage.QueueSize) or, with AutoTune,
+// derived at runtime from measured per-stage service times: "the capacity of
+// the prefetch queue is pre-set according to the execution time of each
+// stage". The tuner warm-starts after the first measurement interval and
+// keeps re-deriving the capacities (and the suggested pipeline depth) as the
+// EWMA service times drift, always under the configured ceilings.
+//
 // The pipeline is generic over the job type so the same machinery drives the
 // trainer and the ablation benchmarks.
 package pipeline
@@ -17,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 )
@@ -29,9 +37,10 @@ var ErrStopped = errors.New("pipeline: stopped")
 type Stage[T any] struct {
 	// Name identifies the stage in statistics (e.g. "read", "pull", "train").
 	Name string
-	// QueueSize is the capacity of the stage's prefetch queue ("the capacity
-	// of the prefetch queue is pre-set according to the execution time of
-	// each stage"). Values < 1 are treated as 1.
+	// QueueSize is the initial capacity of the stage's prefetch queue ("the
+	// capacity of the prefetch queue is pre-set according to the execution
+	// time of each stage"). Values < 1 are treated as 1. With AutoTune the
+	// capacity is re-derived at runtime from measured stage times.
 	QueueSize int
 	// Fn processes one job and returns the job handed to the next stage.
 	Fn func(context.Context, T) (T, error)
@@ -48,6 +57,62 @@ type StageStats struct {
 	// Stalled is the cumulative wall-clock time spent blocked pushing into
 	// the next stage's full queue (backpressure).
 	Stalled time.Duration
+	// EWMAService is the exponentially-weighted moving average of the
+	// stage's per-job service time — the measurement the auto-tuner sizes
+	// queues from.
+	EWMAService time.Duration
+	// QueueCap is the current capacity of the stage's input queue.
+	QueueCap int
+	// MeanQueueLen is the mean occupancy of the stage's input queue, sampled
+	// every time the upstream producer enqueues a job.
+	MeanQueueLen float64
+}
+
+// TunerConfig configures the runtime queue/depth auto-tuner.
+type TunerConfig struct {
+	// MaxQueue caps any single stage's queue capacity (default: MaxInFlight,
+	// since a queue deeper than the pipeline's job budget can never fill).
+	MaxQueue int
+	// MaxInFlight is the ceiling on the suggested pipeline depth. Required
+	// >= 1.
+	MaxInFlight int
+	// Interval retunes every Interval jobs completed by the final stage
+	// (default 4). The first retune after Interval jobs is the paper-style
+	// warm start "pre-set from the execution time of each stage".
+	Interval int
+	// Alpha is the EWMA smoothing factor in (0, 1] (default 0.25).
+	Alpha float64
+}
+
+func (c TunerConfig) withDefaults() TunerConfig {
+	if c.MaxInFlight < 1 {
+		c.MaxInFlight = 1
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = c.MaxInFlight
+	}
+	if c.Interval <= 0 {
+		c.Interval = 4
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.25
+	}
+	return c
+}
+
+// TunerState is a snapshot of the auto-tuner's current decisions.
+type TunerState struct {
+	// Enabled reports whether AutoTune was configured.
+	Enabled bool
+	// QueueCaps are the per-stage input-queue capacities currently applied.
+	QueueCaps []int
+	// InFlight is the suggested effective pipeline depth: the number of
+	// overlapping jobs needed to keep the bottleneck stage busy
+	// (ceil(sum of stage times / slowest stage time)), clamped to
+	// [1, MaxInFlight].
+	InFlight int
+	// Retunes counts how many times the tuner re-derived the sizing.
+	Retunes int64
 }
 
 // Pipeline executes a fixed sequence of stages over a stream of jobs.
@@ -56,6 +121,14 @@ type Pipeline[T any] struct {
 
 	mu    sync.Mutex
 	stats []StageStats
+	ewma  []float64 // per-stage EWMA service time in ns (tuner input)
+	qs    []*queue[T]
+
+	tuner        *TunerConfig
+	queueCaps    []int
+	inFlight     int
+	retunes      int64
+	jobsAtRetune int64
 }
 
 // New constructs a pipeline from the given stages. It panics if no stages are
@@ -66,10 +139,24 @@ func New[T any](stages ...Stage[T]) *Pipeline[T] {
 	}
 	p := &Pipeline[T]{stages: stages}
 	p.stats = make([]StageStats, len(stages))
+	p.ewma = make([]float64, len(stages))
+	p.queueCaps = make([]int, len(stages))
 	for i, s := range stages {
 		p.stats[i].Name = s.Name
+		p.queueCaps[i] = max(s.QueueSize, 1)
 	}
 	return p
+}
+
+// AutoTune arms the runtime auto-tuner: once Run is going, queue capacities
+// and the suggested in-flight depth are re-derived from the measured EWMA
+// stage times every cfg.Interval completed jobs. Call before Run.
+func (p *Pipeline[T]) AutoTune(cfg TunerConfig) {
+	cfg = cfg.withDefaults()
+	p.mu.Lock()
+	p.tuner = &cfg
+	p.inFlight = cfg.MaxInFlight
+	p.mu.Unlock()
 }
 
 // NumStages returns the number of stages.
@@ -80,7 +167,33 @@ func (p *Pipeline[T]) NumStages() int { return len(p.stages) }
 func (p *Pipeline[T]) Stats() []StageStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return append([]StageStats(nil), p.stats...)
+	out := append([]StageStats(nil), p.stats...)
+	for i := range out {
+		out[i].EWMAService = time.Duration(p.ewma[i])
+		out[i].QueueCap = p.queueCaps[i]
+		if i < len(p.qs) && p.qs[i] != nil {
+			out[i].QueueCap, out[i].MeanQueueLen = p.qs[i].occupancy()
+		}
+	}
+	return out
+}
+
+// TunerState returns the auto-tuner's current sizing decisions. For a
+// pipeline without AutoTune, Enabled is false and the snapshot carries the
+// static configuration.
+func (p *Pipeline[T]) TunerState() TunerState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := TunerState{
+		Enabled:   p.tuner != nil,
+		QueueCaps: append([]int(nil), p.queueCaps...),
+		InFlight:  p.inFlight,
+		Retunes:   p.retunes,
+	}
+	if st.InFlight < 1 {
+		st.InFlight = 1
+	}
+	return st
 }
 
 func (p *Pipeline[T]) addStat(i int, busy, stalled time.Duration) {
@@ -88,7 +201,70 @@ func (p *Pipeline[T]) addStat(i int, busy, stalled time.Duration) {
 	p.stats[i].Jobs++
 	p.stats[i].Busy += busy
 	p.stats[i].Stalled += stalled
+	alpha := 0.25
+	if p.tuner != nil {
+		alpha = p.tuner.Alpha
+	}
+	if p.ewma[i] == 0 {
+		p.ewma[i] = float64(busy)
+	} else {
+		p.ewma[i] = alpha*float64(busy) + (1-alpha)*p.ewma[i]
+	}
+	if p.tuner != nil && i == len(p.stages)-1 &&
+		p.stats[i].Jobs-p.jobsAtRetune >= int64(p.tuner.Interval) {
+		p.jobsAtRetune = p.stats[i].Jobs
+		p.retuneLocked()
+	}
 	p.mu.Unlock()
+}
+
+// retuneLocked re-derives queue capacities and the suggested depth from the
+// current EWMA stage times. Called with p.mu held.
+//
+// Sizing rule: the queue feeding a stage grows with the stage's service time
+// relative to the fastest stage — a slow consumer needs a deep prefetch queue
+// so its upstream can run ahead through the fast stages, which is exactly the
+// paper's "pre-set according to the execution time of each stage". The depth
+// suggestion is the classic pipeline occupancy bound, ceil(sum/bottleneck):
+// enough overlapping jobs to keep the slowest stage fed, and not more —
+// extra depth would only add staleness.
+func (p *Pipeline[T]) retuneLocked() {
+	minT := math.Inf(1)
+	var sum, maxT float64
+	for _, e := range p.ewma {
+		if e <= 0 {
+			return // not every stage measured yet
+		}
+		minT = math.Min(minT, e)
+		maxT = math.Max(maxT, e)
+		sum += e
+	}
+	cfg := p.tuner
+	for i, e := range p.ewma {
+		c := int(math.Round(e / minT))
+		if c < 1 {
+			c = 1
+		}
+		if c > cfg.MaxQueue {
+			c = cfg.MaxQueue
+		}
+		if c > cfg.MaxInFlight {
+			c = cfg.MaxInFlight
+		}
+		p.queueCaps[i] = c
+		if i < len(p.qs) && p.qs[i] != nil {
+			p.qs[i].setCap(c)
+		}
+	}
+	depth := int(math.Ceil(sum/maxT - 1e-9))
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > cfg.MaxInFlight {
+		depth = cfg.MaxInFlight
+	}
+	p.inFlight = depth
+	p.retunes++
 }
 
 // Run pulls jobs from source until it reports no more jobs (ok == false),
@@ -119,16 +295,26 @@ func (p *Pipeline[T]) Run(ctx context.Context, source func(context.Context) (T, 
 		})
 	}
 
-	// Build the chain of channels: source -> q0 -> stage0 -> q1 -> ... -> sink.
-	queues := make([]chan T, len(p.stages)+1)
-	for i, s := range p.stages {
-		size := s.QueueSize
-		if size < 1 {
-			size = 1
-		}
-		queues[i] = make(chan T, size)
+	// Build the chain of queues: source -> q0 -> stage0 -> q1 -> ... -> sink.
+	// The queues are resizable so the auto-tuner can apply new capacities to
+	// a running pipeline.
+	queues := make([]*queue[T], len(p.stages)+1)
+	p.mu.Lock()
+	for i := range p.stages {
+		queues[i] = newQueue[T](p.queueCaps[i])
 	}
-	queues[len(p.stages)] = make(chan T, 1)
+	queues[len(p.stages)] = newQueue[T](1)
+	p.qs = queues[:len(p.stages)]
+	p.mu.Unlock()
+
+	// Cancellation watchdog: a cancelled context must unblock every push and
+	// pop, exactly like the select-on-ctx the channel implementation had.
+	go func() {
+		<-runCtx.Done()
+		for _, q := range queues {
+			q.close()
+		}
+	}()
 
 	var wg sync.WaitGroup
 
@@ -136,7 +322,7 @@ func (p *Pipeline[T]) Run(ctx context.Context, source func(context.Context) (T, 
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		defer close(queues[0])
+		defer queues[0].close()
 		for {
 			job, ok, err := source(runCtx)
 			if err != nil {
@@ -146,9 +332,7 @@ func (p *Pipeline[T]) Run(ctx context.Context, source func(context.Context) (T, 
 			if !ok {
 				return
 			}
-			select {
-			case queues[0] <- job:
-			case <-runCtx.Done():
+			if !queues[0].push(job) {
 				return
 			}
 		}
@@ -159,8 +343,12 @@ func (p *Pipeline[T]) Run(ctx context.Context, source func(context.Context) (T, 
 		wg.Add(1)
 		go func(i int, s Stage[T]) {
 			defer wg.Done()
-			defer close(queues[i+1])
-			for job := range queues[i] {
+			defer queues[i+1].close()
+			for {
+				job, ok := queues[i].pop()
+				if !ok {
+					return
+				}
 				start := time.Now()
 				out, err := s.Fn(runCtx, job)
 				busy := time.Since(start)
@@ -169,13 +357,11 @@ func (p *Pipeline[T]) Run(ctx context.Context, source func(context.Context) (T, 
 					return
 				}
 				pushStart := time.Now()
-				select {
-				case queues[i+1] <- out:
-				case <-runCtx.Done():
-					p.addStat(i, busy, time.Since(pushStart))
+				ok = queues[i+1].push(out)
+				p.addStat(i, busy, time.Since(pushStart))
+				if !ok {
 					return
 				}
-				p.addStat(i, busy, time.Since(pushStart))
 			}
 		}(i, s)
 	}
@@ -184,7 +370,11 @@ func (p *Pipeline[T]) Run(ctx context.Context, source func(context.Context) (T, 
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		for job := range queues[len(p.stages)] {
+		for {
+			job, ok := queues[len(p.stages)].pop()
+			if !ok {
+				return
+			}
 			if sink == nil {
 				continue
 			}

@@ -1,0 +1,112 @@
+package pipeline
+
+import "sync"
+
+// queue is a bounded FIFO whose capacity can be changed while producers and
+// consumers are blocked on it — the property the auto-tuner needs and Go
+// channels do not have. A closed queue rejects further pushes but keeps
+// serving pops until it drains, matching the close semantics of the channel
+// chain it replaces.
+type queue[T any] struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond
+	notFull  sync.Cond
+	buf      []T
+	head     int
+	capacity int
+	closed   bool
+
+	// Occupancy accounting: the queue length is sampled on every push, so
+	// mean occupancy reflects how full the prefetch queue runs in steady
+	// state (a persistently full queue marks the consumer as the bottleneck).
+	occSum   int64
+	occCount int64
+}
+
+func newQueue[T any](capacity int) *queue[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &queue[T]{capacity: capacity}
+	q.notEmpty.L = &q.mu
+	q.notFull.L = &q.mu
+	return q
+}
+
+// push appends v, blocking while the queue is at capacity. It returns false
+// if the queue was closed before the value could be enqueued.
+func (q *queue[T]) push(v T) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for !q.closed && len(q.buf)-q.head >= q.capacity {
+		q.notFull.Wait()
+	}
+	if q.closed {
+		return false
+	}
+	q.occSum += int64(len(q.buf) - q.head)
+	q.occCount++
+	q.buf = append(q.buf, v)
+	q.notEmpty.Signal()
+	return true
+}
+
+// pop removes the oldest value, blocking while the queue is empty. It returns
+// ok=false once the queue is closed and drained.
+func (q *queue[T]) pop() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.buf) == q.head && !q.closed {
+		q.notEmpty.Wait()
+	}
+	var zero T
+	if len(q.buf) == q.head {
+		return zero, false // closed and drained
+	}
+	v := q.buf[q.head]
+	q.buf[q.head] = zero // release the reference for GC
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	q.notFull.Signal()
+	return v, true
+}
+
+// setCap changes the capacity. Growing wakes blocked producers; shrinking
+// below the current length only throttles future pushes (queued values are
+// never dropped).
+func (q *queue[T]) setCap(n int) {
+	if n < 1 {
+		n = 1
+	}
+	q.mu.Lock()
+	if n > q.capacity {
+		q.capacity = n
+		q.notFull.Broadcast()
+	} else {
+		q.capacity = n
+	}
+	q.mu.Unlock()
+}
+
+// close marks the queue closed and wakes every waiter. Idempotent.
+func (q *queue[T]) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+	q.mu.Unlock()
+}
+
+// occupancy returns the current capacity and the mean queue length observed
+// across all pushes so far.
+func (q *queue[T]) occupancy() (capacity int, mean float64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.occCount > 0 {
+		mean = float64(q.occSum) / float64(q.occCount)
+	}
+	return q.capacity, mean
+}

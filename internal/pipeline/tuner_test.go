@@ -1,0 +1,169 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// runTimed drives a pipeline of sleep stages through n jobs and returns the
+// tuner snapshot afterwards.
+func runTimed(t *testing.T, p *Pipeline[int], n int) TunerState {
+	t.Helper()
+	next := 0
+	source := func(context.Context) (int, bool, error) {
+		if next >= n {
+			return 0, false, nil
+		}
+		next++
+		return next, true, nil
+	}
+	if err := p.Run(context.Background(), source, nil); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return p.TunerState()
+}
+
+func sleepStage(name string, d time.Duration) Stage[int] {
+	return Stage[int]{
+		Name:      name,
+		QueueSize: 1,
+		Fn: func(_ context.Context, j int) (int, error) {
+			time.Sleep(d)
+			return j, nil
+		},
+	}
+}
+
+// TestAutoTuneQueueCapsTrackStageTimes checks the paper's sizing rule: the
+// queue feeding a stage grows with that stage's service time relative to the
+// fastest stage. A stage 4x slower than the fastest should end up with a
+// visibly deeper queue, while the fastest stays at 1.
+func TestAutoTuneQueueCapsTrackStageTimes(t *testing.T) {
+	p := New(
+		sleepStage("fast", 2*time.Millisecond),
+		sleepStage("slow", 8*time.Millisecond),
+		sleepStage("mid", 4*time.Millisecond),
+	)
+	p.AutoTune(TunerConfig{MaxInFlight: 8, Interval: 4})
+	st := runTimed(t, p, 24)
+
+	if !st.Enabled {
+		t.Fatalf("tuner not enabled: %+v", st)
+	}
+	if st.Retunes < 1 {
+		t.Fatalf("expected at least one retune after 24 jobs with interval 4, got %d", st.Retunes)
+	}
+	caps := st.QueueCaps
+	if len(caps) != 3 {
+		t.Fatalf("expected 3 queue caps, got %v", caps)
+	}
+	// Sleep-based timing is noisy; assert ordering and rough magnitude, not
+	// exact ratios.
+	if caps[0] != 1 {
+		t.Errorf("fastest stage queue cap = %d, want 1", caps[0])
+	}
+	if caps[1] < 2 {
+		t.Errorf("4x-slower stage queue cap = %d, want >= 2", caps[1])
+	}
+	if caps[1] <= caps[2] && caps[2] != caps[1] {
+		t.Errorf("slowest stage cap %d should be >= mid stage cap %d", caps[1], caps[2])
+	}
+	// Depth suggestion: sum/bottleneck = 14ms/8ms -> ceil = 2 (noise may push
+	// it to 3, never past the ceiling).
+	if st.InFlight < 2 || st.InFlight > 8 {
+		t.Errorf("suggested depth = %d, want within [2, 8]", st.InFlight)
+	}
+}
+
+// TestAutoTuneNeverExceedsCeiling pins the hard bound: no matter how lopsided
+// the measured stage times are, queue capacities and the depth suggestion stay
+// within MaxInFlight (and MaxQueue).
+func TestAutoTuneNeverExceedsCeiling(t *testing.T) {
+	p := New(
+		sleepStage("fast", 500*time.Microsecond),
+		sleepStage("glacial", 10*time.Millisecond),
+	)
+	p.AutoTune(TunerConfig{MaxInFlight: 3, Interval: 2})
+	st := runTimed(t, p, 10)
+
+	if st.Retunes < 1 {
+		t.Fatalf("expected retunes, got %d", st.Retunes)
+	}
+	for i, c := range st.QueueCaps {
+		if c < 1 || c > 3 {
+			t.Errorf("stage %d queue cap = %d, want within [1, 3]", i, c)
+		}
+	}
+	// 20x ratio would suggest a huge queue; the ceiling must clamp it to
+	// exactly MaxInFlight.
+	if st.QueueCaps[1] != 3 {
+		t.Errorf("glacial stage cap = %d, want clamped to 3", st.QueueCaps[1])
+	}
+	if st.InFlight < 1 || st.InFlight > 3 {
+		t.Errorf("suggested depth = %d, want within [1, 3]", st.InFlight)
+	}
+}
+
+// TestAutoTuneMaxQueueCap checks the independent MaxQueue bound: even with a
+// deep in-flight budget the per-stage queue stays at MaxQueue.
+func TestAutoTuneMaxQueueCap(t *testing.T) {
+	p := New(
+		sleepStage("fast", 500*time.Microsecond),
+		sleepStage("slow", 6*time.Millisecond),
+	)
+	p.AutoTune(TunerConfig{MaxInFlight: 16, MaxQueue: 2, Interval: 2})
+	st := runTimed(t, p, 10)
+
+	if st.Retunes < 1 {
+		t.Fatalf("expected retunes, got %d", st.Retunes)
+	}
+	for i, c := range st.QueueCaps {
+		if c > 2 {
+			t.Errorf("stage %d queue cap = %d, want <= MaxQueue=2", i, c)
+		}
+	}
+}
+
+// TestTunerStateWithoutAutoTune: a plain pipeline reports Enabled=false and
+// its static queue sizes.
+func TestTunerStateWithoutAutoTune(t *testing.T) {
+	p := New(
+		Stage[int]{Name: "a", QueueSize: 3, Fn: func(_ context.Context, j int) (int, error) { return j, nil }},
+		Stage[int]{Name: "b", QueueSize: 1, Fn: func(_ context.Context, j int) (int, error) { return j, nil }},
+	)
+	st := p.TunerState()
+	if st.Enabled {
+		t.Fatalf("tuner should be disabled: %+v", st)
+	}
+	if st.Retunes != 0 {
+		t.Errorf("retunes = %d, want 0", st.Retunes)
+	}
+	if len(st.QueueCaps) != 2 || st.QueueCaps[0] != 3 || st.QueueCaps[1] != 1 {
+		t.Errorf("queue caps = %v, want [3 1]", st.QueueCaps)
+	}
+}
+
+// TestStatsCarryEWMAAndOccupancy: after a run, Stats exposes a nonzero EWMA
+// service time for every stage and the queue capacity/mean occupancy of each
+// stage's input queue.
+func TestStatsCarryEWMAAndOccupancy(t *testing.T) {
+	p := New(
+		sleepStage("a", time.Millisecond),
+		sleepStage("b", 2*time.Millisecond),
+	)
+	p.AutoTune(TunerConfig{MaxInFlight: 4, Interval: 2})
+	runTimed(t, p, 8)
+
+	for _, s := range p.Stats() {
+		if s.EWMAService <= 0 {
+			t.Errorf("stage %s EWMA service = %v, want > 0", s.Name, s.EWMAService)
+		}
+		if s.QueueCap < 1 {
+			t.Errorf("stage %s queue cap = %d, want >= 1", s.Name, s.QueueCap)
+		}
+		if s.MeanQueueLen < 0 {
+			t.Errorf("stage %s mean queue len = %v, want >= 0", s.Name, s.MeanQueueLen)
+		}
+	}
+}

@@ -125,6 +125,11 @@ type Server struct {
 	netMu      sync.RWMutex
 	net        *nn.Network
 	denseEpoch uint64
+	// trainedEpoch is the trainer's trained-batch watermark from the latest
+	// ServeConfig; the gap to this shard's own applied-push clock is the
+	// push-epoch lag reported in ServingStats (the async-push freshness
+	// metric).
+	trainedEpoch uint64
 
 	// peerMu guards lazy peer-transport creation from the first ServeConfig.
 	peerMu sync.Mutex
@@ -238,6 +243,9 @@ func (s *Server) HandleServeConfig(cfg cluster.ServeConfig) error {
 		if cfg.Epoch > s.denseEpoch {
 			s.denseEpoch = cfg.Epoch
 		}
+		if cfg.TrainedEpoch > s.trainedEpoch {
+			s.trainedEpoch = cfg.TrainedEpoch
+		}
 	}
 	return nil
 }
@@ -266,7 +274,12 @@ func (s *Server) HandlePredict(req cluster.PredictRequest) ([]float32, error) {
 func (s *Server) ServingStats() cluster.ServingStats {
 	s.netMu.RLock()
 	denseEpoch := s.denseEpoch
+	trainedEpoch := s.trainedEpoch
 	s.netMu.RUnlock()
+	var pushLag uint64
+	if pe := s.pushEpoch.Load(); trainedEpoch > pe {
+		pushLag = trainedEpoch - pe
+	}
 	return cluster.ServingStats{
 		Requests:     s.requests.Load(),
 		Examples:     s.examples.Load(),
@@ -282,6 +295,7 @@ func (s *Server) ServingStats() cluster.ServingStats {
 		PushEpoch:    s.pushEpoch.Load(),
 		DenseEpoch:   denseEpoch,
 		StalenessMax: s.stalenessMax.Load(),
+		PushEpochLag: pushLag,
 	}
 }
 

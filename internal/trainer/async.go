@@ -1,0 +1,306 @@
+package trainer
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hps/internal/cluster"
+	"hps/internal/memps"
+	"hps/internal/ps"
+)
+
+// depthGate bounds how many batches are in the pipeline at once, like the
+// token channel it replaces, but with a limit the auto-tuner can change while
+// producers are blocked on it. The source acquires one slot per batch and the
+// sink releases it; shrinking the limit below the current occupancy simply
+// stalls the source until enough batches drain.
+type depthGate struct {
+	mu    sync.Mutex
+	cond  sync.Cond
+	limit int
+	inUse int
+}
+
+func newDepthGate(limit int) *depthGate {
+	if limit < 1 {
+		limit = 1
+	}
+	g := &depthGate{limit: limit}
+	g.cond.L = &g.mu
+	return g
+}
+
+// acquire blocks until a slot is free or ctx is cancelled. The caller must
+// arrange for the gate to be broadcast when ctx is cancelled (see Run's
+// watcher); acquire itself only re-checks ctx between waits.
+func (g *depthGate) acquire(ctx context.Context) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.inUse >= g.limit {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		g.cond.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	g.inUse++
+	return nil
+}
+
+func (g *depthGate) release() {
+	g.mu.Lock()
+	g.inUse--
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// setLimit applies a new depth. Values < 1 clamp to 1.
+func (g *depthGate) setLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	g.mu.Lock()
+	if n != g.limit {
+		g.limit = n
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+func (g *depthGate) currentLimit() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.limit
+}
+
+// pushJob is one batch's merged delta block handed off to the background
+// committer: everything the apply half of stagePush needs, with ownership of
+// the block (the committer returns it to the pool after the commit).
+type pushJob struct {
+	index  int
+	global *ps.ValueBlock
+	// wss are the per-node working sets to complete after the push lands
+	// (in-process mode only; the remote working set holds no pins).
+	wss []*memps.WorkingSet
+}
+
+// pushCommitter applies merged delta blocks to the MEM-PS tier on a background
+// goroutine, modeled on memps.Replicator's bounded forward queue: stagePush
+// enqueues and returns, so the pipeline token comes back before the MEM-PS
+// round trip. The lag is bounded — at most `lag` pushes are outstanding
+// (queued or committing) — and drain() blocks until every enqueued push has
+// been applied, which is what Flush/checkpoint/Close call before declaring
+// anything durable.
+//
+// Pushes commit strictly in batch order (single committer goroutine, FIFO
+// queue), so the MEM-PS sees exactly the update sequence the synchronous path
+// would have applied — just later.
+type pushCommitter struct {
+	t     *Trainer
+	lag   int
+	queue chan *pushJob
+
+	// pending counts pushes handed to the committer and not yet applied; it
+	// is incremented by the enqueuer after a successful send and decremented
+	// by the committer after the commit, so its high-water mark (maxPending)
+	// is the observed push lag.
+	pending    atomic.Int64
+	maxPending atomic.Int64
+	// committed is the batch-index watermark: all pushes for batches < this
+	// value have been applied. Written only by the committer goroutine.
+	committed atomic.Int64
+	// staleMax is the largest trained-ahead-of-committed distance observed by
+	// stageTrain — the realized parameter staleness in batches.
+	staleMax atomic.Int64
+
+	errMu sync.Mutex
+	err   error
+
+	// commitDelay artificially slows every commit; a test hook for driving
+	// the lag bound to its limit under -race.
+	commitDelay time.Duration
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+func newPushCommitter(t *Trainer, lag int) *pushCommitter {
+	if lag < 1 {
+		lag = 1
+	}
+	c := &pushCommitter{
+		t: t, lag: lag,
+		// One push is "outstanding" while the committer works on it, so the
+		// queue holds the other lag-1; lag==1 degenerates to a rendezvous.
+		queue: make(chan *pushJob, lag-1),
+		done:  make(chan struct{}),
+	}
+	go c.run()
+	return c
+}
+
+// enqueue hands a merged delta block to the committer, blocking while the lag
+// bound is reached. On failure (cancelled context or a previously stored
+// commit error) it releases the block and reports the error — the pipeline
+// stops rather than training on updates that will never land.
+func (c *pushCommitter) enqueue(ctx context.Context, pj *pushJob) error {
+	if err := c.failed(); err != nil {
+		ps.PutBlock(pj.global)
+		return err
+	}
+	select {
+	case c.queue <- pj:
+	case <-ctx.Done():
+		ps.PutBlock(pj.global)
+		return ctx.Err()
+	}
+	p := c.pending.Add(1)
+	for {
+		old := c.maxPending.Load()
+		if p <= old || c.maxPending.CompareAndSwap(old, p) {
+			break
+		}
+	}
+	return nil
+}
+
+func (c *pushCommitter) run() {
+	defer close(c.done)
+	for pj := range c.queue {
+		c.commit(pj)
+	}
+}
+
+// commit applies one push job. After the first error the committer keeps
+// draining the queue — releasing blocks, keeping pending honest — but applies
+// nothing further; the stored error surfaces on the next enqueue or drain.
+func (c *pushCommitter) commit(pj *pushJob) {
+	if c.commitDelay > 0 {
+		time.Sleep(c.commitDelay)
+	}
+	if c.failed() == nil {
+		if err := c.t.applyGlobalPush(pj); err != nil {
+			c.fail(err)
+		}
+	}
+	c.committed.Store(int64(pj.index) + 1)
+	c.pending.Add(-1)
+	ps.PutBlock(pj.global)
+}
+
+// drain blocks until every enqueued push has been applied, then reports any
+// stored commit error. It terminates because the committer goroutine always
+// makes progress on a nonempty queue (even after an error, where it only
+// releases blocks).
+func (c *pushCommitter) drain() error {
+	for c.pending.Load() != 0 {
+		time.Sleep(time.Millisecond)
+	}
+	return c.failed()
+}
+
+// close stops the committer goroutine. Call only after the pipeline has
+// stopped enqueueing and drain() has returned.
+func (c *pushCommitter) close() {
+	c.closeOnce.Do(func() { close(c.queue) })
+	<-c.done
+}
+
+func (c *pushCommitter) fail(err error) {
+	c.errMu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.errMu.Unlock()
+}
+
+func (c *pushCommitter) failed() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.err
+}
+
+// observeTrain records the realized staleness of a batch entering stageTrain:
+// how many older batches have trained but not yet had their push applied.
+// Bounded by depth-1 (batches ahead in the pipeline) + lag (pushes parked in
+// the committer).
+func (c *pushCommitter) observeTrain(index int) {
+	stale := int64(index) - c.committed.Load()
+	if stale < 0 {
+		stale = 0
+	}
+	for {
+		old := c.staleMax.Load()
+		if stale <= old || c.staleMax.CompareAndSwap(old, stale) {
+			return
+		}
+	}
+}
+
+// applyGlobalPush is the apply half of stagePush, run on the committer
+// goroutine in async mode: push the merged delta block into every node's
+// MEM-PS, complete the working sets (in-process), and republish the dense
+// tower to the serving tier. The committer is the only goroutine on the
+// MEM-PS push path, so the TierStats PushTime deltas attribute cleanly, same
+// as the synchronous stage.
+func (t *Trainer) applyGlobalPush(pj *pushJob) error {
+	var mu sync.Mutex
+	var modelled time.Duration
+	err := t.eachNode(func(n *node) error {
+		var d time.Duration
+		if t.remote != nil {
+			start := time.Now()
+			if err := n.mem.PushBlock(ps.PushBlockRequest{Shard: ps.NoShard, Block: pj.global}); err != nil {
+				return err
+			}
+			d = time.Since(start)
+		} else {
+			memBefore := n.mem.TierStats().PushTime
+			ssdBefore := n.store.TierStats().PushTime
+			if err := n.mem.PushBlock(ps.PushBlockRequest{Shard: ps.NoShard, Block: pj.global}); err != nil {
+				return err
+			}
+			if err := n.mem.CompleteBatch(pj.wss[n.id]); err != nil {
+				return err
+			}
+			d = (n.mem.TierStats().PushTime - memBefore) + (n.store.TierStats().PushTime - ssdBefore)
+		}
+		mu.Lock()
+		if d > modelled {
+			modelled = d
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if t.remote != nil && t.cfg.Serve {
+		// Same refresh as the synchronous stage, with the trainer's current
+		// trained-batch watermark riding along so shards can report how far
+		// their parameters trail training (push epoch lag).
+		t.denseMu.Lock()
+		t.denseFlat = t.net.FlattenParams(t.denseFlat[:0])
+		t.denseMu.Unlock()
+		scfg := cluster.ServeConfig{
+			Dense:        t.denseFlat,
+			Epoch:        uint64(pj.index) + 1,
+			TrainedEpoch: t.trainedEpoch.Load(),
+		}
+		for _, id := range t.cfg.Topology.MemberIDs() {
+			if err := t.remote.PublishServeConfig(id, scfg); err != nil {
+				if t.cfg.Topology.Replicas > 1 {
+					continue
+				}
+				return fmt.Errorf("trainer: refresh dense on shard %d: %w", id, err)
+			}
+		}
+	}
+	t.addStageModelled(StagePush, modelled)
+	return nil
+}

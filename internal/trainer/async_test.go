@@ -1,0 +1,192 @@
+package trainer
+
+import (
+	"context"
+	"math"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hps/internal/cluster"
+	"hps/internal/dataset"
+)
+
+// TestAsyncPushLagAndStalenessBounded pins the two bounds the async committer
+// sells: at most PushLag pushes are outstanding at any moment, and a batch
+// entering stageTrain is at most depth-1+lag batches ahead of the applied-push
+// watermark. The commit delay hook keeps the committer permanently behind, so
+// both bounds are actually driven to their limits instead of passing vacuously.
+func TestAsyncPushLagAndStalenessBounded(t *testing.T) {
+	const batches, depth, lag = 16, 4, 2
+	tr, err := New(Config{
+		Spec:        testSpec(),
+		Data:        testData(),
+		Topology:    cluster.Topology{Nodes: 2, GPUsPerNode: 2},
+		BatchSize:   64,
+		Batches:     batches,
+		MaxInFlight: depth,
+		AsyncPush:   true,
+		PushLag:     lag,
+		Seed:        11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	tr.committer.commitDelay = 2 * time.Millisecond
+	if err := tr.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run drains the committer before returning: nothing may still be pending,
+	// and the committed watermark must cover every batch.
+	if p := tr.committer.pending.Load(); p != 0 {
+		t.Fatalf("committer still has %d pending push(es) after Run", p)
+	}
+	if c := tr.committer.committed.Load(); c != batches {
+		t.Fatalf("committed watermark = %d, want %d", c, batches)
+	}
+
+	rep := tr.Report()
+	if !rep.AsyncPush || rep.PushLagLimit != lag {
+		t.Fatalf("report does not carry the async-push config: %+v", rep)
+	}
+	if rep.AsyncPushes != batches {
+		t.Fatalf("report counts %d async pushes, want %d", rep.AsyncPushes, batches)
+	}
+	if rep.MaxPushLag < 1 || rep.MaxPushLag > lag {
+		t.Fatalf("observed push lag %d outside [1, %d]", rep.MaxPushLag, lag)
+	}
+	if limit := int64(depth - 1 + lag); rep.StaleMaxBatches > limit {
+		t.Fatalf("staleness %d batches exceeds depth-1+lag = %d", rep.StaleMaxBatches, limit)
+	}
+}
+
+// TestAsyncPushMatchesSyncAUC is the quality half of the async-push trade: at
+// the default depth, deferring the MEM-PS apply by up to PushLag batches must
+// not move the converged AUC by more than the pipelining tolerance the paper's
+// Fig 3(b) argument allows.
+func TestAsyncPushMatchesSyncAUC(t *testing.T) {
+	data := testData()
+	// Both runs must be at their convergence plateau for the 0.005 band to
+	// measure the asynchrony rather than unfinished training: the realized
+	// staleness varies with scheduling (the race detector skews it hard), and
+	// mid-convergence that noise shows up directly in the AUC.
+	const batches, batchSize, evalN = 50, 128, 1500
+	base := Config{
+		Spec:        testSpec(),
+		Data:        data,
+		Topology:    cluster.Topology{Nodes: 1, GPUsPerNode: 1},
+		BatchSize:   batchSize,
+		Batches:     batches,
+		MaxInFlight: 4,
+		Seed:        7,
+	}
+	sync := runTrainer(t, base)
+	syncAUC := evalAUC(t, sync, dataset.NewGenerator(data, 999), evalN)
+
+	asyncCfg := base
+	asyncCfg.AsyncPush = true
+	asyncCfg.PushLag = 2
+	async := runTrainer(t, asyncCfg)
+	asyncAUC := evalAUC(t, async, dataset.NewGenerator(data, 999), evalN)
+
+	t.Logf("sync AUC = %.4f, async-push AUC = %.4f", syncAUC, asyncAUC)
+	if syncAUC < 0.6 {
+		t.Fatalf("synchronous baseline failed to learn (AUC %.4f)", syncAUC)
+	}
+	if diff := math.Abs(syncAUC - asyncAUC); diff > 0.005 {
+		t.Fatalf("async push moved the AUC: |%.4f - %.4f| = %.4f > 0.005",
+			asyncAUC, syncAUC, diff)
+	}
+}
+
+// TestAsyncPushCheckpointRestores pins the durability ordering: a checkpoint
+// cut while the committer is deliberately lagging must still cover every push
+// for batches below the cursor (Flush drains the committer before the shards
+// flush and the manifest is written), so a fresh trainer restoring from it
+// resumes cleanly and lands on the synchronous run's quality.
+func TestAsyncPushCheckpointRestores(t *testing.T) {
+	data := testData()
+	// Plateau-length run, same as TestAsyncPushMatchesSyncAUC: the final
+	// comparison must measure a lost push, not convergence noise.
+	const batches, batchSize, evalN = 50, 128, 1500
+	base := Config{
+		Spec:        testSpec(),
+		Data:        data,
+		Topology:    cluster.Topology{Nodes: 1, GPUsPerNode: 1},
+		BatchSize:   batchSize,
+		Batches:     batches,
+		MaxInFlight: 4,
+		AsyncPush:   true,
+		PushLag:     2,
+		Seed:        11,
+	}
+
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt.json")
+	halfCfg := base
+	halfCfg.Dir = filepath.Join(dir, "state")
+	halfCfg.Batches = batches / 2
+	halfCfg.CheckpointPath = ckpt
+	halfCfg.CheckpointInterval = 7 // mid-run cuts while pushes are in flight
+	half, err := New(halfCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half.committer.commitDelay = time.Millisecond
+	if err := half.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := half.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	resumeCfg := base
+	resumeCfg.Dir = halfCfg.Dir
+	resumeCfg.CheckpointPath = ckpt
+	resumed, err := New(resumeCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resumed.Close() })
+	resumed.committer.commitDelay = time.Millisecond
+	done, err := resumed.Restore(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != batches/2 {
+		t.Fatalf("restore resumed at batch %d, checkpoint was cut at %d", done, batches/2)
+	}
+	if err := resumed.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := resumed.Examples(), int64(batches*batchSize); got != want {
+		t.Fatalf("resumed run trained %d examples in total, want %d", got, want)
+	}
+
+	// Quality check against a straight uninterrupted run of the SAME async
+	// config under the same commit delay: the delayed committer costs a sliver
+	// of quality by design (that is the staleness trade), so a synchronous run
+	// is the wrong oracle. Matching the straight async run isolates exactly
+	// what this test pins — a push lost at the checkpoint cut would open a
+	// converged-AUC gap between the two.
+	straight, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { straight.Close() })
+	straight.committer.commitDelay = time.Millisecond
+	if err := straight.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	want := evalAUC(t, straight, dataset.NewGenerator(data, 999), evalN)
+	got := evalAUC(t, resumed, dataset.NewGenerator(data, 999), evalN)
+	t.Logf("straight async AUC = %.4f, async checkpoint+resume AUC = %.4f", want, got)
+	if want < 0.6 {
+		t.Fatalf("straight async baseline failed to learn (AUC %.4f)", want)
+	}
+	if diff := math.Abs(want - got); diff > 0.005 {
+		t.Fatalf("async resume diverged: |%.4f - %.4f| = %.4f > 0.005", got, want, diff)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand"
 	"testing"
+	"time"
 
 	"hps/internal/cluster"
 	"hps/internal/keys"
@@ -40,6 +41,57 @@ func BenchmarkTrainerBatch(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// benchPipelineDepth is the shared body of the pipelined-vs-synchronous
+// benchmark pair. The injected stage delays model the wait-dominated stages of
+// a production batch — the HDFS read and the networked MEM-PS pull/push spend
+// their wall time blocked, not computing — which is exactly the latency a
+// deeper pipeline exists to hide. Without them the benchmark would only
+// measure CPU contention on whatever core count the bench machine happens to
+// have; with them, the per-op gap between the two benchmarks is the overlap
+// itself (steady-state per-op tends to the slowest stage, not the stage sum).
+func benchPipelineDepth(b *testing.B, depth int, asyncPush bool) {
+	spec := model.Spec{
+		Name:               "bench",
+		NonZerosPerExample: 15,
+		SparseParams:       20000,
+		EmbeddingDim:       8,
+		HiddenLayers:       []int{32, 16},
+	}
+	tr, err := New(Config{
+		Spec:        spec,
+		Topology:    cluster.Topology{Nodes: 1, GPUsPerNode: 1},
+		BatchSize:   256,
+		Batches:     b.N,
+		MaxInFlight: depth,
+		AsyncPush:   asyncPush,
+		PushLag:     2,
+		Seed:        1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tr.Close()
+	tr.stageDelay = map[string]time.Duration{
+		StageRead: 3 * time.Millisecond, // HDFS stream wait
+		StagePull: 3 * time.Millisecond, // MEM-PS round trip
+		StagePush: 3 * time.Millisecond, // synchronized push round trip
+	}
+	b.ResetTimer()
+	if err := tr.Run(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTrainerSynchronous is the depth-1 baseline of the pair: every batch
+// pays read + pull + train + push end to end, waits included.
+func BenchmarkTrainerSynchronous(b *testing.B) { benchPipelineDepth(b, 1, false) }
+
+// BenchmarkTrainerPipelined measures steady-state throughput at the default
+// depth with the async push committer on — the configuration the adaptive
+// pipeline work optimizes for. Target: >= 1.5x BenchmarkTrainerSynchronous
+// ops/s (the AUC side of the trade is pinned by TestAsyncPushMatchesSyncAUC).
+func BenchmarkTrainerPipelined(b *testing.B) { benchPipelineDepth(b, 4, true) }
 
 // BenchmarkStagePushMultiNode measures the block-native push stage on a
 // 2-node cluster: slab-wise sorted-key merge of the per-node delta blocks,

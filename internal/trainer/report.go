@@ -25,6 +25,13 @@ type StageReport struct {
 	// WallBusy / WallStalled are the stage goroutine's measured wall times
 	// (busy inside the stage function, stalled on backpressure).
 	WallBusy, WallStalled time.Duration
+	// EWMAService is the smoothed per-batch service time the auto-tuner
+	// sizes queues from.
+	EWMAService time.Duration
+	// QueueCap / MeanQueueLen describe the stage's prefetch queue: its
+	// (possibly auto-tuned) capacity and its mean occupancy at enqueue time.
+	QueueCap     int
+	MeanQueueLen float64
 }
 
 // Report is the Fig-4-style throughput/latency breakdown of a training run.
@@ -67,6 +74,23 @@ type Report struct {
 	// Remote describes the real network activity of a multi-process run;
 	// nil for in-process runs.
 	Remote *RemoteNetReport
+	// AutoTune reports whether the runtime queue/depth tuner was armed;
+	// EffectiveDepth is its final depth suggestion (== MaxInFlight for a
+	// static run) and Retunes counts how many times it re-derived the sizing.
+	AutoTune       bool
+	EffectiveDepth int
+	Retunes        int64
+	// AsyncPush reports whether the background push committer was active;
+	// PushLagLimit is its configured outstanding-push budget, MaxPushLag the
+	// high-water mark it actually reached, AsyncPushes the pushes it
+	// committed, and StaleMaxBatches the worst trained-ahead-of-committed
+	// distance a batch observed entering the train stage (realized parameter
+	// staleness, bounded by depth-1 + PushLagLimit).
+	AsyncPush       bool
+	PushLagLimit    int
+	MaxPushLag      int64
+	AsyncPushes     int64
+	StaleMaxBatches int64
 }
 
 func addSSDStats(a, b ssdps.Stats) ssdps.Stats {
@@ -118,6 +142,8 @@ func (t *Trainer) Report() Report {
 		}
 		if i < len(wall) {
 			sr.WallBusy, sr.WallStalled = wall[i].Busy, wall[i].Stalled
+			sr.EWMAService = wall[i].EWMAService
+			sr.QueueCap, sr.MeanQueueLen = wall[i].QueueCap, wall[i].MeanQueueLen
 		}
 		sum += sr.Modelled
 		if sr.Modelled >= max {
@@ -135,6 +161,25 @@ func (t *Trainer) Report() Report {
 		r.ModelledElapsed = sum
 	}
 	r.Throughput = metrics.Throughput{Examples: examples, Elapsed: r.ModelledElapsed}
+
+	r.AutoTune = t.cfg.AutoTune
+	r.EffectiveDepth = t.cfg.MaxInFlight
+	if t.pipe != nil {
+		if ts := t.pipe.TunerState(); ts.Enabled {
+			r.EffectiveDepth = ts.InFlight
+			r.Retunes = ts.Retunes
+		}
+	}
+	if c := t.committer; c != nil {
+		r.AsyncPush = true
+		r.PushLagLimit = c.lag
+		r.MaxPushLag = c.maxPending.Load()
+		r.AsyncPushes = c.committed.Load() - int64(t.restored)
+		if r.AsyncPushes < 0 {
+			r.AsyncPushes = 0
+		}
+		r.StaleMaxBatches = c.staleMax.Load()
+	}
 
 	var hits, lookups int64
 	var ioStats blockio.Stats
@@ -194,11 +239,24 @@ func (r Report) String() string {
 		if s.Name == r.Bottleneck {
 			marker = "* " // the stage that paces steady-state throughput
 		}
-		fmt.Fprintf(&b, "%s%-6s total %12v   per-batch %12v   wall busy %10v   stalled %10v\n",
+		fmt.Fprintf(&b, "%s%-6s total %12v   per-batch %12v   wall busy %10v   stalled %10v   queue %d (mean %.1f)   ewma %v\n",
 			marker, s.Name, s.Modelled.Round(time.Microsecond), s.PerBatch.Round(time.Microsecond),
-			s.WallBusy.Round(time.Microsecond), s.WallStalled.Round(time.Microsecond))
+			s.WallBusy.Round(time.Microsecond), s.WallStalled.Round(time.Microsecond),
+			s.QueueCap, s.MeanQueueLen, s.EWMAService.Round(time.Microsecond))
 	}
 	fmt.Fprintf(&b, "bottleneck stage: %s   all-reduce (in push): %v\n", r.Bottleneck, r.AllReduce.Round(time.Microsecond))
+	if r.AutoTune {
+		caps := make([]int, 0, len(r.Stages))
+		for _, s := range r.Stages {
+			caps = append(caps, s.QueueCap)
+		}
+		fmt.Fprintf(&b, "adaptive pipeline: effective depth %d (ceiling %d), queue caps %v, retunes %d\n",
+			r.EffectiveDepth, r.MaxInFlight, caps, r.Retunes)
+	}
+	if r.AsyncPush {
+		fmt.Fprintf(&b, "async push: %d committed in background, lag max %d of %d budget, trained-ahead max %d batch(es)\n",
+			r.AsyncPushes, r.MaxPushLag, r.PushLagLimit, r.StaleMaxBatches)
+	}
 	fmt.Fprintf(&b, "modelled elapsed %v   throughput %.0f examples/s\n",
 		r.ModelledElapsed.Round(time.Microsecond), r.Throughput.ExamplesPerSecond())
 

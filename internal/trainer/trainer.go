@@ -48,6 +48,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hps/internal/blockio"
@@ -170,6 +171,22 @@ type Config struct {
 	// the run to still be going) and staleness experiments; leave zero for
 	// real training.
 	BatchPause time.Duration
+	// AutoTune arms the pipeline's runtime tuner: per-stage queue capacities
+	// and the effective in-flight depth are re-derived from measured EWMA
+	// stage times ("pre-set according to the execution time of each stage"),
+	// always within the MaxInFlight ceiling. The run starts at a shallow
+	// depth and deepens only when the measured stage times say the overlap
+	// pays for its staleness.
+	AutoTune bool
+	// AsyncPush moves the apply half of the push stage onto a bounded
+	// background committer: the pipeline token returns before the MEM-PS
+	// round trip, buying throughput at the price of parameters up to
+	// depth-1+PushLag batches stale. Flush/checkpoint/Close drain the
+	// committer first, so durability and restore semantics are unchanged.
+	AsyncPush bool
+	// PushLag bounds how many pushes may be outstanding in the background
+	// committer (default 2). Only meaningful with AsyncPush.
+	PushLag int
 }
 
 func (c Config) withDefaults() Config {
@@ -196,6 +213,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PullPipeline <= 0 {
 		c.PullPipeline = 1
+	}
+	if c.PushLag <= 0 {
+		c.PushLag = 2
 	}
 	if c.Data.NumFeatures == 0 {
 		c.Data = dataset.ForModel(c.Spec.SparseParams, c.Spec.NonZerosPerExample)
@@ -283,8 +303,19 @@ type Trainer struct {
 	scratch sync.Pool
 
 	// denseFlat is the reused dense-parameter flatten buffer for serving
-	// republish; only stagePush (single pipeline goroutine) and New touch it.
+	// republish; only the republish path — stagePush (single pipeline
+	// goroutine) in synchronous mode, the committer goroutine in async-push
+	// mode, exactly one of which is active — and New touch it.
 	denseFlat []float32
+
+	// committer is the bounded background push committer, nil unless
+	// cfg.AsyncPush.
+	committer *pushCommitter
+
+	// trainedEpoch is the trained-batch watermark (index of the last batch
+	// through stageTrain + 1); it rides on ServeConfig so the serving tier
+	// can report how far its parameters trail training.
+	trainedEpoch atomic.Uint64
 
 	// mergeScratch reuses the delta-merge state across batches; it is only
 	// touched by stagePush, which the pipeline runs on a single goroutine.
@@ -422,6 +453,9 @@ func New(cfg Config) (*Trainer, error) {
 			}
 		}
 	}
+	if cfg.AsyncPush {
+		t.committer = newPushCommitter(t, cfg.PushLag)
+	}
 	return t, nil
 }
 
@@ -546,14 +580,25 @@ func (t *Trainer) Run(ctx context.Context) error {
 	if t.cfg.Batches <= 0 {
 		return fmt.Errorf("trainer: Batches must be positive, have %d", t.cfg.Batches)
 	}
-	// MaxInFlight tokens bound pipeline occupancy: the source takes one per
-	// batch and the sink returns it, so at most MaxInFlight batches are in
-	// flight and the parameters a batch trains on are at most MaxInFlight-1
-	// batches stale. With one token the pipeline degenerates to Algorithm 1's
-	// strict sequential ordering.
-	tokens := make(chan struct{}, t.cfg.MaxInFlight)
-	for i := 0; i < t.cfg.MaxInFlight; i++ {
-		tokens <- struct{}{}
+	// The depth gate bounds pipeline occupancy: the source acquires one slot
+	// per batch and the sink releases it, so at most `limit` batches are in
+	// flight and the parameters a batch trains on are at most limit-1 batches
+	// stale. At limit 1 the pipeline degenerates to Algorithm 1's strict
+	// sequential ordering. With AutoTune the limit starts shallow (depth 2:
+	// enough overlap to measure the stages) and tracks the tuner's suggestion
+	// within the MaxInFlight ceiling; otherwise it is pinned at MaxInFlight.
+	initialDepth := t.cfg.MaxInFlight
+	if t.cfg.AutoTune {
+		initialDepth = min(2, t.cfg.MaxInFlight)
+	}
+	gate := newDepthGate(initialDepth)
+	var gateWatch sync.Once
+
+	// A restored run's committed watermark starts at the restore cursor, not
+	// zero, so the staleness accounting (job index minus committed) measures
+	// this run's lag rather than the checkpoint's age.
+	if t.committer != nil {
+		t.committer.committed.Store(int64(t.restored))
 	}
 
 	// A restored run trains only the batches the checkpoint does not cover;
@@ -564,20 +609,35 @@ func (t *Trainer) Run(ctx context.Context) error {
 	}
 	next := 0
 	source := func(ctx context.Context) (*job, bool, error) {
+		// The gate waits on a cond, not a channel, so a watcher converts the
+		// pipeline's cancellation into a broadcast. It must watch the ctx the
+		// pipeline passes in (its internal run context, cancelled on stage
+		// errors too), not the caller's.
+		gateWatch.Do(func() {
+			go func() {
+				<-ctx.Done()
+				gate.mu.Lock()
+				gate.cond.Broadcast()
+				gate.mu.Unlock()
+			}()
+		})
 		if next >= remaining {
 			return nil, false, nil
 		}
-		select {
-		case <-tokens:
-		case <-ctx.Done():
-			return nil, false, ctx.Err()
+		if err := gate.acquire(ctx); err != nil {
+			return nil, false, err
 		}
 		j := &job{index: next + t.restored, nodes: make([]*nodeBatch, len(t.nodes))}
 		next++
 		return j, true, nil
 	}
 	sink := func(ctx context.Context, j *job) error {
-		tokens <- struct{}{}
+		gate.release()
+		if t.cfg.AutoTune {
+			if d := t.pipe.TunerState().InFlight; d > 0 {
+				gate.setLimit(min(d, t.cfg.MaxInFlight))
+			}
+		}
 		t.mu.Lock()
 		t.batchesDone++
 		done := t.batchesDone
@@ -609,7 +669,22 @@ func (t *Trainer) Run(ctx context.Context) error {
 		pipeline.Stage[*job]{Name: StageTrain, QueueSize: 1, Fn: t.stageTrain},
 		pipeline.Stage[*job]{Name: StagePush, QueueSize: 1, Fn: t.stagePush},
 	)
-	return t.pipe.Run(ctx, source, sink)
+	if t.cfg.AutoTune {
+		t.pipe.AutoTune(pipeline.TunerConfig{
+			MaxQueue:    t.cfg.MaxInFlight,
+			MaxInFlight: t.cfg.MaxInFlight,
+		})
+	}
+	err := t.pipe.Run(ctx, source, sink)
+	if t.committer != nil {
+		// Settle the committer before returning — on errors too, so a caller
+		// that evaluates or checkpoints after a failed run still sees every
+		// acked push applied.
+		if derr := t.committer.drain(); err == nil {
+			err = derr
+		}
+	}
+	return err
 }
 
 // stageRead streams every node's batch of this index from HDFS.
@@ -698,6 +773,11 @@ func (t *Trainer) stagePull(_ context.Context, j *job) (*job, error) {
 // shard against the HBM-PS), and collects the per-node update deltas.
 func (t *Trainer) stageTrain(_ context.Context, j *job) (*job, error) {
 	t.maybeDelay(StageTrain)
+	if t.committer != nil {
+		// Record the realized staleness of the parameters this batch pulled:
+		// how many older batches trained without their push applied yet.
+		t.committer.observeTrain(j.index)
+	}
 	var mu sync.Mutex
 	var modelled time.Duration
 	err := t.eachNode(func(n *node) error {
@@ -743,6 +823,9 @@ func (t *Trainer) stageTrain(_ context.Context, j *job) (*job, error) {
 		return nil, err
 	}
 	t.addStageModelled(StageTrain, modelled)
+	// Advance the trained-batch watermark (stageTrain runs on a single
+	// pipeline goroutine with monotonic indices).
+	t.trainedEpoch.Store(uint64(j.index) + 1)
 	return j, nil
 }
 
@@ -1082,7 +1165,7 @@ func (t *Trainer) mergePairParts(a, b *ps.ValueBlock) int {
 // size, and each MEM-PS applies it through one PushBlock (one flat wire frame
 // per owned shard partition in multi-process mode) — no per-key value
 // allocation anywhere on the path.
-func (t *Trainer) stagePush(_ context.Context, j *job) (*job, error) {
+func (t *Trainer) stagePush(ctx context.Context, j *job) (*job, error) {
 	t.maybeDelay(StagePush)
 	dim := t.cfg.Spec.EmbeddingDim
 
@@ -1090,8 +1173,11 @@ func (t *Trainer) stagePush(_ context.Context, j *job) (*job, error) {
 	// every delta everywhere, and each owner applies the global sum once. The
 	// two-node in-process case skips the materialized merge entirely — each
 	// MEM-PS sums the pair on the fly in PushBlockPair — so only the merged
-	// row count (for the all-reduce charge) is computed here.
-	fused := t.remote == nil && len(t.nodes) == 2
+	// row count (for the all-reduce charge) is computed here. Async push
+	// always materializes the merge: the committer needs an owned block that
+	// outlives this stage, while the fused pair path reads the per-node delta
+	// blocks and per-batch pair scratch in place.
+	fused := t.committer == nil && t.remote == nil && len(t.nodes) == 2
 	var global *ps.ValueBlock
 	mergedRows := 0
 	if fused {
@@ -1111,22 +1197,13 @@ func (t *Trainer) stagePush(_ context.Context, j *job) (*job, error) {
 		}
 		mergedRows = global.Len()
 	}
-	releaseBlocks := func() {
-		for _, nb := range j.nodes {
-			ps.PutBlock(nb.deltas)
-			nb.deltas = nil
-		}
-		if global != nil && len(t.nodes) > 1 {
-			ps.PutBlock(global)
-		}
-	}
-	defer releaseBlocks()
 
 	// Charge the modelled all-reduce: every GPU contributes its partition of
 	// the deltas, inter-node rounds over RDMA, intra-node rounds over NVLink.
 	// The volume is the global block's payload size (every row is a changed
 	// key, so rows x encoded-row-size is exactly what the synchronization
-	// moves).
+	// moves). The charge stays on this stage even in async mode — the
+	// synchronization itself is not deferred, only the MEM-PS apply.
 	var syncTime time.Duration
 	totalGPUs := t.cfg.Topology.TotalGPUs()
 	if totalGPUs > 1 {
@@ -1140,6 +1217,43 @@ func (t *Trainer) stagePush(_ context.Context, j *job) (*job, error) {
 		t.allReduce += syncTime
 		t.mu.Unlock()
 	}
+
+	if t.committer != nil {
+		// Hand the merged block to the background committer and return: the
+		// pipeline slot frees before the MEM-PS round trip. The committer
+		// owns global from here; the per-node blocks are released now (the
+		// single-node case adopted its delta block as global).
+		pj := &pushJob{index: j.index, global: global}
+		if t.remote == nil {
+			pj.wss = make([]*memps.WorkingSet, len(t.nodes))
+		}
+		for id, nb := range j.nodes {
+			if nb.deltas != global {
+				ps.PutBlock(nb.deltas)
+			}
+			nb.deltas = nil
+			if pj.wss != nil {
+				pj.wss[id] = nb.ws
+				nb.ws = nil
+			}
+		}
+		t.addStageModelled(StagePush, syncTime)
+		if err := t.committer.enqueue(ctx, pj); err != nil {
+			return nil, err
+		}
+		return j, nil
+	}
+
+	releaseBlocks := func() {
+		for _, nb := range j.nodes {
+			ps.PutBlock(nb.deltas)
+			nb.deltas = nil
+		}
+		if global != nil && len(t.nodes) > 1 {
+			ps.PutBlock(global)
+		}
+	}
+	defer releaseBlocks()
 
 	// Apply and complete per node. memTime/ssdTime deltas are safe to read
 	// here because only this stage touches the MEM-PS push path.
@@ -1192,7 +1306,8 @@ func (t *Trainer) stagePush(_ context.Context, j *job) (*job, error) {
 		t.denseMu.Lock()
 		t.denseFlat = t.net.FlattenParams(t.denseFlat[:0])
 		t.denseMu.Unlock()
-		scfg := cluster.ServeConfig{Dense: t.denseFlat, Epoch: uint64(j.index) + 1}
+		scfg := cluster.ServeConfig{Dense: t.denseFlat, Epoch: uint64(j.index) + 1,
+			TrainedEpoch: t.trainedEpoch.Load()}
 		for _, id := range t.cfg.Topology.MemberIDs() {
 			if err := t.remote.PublishServeConfig(id, scfg); err != nil {
 				// A member mid-failover misses this epoch's dense refresh; it
@@ -1335,6 +1450,14 @@ func (t *Trainer) Tiers() []ps.TierInfo {
 // come first, so the shard state the manifest describes is on disk before
 // the manifest claims it is.
 func (t *Trainer) Flush() error {
+	if t.committer != nil {
+		// Every acked push must be applied before the shards flush: the
+		// manifest written below claims the flushed state covers the batch
+		// cursor, and an un-applied push would silently miss the cut.
+		if err := t.committer.drain(); err != nil {
+			return err
+		}
+	}
 	if err := t.eachNode(func(n *node) error { return n.mem.Flush() }); err != nil {
 		return err
 	}
@@ -1366,6 +1489,9 @@ func (t *Trainer) Close() error {
 	}
 	t.closed = true
 	err := t.Flush()
+	if t.committer != nil {
+		t.committer.close() // Flush drained it; stop the goroutine
+	}
 	if t.remote != nil {
 		t.remote.Close()
 	}
